@@ -1,0 +1,73 @@
+//! E1 — Fig. 4 AllReduce: in-network aggregation vs the parameter-server
+//! baseline. Regenerates the completion-time and traffic tables of
+//! EXPERIMENTS.md §E1: sweeps worker count and array size, printing who
+//! wins and by what factor.
+
+use ncl_bench::{run_allreduce_inc, run_allreduce_ps};
+
+fn main() {
+    let win = 8usize;
+    println!("E1: AllReduce — in-network (INC) vs parameter server (PS)");
+    println!("windows of {win} × int32; star topology; 10 Gb/s, 1 µs links\n");
+
+    println!("-- worker sweep (16 Ki elements) --");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "workers", "INC µs", "PS µs", "speedup", "INC agg KiB", "PS agg KiB"
+    );
+    for n in [2usize, 4, 8, 16, 32] {
+        let elements = 16 * 1024;
+        let inc = run_allreduce_inc(n, elements, win);
+        let ps = run_allreduce_ps(n, elements, win);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>8.2}x {:>14.1} {:>14.1}",
+            n,
+            inc.completion as f64 / 1000.0,
+            ps.completion as f64 / 1000.0,
+            ps.completion as f64 / inc.completion as f64,
+            inc.aggregator_ingress as f64 / 1024.0,
+            ps.aggregator_ingress as f64 / 1024.0,
+        );
+    }
+
+    println!("\n-- array-size sweep (8 workers) --");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "elements", "INC µs", "PS µs", "speedup", "wire INC KiB", "wire PS KiB"
+    );
+    for elements in [256usize, 1024, 4096, 16 * 1024, 64 * 1024] {
+        let inc = run_allreduce_inc(8, elements, win);
+        let ps = run_allreduce_ps(8, elements, win);
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>8.2}x {:>14.1} {:>14.1}",
+            elements,
+            inc.completion as f64 / 1000.0,
+            ps.completion as f64 / 1000.0,
+            ps.completion as f64 / inc.completion as f64,
+            inc.bytes_on_wire as f64 / 1024.0,
+            ps.bytes_on_wire as f64 / 1024.0,
+        );
+    }
+
+    println!("\n-- window-length ablation (8 workers, 16 Ki elements) --");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "win", "INC µs", "wire KiB", "overhead %"
+    );
+    for win in [2usize, 4, 8, 16, 32] {
+        let elements = 16 * 1024;
+        let inc = run_allreduce_inc(8, elements, win);
+        let payload = (8 * elements * 4) as f64;
+        let overhead = 100.0 * (inc.bytes_on_wire as f64 - payload) / inc.bytes_on_wire as f64;
+        println!(
+            "{:>8} {:>12.1} {:>14.1} {:>9.1}%",
+            win,
+            inc.completion as f64 / 1000.0,
+            inc.bytes_on_wire as f64 / 1024.0,
+            overhead,
+        );
+    }
+    println!("\nShape check: INC wins grow with worker count (aggregation");
+    println!("fan-in) and INC ingress ≈ N× egress at the switch, while the");
+    println!("PS both receives AND re-sends every byte.");
+}

@@ -1,0 +1,89 @@
+//! E7 — Fig. 3c, AND overlay embedding: mapping quality and speed on
+//! spine-leaf fabrics, plus the `_bcast()` fan-out cost measured on the
+//! deployed network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_and::{parse, PhysTopology};
+use ncl_bench::run_allreduce_inc;
+use std::hint::black_box;
+
+fn overlay(workers: usize) -> ncl_and::Overlay {
+    parse(&format!(
+        "hosts worker {workers}\nswitch agg\nhost sink\nlink worker* agg\nlink sink agg\n"
+    ))
+    .expect("valid AND")
+}
+
+fn quality_table() {
+    println!("\nE7: overlay → physical embedding quality");
+    println!(
+        "{:>9} {:>22} {:>10} {:>12}",
+        "overlay", "fabric", "cost", "ideal"
+    );
+    for (workers, spines, leaves, hpl) in [
+        (4usize, 2usize, 2usize, 4usize),
+        (4, 2, 4, 2),
+        (8, 2, 4, 4),
+        (16, 4, 8, 4),
+    ] {
+        let ov = overlay(workers);
+        let phys = PhysTopology::spine_leaf(spines, leaves, hpl);
+        match ov.embed(&phys) {
+            Ok(assignment) => {
+                let cost = ov.embedding_cost(&phys, &assignment);
+                // Ideal: every overlay edge realized as one physical hop
+                // (possible only if all workers fit under one leaf).
+                let ideal = ov.edges.len() as u64;
+                println!(
+                    "{:>7}+2 {:>14}({spines},{leaves},{hpl}) {:>10} {:>12}",
+                    workers, "spine-leaf", cost, ideal
+                );
+            }
+            Err(e) => println!("{workers:>7}+2 infeasible: {e}"),
+        }
+    }
+}
+
+fn bcast_table() {
+    println!("\nE7b: _bcast() fan-out cost (AllReduce result distribution)");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "workers", "bcast copies", "completion µs"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let r = run_allreduce_inc(n, 4096, 8);
+        println!(
+            "{:>8} {:>14} {:>16.1}",
+            n,
+            n * (4096 / 8),
+            r.completion as f64 / 1000.0
+        );
+    }
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    quality_table();
+    bcast_table();
+
+    for (workers, spines, leaves, hpl) in
+        [(8usize, 2usize, 4usize, 4usize), (32, 4, 16, 8), (64, 8, 32, 8)]
+    {
+        let ov = overlay(workers);
+        let phys = PhysTopology::spine_leaf(spines, leaves, hpl);
+        c.bench_function(
+            &format!("embed/{workers}w-into-{}nodes", phys.nodes.len()),
+            |b| b.iter(|| ov.embed(black_box(&phys)).expect("embeds")),
+        );
+    }
+    let big = "hosts h 64\nswitch s1\nlink h* s1\n";
+    c.bench_function("and_parse/64-hosts", |b| {
+        b.iter(|| parse(black_box(big)).expect("parses"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_embedding
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! E4 — nclc compile-time, per Fig. 6 stage, measured with Criterion:
+//! frontend (lex/parse/sema), lowering, optimization, versioning, and
+//! backend codegen; plus a conformance-rejection coverage table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncl_core::apps::{allreduce_source, kvs_source};
+use ncl_core::nclc::{compile, CompileConfig};
+use ncl_ir::lower::{lower, LoweringConfig};
+use ncl_ir::version::{version_modules, LocationInfo};
+use std::hint::black_box;
+
+fn sources() -> Vec<(&'static str, String, LoweringConfig)> {
+    let mut ar_cfg = LoweringConfig::default();
+    ar_cfg.masks.insert("allreduce".into(), vec![32]);
+    ar_cfg.masks.insert("result".into(), vec![32]);
+    let mut kvs_cfg = LoweringConfig::default();
+    kvs_cfg.masks.insert("query".into(), vec![1, 32, 1]);
+    vec![
+        ("allreduce", allreduce_source(1024, 32), ar_cfg),
+        ("kvs", kvs_source(3, 256, 32), kvs_cfg),
+    ]
+}
+
+fn bench_stages(c: &mut Criterion) {
+    for (name, src, lcfg) in sources() {
+        c.bench_function(&format!("frontend/{name}"), |b| {
+            b.iter(|| ncl_lang::frontend(black_box(&src), "bench.ncl").expect("frontend"))
+        });
+        let checked = ncl_lang::frontend(&src, "bench.ncl").expect("frontend");
+        c.bench_function(&format!("lower/{name}"), |b| {
+            b.iter(|| lower(black_box(&checked), &lcfg).expect("lower"))
+        });
+        let module = lower(&checked, &lcfg).expect("lower");
+        c.bench_function(&format!("optimize/{name}"), |b| {
+            b.iter(|| {
+                let mut m = module.clone();
+                ncl_ir::passes::optimize(&mut m)
+            })
+        });
+        let mut optimized = module.clone();
+        ncl_ir::passes::optimize(&mut optimized);
+        let locations = vec![LocationInfo {
+            label: c3::Label::new("s1"),
+            id: 1,
+        }];
+        c.bench_function(&format!("version/{name}"), |b| {
+            b.iter(|| version_modules(black_box(&optimized), &locations))
+        });
+        let versions = version_modules(&optimized, &locations);
+        let opts = ncl_p4::CompileOptions::default();
+        c.bench_function(&format!("codegen/{name}"), |b| {
+            b.iter(|| {
+                ncl_p4::compile_module(
+                    black_box(&versions[0]),
+                    &pisa::ResourceModel::default(),
+                    &opts,
+                )
+                .expect("codegen")
+            })
+        });
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let and = "hosts worker 4\nswitch s1\nlink worker* s1\n";
+    let src = allreduce_source(1024, 32);
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![32]);
+    cfg.masks.insert("result".into(), vec![32]);
+    c.bench_function("nclc/end-to-end/allreduce", |b| {
+        b.iter(|| compile(black_box(&src), and, &cfg).expect("compiles"))
+    });
+}
+
+/// Conformance-rejection coverage: every reject class the paper's
+/// Fig. 6 describes, demonstrated.
+fn rejection_table() {
+    println!("\nE4b: conformance/backed rejection coverage");
+    type RejectCase = (&'static str, &'static str, Vec<(&'static str, Vec<u16>)>);
+    let cases: Vec<RejectCase> = vec![
+        (
+            "unbounded loop",
+            "_net_ _out_ void k(int *d) { while (d[0] > 0) { d[0] -= 1; } }",
+            vec![("k", vec![1])],
+        ),
+        (
+            "misplaced memory",
+            "_net_ _at_(\"s2\") int m[4];\n_net_ _out_ _at_(\"s1\") void k(int *d) { m[0] += d[0]; }",
+            vec![("k", vec![1])],
+        ),
+        (
+            "unknown location",
+            "_net_ _out_ _at_(\"nowhere\") void k(int *d) { _drop(); }",
+            vec![("k", vec![1])],
+        ),
+        (
+            "too many stateful micro-ops",
+            "_net_ _at_(\"s1\") int m[4];\n_net_ _out_ void k(int *d) {\n  m[d[0]] += 1; m[d[1]] += 1; m[d[2]] += 1; m[d[3]] += 1;\n}",
+            vec![("k", vec![4])],
+        ),
+    ];
+    let and = "host a\nhost b\nswitch s1\nswitch s2\nlink a s1\nlink s1 s2\nlink s2 b\n";
+    for (name, src, masks) in cases {
+        let mut cfg = CompileConfig::default();
+        for (k, m) in masks {
+            cfg.masks.insert(k.to_string(), m);
+        }
+        match compile(src, and, &cfg) {
+            Ok(_) => println!("  {name:<32} UNEXPECTEDLY ACCEPTED"),
+            Err(e) => {
+                let first = e.to_string();
+                let first = first.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+                println!("  {name:<32} rejected: {}", first.trim());
+            }
+        }
+    }
+}
+
+fn table_then_bench(c: &mut Criterion) {
+    rejection_table();
+    bench_stages(c);
+    bench_end_to_end(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = table_then_bench
+}
+criterion_main!(benches);

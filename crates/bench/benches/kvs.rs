@@ -1,0 +1,73 @@
+//! E2 — Fig. 5 KVS cache: in-network cache vs server-only. Sweeps Zipf
+//! skew and cache size; reports mean/p99 GET latency, switch hit rate
+//! and server load. The headline shape: under skew the cache absorbs
+//! the hot head of the distribution, collapsing server load; the
+//! crossover sits where the hit rate no longer pays for the extra
+//! pipeline traversal on misses.
+
+use ncl_bench::run_kvs;
+
+fn main() {
+    let clients = 3usize;
+    let ops = 250usize;
+    let keyspace = 400u64;
+    let val_words = 8usize;
+
+    println!("E2: KVS — in-network cache vs server-only");
+    println!(
+        "{clients} clients × {ops} ops, {keyspace}-key space, {}B values, 2% PUTs\n",
+        val_words * 4
+    );
+
+    println!("-- skew sweep (64-slot cache) --");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>11} {:>8}",
+        "zipf", "cache", "mean µs", "p99 µs", "base mean", "base p99", "server ops", "hit %"
+    );
+    for skew in [0.6, 0.9, 1.1, 1.3] {
+        let base = run_kvs(clients, ops, skew, keyspace, 0, val_words);
+        let inc = run_kvs(clients, ops, skew, keyspace, 64, val_words);
+        println!(
+            "{:>6.1} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>5}/{:<5} {:>7.0}%",
+            skew,
+            64,
+            inc.mean_latency / 1000.0,
+            inc.p99_latency as f64 / 1000.0,
+            base.mean_latency / 1000.0,
+            base.p99_latency as f64 / 1000.0,
+            inc.server_ops,
+            base.server_ops,
+            inc.hit_rate * 100.0,
+        );
+    }
+
+    println!("\n-- cache-size sweep (zipf 1.2) --");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>8}",
+        "slots", "mean µs", "p99 µs", "server ops", "hit %"
+    );
+    let base = run_kvs(clients, ops, 1.2, keyspace, 0, val_words);
+    println!(
+        "{:>8} {:>12.1} {:>12.1} {:>12} {:>8}",
+        "none",
+        base.mean_latency / 1000.0,
+        base.p99_latency as f64 / 1000.0,
+        base.server_ops,
+        "—"
+    );
+    for slots in [8usize, 16, 32, 64, 128] {
+        let inc = run_kvs(clients, ops, 1.2, keyspace, slots, val_words);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12} {:>7.0}%",
+            slots,
+            inc.mean_latency / 1000.0,
+            inc.p99_latency as f64 / 1000.0,
+            inc.server_ops,
+            inc.hit_rate * 100.0,
+        );
+    }
+    println!("\nShape check: hit rate and server-load relief grow with skew");
+    println!("and cache size; at near-uniform access (zipf 0.6) the cache");
+    println!("stops paying — the crossover the paper's caching citations");
+    println!("(NetCache) report.");
+}

@@ -1,0 +1,120 @@
+//! E6 — Fig. 1a, the PISA simulator: packet-processing rate vs program
+//! size under Criterion, plus the stage-occupancy and recirculation-
+//! onset tables (what the paper's "arch-specific transformations …
+//! decide if recirculation is required" stage produces).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ncl_core::nclc::{compile, CompileConfig};
+use pisa::{Pipeline, ResourceModel};
+use std::hint::black_box;
+
+const AND: &str = "host a\nhost b\nswitch s1\nlink a s1\nlink b s1\n";
+
+/// A synthetic kernel with `depth` dependent arithmetic steps over a
+/// `width`-element window.
+fn synth_kernel(depth: usize, width: usize) -> (String, Vec<u16>) {
+    let mut body = String::from("    int acc = data[0];\n");
+    for i in 0..depth {
+        body.push_str(&format!(
+            "    acc = acc * 3 + data[{}];\n",
+            i % width
+        ));
+    }
+    body.push_str("    data[0] = acc;\n");
+    (
+        format!("_net_ _out_ void k(int *data) {{\n{body}}}\n"),
+        vec![width as u16],
+    )
+}
+
+fn build(src: &str, mask: Vec<u16>) -> Option<(Pipeline, Vec<u8>, pisa::ResourceReport)> {
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("k".into(), mask.clone());
+    let program = compile(src, AND, &cfg).ok()?;
+    let compiled = program.switch("s1").unwrap();
+    let report = compiled.report.clone();
+    let pipe = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+    let kid = program.kernel_ids["k"];
+    let w = c3::Window {
+        kernel: c3::KernelId(kid),
+        seq: 0,
+        sender: c3::HostId(1),
+        from: c3::NodeId::Host(c3::HostId(1)),
+        last: false,
+        chunks: vec![c3::Chunk {
+            offset: 0,
+            data: (0..mask[0] as u32).flat_map(|v| v.to_be_bytes()).collect(),
+        }],
+        ext: vec![],
+    };
+    let pkt = ncp::codec::encode_window(&w, 0);
+    Some((pipe, pkt, report))
+}
+
+fn occupancy_table() {
+    println!("\nE6b: stage occupancy & recirculation onset (12-stage chip)");
+    println!(
+        "{:>14} {:>8} {:>8} {:>10} {:>12}",
+        "kernel", "stages", "passes", "max ops", "PHV meta B"
+    );
+    for depth in [1usize, 2, 4, 8, 16, 24, 32] {
+        let (src, mask) = synth_kernel(depth, 8);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("k".into(), mask);
+        match compile(&src, AND, &cfg) {
+            Ok(p) => {
+                let r = &p.switches[0].1.report;
+                println!(
+                    "{:>11}-op {:>8} {:>8} {:>10} {:>12}",
+                    depth,
+                    r.stages_used,
+                    r.recirc_passes + 1,
+                    r.ops_by_stage.iter().max().unwrap_or(&0),
+                    r.phv_metadata_bytes
+                );
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                let first = msg.lines().nth(1).unwrap_or("rejected").trim();
+                println!("{:>11}-op rejected: {first}", depth);
+            }
+        }
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    occupancy_table();
+
+    let mut g = c.benchmark_group("pisa_process");
+    for (name, depth) in [("small", 2usize), ("medium", 8), ("large", 16)] {
+        let (src, mask) = synth_kernel(depth, 8);
+        let Some((mut pipe, pkt, report)) = build(&src, mask) else {
+            println!("{name}: rejected by the resource model, skipping");
+            continue;
+        };
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(
+            format!("{name}-{}stages", report.stages_used),
+            |b| {
+                b.iter(|| pipe.process(black_box(&pkt)).expect("processes"))
+            },
+        );
+    }
+    g.finish();
+
+    // Parse-only cost (non-NCP fast path, Fig. 3b).
+    let (src, mask) = synth_kernel(4, 8);
+    let (mut pipe, pkt, _) = build(&src, mask).expect("small kernel fits");
+    let mut garbage = pkt.clone();
+    garbage[0] = 0; // break the magic
+    c.bench_function("pisa_reject_non_ncp", |b| {
+        b.iter(|| pipe.process(black_box(&garbage)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

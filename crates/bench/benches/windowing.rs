@@ -1,0 +1,117 @@
+//! E5 — the window mechanism (Fig. 2, §4.2): codec throughput under
+//! Criterion, plus the window-length sweep of goodput vs NCP header
+//! overhead, including multi-packet windows (the paper's future-work
+//! extension).
+
+use c3::{Chunk, HostId, KernelId, Mask, NodeId, ScalarType, Window, WindowSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ncp::codec::{decode_window, encode_window, fragment_window, Reassembler};
+use std::hint::black_box;
+
+fn window(elems: usize) -> Window {
+    Window {
+        kernel: KernelId(1),
+        seq: 7,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: false,
+        chunks: vec![Chunk {
+            offset: 0,
+            data: (0..elems as u32).flat_map(|v| v.to_be_bytes()).collect(),
+        }],
+        ext: vec![],
+    }
+}
+
+fn overhead_table() {
+    println!("\nE5b: window length vs NCP overhead (single array of u32)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "win", "pkt bytes", "payload", "overhead %", "pkts/MiB"
+    );
+    for elems in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let w = window(elems);
+        let bytes = encode_window(&w, 0);
+        let payload = elems * 4;
+        let overhead = 100.0 * (bytes.len() - payload) as f64 / bytes.len() as f64;
+        let pkts_per_mib = (1 << 20) / payload;
+        println!(
+            "{:>8} {:>10} {:>12} {:>11.1}% {:>10}",
+            elems,
+            bytes.len(),
+            payload,
+            overhead,
+            pkts_per_mib
+        );
+    }
+    println!("\nE5c: multi-packet windows (mtu 1472)");
+    println!("{:>10} {:>10} {:>12}", "elems", "fragments", "bytes total");
+    for elems in [256usize, 512, 1024, 4096] {
+        let w = window(elems);
+        let frags = fragment_window(&w, 0, 1472);
+        let total: usize = frags.iter().map(|f| f.len()).sum();
+        println!("{:>10} {:>10} {:>12}", elems, frags.len(), total);
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    overhead_table();
+
+    let mut g = c.benchmark_group("ncp_codec");
+    for elems in [8usize, 64, 256] {
+        let w = window(elems);
+        let bytes = encode_window(&w, 0);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function(format!("encode/{elems}"), |b| {
+            b.iter(|| encode_window(black_box(&w), 0))
+        });
+        g.bench_function(format!("decode/{elems}"), |b| {
+            b.iter(|| decode_window(black_box(&bytes)).expect("decodes"))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("window_split");
+    for elems in [1024usize, 16 * 1024] {
+        let data: Vec<u8> = (0..elems as u32).flat_map(|v| v.to_be_bytes()).collect();
+        let spec = WindowSpec::new(vec![ScalarType::U32], Mask::new([32])).expect("spec");
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("split/{elems}"), |b| {
+            b.iter(|| spec.split(black_box(&[&data[..]])).expect("splits"))
+        });
+        let windows = spec.split(&[&data[..]]).expect("splits");
+        g.bench_function(format!("reassemble/{elems}"), |b| {
+            b.iter(|| {
+                spec.reassemble(black_box(&windows), &[data.len()])
+                    .expect("reassembles")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fragmentation");
+    let w = window(1024);
+    g.throughput(Throughput::Bytes((1024 * 4) as u64));
+    g.bench_function("fragment/4KiB@1472", |b| {
+        b.iter(|| fragment_window(black_box(&w), 0, 1472))
+    });
+    let frags = fragment_window(&w, 0, 1472);
+    g.bench_function("reassemble/4KiB@1472", |b| {
+        b.iter(|| {
+            let mut r = Reassembler::new();
+            let mut out = None;
+            for f in &frags {
+                out = r.push(black_box(f)).expect("ok");
+            }
+            out.expect("complete")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! # ncl-bench — the experiment harness
+//!
+//! One bench target per experiment in EXPERIMENTS.md (E1–E8). Two kinds
+//! of measurement coexist:
+//!
+//! * **simulated metrics** (completion time, latency, server load,
+//!   bytes on the wire) — read off the deterministic network simulation
+//!   and printed as paper-style tables;
+//! * **wall-clock metrics** (compiler speed, codec throughput, simulator
+//!   packet rate) — measured with Criterion.
+//!
+//! Shared helpers live here: workload generators and the common
+//! deployment shapes.
+
+use c3::{HostId, NodeId, ScalarType, Value};
+use ncl_core::apps::{
+    allreduce_source, kvs_source, KvsClient, KvsOp, KvsServer, PsServer, PsWorker,
+};
+use ncl_core::control::ControlPlane;
+use ncl_core::deploy::{deploy, Deployment};
+use ncl_core::nclc::{compile, CompileConfig, CompiledProgram};
+use ncl_core::runtime::{NclHost, OutInvocation, TypedArray};
+use netsim::{HostApp, LinkSpec, NetworkBuilder, SwitchCfg, Time};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Results of one AllReduce run.
+#[derive(Clone, Copy, Debug)]
+pub struct AllReduceResult {
+    /// Completion time (max across workers), ns.
+    pub completion: Time,
+    /// Bytes offered to links in total.
+    pub bytes_on_wire: u64,
+    /// Bytes into the aggregation point (switch or PS host).
+    pub aggregator_ingress: u64,
+}
+
+/// Compiles the Fig. 4 program for `nworkers`/`elements`/`win`.
+pub fn allreduce_program(nworkers: usize, elements: usize, win: usize) -> CompiledProgram {
+    let src = allreduce_source(elements, win);
+    let and = format!("hosts worker {nworkers}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    compile(&src, &and, &cfg).expect("allreduce compiles")
+}
+
+/// Runs the in-network AllReduce (E1, INC arm).
+pub fn run_allreduce_inc(nworkers: usize, elements: usize, win: usize) -> AllReduceResult {
+    let program = allreduce_program(nworkers, elements, win);
+    let kid = program.kernel_ids["allreduce"];
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=nworkers as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % nworkers as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .expect("valid");
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, elements), (ScalarType::Bool, 1)],
+        )
+        .expect("paired");
+        host.done_on_flag(kid, 1);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep: Deployment = deploy(
+        &program,
+        apps,
+        LinkSpec::default(),
+        pisa::ResourceModel::default(),
+    )
+    .expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(nworkers as u32),
+    );
+    dep.net.run();
+    let completion = (1..=nworkers as u16)
+        .map(|w| {
+            dep.net
+                .host_app::<NclHost>(HostId(w))
+                .expect("worker")
+                .done_at
+                .expect("completed")
+        })
+        .max()
+        .expect("workers exist");
+    AllReduceResult {
+        completion,
+        bytes_on_wire: dep.net.stats.bytes_sent,
+        aggregator_ingress: dep.net.node_ingress_bytes(NodeId::Switch(s1)),
+    }
+}
+
+/// Runs the parameter-server baseline (E1, host arm).
+pub fn run_allreduce_ps(nworkers: usize, elements: usize, win: usize) -> AllReduceResult {
+    let mut b = NetworkBuilder::new();
+    let ps_node = NodeId::Host(HostId(nworkers as u16 + 1));
+    let mut worker_ids = Vec::new();
+    for w in 1..=nworkers as u16 {
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        let id = b.add_host(Box::new(PsWorker::new(ps_node, data, win)));
+        worker_ids.push(NodeId::Host(id));
+    }
+    let ps = b.add_host(Box::new(PsServer::new(worker_ids)));
+    let sw = b.add_switch(SwitchCfg::default());
+    for w in 1..=nworkers as u16 + 1 {
+        b.link(HostId(w), sw, LinkSpec::default());
+    }
+    let mut net = b.build();
+    net.run();
+    let completion = (1..=nworkers as u16)
+        .map(|w| {
+            net.host_app::<PsWorker>(HostId(w))
+                .expect("worker")
+                .done_at
+                .expect("completed")
+        })
+        .max()
+        .expect("workers");
+    AllReduceResult {
+        completion,
+        bytes_on_wire: net.stats.bytes_sent,
+        aggregator_ingress: net.node_ingress_bytes(NodeId::Host(ps)),
+    }
+}
+
+/// Results of one KVS run (E2).
+#[derive(Clone, Copy, Debug)]
+pub struct KvsResult {
+    /// Mean GET latency, ns.
+    pub mean_latency: f64,
+    /// p99 GET latency, ns.
+    pub p99_latency: u64,
+    /// Operations the server handled.
+    pub server_ops: u64,
+    /// Cache hit rate over GETs.
+    pub hit_rate: f64,
+    /// GETs completed.
+    pub gets: usize,
+}
+
+/// A Zipf(s) sampler over `1..=n`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF.
+    pub fn new(n: u64, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        (self.cdf.partition_point(|&c| c < u) + 1) as u64
+    }
+}
+
+/// Runs the KVS workload (E2). `cache_slots = 0` disables the cache
+/// (server-only baseline).
+pub fn run_kvs(
+    nclients: usize,
+    ops_per_client: usize,
+    skew: f64,
+    keyspace: u64,
+    cache_slots: usize,
+    val_words: usize,
+) -> KvsResult {
+    let with_cache = cache_slots > 0;
+    let slots = cache_slots.max(8);
+    let server_id = (nclients + 1) as u16;
+    let src = kvs_source(server_id, slots, val_words);
+    let and = format!(
+        "hosts client {nclients}\nswitch s1\nhost server\nlink client* s1\nlink server s1\n"
+    );
+    let mut cfg = CompileConfig::default();
+    cfg.masks
+        .insert("query".into(), vec![1, val_words as u16, 1]);
+    let program = compile(&src, &and, &cfg).expect("kvs compiles");
+    let kernel = program.kernel_ids["query"];
+    let control = with_cache.then(|| ControlPlane::new(program.switch("s1").unwrap()));
+
+    let zipf = Zipf::new(keyspace, skew);
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for c in 1..=nclients as u16 {
+        let mut rng = StdRng::seed_from_u64(c as u64 * 6271);
+        let schedule: Vec<KvsOp> = (0..ops_per_client)
+            .map(|i| KvsOp {
+                at: (i as u64) * 150_000 + c as u64 * 900,
+                key: zipf.sample(&mut rng),
+                put: rng.gen::<f64>() < 0.02,
+            })
+            .collect();
+        apps.insert(
+            format!("client{c}"),
+            Box::new(KvsClient::new(
+                NodeId::Host(HostId(server_id)),
+                HostId(server_id),
+                kernel,
+                val_words,
+                schedule,
+            )),
+        );
+    }
+    let mut server = KvsServer::new(kernel, val_words, None, control, slots);
+    for k in 1..=keyspace {
+        server.store.insert(k, KvsClient::value_for(k, val_words));
+    }
+    apps.insert("server".into(), Box::new(server));
+    let mut stripped = program.clone();
+    if !with_cache {
+        stripped.switches.clear();
+    }
+    let mut dep = deploy(
+        &stripped,
+        apps,
+        LinkSpec::default(),
+        pisa::ResourceModel::default(),
+    )
+    .expect("deploys");
+    if with_cache {
+        let s1 = dep.switch("s1");
+        dep.net
+            .host_app_mut::<KvsServer>(HostId(server_id))
+            .expect("server")
+            .cache_switch = Some(s1);
+    }
+    dep.net.run();
+
+    let mut lat = Vec::new();
+    let mut hits = 0usize;
+    for c in 1..=nclients as u16 {
+        let client = dep.net.host_app::<KvsClient>(HostId(c)).expect("client");
+        assert_eq!(client.corrupt, 0, "corrupt GET responses");
+        for s in &client.samples {
+            if !s.put {
+                lat.push(s.latency);
+                if s.from_cache {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    lat.sort_unstable();
+    let gets = lat.len();
+    KvsResult {
+        mean_latency: lat.iter().sum::<u64>() as f64 / gets.max(1) as f64,
+        p99_latency: lat
+            .get(gets.saturating_sub(1) * 99 / 100)
+            .copied()
+            .unwrap_or(0),
+        server_ops: dep
+            .net
+            .host_app::<KvsServer>(HostId(server_id))
+            .expect("server")
+            .served,
+        hit_rate: hits as f64 / gets.max(1) as f64,
+        gets,
+    }
+}
+
+/// Pretty table separator for bench output.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,154 @@
+//! Property tests for the C scalar semantics of [`c3::Value`] — the
+//! arithmetic every layer of the system (interpreter, pipeline ALUs)
+//! computes with. The reference model is `i128` arithmetic followed by
+//! truncation to the type's width.
+
+use c3::{BinOp, ScalarType, UnOp, Value};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = ScalarType> {
+    prop::sample::select(ScalarType::ALL.to_vec())
+}
+
+/// Truncates an `i128` to `ty`'s width, reinterpreting as the type's
+/// signedness — the C conversion model.
+fn model_truncate(ty: ScalarType, wide: i128) -> i128 {
+    if ty == ScalarType::Bool {
+        return (wide != 0) as i128;
+    }
+    let bits = ty.bits();
+    let masked = (wide as u128) & (ty.mask() as u128);
+    if ty.is_signed() {
+        let shift = 128 - bits;
+        ((masked as i128) << shift) >> shift
+    } else {
+        masked as i128
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Construction masks to width and round-trips through `as_i128`.
+    #[test]
+    fn construction_matches_model(ty in arb_type(), bits in any::<u64>()) {
+        let v = Value::new(ty, bits);
+        prop_assert_eq!(v.as_i128(), model_truncate(ty, bits as i128));
+        // Reconstructing from the observed value is the identity.
+        prop_assert_eq!(Value::new(ty, v.bits()), v);
+    }
+
+    /// Wrapping add/sub/mul match the i128 model.
+    #[test]
+    fn ring_ops_match_model(ty in arb_type(), a in any::<u64>(), b in any::<u64>()) {
+        let x = Value::new(ty, a);
+        let y = Value::new(ty, b);
+        for (op, f) in [
+            (BinOp::Add, (|p: i128, q: i128| p.wrapping_add(q)) as fn(i128, i128) -> i128),
+            (BinOp::Sub, |p, q| p.wrapping_sub(q)),
+            (BinOp::Mul, |p, q| p.wrapping_mul(q)),
+        ] {
+            let got = Value::binop(op, x, y).as_i128();
+            let want = model_truncate(ty, f(x.as_i128(), y.as_i128()));
+            prop_assert_eq!(got, want, "{:?} on {:?}, {:?}", op, x, y);
+        }
+    }
+
+    /// Bitwise ops match the model.
+    #[test]
+    fn bit_ops_match_model(ty in arb_type(), a in any::<u64>(), b in any::<u64>()) {
+        let x = Value::new(ty, a);
+        let y = Value::new(ty, b);
+        prop_assert_eq!(
+            Value::binop(BinOp::And, x, y).bits(),
+            x.bits() & y.bits()
+        );
+        prop_assert_eq!(Value::binop(BinOp::Or, x, y).bits(), x.bits() | y.bits());
+        prop_assert_eq!(
+            Value::binop(BinOp::Xor, x, y).bits(),
+            x.bits() ^ y.bits()
+        );
+        // Bool normalizes any nonzero result to 1, so its complement
+        // is logical rather than bitwise.
+        let want_not = if ty == ScalarType::Bool {
+            (x.bits() == 0) as u64
+        } else {
+            !x.bits() & ty.mask()
+        };
+        prop_assert_eq!(Value::unop(UnOp::BitNot, x).bits(), want_not);
+    }
+
+    /// Comparisons agree with the signed model.
+    #[test]
+    fn comparisons_match_model(ty in arb_type(), a in any::<u64>(), b in any::<u64>()) {
+        let x = Value::new(ty, a);
+        let y = Value::new(ty, b);
+        let (mx, my) = (x.as_i128(), y.as_i128());
+        prop_assert_eq!(Value::binop(BinOp::Lt, x, y).is_truthy(), mx < my);
+        prop_assert_eq!(Value::binop(BinOp::Le, x, y).is_truthy(), mx <= my);
+        prop_assert_eq!(Value::binop(BinOp::Gt, x, y).is_truthy(), mx > my);
+        prop_assert_eq!(Value::binop(BinOp::Ge, x, y).is_truthy(), mx >= my);
+        prop_assert_eq!(Value::binop(BinOp::Eq, x, y).is_truthy(), mx == my);
+        prop_assert_eq!(Value::binop(BinOp::Ne, x, y).is_truthy(), mx != my);
+    }
+
+    /// Division semantics: C truncation toward zero; ÷0 = 0 (the
+    /// documented hardware-flavoured convention).
+    #[test]
+    fn div_rem_match_model(ty in arb_type(), a in any::<u64>(), b in any::<u64>()) {
+        let x = Value::new(ty, a);
+        let y = Value::new(ty, b);
+        let (mx, my) = (x.as_i128(), y.as_i128());
+        let want_div = if my == 0 { 0 } else { model_truncate(ty, mx.wrapping_div(my)) };
+        let want_rem = if my == 0 { 0 } else { model_truncate(ty, mx.wrapping_rem(my)) };
+        prop_assert_eq!(Value::binop(BinOp::Div, x, y).as_i128(), want_div);
+        prop_assert_eq!(Value::binop(BinOp::Rem, x, y).as_i128(), want_rem);
+    }
+
+    /// Shifts take the amount modulo the width; right shift is
+    /// arithmetic for signed types.
+    #[test]
+    fn shifts_match_model(ty in arb_type(), a in any::<u64>(), sh in any::<u64>()) {
+        let x = Value::new(ty, a);
+        let s = Value::new(ty, sh);
+        let eff = (s.bits() % ty.bits() as u64) as u32;
+        prop_assert_eq!(
+            Value::binop(BinOp::Shl, x, s).as_i128(),
+            model_truncate(ty, x.as_i128().wrapping_shl(eff))
+        );
+        let want_shr = if ty.is_signed() {
+            model_truncate(ty, x.as_i128() >> eff)
+        } else {
+            model_truncate(ty, ((x.bits() >> eff) as u128) as i128)
+        };
+        prop_assert_eq!(Value::binop(BinOp::Shr, x, s).as_i128(), want_shr);
+    }
+
+    /// Casting is the C conversion: sign-extend then truncate.
+    #[test]
+    fn casts_match_model(from in arb_type(), to in arb_type(), a in any::<u64>()) {
+        let x = Value::new(from, a);
+        prop_assert_eq!(x.cast(to).as_i128(), model_truncate(to, x.as_i128()));
+        // Casting to the same type is the identity.
+        prop_assert_eq!(x.cast(from), x);
+    }
+
+    /// Big-endian serialization round-trips for every type.
+    #[test]
+    fn be_roundtrip(ty in arb_type(), a in any::<u64>()) {
+        let v = Value::new(ty, a);
+        let mut buf = vec![0u8; ty.size()];
+        v.write_be(&mut buf);
+        prop_assert_eq!(Value::read_be(ty, &buf), v);
+    }
+
+    /// Negation is subtraction from zero.
+    #[test]
+    fn neg_is_zero_minus(ty in arb_type(), a in any::<u64>()) {
+        let x = Value::new(ty, a);
+        prop_assert_eq!(
+            Value::unop(UnOp::Neg, x),
+            Value::binop(BinOp::Sub, Value::zero(ty), x)
+        );
+    }
+}

@@ -1,0 +1,649 @@
+//! Application hosts for the two paper use cases (§4.3) and their
+//! host-only baselines.
+//!
+//! * [`PsWorker`]/[`PsServer`] — the **host-based AllReduce baseline**:
+//!   a parameter server aggregates worker arrays in software; switches
+//!   only forward. E1 compares this against the in-network AllReduce.
+//! * [`KvsClient`]/[`KvsServer`] — the **KVS application** of Fig. 5.
+//!   The same pair runs in both modes: with the compiled `query` kernel
+//!   on the switch (in-network cache) or with a plain forwarding switch
+//!   (server-only baseline) — E2's comparison.
+
+use crate::control::ControlPlane;
+use c3::{Chunk, HostId, KernelId, NodeId, ScalarType, SwitchId, Value, Window};
+use ncp::codec::{decode_window, encode_window};
+use netsim::{HostApp, HostCtx, Packet, Time};
+use std::any::Any;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Host-based AllReduce (parameter-server baseline)
+// ---------------------------------------------------------------------
+
+/// Wire format of the PS baseline (plain, non-NCP packets):
+/// `[magic u16 = 0x5053][worker u16][seq u32][n u16][i32 × n]`.
+const PS_MAGIC: u16 = 0x5053;
+
+fn ps_encode(worker: u16, seq: u32, vals: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + vals.len() * 4);
+    out.extend_from_slice(&PS_MAGIC.to_be_bytes());
+    out.extend_from_slice(&worker.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&(vals.len() as u16).to_be_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+fn ps_decode(bytes: &[u8]) -> Option<(u16, u32, Vec<i32>)> {
+    use c3::wire::{get_u16, get_u32};
+    if bytes.len() < 10 || get_u16(bytes, 0) != PS_MAGIC {
+        return None;
+    }
+    let worker = get_u16(bytes, 2);
+    let seq = get_u32(bytes, 4);
+    let n = get_u16(bytes, 8) as usize;
+    if bytes.len() < 10 + n * 4 {
+        return None;
+    }
+    let vals = (0..n)
+        .map(|i| get_u32(bytes, 10 + i * 4) as i32)
+        .collect();
+    Some((worker, seq, vals))
+}
+
+/// A parameter-server worker: sends its array in window-sized slots to
+/// the server, collects the aggregated slots back.
+pub struct PsWorker {
+    /// The server node.
+    pub server: NodeId,
+    /// This worker's contribution.
+    pub data: Vec<i32>,
+    /// Elements per slot (matches the INC window length for fairness).
+    pub slot: usize,
+    /// The aggregated result, filled as slots arrive.
+    pub result: Vec<i32>,
+    slots_done: usize,
+    /// Time the full result arrived.
+    pub done_at: Option<Time>,
+}
+
+impl PsWorker {
+    /// Creates a worker.
+    pub fn new(server: NodeId, data: Vec<i32>, slot: usize) -> Self {
+        let n = data.len();
+        PsWorker {
+            server,
+            data,
+            slot,
+            result: vec![0; n],
+            slots_done: 0,
+            done_at: None,
+        }
+    }
+}
+
+impl HostApp for PsWorker {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        for (seq, chunk) in self.data.chunks(self.slot).enumerate() {
+            ctx.send(self.server, ps_encode(ctx.host.0, seq as u32, chunk));
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        let Some((_, seq, vals)) = ps_decode(&pkt.payload) else {
+            return;
+        };
+        let base = seq as usize * self.slot;
+        for (i, v) in vals.iter().enumerate() {
+            if base + i < self.result.len() {
+                self.result[base + i] = *v;
+            }
+        }
+        self.slots_done += 1;
+        if self.slots_done == self.data.len().div_ceil(self.slot) && self.done_at.is_none()
+        {
+            self.done_at = Some(ctx.now);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The parameter server: aggregates slots from `nworkers` workers and
+/// broadcasts each completed slot back.
+pub struct PsServer {
+    /// Expected workers.
+    pub nworkers: usize,
+    /// The worker nodes (result fan-out).
+    pub workers: Vec<NodeId>,
+    slots: HashMap<u32, (Vec<i32>, usize)>,
+    /// Slots aggregated and broadcast.
+    pub completed: usize,
+}
+
+impl PsServer {
+    /// Creates a server for the given worker set.
+    pub fn new(workers: Vec<NodeId>) -> Self {
+        PsServer {
+            nworkers: workers.len(),
+            workers,
+            slots: HashMap::new(),
+            completed: 0,
+        }
+    }
+}
+
+impl HostApp for PsServer {
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        let Some((_, seq, vals)) = ps_decode(&pkt.payload) else {
+            return;
+        };
+        let entry = self
+            .slots
+            .entry(seq)
+            .or_insert_with(|| (vec![0; vals.len()], 0));
+        for (i, v) in vals.iter().enumerate() {
+            entry.0[i] = entry.0[i].wrapping_add(*v);
+        }
+        entry.1 += 1;
+        if entry.1 == self.nworkers {
+            let (sum, _) = self.slots.remove(&seq).expect("entry exists");
+            self.completed += 1;
+            for w in &self.workers {
+                ctx.send(*w, ps_encode(0, seq, &sum));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// KVS client and server (Fig. 5)
+// ---------------------------------------------------------------------
+
+/// One client operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KvsOp {
+    /// Issue time.
+    pub at: Time,
+    /// The key.
+    pub key: u64,
+    /// `true` = PUT (the value written is derived from the key).
+    pub put: bool,
+}
+
+/// Result of one completed operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KvsSample {
+    /// The key.
+    pub key: u64,
+    /// PUT?
+    pub put: bool,
+    /// Issue → response latency.
+    pub latency: Time,
+    /// Served by the in-network cache (response reflected by the
+    /// switch rather than generated by the server)?
+    pub from_cache: bool,
+}
+
+/// A KVS client issuing a fixed schedule of GET/PUT operations encoded
+/// as `query` windows (the kernel of Fig. 5).
+pub struct KvsClient {
+    /// The storage server node.
+    pub server: NodeId,
+    /// The server's host id (to distinguish cache hits).
+    pub server_host: HostId,
+    /// The `query` kernel id.
+    pub kernel: u16,
+    /// Value words per item (must match the program's Cache columns).
+    pub val_words: usize,
+    /// Operations to issue.
+    pub schedule: Vec<KvsOp>,
+    /// Completed operations.
+    pub samples: Vec<KvsSample>,
+    outstanding: HashMap<u32, (Time, u64, bool)>,
+    /// Responses whose value didn't match the expected pattern.
+    pub corrupt: u64,
+}
+
+impl KvsClient {
+    /// Creates a client.
+    pub fn new(
+        server: NodeId,
+        server_host: HostId,
+        kernel: u16,
+        val_words: usize,
+        schedule: Vec<KvsOp>,
+    ) -> Self {
+        KvsClient {
+            server,
+            server_host,
+            kernel,
+            val_words,
+            schedule,
+            samples: Vec::new(),
+            outstanding: HashMap::new(),
+            corrupt: 0,
+        }
+    }
+
+    /// The deterministic value pattern for a key (verifiable end to
+    /// end).
+    pub fn value_for(key: u64, val_words: usize) -> Vec<u32> {
+        (0..val_words as u64)
+            .map(|i| (key.wrapping_mul(2654435761).wrapping_add(i)) as u32)
+            .collect()
+    }
+
+    fn query_window(&self, seq: u32, host: HostId, op: &KvsOp) -> Window {
+        let val = if op.put {
+            Self::value_for(op.key, self.val_words)
+        } else {
+            vec![0; self.val_words]
+        };
+        Window {
+            kernel: KernelId(self.kernel),
+            seq,
+            sender: host,
+            from: NodeId::Host(host),
+            last: false,
+            chunks: vec![
+                Chunk {
+                    offset: 0,
+                    data: op.key.to_be_bytes().to_vec(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: val.iter().flat_map(|v| v.to_be_bytes()).collect(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: vec![op.put as u8],
+                },
+            ],
+            ext: vec![],
+        }
+    }
+
+    /// Mean latency of completed operations.
+    pub fn mean_latency(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.latency as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Fraction of GETs served by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let gets: Vec<_> = self.samples.iter().filter(|s| !s.put).collect();
+        if gets.is_empty() {
+            return 0.0;
+        }
+        gets.iter().filter(|s| s.from_cache).count() as f64 / gets.len() as f64
+    }
+}
+
+impl HostApp for KvsClient {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        for (i, op) in self.schedule.iter().enumerate() {
+            ctx.set_timer(op.at, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        let i = token as usize;
+        let op = self.schedule[i];
+        let seq = i as u32;
+        let w = self.query_window(seq, ctx.host, &op);
+        self.outstanding.insert(seq, (ctx.now, op.key, op.put));
+        ctx.send(self.server, encode_window(&w, 0));
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        let Ok(w) = decode_window(&pkt.payload) else {
+            return;
+        };
+        let Some((issued, key, put)) = self.outstanding.remove(&w.seq) else {
+            return;
+        };
+        // Cache hits are reflections of the client's own window; server
+        // responses carry the server as sender.
+        let from_cache = w.sender != self.server_host;
+        if !put {
+            let expect = Self::value_for(key, self.val_words);
+            let got: Vec<u32> = (0..self.val_words)
+                .map(|i| w.chunks[1].get(ScalarType::U32, i).bits() as u32)
+                .collect();
+            if got != expect {
+                self.corrupt += 1;
+            }
+        }
+        self.samples.push(KvsSample {
+            key,
+            put,
+            latency: ctx.now - issued,
+            from_cache,
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The storage server: owns all values, answers GET misses, applies
+/// PUTs, and manages the switch cache through the control plane
+/// (NetCache-style, paper §4.3).
+pub struct KvsServer {
+    /// The `query` kernel id.
+    pub kernel: u16,
+    /// Value words per item.
+    pub val_words: usize,
+    /// The switch hosting the cache (None = baseline, no cache
+    /// management).
+    pub cache_switch: Option<SwitchId>,
+    /// Control-plane handle (None = baseline).
+    pub control: Option<ControlPlane>,
+    /// Cache capacity (slots).
+    pub cache_slots: usize,
+    /// GETs a key needs before the server caches it.
+    pub hot_threshold: u32,
+    /// The backing store.
+    pub store: HashMap<u64, Vec<u32>>,
+    /// key → slot for cached keys.
+    pub cached: HashMap<u64, u8>,
+    next_slot: usize,
+    popularity: HashMap<u64, u32>,
+    /// Windows answered by the server (the "server load" E2 measures).
+    pub served: u64,
+    /// Cache evictions performed.
+    pub evictions: u64,
+    /// Pending cache-update windows `(fire time token → window, dst)`.
+    pending_updates: HashMap<u64, (Window, NodeId)>,
+    next_token: u64,
+}
+
+impl KvsServer {
+    /// Creates a server. `control`/`cache_switch` enable cache
+    /// management; leave `None` for the no-cache baseline.
+    pub fn new(
+        kernel: u16,
+        val_words: usize,
+        cache_switch: Option<SwitchId>,
+        control: Option<ControlPlane>,
+        cache_slots: usize,
+    ) -> Self {
+        KvsServer {
+            kernel,
+            val_words,
+            cache_switch,
+            control,
+            cache_slots,
+            hot_threshold: 2,
+            store: HashMap::new(),
+            cached: HashMap::new(),
+            next_slot: 0,
+            popularity: HashMap::new(),
+            served: 0,
+            evictions: 0,
+            pending_updates: HashMap::new(),
+            next_token: 1 << 48,
+        }
+    }
+
+    fn response_window(&self, host: HostId, seq: u32, key: u64, val: &[u32]) -> Window {
+        Window {
+            kernel: KernelId(self.kernel),
+            seq,
+            sender: host,
+            from: NodeId::Host(host),
+            last: false,
+            chunks: vec![
+                Chunk {
+                    offset: 0,
+                    data: key.to_be_bytes().to_vec(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: val.iter().flat_map(|v| v.to_be_bytes()).collect(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: vec![0], // update = false: "server GET response"
+                },
+            ],
+            ext: vec![],
+        }
+    }
+
+    /// Queues the switch-cache fill for `key`: Idx insert now (control
+    /// plane), the update window after the control-plane delay so the
+    /// map entry exists when the window lands. When the cache is full,
+    /// the coldest cached key is evicted first (paper §4.3: "for a
+    /// cache eviction, the storage server just removes an item from the
+    /// Idx map").
+    fn cache_fill(&mut self, ctx: &mut HostCtx, key: u64, client: NodeId) {
+        let (Some(switch), Some(cp)) = (self.cache_switch, self.control.as_ref()) else {
+            return;
+        };
+        if self.cached.contains_key(&key) {
+            return;
+        }
+        let slot = if self.cached.len() >= self.cache_slots {
+            // Evict the least popular cached key — only if the new key
+            // is strictly hotter.
+            let new_pop = self.popularity.get(&key).copied().unwrap_or(0);
+            let Some((&victim, _)) = self
+                .cached
+                .iter()
+                .min_by_key(|(k, _)| self.popularity.get(*k).copied().unwrap_or(0))
+            else {
+                return;
+            };
+            let victim_pop = self.popularity.get(&victim).copied().unwrap_or(0);
+            if victim_pop + 1 >= new_pop {
+                return;
+            }
+            let slot = self.cached.remove(&victim).expect("victim cached");
+            self.evictions += 1;
+            for op in cp.map_remove_ops("Idx", victim) {
+                ctx.ctrl(switch, op);
+            }
+            slot as usize
+        } else {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        };
+        let slot = slot as u8;
+        self.cached.insert(key, slot);
+        for op in cp.map_insert_ops("Idx", key, Value::new(ScalarType::U8, slot as u64)) {
+            ctx.ctrl(switch, op);
+        }
+        // The update window (update=1, from=SERVER) writes Cache+Valid
+        // in the data plane and is dropped by the kernel.
+        let val = self.store.get(&key).cloned().unwrap_or_default();
+        let mut w = self.response_window(ctx.host, u32::MAX, key, &val);
+        w.chunks[2].data[0] = 1; // update = true
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_updates.insert(token, (w, client));
+        ctx.set_timer(120_000, token); // > 2× the 50 µs controller RTT
+    }
+}
+
+impl HostApp for KvsServer {
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        let Ok(w) = decode_window(&pkt.payload) else {
+            return;
+        };
+        if w.kernel.0 != self.kernel {
+            return;
+        }
+        let key = w.chunks[0].get(ScalarType::U64, 0).bits();
+        let put = w.chunks[2].get(ScalarType::U8, 0).is_truthy();
+        let client = NodeId::Host(w.sender);
+        self.served += 1;
+        if put {
+            let val: Vec<u32> = (0..self.val_words)
+                .map(|i| w.chunks[1].get(ScalarType::U32, i).bits() as u32)
+                .collect();
+            self.store.insert(key, val.clone());
+            // PUT ack to the client.
+            let ack = self.response_window(ctx.host, w.seq, key, &val);
+            ctx.send(client, encode_window(&ack, 0));
+            // Write-through to an existing cache entry.
+            if self.cached.contains_key(&key) {
+                let mut upd = self.response_window(ctx.host, u32::MAX, key, &val);
+                upd.chunks[2].data[0] = 1;
+                ctx.send(client, encode_window(&upd, 0));
+            }
+        } else {
+            let val = self
+                .store
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| vec![0; self.val_words]);
+            let resp = self.response_window(ctx.host, w.seq, key, &val);
+            ctx.send(client, encode_window(&resp, 0));
+            // Hot-item detection (simplified: popularity counter).
+            let pop = self.popularity.entry(key).or_insert(0);
+            *pop += 1;
+            if *pop >= self.hot_threshold {
+                self.cache_fill(ctx, key, client);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        if let Some((w, dst)) = self.pending_updates.remove(&token) {
+            ctx.send(dst, encode_window(&w, 0));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The Fig. 5 KVS program, parameterized by the server's wire id, cache
+/// slots and value width — shared by the example, the integration tests
+/// and the E2 bench.
+pub fn kvs_source(server_id: u16, slots: usize, val_words: usize) -> String {
+    format!(
+        r#"
+const uint16_t SERVER = {server_id};
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, {slots}> Idx;
+_net_ _at_("s1") uint32_t Cache[{slots}][{val_words}] = {{{{0}}}};
+_net_ _at_("s1") bool Valid[{slots}] = {{false}};
+
+_net_ _out_ void query(uint64_t key, uint32_t *val, bool update) {{
+    if (window.from != SERVER && update) {{
+        // client PUT: invalidate, forward to the server
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    }} else if (window.from != SERVER) {{
+        // client GET: serve from the cache on a valid hit
+        if (auto *idx = Idx[key]) {{
+            if (Valid[*idx]) {{
+                memcpy(val, Cache[*idx], {val_bytes}); _reflect(); }} }}
+    }} else if (update) {{
+        // server update: refresh the cached value
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, {val_bytes});
+        Valid[*idx] = true; _drop();
+    }} else {{ }} // server GET response: pass through to the client
+}}
+"#,
+        server_id = server_id,
+        slots = slots,
+        val_words = val_words,
+        val_bytes = val_words * 4,
+    )
+}
+
+/// The Fig. 4 AllReduce program, parameterized — shared by the example,
+/// tests and the E1 bench.
+pub fn allreduce_source(data_len: usize, win_len: usize) -> String {
+    format!(
+        r#"
+#define DATA_LEN {data_len}
+#define WIN_LEN {win_len}
+_net_ _at_("s1") int accum[DATA_LEN] = {{0}};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {{0}};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {{
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {{
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    }} else {{ _drop(); }}
+}}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {{
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    if (window.last) *done = true;
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_codec_roundtrip() {
+        let enc = ps_encode(3, 7, &[-1, 2, 3]);
+        assert_eq!(ps_decode(&enc), Some((3, 7, vec![-1, 2, 3])));
+        assert_eq!(ps_decode(&[0, 0]), None);
+        assert_eq!(ps_decode(&enc[..8]), None);
+    }
+
+    #[test]
+    fn kvs_value_pattern_is_deterministic() {
+        assert_eq!(KvsClient::value_for(5, 4), KvsClient::value_for(5, 4));
+        assert_ne!(KvsClient::value_for(5, 4), KvsClient::value_for(6, 4));
+    }
+
+    #[test]
+    fn source_generators_compile() {
+        use crate::nclc::{compile, CompileConfig};
+        let and = "hosts client 2\nswitch s1\nhost server\nlink client* s1\nlink server s1\n";
+        // Server is host id 3 (declared after two clients).
+        let src = kvs_source(3, 16, 8);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("query".into(), vec![1, 8, 1]);
+        let p = compile(&src, and, &cfg).unwrap_or_else(|e| panic!("kvs: {e}"));
+        assert!(p.switch("s1").unwrap().report.accepted());
+
+        let src = allreduce_source(64, 8);
+        let and = "hosts worker 2\nswitch s1\nlink worker* s1\n";
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![8]);
+        cfg.masks.insert("result".into(), vec![8]);
+        let p = compile(&src, and, &cfg).unwrap_or_else(|e| panic!("allreduce: {e}"));
+        assert!(p.switch("s1").unwrap().report.accepted());
+    }
+}

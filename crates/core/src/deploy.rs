@@ -1,0 +1,285 @@
+//! Deployment: AND overlay → simulated network (paper Fig. 3c).
+//!
+//! *"a mechanism that maps the overlay network of the AND file into a
+//! physical network and allocates network resources accordingly is
+//! assumed to be in place. This mechanism places application components
+//! to physical devices and ensures connectivity by populating routing
+//! tables appropriately."* — [`deploy`] is that mechanism for the
+//! simulated testbed: the identity mapping (one physical node per
+//! overlay node, one link per overlay edge), each switch loaded with its
+//! compiled pipeline, `_bcast()` fan-out and `_pass(label)` targets
+//! resolved from the overlay.
+
+use crate::nclc::CompiledProgram;
+use c3::{HostId, Label, NodeId, SwitchId};
+use ncl_and::AndKind;
+use netsim::{HostApp, LinkSpec, Network, NetworkBuilder, SwitchCfg};
+use pisa::{Pipeline, ResourceModel};
+use std::collections::HashMap;
+
+/// A deployed program: the runnable network plus name resolution.
+pub struct Deployment {
+    /// The simulated network.
+    pub net: Network,
+    /// AND label → simulated node.
+    pub nodes: HashMap<Label, NodeId>,
+}
+
+/// Deployment failures.
+#[derive(Debug)]
+pub enum DeployError {
+    /// No application supplied for a host label.
+    MissingApp {
+        /// The host label.
+        label: String,
+    },
+    /// A compiled pipeline failed to load (resource model mismatch).
+    Load {
+        /// The switch label.
+        label: String,
+        /// The loader's report.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::MissingApp { label } => {
+                write!(f, "no application for host '{label}'")
+            }
+            DeployError::Load { label, error } => {
+                write!(f, "pipeline for '{label}' failed to load: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Deploys a compiled program: `apps` supplies one application per AND
+/// host label; every link uses `link_spec`.
+pub fn deploy(
+    program: &CompiledProgram,
+    mut apps: HashMap<String, Box<dyn HostApp>>,
+    link_spec: LinkSpec,
+    model: ResourceModel,
+) -> Result<Deployment, DeployError> {
+    let mut b = NetworkBuilder::new();
+    let mut nodes: HashMap<Label, NodeId> = HashMap::new();
+
+    // Nodes in AND declaration order so netsim ids equal AND ids.
+    for n in &program.overlay.nodes {
+        match n.kind {
+            AndKind::Host => {
+                let app = apps
+                    .remove(n.label.as_str())
+                    .ok_or_else(|| DeployError::MissingApp {
+                        label: n.label.to_string(),
+                    })?;
+                let id = b.add_host(app);
+                debug_assert_eq!(id, HostId(n.id), "AND/netsim host id agreement");
+                nodes.insert(n.label.clone(), NodeId::Host(id));
+            }
+            AndKind::Switch => {
+                let compiled = program.switch(n.label.as_str());
+                let pipeline = match compiled {
+                    Some(c) => Some(
+                        Pipeline::load(c.pipeline.clone(), model).map_err(|e| {
+                            DeployError::Load {
+                                label: n.label.to_string(),
+                                error: e.to_string(),
+                            }
+                        })?,
+                    ),
+                    None => None,
+                };
+                // `_pass(label)` targets: every labelled node.
+                let labels: HashMap<u16, NodeId> = program
+                    .label_ids
+                    .iter()
+                    .map(|(_, &wire)| (wire, NodeId::from_wire(wire)))
+                    .collect();
+                // `_bcast()`: overlay neighbours of this switch.
+                let bcast: Vec<NodeId> = program
+                    .overlay
+                    .neighbours(n.label.as_str())
+                    .iter()
+                    .map(|peer| match peer.kind {
+                        AndKind::Host => NodeId::Host(HostId(peer.id)),
+                        AndKind::Switch => NodeId::Switch(SwitchId(peer.id)),
+                    })
+                    .collect();
+                let id = b.add_switch(SwitchCfg {
+                    pipeline,
+                    labels,
+                    bcast,
+                    ..SwitchCfg::default()
+                });
+                debug_assert_eq!(id, SwitchId(n.id), "AND/netsim switch id agreement");
+                nodes.insert(n.label.clone(), NodeId::Switch(id));
+            }
+        }
+    }
+    for &(a, bidx) in &program.overlay.edges {
+        let na = nodes[&program.overlay.nodes[a].label];
+        let nb = nodes[&program.overlay.nodes[bidx].label];
+        b.link(na, nb, link_spec);
+    }
+    Ok(Deployment {
+        net: b.build(),
+        nodes,
+    })
+}
+
+impl Deployment {
+    /// The node for an AND label.
+    pub fn node(&self, label: &str) -> NodeId {
+        self.nodes[&Label::new(label)]
+    }
+
+    /// The switch id for an AND label.
+    pub fn switch(&self, label: &str) -> SwitchId {
+        self.node(label)
+            .as_switch()
+            .expect("label names a switch")
+    }
+
+    /// The host id for an AND label.
+    pub fn host(&self, label: &str) -> HostId {
+        self.node(label).as_host().expect("label names a host")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::ControlPlane;
+    use crate::nclc::{compile, CompileConfig};
+    use crate::runtime::{NclHost, OutInvocation, TypedArray};
+    use c3::{ScalarType, Value};
+
+    const ALLREDUCE: &str = r#"
+#define DATA_LEN 16
+#define WIN_LEN 4
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    if (window.last) *done = true;
+}
+"#;
+    const AND: &str = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+
+    /// The paper's Fig. 4 running end to end on the simulated network:
+    /// three workers, in-network aggregation, broadcast of results.
+    #[test]
+    fn allreduce_full_system() {
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        let program = compile(ALLREDUCE, AND, &cfg).expect("compiles");
+        let kid = program.kernel_ids["allreduce"];
+
+        let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+        for w in 1..=3u16 {
+            let mut host = NclHost::new(&program);
+            // Worker w contributes the array [w, w, ..., w].
+            let data: Vec<i32> = vec![w as i32; 16];
+            host.out(OutInvocation {
+                kernel: "allreduce".into(),
+                arrays: vec![TypedArray::from_i32(&data)],
+                // Destination routes through s1; the kernel bcasts or
+                // drops before it ever arrives.
+                dest: NodeId::Host(HostId(w % 3 + 1)),
+                start: 0,
+                gap: 0,
+            })
+            .unwrap();
+            host.bind_incoming(
+                &program,
+                "allreduce",
+                "result",
+                &[(ScalarType::I32, 16), (ScalarType::Bool, 1)],
+            )
+            .unwrap();
+            host.done_on_flag(kid, 1);
+            apps.insert(format!("worker{w}"), Box::new(host));
+        }
+        let mut dep = deploy(
+            &program,
+            apps,
+            LinkSpec::default(),
+            pisa::ResourceModel::default(),
+        )
+        .expect("deploys");
+
+        // Control plane: nworkers = 3.
+        let cp = ControlPlane::new(program.switch("s1").unwrap());
+        let s1 = dep.switch("s1");
+        cp.ctrl_wr(
+            dep.net.switch_pipeline_mut(s1).unwrap(),
+            "nworkers",
+            Value::u32(3),
+        );
+
+        dep.net.run();
+
+        // Every worker holds the element-wise sum 1+2+3 = 6.
+        for w in 1..=3u16 {
+            let host = dep
+                .net
+                .host_app::<NclHost>(HostId(w))
+                .expect("worker app");
+            assert!(host.done_at.is_some(), "worker {w} never completed");
+            let mem = host.memory(kid).unwrap();
+            for i in 0..16 {
+                assert_eq!(
+                    mem.arrays[0][i],
+                    Value::i32(6),
+                    "worker {w} element {i}"
+                );
+            }
+        }
+        // The switch aggregated 12 windows (3 workers × 4) and
+        // broadcast 4 of them.
+        let stats = dep.net.switch_stats(s1).unwrap();
+        assert_eq!(stats.ncp_processed, 12);
+        assert_eq!(stats.broadcast, 4);
+        assert_eq!(stats.kernel_drops, 8);
+        // Ingress at the switch ≈ 3× what one worker sent — the INC
+        // bandwidth win E1 measures.
+        assert!(dep.net.node_ingress_bytes(NodeId::Switch(s1)) > 0);
+    }
+
+    #[test]
+    fn missing_app_rejected() {
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        let program = compile(ALLREDUCE, AND, &cfg).unwrap();
+        let apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+        assert!(matches!(
+            deploy(
+                &program,
+                apps,
+                LinkSpec::default(),
+                pisa::ResourceModel::default()
+            ),
+            Err(DeployError::MissingApp { .. })
+        ));
+    }
+}

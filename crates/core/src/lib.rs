@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # ncl-core — the NCL programming system
+//!
+//! The paper's primary contribution, assembled: *"a domain-specific
+//! language for programming network kernels, its compiler and supporting
+//! libraries"* (§3.2). This crate is the public API a downstream user
+//! programs against:
+//!
+//! * [`nclc`] — the compiler driver (Fig. 6): NCL source + AND file →
+//!   per-switch PISA pipelines + P4 sources + host-side kernel IR;
+//! * [`runtime`] — libncrt: typed arrays, window specs, the
+//!   [`runtime::NclHost`] application that implements `ncl::out` /
+//!   `ncl::in` over the simulated network, and window encode/decode;
+//! * [`control`] — the transparent control-plane interaction:
+//!   `ncl::ctrl_wr`, map management (NetCache-style inserts/evictions);
+//! * [`mod@deploy`] — maps the AND overlay onto a simulated network
+//!   (Fig. 3c) and loads every switch with its compiled pipeline;
+//! * [`baseline`] — the comparison points the evaluation needs: a
+//!   handwritten NetCache-style pipeline (Fig. 1b) and host-only
+//!   AllReduce/KVS applications that use switches as plain forwarders.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ncl_core::nclc::{compile, CompileConfig};
+//!
+//! let src = r#"
+//!     _net_ _at_("s1") int total[1] = {0};
+//!     _net_ _out_ void count(int *data) { total[0] += data[0]; }
+//! "#;
+//! let and = "host h1\nhost h2\nswitch s1\nlink h1 s1\nlink h2 s1\n";
+//! let mut cfg = CompileConfig::default();
+//! cfg.masks.insert("count".into(), vec![1]);
+//! let program = compile(src, and, &cfg).expect("compiles");
+//! assert_eq!(program.switches.len(), 1);
+//! assert!(program.switches[0].1.p4_source.contains("V1Switch"));
+//! ```
+
+pub mod apps;
+pub mod baseline;
+pub mod control;
+pub mod deploy;
+pub mod nclc;
+pub mod runtime;
+
+pub use control::ControlPlane;
+pub use deploy::{deploy, Deployment};
+pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};
+pub use runtime::{NclHost, OutInvocation, TypedArray};

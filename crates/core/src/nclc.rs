@@ -1,0 +1,328 @@
+//! The nclc compiler driver — the paper's Fig. 6 end to end.
+//!
+//! Takes an NCL C/C++ program and an AND file and produces "a host
+//! binary, and a program for every switch in the AND file": here, the
+//! host side is the incoming-kernel IR libncrt interprets, and each
+//! switch program is a loadable PISA pipeline plus its P4-16 source.
+
+use c3::Label;
+use ncl_and::{AndError, Overlay};
+use ncl_ir::ir::Module;
+use ncl_ir::lower::{lower, LoweringConfig};
+use ncl_ir::version::{version_modules, LocationInfo};
+use ncl_lang::diag::Diagnostic;
+use ncl_lang::sema::CheckedProgram;
+use ncl_p4::{compile_module, CompileError, CompileOptions, CompiledSwitch};
+use pisa::ResourceModel;
+use std::collections::HashMap;
+
+/// Compiler configuration.
+#[derive(Clone, Debug)]
+pub struct CompileConfig {
+    /// Per-kernel window masks (elements per window parameter). The
+    /// compiler specializes kernels against them (paper §4.2: "a mask
+    /// is associated with kernel invocations").
+    pub masks: HashMap<String, Vec<u16>>,
+    /// Target chip resource model.
+    pub model: ResourceModel,
+    /// Loop unroll budget.
+    pub unroll_limit: usize,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        CompileConfig {
+            masks: HashMap::new(),
+            model: ResourceModel::default(),
+            unroll_limit: 4096,
+        }
+    }
+}
+
+/// Everything the compiler produces for one program.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The analyzed program (window layouts, kernel signatures).
+    pub checked: CheckedProgram,
+    /// The optimized generic IR module (pre-versioning) — the host side
+    /// interprets incoming kernels out of this.
+    pub generic: Module,
+    /// The AND overlay.
+    pub overlay: Overlay,
+    /// Compiled artifacts per switch location.
+    pub switches: Vec<(Label, CompiledSwitch)>,
+    /// Program-wide kernel ids (hosts and switches agree).
+    pub kernel_ids: HashMap<String, u16>,
+    /// AND label → wire id (for `_pass(label)` and deployment).
+    pub label_ids: HashMap<Label, u16>,
+}
+
+impl CompiledProgram {
+    /// The compiled artifacts for a location.
+    pub fn switch(&self, label: &str) -> Option<&CompiledSwitch> {
+        self.switches
+            .iter()
+            .find(|(l, _)| l.as_str() == label)
+            .map(|(_, c)| c)
+    }
+
+    /// Total effective P4 lines across all switches (E3 metric).
+    pub fn p4_lines(&self) -> usize {
+        self.switches
+            .iter()
+            .map(|(_, c)| ncl_p4::p4emit::effective_lines(&c.p4_source))
+            .sum()
+    }
+}
+
+/// Compiler failure, by stage.
+#[derive(Debug)]
+pub enum NclcError {
+    /// Lexing/parsing/sema diagnostics.
+    Frontend(Vec<Diagnostic>),
+    /// AND file problems.
+    And(AndError),
+    /// Lowering diagnostics (unroll limits, unsupported constructs).
+    Lowering(Vec<Diagnostic>),
+    /// A kernel or memory `_at_` label that the AND does not define.
+    UnknownLocation {
+        /// What referenced the label.
+        what: String,
+        /// The missing label.
+        label: String,
+    },
+    /// Backend rejection for one switch.
+    Backend {
+        /// The location.
+        location: Label,
+        /// The error.
+        error: CompileError,
+    },
+}
+
+impl std::fmt::Display for NclcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NclcError::Frontend(d) | NclcError::Lowering(d) => {
+                write!(f, "{}", ncl_lang::diag::render(d))
+            }
+            NclcError::And(e) => write!(f, "AND file: {e}"),
+            NclcError::UnknownLocation { what, label } => {
+                write!(f, "{what} is placed at \"{label}\", which the AND file does not define")
+            }
+            NclcError::Backend { location, error } => {
+                write!(f, "backend rejected program for \"{location}\": {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NclcError {}
+
+/// Compiles an NCL program against an AND file.
+pub fn compile(
+    ncl_source: &str,
+    and_source: &str,
+    cfg: &CompileConfig,
+) -> Result<CompiledProgram, NclcError> {
+    // Frontend (Fig. 6: clang.fe + nclc.fe).
+    let checked = ncl_lang::frontend(ncl_source, "program.ncl").map_err(NclcError::Frontend)?;
+    let overlay = ncl_and::parse(and_source).map_err(NclcError::And)?;
+
+    // Validate `_at_` labels against the AND.
+    for k in &checked.kernels {
+        if let Some(at) = &k.at {
+            if overlay.node(at.as_str()).is_none() {
+                return Err(NclcError::UnknownLocation {
+                    what: format!("kernel '{}'", k.name),
+                    label: at.to_string(),
+                });
+            }
+        }
+    }
+    for g in &checked.globals {
+        if let Some(at) = &g.at {
+            if overlay.node(at.as_str()).is_none() {
+                return Err(NclcError::UnknownLocation {
+                    what: format!("switch memory '{}'", g.name),
+                    label: at.to_string(),
+                });
+            }
+        }
+    }
+
+    // Lowering + generic optimization.
+    let lcfg = LoweringConfig {
+        masks: cfg.masks.clone(),
+        unroll_limit: cfg.unroll_limit,
+    };
+    let mut generic = lower(&checked, &lcfg).map_err(NclcError::Lowering)?;
+    ncl_ir::passes::optimize(&mut generic);
+
+    // Program-wide kernel ids, in declaration order, from 1.
+    let kernel_ids: HashMap<String, u16> = checked
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.name.clone(), (i + 1) as u16))
+        .collect();
+    let label_ids = overlay.label_ids();
+
+    // Versioning per AND switch + backend per location.
+    let locations: Vec<LocationInfo> = overlay
+        .switches()
+        .map(|s| LocationInfo {
+            label: s.label.clone(),
+            id: s.id,
+        })
+        .collect();
+    let versions = version_modules(&generic, &locations);
+    let opts = CompileOptions {
+        kernel_ids: kernel_ids.clone(),
+        label_ids: label_ids.clone(),
+        ..CompileOptions::default()
+    };
+    let mut switches = Vec::new();
+    for (loc, module) in locations.iter().zip(versions) {
+        let compiled = compile_module(&module, &cfg.model, &opts).map_err(|error| {
+            NclcError::Backend {
+                location: loc.label.clone(),
+                error,
+            }
+        })?;
+        switches.push((loc.label.clone(), compiled));
+    }
+
+    Ok(CompiledProgram {
+        checked,
+        generic,
+        overlay,
+        switches,
+        kernel_ids,
+        label_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub const ALLREDUCE_NCL: &str = r#"
+#define DATA_LEN 64
+#define WIN_LEN 8
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    if (window.last) *done = true;
+}
+"#;
+
+    pub const ALLREDUCE_AND: &str = "
+hosts  worker 4
+switch s1
+link   worker* s1
+";
+
+    fn cfg() -> CompileConfig {
+        let mut c = CompileConfig::default();
+        c.masks.insert("allreduce".into(), vec![8]);
+        c.masks.insert("result".into(), vec![8]);
+        c
+    }
+
+    #[test]
+    fn allreduce_compiles_end_to_end() {
+        let p = compile(ALLREDUCE_NCL, ALLREDUCE_AND, &cfg()).expect("compiles");
+        assert_eq!(p.switches.len(), 1);
+        let s1 = p.switch("s1").unwrap();
+        assert!(s1.report.accepted());
+        assert!(s1.p4_source.contains("allreduce") || s1.p4_source.contains("k1"));
+        assert_eq!(p.kernel_ids["allreduce"], 1);
+        assert_eq!(p.kernel_ids["result"], 2);
+        // The host side keeps the incoming kernel.
+        assert!(p.generic.kernel("result").is_some());
+    }
+
+    #[test]
+    fn unknown_kernel_location_rejected() {
+        let src = r#"_net_ _out_ _at_("nowhere") void k(int *d) { _drop(); }"#;
+        let mut c = CompileConfig::default();
+        c.masks.insert("k".into(), vec![1]);
+        let err = compile(src, ALLREDUCE_AND, &c).unwrap_err();
+        assert!(matches!(err, NclcError::UnknownLocation { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_memory_location_rejected() {
+        let src = r#"
+            _net_ _at_("sX") int m[4];
+            _net_ _out_ void k(int *d) { m[0] += d[0]; }
+        "#;
+        let mut c = CompileConfig::default();
+        c.masks.insert("k".into(), vec![1]);
+        let err = compile(src, ALLREDUCE_AND, &c).unwrap_err();
+        assert!(matches!(err, NclcError::UnknownLocation { .. }));
+    }
+
+    #[test]
+    fn frontend_errors_propagate() {
+        let err = compile("_net_ _out_ void k(int *d) { goto x; }", ALLREDUCE_AND, &cfg())
+            .unwrap_err();
+        assert!(matches!(err, NclcError::Frontend(_)));
+    }
+
+    #[test]
+    fn and_errors_propagate() {
+        let err = compile("_net_ _out_ void k(int *d) {}", "host a\nhost a", &cfg())
+            .unwrap_err();
+        assert!(matches!(err, NclcError::And(_)));
+    }
+
+    #[test]
+    fn backend_rejection_propagates() {
+        // A kernel too large for a tiny chip.
+        let src = r#"
+_net_ _at_("s1") int a[256] = {0};
+_net_ _out_ void k(int *data) {
+    for (unsigned i = 0; i < 64; ++i) a[i] += data[i];
+}
+"#;
+        let mut c = CompileConfig::default();
+        c.masks.insert("k".into(), vec![64]);
+        c.model = ResourceModel::tiny();
+        let err = compile(src, ALLREDUCE_AND, &c).unwrap_err();
+        assert!(matches!(err, NclcError::Backend { .. }), "{err}");
+    }
+
+    #[test]
+    fn multi_switch_versions() {
+        let src = r#"
+_net_ _at_("agg") int total[1] = {0};
+_net_ _out_ _at_("agg") void k(int *d) { total[0] += d[0]; _drop(); }
+_net_ _out_ _at_("edge") void k(int *d) { d[0] *= 2; }
+"#;
+        let and = "host a\nhost b\nswitch edge\nswitch agg\nlink a edge\nlink edge agg\nlink agg b";
+        let mut c = CompileConfig::default();
+        c.masks.insert("k".into(), vec![1]);
+        let p = compile(src, and, &c).expect("compiles");
+        assert_eq!(p.switches.len(), 2);
+        // Each location got its own version of `k`.
+        let edge = p.switch("edge").unwrap();
+        let agg = p.switch("agg").unwrap();
+        assert!(edge.p4_source != agg.p4_source);
+    }
+}

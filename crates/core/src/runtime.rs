@@ -1,0 +1,607 @@
+//! libncrt — the NCL runtime (paper §3.2).
+//!
+//! *"It implements the windowing mechanism completely transparently to
+//! the user: when a kernel is invoked, windows are determined from a
+//! window specification provided by the programmer, and from them
+//! packets are constructed and sent out."*
+//!
+//! [`NclHost`] is the host-side runtime as a simulated application:
+//!
+//! * `ncl::out(kernel, {arrays}, wnd, mask)` — an [`OutInvocation`]
+//!   splits typed arrays into windows and streams them as NCP packets;
+//! * `ncl::in(kernel, {ptrs}, wnd, mask)` — an incoming binding runs the
+//!   paired `_in_` kernel (interpreted from its IR) on every arriving
+//!   window, with `_ext_` parameters backed by [`HostMemory`];
+//! * completion is observed through a user-supplied predicate over the
+//!   host memory (the `while (!done)` loop of the paper's Fig. 4).
+
+use crate::nclc::CompiledProgram;
+use c3::{HostId, KernelId, Mask, NodeId, ScalarType, Value, Window, WindowSpec};
+use ncl_ir::ir::{KernelIr, Module};
+use ncl_ir::{HostMemory, Interpreter};
+use ncp::codec::{encode_window, Reassembler};
+use netsim::{HostApp, HostCtx, Packet, Time};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A typed host array: element type plus big-endian element bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypedArray {
+    /// Element type.
+    pub elem: ScalarType,
+    /// Big-endian element bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl TypedArray {
+    /// From `i32` values.
+    pub fn from_i32(vals: &[i32]) -> Self {
+        TypedArray {
+            elem: ScalarType::I32,
+            bytes: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }
+    }
+
+    /// From `u32` values.
+    pub fn from_u32(vals: &[u32]) -> Self {
+        TypedArray {
+            elem: ScalarType::U32,
+            bytes: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }
+    }
+
+    /// From `u64` values.
+    pub fn from_u64(vals: &[u64]) -> Self {
+        TypedArray {
+            elem: ScalarType::U64,
+            bytes: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }
+    }
+
+    /// From raw bytes of `u8` elements.
+    pub fn from_u8(vals: &[u8]) -> Self {
+        TypedArray {
+            elem: ScalarType::U8,
+            bytes: vals.to_vec(),
+        }
+    }
+
+    /// A single-value array (scalar window parameters).
+    pub fn scalar(v: Value) -> Self {
+        let mut bytes = vec![0u8; v.ty().size()];
+        v.write_be(&mut bytes);
+        TypedArray {
+            elem: v.ty(),
+            bytes,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / self.elem.size()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Element `i` as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        let s = self.elem.size();
+        Value::read_be(self.elem, &self.bytes[i * s..(i + 1) * s])
+    }
+}
+
+/// One `ncl::out(...)` call: kernel, input arrays, destination, start
+/// time.
+#[derive(Clone, Debug)]
+pub struct OutInvocation {
+    /// The `_out_` kernel name.
+    pub kernel: String,
+    /// One typed array per window parameter.
+    pub arrays: Vec<TypedArray>,
+    /// The destination node ("Host-B" in the paper's Fig. 2).
+    pub dest: NodeId,
+    /// When to invoke (simulated time).
+    pub start: Time,
+    /// Optional pacing between windows (0 = blast).
+    pub gap: Time,
+}
+
+/// Per-kernel runtime metadata shared by hosts.
+#[derive(Clone, Debug)]
+pub struct KernelRuntime {
+    /// NCP id.
+    pub id: u16,
+    /// Window spec (element types + mask).
+    pub spec: WindowSpec,
+}
+
+/// Errors from runtime invocation setup.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuntimeError {
+    /// Unknown kernel name.
+    UnknownKernel(String),
+    /// Array/mask mismatch.
+    Window(c3::window::WindowError),
+    /// The program compiled this kernel against a different element
+    /// type.
+    ElemType {
+        /// Parameter index.
+        param: usize,
+        /// Expected type.
+        expected: ScalarType,
+        /// Provided type.
+        got: ScalarType,
+    },
+    /// Array length not divisible into full windows — switch parsers
+    /// have a fixed window layout, so the prototype requires whole
+    /// windows (pad at the application level, as SwitchML does).
+    PartialWindow {
+        /// Parameter index.
+        param: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownKernel(k) => write!(f, "unknown kernel '{k}'"),
+            RuntimeError::Window(e) => write!(f, "{e}"),
+            RuntimeError::ElemType {
+                param,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array {param} has element type {got}, kernel expects {expected}"
+            ),
+            RuntimeError::PartialWindow { param } => write!(
+                f,
+                "array {param} does not divide into whole windows; \
+                 pad the array (fixed switch parser layout)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Builds the per-kernel runtime table from a compiled program.
+pub fn kernel_runtimes(program: &CompiledProgram) -> HashMap<String, KernelRuntime> {
+    let mut out = HashMap::new();
+    for k in &program.checked.kernels {
+        let elems: Vec<ScalarType> = k.window_params().map(|p| p.elem).collect();
+        let Some(&id) = program.kernel_ids.get(&k.name) else {
+            continue;
+        };
+        let mask = program
+            .generic
+            .kernel(&k.name)
+            .map(|kir| kir.mask.clone())
+            .unwrap_or_default();
+        if mask.len() != elems.len() {
+            continue; // no mask configured; kernel not invocable
+        }
+        let Ok(spec) = WindowSpec::new(elems, Mask::new(mask)) else {
+            continue;
+        };
+        out.insert(k.name.clone(), KernelRuntime { id, spec });
+    }
+    out
+}
+
+/// An incoming-kernel binding: the `_in_` kernel plus its host memory.
+pub struct IncomingBinding {
+    /// The kernel IR (interpreted on each window).
+    pub kernel: KernelIr,
+    /// Host arrays backing the `_ext_` parameters.
+    pub memory: HostMemory,
+}
+
+/// Completion predicate over the incoming bindings' host memory.
+pub type DonePredicate = Box<dyn Fn(&HashMap<u16, IncomingBinding>) -> bool>;
+
+/// The libncrt host application.
+///
+/// Configure with [`NclHost::new`], add invocations and incoming
+/// bindings, hand it to [`crate::deploy::deploy`], and inspect its state
+/// afterwards through [`netsim::Network::host_app`].
+pub struct NclHost {
+    runtimes: HashMap<String, KernelRuntime>,
+    ext_total: usize,
+    outs: Vec<OutInvocation>,
+    incoming: HashMap<u16, IncomingBinding>,
+    done_when: Option<DonePredicate>,
+    reassembler: Reassembler,
+    interp: Interpreter,
+    /// Windows received (count).
+    pub windows_received: u64,
+    /// Windows sent.
+    pub windows_sent: u64,
+    /// Time the completion predicate first held.
+    pub done_at: Option<Time>,
+    /// Raw windows log (enable for debugging; off by default).
+    pub log_windows: bool,
+    /// The logged windows when `log_windows` is set.
+    pub window_log: Vec<Window>,
+}
+
+impl NclHost {
+    /// Creates a host bound to a compiled program.
+    pub fn new(program: &CompiledProgram) -> Self {
+        NclHost {
+            runtimes: kernel_runtimes(program),
+            ext_total: program.checked.window_ext.size(),
+            outs: Vec::new(),
+            incoming: HashMap::new(),
+            done_when: None,
+            reassembler: Reassembler::new(),
+            interp: Interpreter::default(),
+            windows_received: 0,
+            windows_sent: 0,
+            done_at: None,
+            log_windows: false,
+            window_log: Vec::new(),
+        }
+    }
+
+    /// Queues an `ncl::out` invocation, validating arrays against the
+    /// kernel's compiled window spec.
+    pub fn out(&mut self, inv: OutInvocation) -> Result<&mut Self, RuntimeError> {
+        let rt = self
+            .runtimes
+            .get(&inv.kernel)
+            .ok_or_else(|| RuntimeError::UnknownKernel(inv.kernel.clone()))?;
+        if inv.arrays.len() != rt.spec.elem_types.len() {
+            return Err(RuntimeError::Window(c3::window::WindowError::MaskArity {
+                mask: rt.spec.mask.arity(),
+                arrays: inv.arrays.len(),
+            }));
+        }
+        for (i, a) in inv.arrays.iter().enumerate() {
+            if a.elem != rt.spec.elem_types[i] {
+                return Err(RuntimeError::ElemType {
+                    param: i,
+                    expected: rt.spec.elem_types[i],
+                    got: a.elem,
+                });
+            }
+            if a.bytes.len() % rt.spec.chunk_bytes(i) != 0 {
+                return Err(RuntimeError::PartialWindow { param: i });
+            }
+        }
+        self.outs.push(inv);
+        Ok(self)
+    }
+
+    /// Binds an `ncl::in` handler: windows of `kernel` run the given
+    /// `_in_` kernel IR with `ext_sizes` host arrays.
+    pub fn bind_incoming(
+        &mut self,
+        program: &CompiledProgram,
+        out_kernel: &str,
+        in_kernel: &str,
+        ext_sizes: &[(ScalarType, usize)],
+    ) -> Result<&mut Self, RuntimeError> {
+        let id = *program
+            .kernel_ids
+            .get(out_kernel)
+            .ok_or_else(|| RuntimeError::UnknownKernel(out_kernel.to_string()))?;
+        let kernel = module_kernel(&program.generic, in_kernel)
+            .ok_or_else(|| RuntimeError::UnknownKernel(in_kernel.to_string()))?;
+        self.incoming.insert(
+            id,
+            IncomingBinding {
+                kernel,
+                memory: HostMemory::new(ext_sizes),
+            },
+        );
+        Ok(self)
+    }
+
+    /// Sets the completion predicate over the incoming bindings' host
+    /// memory (e.g. "the `done` flag array reads true").
+    pub fn done_when(
+        &mut self,
+        f: impl Fn(&HashMap<u16, IncomingBinding>) -> bool + 'static,
+    ) -> &mut Self {
+        self.done_when = Some(Box::new(f));
+        self
+    }
+
+    /// Convenience: completion when ext array `ext_idx` of the handler
+    /// for `out_kernel_id` has a truthy first element.
+    pub fn done_on_flag(&mut self, out_kernel_id: u16, ext_idx: usize) -> &mut Self {
+        self.done_when(move |inc| {
+            inc.get(&out_kernel_id)
+                .and_then(|b| b.memory.arrays.get(ext_idx))
+                .and_then(|a| a.first())
+                .map(|v| v.is_truthy())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Host memory of the binding for `kernel_id` (post-run inspection).
+    pub fn memory(&self, kernel_id: u16) -> Option<&HostMemory> {
+        self.incoming.get(&kernel_id).map(|b| &b.memory)
+    }
+
+    fn launch(&mut self, ctx: &mut HostCtx, idx: usize) {
+        let inv = self.outs[idx].clone();
+        let rt = &self.runtimes[&inv.kernel];
+        let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
+        let windows = rt
+            .spec
+            .split(&arrays)
+            .expect("validated at out() time");
+        let me = NodeId::Host(ctx.host);
+        for (i, mut w) in windows.into_iter().enumerate() {
+            w.kernel = KernelId(rt.id);
+            w.sender = ctx.host;
+            w.from = me;
+            let bytes = encode_window(&w, self.ext_total);
+            if inv.gap == 0 {
+                ctx.send(inv.dest, bytes);
+            } else {
+                // Pace via timers: tokens encode (invocation, window).
+                // For simplicity the paced path re-splits on fire.
+                let token = ((idx as u64) << 32) | (i as u64 + 1);
+                ctx.set_timer(inv.gap * i as Time, token);
+                continue;
+            }
+            self.windows_sent += 1;
+        }
+    }
+
+    fn deliver(&mut self, ctx: &mut HostCtx, mut w: Window) {
+        self.windows_received += 1;
+        if self.log_windows {
+            self.window_log.push(w.clone());
+        }
+        if let Some(binding) = self.incoming.get_mut(&w.kernel.0) {
+            let _ = self
+                .interp
+                .run_incoming(&binding.kernel, &mut w, &mut binding.memory);
+        }
+        if self.done_at.is_none() {
+            if let Some(pred) = &self.done_when {
+                if pred(&self.incoming) {
+                    self.done_at = Some(ctx.now);
+                }
+            }
+        }
+    }
+}
+
+impl HostApp for NclHost {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        for i in 0..self.outs.len() {
+            if self.outs[i].start == 0 && self.outs[i].gap == 0 {
+                self.launch(ctx, i);
+            } else if self.outs[i].gap == 0 {
+                ctx.set_timer(self.outs[i].start, (i as u64) << 32);
+            } else {
+                // Paced: schedule per-window timers from `start`.
+                let inv = &self.outs[i];
+                let rt = &self.runtimes[&inv.kernel];
+                let nwin = inv.arrays[0].bytes.len() / rt.spec.chunk_bytes(0);
+                for wi in 0..nwin {
+                    let token = ((i as u64) << 32) | (wi as u64 + 1);
+                    ctx.set_timer(inv.start + inv.gap * wi as Time, token);
+                }
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        if let Ok(Some(w)) = self.reassembler.push(&pkt.payload) {
+            self.deliver(ctx, w);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        let idx = (token >> 32) as usize;
+        let wi = (token & 0xFFFF_FFFF) as usize;
+        if wi == 0 {
+            self.launch(ctx, idx);
+            return;
+        }
+        // Paced single window.
+        let inv = self.outs[idx].clone();
+        let rt = &self.runtimes[&inv.kernel];
+        let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
+        let windows = rt.spec.split(&arrays).expect("validated");
+        if let Some(mut w) = windows.into_iter().nth(wi - 1) {
+            w.kernel = KernelId(rt.id);
+            w.sender = ctx.host;
+            w.from = NodeId::Host(ctx.host);
+            let bytes = encode_window(&w, self.ext_total);
+            ctx.send(inv.dest, bytes);
+            self.windows_sent += 1;
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The paper's second, finer-grained invocation API (§4.1): *"letting
+/// them send individual windows. Such mechanism could become a building
+/// block for richer interfaces [DPI, DFI]"*. Splits the arrays exactly
+/// as `ncl::out` would and returns one encoded NCP packet per window,
+/// so a custom [`netsim::HostApp`] can send them at its own pace, in
+/// its own order, or interleaved with other invocations.
+pub fn invocation_packets(
+    program: &CompiledProgram,
+    sender: HostId,
+    kernel: &str,
+    arrays: &[TypedArray],
+) -> Result<Vec<Vec<u8>>, RuntimeError> {
+    let runtimes = kernel_runtimes(program);
+    let rt = runtimes
+        .get(kernel)
+        .ok_or_else(|| RuntimeError::UnknownKernel(kernel.to_string()))?;
+    if arrays.len() != rt.spec.elem_types.len() {
+        return Err(RuntimeError::Window(c3::window::WindowError::MaskArity {
+            mask: rt.spec.mask.arity(),
+            arrays: arrays.len(),
+        }));
+    }
+    for (i, a) in arrays.iter().enumerate() {
+        if a.elem != rt.spec.elem_types[i] {
+            return Err(RuntimeError::ElemType {
+                param: i,
+                expected: rt.spec.elem_types[i],
+                got: a.elem,
+            });
+        }
+        if a.bytes.len() % rt.spec.chunk_bytes(i) != 0 {
+            return Err(RuntimeError::PartialWindow { param: i });
+        }
+    }
+    let slices: Vec<&[u8]> = arrays.iter().map(|a| &a.bytes[..]).collect();
+    let windows = rt
+        .spec
+        .split(&slices)
+        .map_err(RuntimeError::Window)?;
+    let ext_total = program.checked.window_ext.size();
+    Ok(windows
+        .into_iter()
+        .map(|mut w| {
+            w.kernel = KernelId(rt.id);
+            w.sender = sender;
+            w.from = NodeId::Host(sender);
+            encode_window(&w, ext_total)
+        })
+        .collect())
+}
+
+/// Finds a kernel in a module by name (any kind).
+pub fn module_kernel(module: &Module, name: &str) -> Option<KernelIr> {
+    module.kernels.iter().find(|k| k.name == name).cloned()
+}
+
+/// Resolves an AND host label to its simulated node id. Host labels are
+/// assigned ids in declaration order, matching deployment.
+pub fn host_node(program: &CompiledProgram, label: &str) -> Option<NodeId> {
+    program.overlay.node(label).map(|n| match n.kind {
+        ncl_and::AndKind::Host => NodeId::Host(HostId(n.id)),
+        ncl_and::AndKind::Switch => NodeId::Switch(c3::SwitchId(n.id)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nclc::{compile, CompileConfig};
+
+    const SRC: &str = r#"
+_net_ _at_("s1") int acc[8] = {0};
+_net_ _out_ void k(int *data) {
+    for (unsigned i = 0; i < window.len; ++i) acc[i] += data[i];
+    _drop();
+}
+_net_ _in_ void r(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    hdata[0] = data[0];
+    if (window.last) *done = true;
+}
+"#;
+    const AND: &str = "hosts h 2\nswitch s1\nlink h* s1\n";
+
+    fn program() -> CompiledProgram {
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("k".into(), vec![4]);
+        cfg.masks.insert("r".into(), vec![4]);
+        compile(SRC, AND, &cfg).expect("compiles")
+    }
+
+    #[test]
+    fn kernel_runtimes_built() {
+        let p = program();
+        let rts = kernel_runtimes(&p);
+        assert_eq!(rts["k"].spec.mask.counts(), &[4]);
+        assert_eq!(rts["k"].spec.elem_types, vec![ScalarType::I32]);
+    }
+
+    #[test]
+    fn typed_array_accessors() {
+        let a = TypedArray::from_i32(&[-1, 2]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(0), Value::i32(-1));
+        let s = TypedArray::scalar(Value::u64(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Value::u64(7));
+    }
+
+    #[test]
+    fn out_validates_arity_and_types() {
+        let p = program();
+        let mut h = NclHost::new(&p);
+        // Wrong element type.
+        let Err(err) = h.out(OutInvocation {
+            kernel: "k".into(),
+            arrays: vec![TypedArray::from_u64(&[1, 2, 3, 4])],
+            dest: NodeId::Host(HostId(2)),
+            start: 0,
+            gap: 0,
+        }) else {
+            panic!("expected ElemType error");
+        };
+        assert!(matches!(err, RuntimeError::ElemType { .. }));
+        // Partial window.
+        let Err(err) = h.out(OutInvocation {
+            kernel: "k".into(),
+            arrays: vec![TypedArray::from_i32(&[1, 2, 3])],
+            dest: NodeId::Host(HostId(2)),
+            start: 0,
+            gap: 0,
+        }) else {
+            panic!("expected PartialWindow error");
+        };
+        assert!(matches!(err, RuntimeError::PartialWindow { .. }));
+        // OK.
+        h.out(OutInvocation {
+            kernel: "k".into(),
+            arrays: vec![TypedArray::from_i32(&[1, 2, 3, 4])],
+            dest: NodeId::Host(HostId(2)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let p = program();
+        let mut h = NclHost::new(&p);
+        assert!(matches!(
+            h.out(OutInvocation {
+                kernel: "nope".into(),
+                arrays: vec![],
+                dest: NodeId::Host(HostId(2)),
+                start: 0,
+                gap: 0,
+            }),
+            Err(RuntimeError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn bind_incoming_and_flag() {
+        let p = program();
+        let mut h = NclHost::new(&p);
+        h.bind_incoming(&p, "k", "r", &[(ScalarType::I32, 8), (ScalarType::Bool, 1)])
+            .unwrap();
+        let kid = p.kernel_ids["k"];
+        h.done_on_flag(kid, 1);
+        assert!(h.memory(kid).is_some());
+        assert!(h.done_at.is_none());
+    }
+}

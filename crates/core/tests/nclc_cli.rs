@@ -1,0 +1,80 @@
+//! Smoke tests of the `nclc` command-line compiler.
+
+use std::process::Command;
+
+fn nclc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nclc"))
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write temp file");
+    p
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("nclc-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+const PROG: &str = r#"
+_net_ _at_("s1") int total[1] = {0};
+_net_ _out_ void count(int *data) { total[0] += data[0]; _drop(); }
+"#;
+const AND: &str = "host a\nhost b\nswitch s1\nlink a s1\nlink b s1\n";
+
+#[test]
+fn compiles_and_emits_p4() {
+    let dir = tmpdir("ok");
+    let prog = write(&dir, "prog.ncl", PROG);
+    let and = write(&dir, "net.and", AND);
+    let out = dir.join("out");
+    let result = nclc()
+        .arg(&prog)
+        .args(["--and"])
+        .arg(&and)
+        .args(["--mask", "count=1", "--emit", "p4", "--emit", "report", "-o"])
+        .arg(&out)
+        .output()
+        .expect("runs");
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("accepted"), "{stdout}");
+    let p4 = std::fs::read_to_string(out.join("s1.p4")).expect("P4 written");
+    assert!(p4.contains("V1Switch"));
+}
+
+#[test]
+fn reports_frontend_errors_with_location() {
+    let dir = tmpdir("err");
+    let prog = write(&dir, "bad.ncl", "_net_ _out_ void k(int *d) { goto x; }");
+    let and = write(&dir, "net.and", AND);
+    let result = nclc()
+        .arg(&prog)
+        .args(["--and"])
+        .arg(&and)
+        .output()
+        .expect("runs");
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("error") && stderr.contains(":1:"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn missing_files_fail_cleanly() {
+    let result = nclc()
+        .arg("/nonexistent.ncl")
+        .args(["--and", "/nonexistent.and"])
+        .output()
+        .expect("runs");
+    assert!(!result.status.success());
+    assert!(String::from_utf8_lossy(&result.stderr).contains("cannot read"));
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # ncl-ir — intermediate representation and passes of the nclc compiler
+//!
+//! The middle of the compilation trajectory from the paper's Fig. 6:
+//!
+//! ```text
+//! CheckedProgram ──lower──▶ Module ──passes──▶ Module (per location)
+//!       (sema)               (IR)    │  conformance checking
+//!                                    │  IR versioning (AND locations)
+//!                                    │  unrolling / const-fold / DCE
+//!                                    ▼
+//!                              ncl-p4 codegen
+//! ```
+//!
+//! The IR is a conventional control-flow graph of basic blocks over
+//! *mutable virtual registers* (not SSA — predication-based PISA mapping
+//! is simpler without φ nodes, and the paper's pipeline targets have no
+//! join points anyway). Every instruction is explicit about its effect
+//! class: pure ALU ops, window-data accesses, switch-memory accesses, map
+//! lookups, host-memory accesses (incoming kernels), and forwarding
+//! decisions.
+//!
+//! The crate also contains the **reference interpreter**
+//! ([`interp::Interpreter`]), which executes kernels directly on windows
+//! and switch state. The PISA pipeline produced by `ncl-p4` must agree
+//! with the interpreter on every window — that differential property is
+//! the compiler's correctness argument and is tested with proptest.
+
+pub mod interp;
+pub mod ir;
+pub mod lower;
+pub mod passes;
+pub mod version;
+
+pub use interp::{HostMemory, Interpreter, SwitchState};
+pub use ir::{
+    ArrId, BlockId, CtrlId, Inst, KernelIr, MapId, MetaField, Module, Operand, RegId, Terminator,
+};
+pub use lower::{lower, LoweringConfig};
+pub use version::version_modules;

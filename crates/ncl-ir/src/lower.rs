@@ -1,0 +1,2120 @@
+//! AST → IR lowering.
+//!
+//! Lowering consumes a [`CheckedProgram`] plus a [`LoweringConfig`] (the
+//! per-kernel window masks the invocation will use — the compiler knows
+//! the mask because "a mask is associated with kernel invocations", paper
+//! §4.2) and produces a generic [`Module`].
+//!
+//! Notable decisions, all mirrored by the reference interpreter:
+//!
+//! * **Loops unroll at lowering time.** A `for` whose init/bound/step are
+//!   compile-time constants (possibly via `window.len`, which folds to
+//!   `mask[0]`) is expanded inline with the induction variable bound as a
+//!   constant. Non-constant loops lower to real CFG back edges, which the
+//!   conformance pass rejects for switch kernels — PISA pipelines cannot
+//!   loop (paper §5 "loops must have provably constant trip counts").
+//! * **Logical operators evaluate eagerly.** `a && b` becomes a bitwise
+//!   and of the operand truth values; lowering rejects side effects in
+//!   the right operand, where eager evaluation would diverge from C.
+//! * **`memcpy` unrolls element-wise** after checking that both sides
+//!   share an element width and the byte count is a constant multiple of
+//!   it.
+
+use crate::ir::*;
+use c3::{BinOp, Label, ScalarType, UnOp, Value};
+use ncl_lang::ast::{self, AssignOp, BinaryOp, Expr, Stmt, UnaryOp};
+use ncl_lang::diag::{Diagnostic, Span};
+use ncl_lang::sema::{
+    const_eval_with, usual_conversion, CheckedProgram, GlobalKind, KernelInfo,
+};
+use std::collections::HashMap;
+
+/// Configuration for lowering: the window masks kernels compile against.
+#[derive(Clone, Debug)]
+pub struct LoweringConfig {
+    /// Per-kernel mask (elements per window-data parameter). `window.len`
+    /// folds to `mask[0]`; a kernel without an entry keeps `window.len`
+    /// dynamic (fine for hosts, rejected by conformance for switches if a
+    /// loop bound needs it).
+    pub masks: HashMap<String, Vec<u16>>,
+    /// Maximum constant trip count a loop may unroll to.
+    pub unroll_limit: usize,
+}
+
+impl Default for LoweringConfig {
+    fn default() -> Self {
+        LoweringConfig {
+            masks: HashMap::new(),
+            unroll_limit: 4096,
+        }
+    }
+}
+
+impl LoweringConfig {
+    /// Builds a config with a single kernel mask.
+    pub fn with_mask(kernel: &str, mask: impl Into<Vec<u16>>) -> Self {
+        let mut cfg = LoweringConfig::default();
+        cfg.masks.insert(kernel.to_string(), mask.into());
+        cfg
+    }
+}
+
+/// Lowers a checked program to the generic (pre-versioning) module.
+pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, Vec<Diagnostic>> {
+    let mut module = Module {
+        name: "ncl_program".into(),
+        location: None,
+        window_ext: checked.window_ext.clone(),
+        ..Module::default()
+    };
+    // Stable global indices: registers, ctrls, maps in declaration order.
+    let mut reg_ids = HashMap::new();
+    let mut ctrl_ids = HashMap::new();
+    let mut map_ids = HashMap::new();
+    for g in &checked.globals {
+        match &g.kind {
+            GlobalKind::Register { elem, dims, init } => {
+                reg_ids.insert(g.name.clone(), ArrId(module.registers.len() as u32));
+                module.registers.push(RegisterDecl {
+                    name: g.name.clone(),
+                    at: g.at.clone(),
+                    elem: *elem,
+                    dims: dims.clone(),
+                    init: init.clone(),
+                });
+            }
+            GlobalKind::Ctrl { ty, init } => {
+                ctrl_ids.insert(g.name.clone(), CtrlId(module.ctrls.len() as u32));
+                module.ctrls.push(CtrlDecl {
+                    name: g.name.clone(),
+                    at: g.at.clone(),
+                    ty: *ty,
+                    init: *init,
+                });
+            }
+            GlobalKind::Map {
+                key,
+                value,
+                capacity,
+            } => {
+                map_ids.insert(g.name.clone(), MapId(module.maps.len() as u32));
+                module.maps.push(MapDecl {
+                    name: g.name.clone(),
+                    at: g.at.clone(),
+                    key: *key,
+                    value: *value,
+                    capacity: *capacity,
+                });
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for k in &checked.kernels {
+        let mut lw = Lowerer {
+            checked,
+            cfg,
+            kernel: k,
+            mask: cfg.masks.get(&k.name).cloned(),
+            reg_ids: &reg_ids,
+            ctrl_ids: &ctrl_ids,
+            map_ids: &map_ids,
+            globals_elem: &module,
+            blocks: vec![Block {
+                insts: vec![],
+                term: Terminator::Ret,
+            }],
+            cur: BlockId(0),
+            reg_tys: Vec::new(),
+            scope: vec![HashMap::new()],
+            diags: Vec::new(),
+            done: false,
+        };
+        lw.params_into_scope();
+        lw.lower_block_stmts(&k.body);
+        let (blocks, reg_tys, mut kdiags) = (lw.blocks, lw.reg_tys, lw.diags);
+        diags.append(&mut kdiags);
+        module.kernels.push(KernelIr {
+            name: k.name.clone(),
+            kind: k.kind,
+            at: k.at.clone(),
+            params: k.params.clone(),
+            mask: cfg.masks.get(&k.name).cloned().unwrap_or_default(),
+            nregs: reg_tys.len() as u32,
+            reg_tys,
+            blocks,
+        });
+    }
+    if diags.is_empty() {
+        Ok(module)
+    } else {
+        Err(diags)
+    }
+}
+
+/// What a name in scope is bound to during lowering.
+#[derive(Clone, Debug)]
+enum Binding {
+    /// A scalar local held in a virtual register.
+    Local(RegId, ScalarType),
+    /// An unrolled loop induction variable (compile-time constant).
+    Const(Value),
+    /// A window-data parameter. `param` indexes non-`_ext_` params.
+    WinParam {
+        param: u16,
+        elem: ScalarType,
+        is_ptr: bool,
+    },
+    /// An `_ext_` host parameter of an incoming kernel.
+    HostParam { param: u16, elem: ScalarType },
+    /// A pointer produced by a map lookup: `(found, value)` registers.
+    MapPtr { found: RegId, val: RegId, elem: ScalarType },
+}
+
+/// A resolved assignable/readable place.
+#[derive(Clone, Debug)]
+enum Place {
+    Local(RegId, ScalarType),
+    WinElem(u16, Operand, ScalarType),
+    RegElem(ArrId, Operand, ScalarType),
+    HostElem(u16, Operand, ScalarType),
+    ExtField(u16, ScalarType),
+}
+
+/// A pointer-like value for `memcpy`: base element offset into a linear
+/// store.
+#[derive(Clone, Debug)]
+enum Bulk {
+    Win(u16, Operand, ScalarType),
+    Reg(ArrId, Operand, ScalarType),
+    Host(u16, Operand, ScalarType),
+}
+
+struct Lowerer<'a> {
+    checked: &'a CheckedProgram,
+    cfg: &'a LoweringConfig,
+    kernel: &'a KernelInfo,
+    mask: Option<Vec<u16>>,
+    reg_ids: &'a HashMap<String, ArrId>,
+    ctrl_ids: &'a HashMap<String, CtrlId>,
+    map_ids: &'a HashMap<String, MapId>,
+    globals_elem: &'a Module,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    reg_tys: Vec<ScalarType>,
+    scope: Vec<HashMap<String, Binding>>,
+    diags: Vec<Diagnostic>,
+    /// Set once the current block ended in a `return`.
+    done: bool,
+}
+
+impl Lowerer<'_> {
+    fn error(&mut self, msg: impl Into<String>, span: Span) {
+        self.diags
+            .push(Diagnostic::error(msg, span, self.checked.file.clone()));
+    }
+
+    fn fresh(&mut self, ty: ScalarType) -> RegId {
+        let id = RegId(self.reg_tys.len() as u32);
+        self.reg_tys.push(ty);
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if self.done {
+            return; // unreachable code after return
+        }
+        self.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            insts: vec![],
+            term: Terminator::Ret,
+        });
+        id
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        if self.done {
+            return;
+        }
+        self.blocks[self.cur.0 as usize].term = term;
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+        self.done = false;
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scope.iter().rev().find_map(|f| f.get(name))
+    }
+
+    fn declare(&mut self, name: &str, b: Binding) {
+        self.scope
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), b);
+    }
+
+    fn params_into_scope(&mut self) {
+        let mut win = 0u16;
+        let mut ext = 0u16;
+        for p in &self.kernel.params {
+            let b = if p.ext {
+                let idx = ext;
+                ext += 1;
+                Binding::HostParam {
+                    param: idx,
+                    elem: p.elem,
+                }
+            } else {
+                let idx = win;
+                win += 1;
+                Binding::WinParam {
+                    param: idx,
+                    elem: p.elem,
+                    is_ptr: p.is_ptr,
+                }
+            };
+            self.declare(&p.name, b);
+        }
+    }
+
+    /// `window.len` as a constant, when a mask is configured.
+    fn window_len_const(&self) -> Option<Value> {
+        self.mask
+            .as_ref()
+            .and_then(|m| m.first())
+            .map(|&e| Value::new(ScalarType::U16, e as u64))
+    }
+
+    // ------------------------------------------------------------------
+    // Constant evaluation during lowering (loop bounds, memcpy lengths)
+    // ------------------------------------------------------------------
+
+    fn try_const(&self, e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Ident(name, _) => match self.lookup(name) {
+                Some(Binding::Const(v)) => Some(*v),
+                Some(_) => None,
+                None => self.checked.consts.get(name).copied(),
+            },
+            Expr::WindowField(f, _) if f == "len" => self.window_len_const(),
+            Expr::WindowField(f, _) if f == "nchunks" => self
+                .mask
+                .as_ref()
+                .map(|m| Value::new(ScalarType::U8, m.len() as u64)),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.try_const(lhs)?;
+                let b = self.try_const(rhs)?;
+                binop_values(*op, a, b)
+            }
+            Expr::Unary { op, expr, .. } => {
+                let v = self.try_const(expr)?;
+                let op = match op {
+                    UnaryOp::Neg => UnOp::Neg,
+                    UnaryOp::BitNot => UnOp::BitNot,
+                    UnaryOp::Not => UnOp::Not,
+                    _ => return None,
+                };
+                Some(Value::unop(op, v))
+            }
+            Expr::Cast { ty, expr, .. } => Some(self.try_const(expr)?.cast(*ty)),
+            Expr::Ternary {
+                cond, then, els, ..
+            } => {
+                let c = self.try_const(cond)?;
+                if c.is_truthy() {
+                    self.try_const(then)
+                } else {
+                    self.try_const(els)
+                }
+            }
+            _ => const_eval_with(e, &self.checked.consts),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn lower_block_stmts(&mut self, b: &ast::Block) {
+        self.scope.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s);
+        }
+        self.scope.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block(b) => self.lower_block_stmts(b),
+            Stmt::Empty(_) => {}
+            Stmt::Expr(e) => {
+                self.lower_expr_effectful(e);
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                auto_ptr,
+                span,
+            } => self.lower_decl(ty, name, init, *auto_ptr, *span),
+            Stmt::If {
+                decl,
+                cond,
+                then,
+                els,
+                span,
+            } => self.lower_if(decl, cond, then, els.as_deref(), *span),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => self.lower_for(init.as_deref(), cond.as_ref(), step.as_ref(), body, *span),
+            Stmt::While { cond, body, span } => {
+                self.lower_while(cond, body, *span);
+            }
+            Stmt::Return(_, _) => {
+                self.set_term(Terminator::Ret);
+                self.done = true;
+            }
+            Stmt::Break(span) | Stmt::Continue(span) => {
+                // Unrolled loops have no run-time break target; a constant
+                // `if (...) break;` pattern is future work.
+                self.error(
+                    "'break'/'continue' are not supported in kernels (loops are fully unrolled)",
+                    *span,
+                );
+            }
+        }
+    }
+
+    fn lower_decl(
+        &mut self,
+        ty: &Option<ast::TypeExpr>,
+        name: &str,
+        init: &Option<Expr>,
+        auto_ptr: bool,
+        span: Span,
+    ) {
+        if auto_ptr {
+            // `auto *idx = Idx[key];` — unchecked map lookup.
+            let Some(Expr::Index { base, index, .. }) = init else {
+                self.error("'auto *' requires a map lookup initializer", span);
+                return;
+            };
+            let Some((map, elem)) = self.resolve_map(base) else {
+                self.error("'auto *' requires a map lookup initializer", span);
+                return;
+            };
+            let key_ty = self.map_key_ty(map);
+            let (key, _) = self.lower_expr_as(index, key_ty);
+            let found = self.fresh(ScalarType::Bool);
+            let val = self.fresh(elem);
+            self.emit(Inst::MapGet {
+                found,
+                val,
+                map,
+                key,
+            });
+            self.declare(name, Binding::MapPtr { found, val, elem });
+            return;
+        }
+        let declared = match ty {
+            Some(ast::TypeExpr::Scalar(s)) => Some(*s),
+            None => None,
+            _ => {
+                self.error("unsupported local declaration", span);
+                return;
+            }
+        };
+        let (op, ity) = match init {
+            Some(e) => self.lower_expr(e),
+            None => {
+                let t = declared.unwrap_or(ScalarType::I32);
+                (Operand::Const(Value::zero(t)), t)
+            }
+        };
+        let final_ty = declared.unwrap_or(ity);
+        let op = self.coerce(op, ity, final_ty);
+        let dst = self.fresh(final_ty);
+        self.emit(Inst::Copy { dst, a: op });
+        self.declare(name, Binding::Local(dst, final_ty));
+    }
+
+    fn lower_if(
+        &mut self,
+        decl: &Option<(String, Span)>,
+        cond: &Expr,
+        then: &Stmt,
+        els: Option<&Stmt>,
+        _span: Span,
+    ) {
+        self.scope.push(HashMap::new());
+        let cond_op = if let Some((name, dspan)) = decl {
+            // `if (auto *p = Map[k])` — branch on the hit bit.
+            let (found_op, binding) = self.lower_map_cond(cond, *dspan);
+            if let Some(b) = binding {
+                self.declare(name, b);
+            }
+            found_op
+        } else {
+            self.lower_condition(cond)
+        };
+        // Constant condition: lower only the taken branch.
+        if let Some(c) = cond_op.as_const() {
+            if c.is_truthy() {
+                self.lower_stmt(then);
+            } else if let Some(e) = els {
+                self.lower_stmt(e);
+            }
+            self.scope.pop();
+            return;
+        }
+        let then_bb = self.new_block();
+        let els_bb = self.new_block();
+        let join_bb = self.new_block();
+        self.set_term(Terminator::Br {
+            cond: cond_op,
+            then: then_bb,
+            els: els_bb,
+        });
+        self.switch_to(then_bb);
+        self.lower_stmt(then);
+        self.set_term(Terminator::Jmp(join_bb));
+        let then_done = self.done;
+        self.switch_to(els_bb);
+        if let Some(e) = els {
+            self.lower_stmt(e);
+        }
+        self.set_term(Terminator::Jmp(join_bb));
+        let els_done = self.done;
+        self.switch_to(join_bb);
+        self.done = then_done && els_done;
+        if self.done {
+            self.set_term(Terminator::Ret);
+            // join block unreachable; keep Ret terminator.
+            self.done = false; // join may still be target of other paths
+        }
+        self.scope.pop();
+    }
+
+    /// Lowers an `if (auto *p = ...)` condition: returns the `found`
+    /// operand and the pointer binding.
+    fn lower_map_cond(&mut self, cond: &Expr, span: Span) -> (Operand, Option<Binding>) {
+        if let Expr::Index { base, index, .. } = cond {
+            if let Some((map, elem)) = self.resolve_map(base) {
+                let key_ty = self.map_key_ty(map);
+                let (key, _) = self.lower_expr_as(index, key_ty);
+                let found = self.fresh(ScalarType::Bool);
+                let val = self.fresh(elem);
+                self.emit(Inst::MapGet {
+                    found,
+                    val,
+                    map,
+                    key,
+                });
+                return (
+                    Operand::Reg(found),
+                    Some(Binding::MapPtr { found, val, elem }),
+                );
+            }
+        }
+        self.error("'if (auto *...)' requires a map lookup", span);
+        (Operand::Const(Value::bool(false)), None)
+    }
+
+    fn lower_for(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Stmt,
+        span: Span,
+    ) {
+        self.scope.push(HashMap::new());
+        // Try the unrollable pattern first.
+        if let Some(count) = self.try_unroll(init, cond, step, body, span) {
+            let _ = count;
+            self.scope.pop();
+            return;
+        }
+        // General loop: real CFG back edge (valid for interpreter / host
+        // kernels; conformance rejects it for switch kernels).
+        if let Some(i) = init {
+            self.lower_stmt(i);
+        }
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.set_term(Terminator::Jmp(head));
+        self.switch_to(head);
+        let cond_op = match cond {
+            Some(c) => self.lower_condition(c),
+            None => Operand::Const(Value::bool(true)),
+        };
+        self.set_term(Terminator::Br {
+            cond: cond_op,
+            then: body_bb,
+            els: exit,
+        });
+        self.switch_to(body_bb);
+        self.lower_stmt(body);
+        if let Some(s) = step {
+            self.lower_expr_effectful(s);
+        }
+        self.set_term(Terminator::Jmp(head));
+        self.switch_to(exit);
+        self.scope.pop();
+    }
+
+    /// Recognizes `for (T i = C0; i <cmp> BOUND; ++i / i += C)` with a
+    /// constant range and unrolls it. Returns the trip count on success.
+    fn try_unroll(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Stmt,
+        span: Span,
+    ) -> Option<usize> {
+        let Stmt::Decl {
+            name, init: Some(ie), ..
+        } = init?
+        else {
+            return None;
+        };
+        let start = self.try_const(ie)?;
+        let cond = cond?;
+        let Expr::Binary { op, lhs, rhs, .. } = cond else {
+            return None;
+        };
+        let Expr::Ident(cv, _) = &**lhs else {
+            return None;
+        };
+        if cv != name {
+            return None;
+        }
+        let bound = self.try_const(rhs)?;
+        let stride: i128 = match step? {
+            Expr::IncDec { inc, target, .. } => {
+                let Expr::Ident(sv, _) = &**target else {
+                    return None;
+                };
+                if sv != name {
+                    return None;
+                }
+                if *inc {
+                    1
+                } else {
+                    -1
+                }
+            }
+            Expr::Assign {
+                op: AssignOp::Add,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let Expr::Ident(sv, _) = &**lhs else {
+                    return None;
+                };
+                if sv != name {
+                    return None;
+                }
+                self.try_const(rhs)?.as_i128()
+            }
+            _ => return None,
+        };
+        if stride == 0 {
+            return None;
+        }
+        let holds = |v: i128, b: i128| match op {
+            BinaryOp::Lt => v < b,
+            BinaryOp::Le => v <= b,
+            BinaryOp::Gt => v > b,
+            BinaryOp::Ge => v >= b,
+            BinaryOp::Ne => v != b,
+            _ => false,
+        };
+        if !matches!(
+            op,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Ne
+        ) {
+            return None;
+        }
+        let ity = start.ty();
+        let mut v = start.as_i128();
+        let b = bound.as_i128();
+        let mut iters = 0usize;
+        while holds(v, b) {
+            iters += 1;
+            if iters > self.cfg.unroll_limit {
+                self.error(
+                    format!(
+                        "loop trip count exceeds the unroll limit ({})",
+                        self.cfg.unroll_limit
+                    ),
+                    span,
+                );
+                return Some(0);
+            }
+            v += stride;
+        }
+        // Unroll: bind the induction variable to each constant in turn.
+        let mut v = start.as_i128();
+        for _ in 0..iters {
+            self.scope.push(HashMap::new());
+            self.declare(name, Binding::Const(Value::new(ity, v as u64)));
+            self.lower_stmt(body);
+            self.scope.pop();
+            v += stride;
+        }
+        Some(iters)
+    }
+
+    fn lower_while(&mut self, cond: &Expr, body: &Stmt, _span: Span) {
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.set_term(Terminator::Jmp(head));
+        self.switch_to(head);
+        let c = self.lower_condition(cond);
+        self.set_term(Terminator::Br {
+            cond: c,
+            then: body_bb,
+            els: exit,
+        });
+        self.switch_to(body_bb);
+        self.lower_stmt(body);
+        self.set_term(Terminator::Jmp(head));
+        self.switch_to(exit);
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Lowers an expression used as a branch condition into a bool
+    /// operand.
+    fn lower_condition(&mut self, e: &Expr) -> Operand {
+        // A bare map lookup in condition position tests the hit bit.
+        if let Expr::Index { base, index, .. } = e {
+            if let Some((map, elem)) = self.resolve_map(base) {
+                let key_ty = self.map_key_ty(map);
+                let (key, _) = self.lower_expr_as(index, key_ty);
+                let found = self.fresh(ScalarType::Bool);
+                let val = self.fresh(elem);
+                self.emit(Inst::MapGet {
+                    found,
+                    val,
+                    map,
+                    key,
+                });
+                return Operand::Reg(found);
+            }
+        }
+        let (op, ty) = self.lower_expr(e);
+        self.truthy(op, ty)
+    }
+
+    fn truthy(&mut self, op: Operand, ty: ScalarType) -> Operand {
+        if ty == ScalarType::Bool {
+            return op;
+        }
+        if let Some(c) = op.as_const() {
+            return Operand::Const(Value::bool(c.is_truthy()));
+        }
+        let dst = self.fresh(ScalarType::Bool);
+        self.emit(Inst::Bin {
+            dst,
+            op: BinOp::Ne,
+            a: op,
+            b: Operand::Const(Value::zero(ty)),
+        });
+        Operand::Reg(dst)
+    }
+
+    /// Lowers an expression and coerces the result to `want`.
+    fn lower_expr_as(&mut self, e: &Expr, want: ScalarType) -> (Operand, ScalarType) {
+        let (op, ty) = self.lower_expr(e);
+        (self.coerce(op, ty, want), want)
+    }
+
+    fn coerce(&mut self, op: Operand, from: ScalarType, to: ScalarType) -> Operand {
+        if from == to {
+            return op;
+        }
+        if let Some(c) = op.as_const() {
+            return Operand::Const(c.cast(to));
+        }
+        let dst = self.fresh(to);
+        self.emit(Inst::Cast { dst, ty: to, a: op });
+        Operand::Reg(dst)
+    }
+
+    /// Lowers an expression in statement position (assignments, calls,
+    /// inc/dec).
+    fn lower_expr_effectful(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { op, lhs, rhs, span } => self.lower_assign(*op, lhs, rhs, *span),
+            Expr::IncDec { .. } => {
+                self.lower_expr(e);
+            }
+            Expr::Call { .. } => {
+                self.lower_expr(e);
+            }
+            other => {
+                self.lower_expr(other);
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, op: AssignOp, lhs: &Expr, rhs: &Expr, span: Span) {
+        let Some(place) = self.resolve_place(lhs, span) else {
+            return;
+        };
+        let pty = place_ty(&place);
+        let value = if op == AssignOp::Assign {
+            let (v, vty) = self.lower_expr(rhs);
+            self.coerce(v, vty, pty)
+        } else {
+            let cur = self.read_place(&place);
+            let (rv, rty) = self.lower_expr(rhs);
+            let common = usual_conversion(pty, rty);
+            let a = self.coerce(cur, pty, common);
+            let b = self.coerce(rv, rty, common);
+            let bop = assign_binop(op);
+            let dst = self.fresh(bin_result_ty(bop, common));
+            self.emit(Inst::Bin { dst, op: bop, a, b });
+            self.coerce(Operand::Reg(dst), common, pty)
+        };
+        self.write_place(&place, value);
+    }
+
+    /// Lowers a pure (value-producing) expression. Returns the operand
+    /// and its scalar type.
+    fn lower_expr(&mut self, e: &Expr) -> (Operand, ScalarType) {
+        match e {
+            Expr::Int(v, unsigned, _) => {
+                let ty = int_literal_ty(*v, *unsigned);
+                (Operand::Const(Value::new(ty, *v)), ty)
+            }
+            Expr::Bool(b, _) => (Operand::Const(Value::bool(*b)), ScalarType::Bool),
+            Expr::Char(c, _) => (
+                Operand::Const(Value::new(ScalarType::I8, *c as u64)),
+                ScalarType::I8,
+            ),
+            Expr::Str(_, span) => {
+                self.error("string literal in expression position", *span);
+                (Operand::Const(Value::u32(0)), ScalarType::U32)
+            }
+            Expr::Ident(name, span) => self.lower_ident(name, *span),
+            Expr::WindowField(field, span) => self.lower_window_field(field, *span),
+            Expr::LocationField(field, span) => {
+                if field == "id" {
+                    let dst = self.fresh(ScalarType::U16);
+                    self.emit(Inst::LdMeta {
+                        dst,
+                        field: MetaField::LocationId,
+                    });
+                    (Operand::Reg(dst), ScalarType::U16)
+                } else {
+                    self.error(format!("unknown location field '{field}'"), *span);
+                    (Operand::Const(Value::u32(0)), ScalarType::U32)
+                }
+            }
+            Expr::Index { span, .. } => {
+                // Rvalue read through a place (or map lookup value).
+                if let Expr::Index { base, index, .. } = e {
+                    if let Some((map, elem)) = self.resolve_map(base) {
+                        let key_ty = self.map_key_ty(map);
+                        let (key, _) = self.lower_expr_as(index, key_ty);
+                        let found = self.fresh(ScalarType::Bool);
+                        let val = self.fresh(elem);
+                        self.emit(Inst::MapGet {
+                            found,
+                            val,
+                            map,
+                            key,
+                        });
+                        // Reading `Idx[k]` as a value yields the mapped
+                        // value (0 on miss).
+                        return (Operand::Reg(val), elem);
+                    }
+                }
+                match self.resolve_place(e, *span) {
+                    Some(place) => {
+                        let ty = place_ty(&place);
+                        (self.read_place(&place), ty)
+                    }
+                    None => (Operand::Const(Value::u32(0)), ScalarType::U32),
+                }
+            }
+            Expr::Unary { op, expr, span } => self.lower_unary(*op, expr, *span),
+            Expr::Binary { op, lhs, rhs, span } => self.lower_binary(*op, lhs, rhs, *span),
+            Expr::Assign { span, .. } => {
+                self.error("assignment cannot be nested inside an expression", *span);
+                (Operand::Const(Value::u32(0)), ScalarType::U32)
+            }
+            Expr::IncDec {
+                inc,
+                prefix,
+                target,
+                span,
+            } => self.lower_incdec(*inc, *prefix, target, *span),
+            Expr::Call { callee, args, span } => self.lower_call(callee, args, *span),
+            Expr::Cast { ty, expr, .. } => {
+                let (v, vty) = self.lower_expr(expr);
+                (self.coerce(v, vty, *ty), *ty)
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                els,
+                span,
+            } => {
+                for arm in [&**then, &**els] {
+                    if has_side_effects(arm) {
+                        self.error(
+                            "ternary arms are evaluated eagerly and must be side-effect free",
+                            *span,
+                        );
+                    }
+                }
+                let c = self.lower_condition(cond);
+                let (a, at) = self.lower_expr(then);
+                let (b, bt) = self.lower_expr(els);
+                let common = usual_conversion(at, bt);
+                let a = self.coerce(a, at, common);
+                let b = self.coerce(b, bt, common);
+                if let Some(cv) = c.as_const() {
+                    return (if cv.is_truthy() { a } else { b }, common);
+                }
+                let dst = self.fresh(common);
+                self.emit(Inst::Select {
+                    dst,
+                    cond: c,
+                    a,
+                    b,
+                });
+                (Operand::Reg(dst), common)
+            }
+            Expr::SizeOf(ty, _) => (
+                Operand::Const(Value::u32(ty.size() as u32)),
+                ScalarType::U32,
+            ),
+        }
+    }
+
+    fn lower_ident(&mut self, name: &str, span: Span) -> (Operand, ScalarType) {
+        if let Some(b) = self.lookup(name).cloned() {
+            return match b {
+                Binding::Local(r, ty) => (Operand::Reg(r), ty),
+                Binding::Const(v) => (Operand::Const(v), v.ty()),
+                Binding::WinParam { param, elem, .. } => {
+                    // Scalar param read = chunk element 0; bare pointer
+                    // params in value position are a lowering error
+                    // (callers use them via memcpy / indexing).
+                    let dst = self.fresh(elem);
+                    self.emit(Inst::LdWin {
+                        dst,
+                        param,
+                        index: Operand::Const(Value::u32(0)),
+                    });
+                    (Operand::Reg(dst), elem)
+                }
+                Binding::HostParam { param, elem } => {
+                    let dst = self.fresh(elem);
+                    self.emit(Inst::LdHost {
+                        dst,
+                        param,
+                        index: Operand::Const(Value::u32(0)),
+                    });
+                    (Operand::Reg(dst), elem)
+                }
+                Binding::MapPtr { found, elem, .. } => {
+                    // Pointer truthiness (e.g. `if (idx)`).
+                    (Operand::Reg(found), {
+                        let _ = elem;
+                        ScalarType::Bool
+                    })
+                }
+            };
+        }
+        if let Some(v) = self.checked.consts.get(name) {
+            return (Operand::Const(*v), v.ty());
+        }
+        // Globals.
+        if let Some(&arr) = self.reg_ids.get(name) {
+            let decl = &self.globals_elem.registers[arr.0 as usize];
+            if decl.dims.is_empty() {
+                let elem = decl.elem;
+                let dst = self.fresh(elem);
+                self.emit(Inst::LdReg {
+                    dst,
+                    arr,
+                    index: Operand::Const(Value::u32(0)),
+                });
+                return (Operand::Reg(dst), elem);
+            }
+            self.error(
+                format!("array '{name}' used as a scalar value"),
+                span,
+            );
+            return (Operand::Const(Value::u32(0)), ScalarType::U32);
+        }
+        if let Some(&ctrl) = self.ctrl_ids.get(name) {
+            let ty = self.globals_elem.ctrls[ctrl.0 as usize].ty;
+            let dst = self.fresh(ty);
+            self.emit(Inst::LdCtrl { dst, ctrl });
+            return (Operand::Reg(dst), ty);
+        }
+        self.error(format!("unknown identifier '{name}' during lowering"), span);
+        (Operand::Const(Value::u32(0)), ScalarType::U32)
+    }
+
+    fn lower_window_field(&mut self, field: &str, span: Span) -> (Operand, ScalarType) {
+        let meta = match field {
+            "seq" => MetaField::Seq,
+            "sender" => MetaField::Sender,
+            "from" => MetaField::From,
+            "nchunks" => {
+                if let Some(m) = &self.mask {
+                    return (
+                        Operand::Const(Value::new(ScalarType::U8, m.len() as u64)),
+                        ScalarType::U8,
+                    );
+                }
+                MetaField::NChunks
+            }
+            "len" => {
+                if let Some(v) = self.window_len_const() {
+                    return (Operand::Const(v), ScalarType::U16);
+                }
+                MetaField::Len
+            }
+            "last" => MetaField::Last,
+            other => {
+                if let Some((ty, off)) = self.checked.window_ext.field(other) {
+                    let dst = self.fresh(ty);
+                    self.emit(Inst::LdMeta {
+                        dst,
+                        field: MetaField::Ext(off as u16, ty),
+                    });
+                    return (Operand::Reg(dst), ty);
+                }
+                self.error(format!("unknown window field '{other}'"), span);
+                return (Operand::Const(Value::u32(0)), ScalarType::U32);
+            }
+        };
+        let ty = meta.ty();
+        let dst = self.fresh(ty);
+        self.emit(Inst::LdMeta { dst, field: meta });
+        (Operand::Reg(dst), ty)
+    }
+
+    fn lower_unary(&mut self, op: UnaryOp, expr: &Expr, span: Span) -> (Operand, ScalarType) {
+        match op {
+            UnaryOp::Deref => {
+                // `*p` — map pointer, window pointer param, or host
+                // pointer param.
+                if let Expr::Ident(name, _) = expr {
+                    match self.lookup(name).cloned() {
+                        Some(Binding::MapPtr { val, elem, .. }) => {
+                            return (Operand::Reg(val), elem);
+                        }
+                        Some(Binding::WinParam { param, elem, .. }) => {
+                            let dst = self.fresh(elem);
+                            self.emit(Inst::LdWin {
+                                dst,
+                                param,
+                                index: Operand::Const(Value::u32(0)),
+                            });
+                            return (Operand::Reg(dst), elem);
+                        }
+                        Some(Binding::HostParam { param, elem }) => {
+                            let dst = self.fresh(elem);
+                            self.emit(Inst::LdHost {
+                                dst,
+                                param,
+                                index: Operand::Const(Value::u32(0)),
+                            });
+                            return (Operand::Reg(dst), elem);
+                        }
+                        _ => {}
+                    }
+                }
+                self.error("cannot dereference this expression", span);
+                (Operand::Const(Value::u32(0)), ScalarType::U32)
+            }
+            UnaryOp::AddrOf => {
+                self.error(
+                    "'&' is only valid as a memcpy operand",
+                    span,
+                );
+                (Operand::Const(Value::u32(0)), ScalarType::U32)
+            }
+            UnaryOp::Not => {
+                let c = self.lower_condition(expr);
+                if let Some(v) = c.as_const() {
+                    return (
+                        Operand::Const(Value::bool(!v.is_truthy())),
+                        ScalarType::Bool,
+                    );
+                }
+                let dst = self.fresh(ScalarType::Bool);
+                self.emit(Inst::Un {
+                    dst,
+                    op: UnOp::Not,
+                    a: c,
+                });
+                (Operand::Reg(dst), ScalarType::Bool)
+            }
+            UnaryOp::Neg | UnaryOp::BitNot => {
+                let (v, ty) = self.lower_expr(expr);
+                let pty = ncl_lang::sema::promote(ty);
+                let v = self.coerce(v, ty, pty);
+                let uop = if op == UnaryOp::Neg {
+                    UnOp::Neg
+                } else {
+                    UnOp::BitNot
+                };
+                if let Some(c) = v.as_const() {
+                    return (Operand::Const(Value::unop(uop, c)), pty);
+                }
+                let dst = self.fresh(pty);
+                self.emit(Inst::Un { dst, op: uop, a: v });
+                (Operand::Reg(dst), pty)
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> (Operand, ScalarType) {
+        if matches!(op, BinaryOp::LAnd | BinaryOp::LOr) {
+            if has_side_effects(rhs) {
+                self.error(
+                    "the right operand of '&&'/'||' is evaluated eagerly on PISA \
+                     and must be side-effect free",
+                    span,
+                );
+            }
+            let a = self.lower_condition(lhs);
+            let b = self.lower_condition(rhs);
+            let bop = if op == BinaryOp::LAnd {
+                BinOp::And
+            } else {
+                BinOp::Or
+            };
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                return (
+                    Operand::Const(Value::binop(bop, x, y)),
+                    ScalarType::Bool,
+                );
+            }
+            let dst = self.fresh(ScalarType::Bool);
+            self.emit(Inst::Bin { dst, op: bop, a, b });
+            return (Operand::Reg(dst), ScalarType::Bool);
+        }
+        let (a, at) = self.lower_expr(lhs);
+        let (b, bt) = self.lower_expr(rhs);
+        let common = usual_conversion(at, bt);
+        let a = self.coerce(a, at, common);
+        let b = self.coerce(b, bt, common);
+        let bop = ast_binop(op);
+        let rty = bin_result_ty(bop, common);
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return (Operand::Const(Value::binop(bop, x, y)), rty);
+        }
+        let dst = self.fresh(rty);
+        self.emit(Inst::Bin { dst, op: bop, a, b });
+        (Operand::Reg(dst), rty)
+    }
+
+    fn lower_incdec(
+        &mut self,
+        inc: bool,
+        prefix: bool,
+        target: &Expr,
+        span: Span,
+    ) -> (Operand, ScalarType) {
+        let Some(place) = self.resolve_place(target, span) else {
+            return (Operand::Const(Value::u32(0)), ScalarType::U32);
+        };
+        let ty = place_ty(&place);
+        let mut old = self.read_place(&place);
+        if !prefix {
+            // Postfix needs the old value after the place is rewritten;
+            // for locals `old` aliases the place, so materialize a copy.
+            if matches!(place, Place::Local(..)) {
+                let keep = self.fresh(ty);
+                self.emit(Inst::Copy { dst: keep, a: old });
+                old = Operand::Reg(keep);
+            }
+        }
+        let dst = self.fresh(ty);
+        self.emit(Inst::Bin {
+            dst,
+            op: if inc { BinOp::Add } else { BinOp::Sub },
+            a: old,
+            b: Operand::Const(Value::new(ty, 1)),
+        });
+        self.write_place(&place, Operand::Reg(dst));
+        if prefix {
+            (Operand::Reg(dst), ty)
+        } else {
+            (old, ty)
+        }
+    }
+
+    fn lower_call(&mut self, callee: &str, args: &[Expr], span: Span) -> (Operand, ScalarType) {
+        match callee {
+            "_pass" => {
+                let label = args.first().and_then(|a| match a {
+                    Expr::Str(s, _) => Some(Label::new(s)),
+                    _ => None,
+                });
+                self.emit(Inst::Fwd {
+                    kind: FwdKind::Pass,
+                    label,
+                });
+            }
+            "_drop" => self.emit(Inst::Fwd {
+                kind: FwdKind::Drop,
+                label: None,
+            }),
+            "_reflect" => self.emit(Inst::Fwd {
+                kind: FwdKind::Reflect,
+                label: None,
+            }),
+            "_bcast" => self.emit(Inst::Fwd {
+                kind: FwdKind::Bcast,
+                label: None,
+            }),
+            "_here" => {
+                if let Some(Expr::Str(s, _)) = args.first() {
+                    let dst = self.fresh(ScalarType::Bool);
+                    self.emit(Inst::Here {
+                        dst,
+                        label: Label::new(s),
+                    });
+                    return (Operand::Reg(dst), ScalarType::Bool);
+                }
+                self.error("_here() requires a label string", span);
+            }
+            "_hash" => {
+                // xorshift-multiply mix (the stage hash unit): salted,
+                // well-distributed, and expressible as plain ALU ops so
+                // the interpreter and pipeline agree by construction.
+                if args.len() != 2 {
+                    self.error("_hash() takes (value, salt)", span);
+                    return (Operand::Const(Value::u32(0)), ScalarType::U32);
+                }
+                let (v, vt) = self.lower_expr(&args[0]);
+                let v = self.coerce(v, vt, ScalarType::U32);
+                let (salt, st) = self.lower_expr(&args[1]);
+                let salt = self.coerce(salt, st, ScalarType::U32);
+                let mix = |lw: &mut Self, a: Operand, op: BinOp, b: Operand| -> Operand {
+                    match (a.as_const(), b.as_const()) {
+                        (Some(x), Some(y)) => Operand::Const(Value::binop(op, x, y)),
+                        _ => {
+                            let d = lw.fresh(ScalarType::U32);
+                            lw.emit(Inst::Bin { dst: d, op, a, b });
+                            Operand::Reg(d)
+                        }
+                    }
+                };
+                let h = mix(self, v, BinOp::Xor, salt);
+                let h = mix(self, h, BinOp::Mul, Operand::Const(Value::u32(2654435761)));
+                let sh = mix(self, h, BinOp::Shr, Operand::Const(Value::u32(15)));
+                let h = mix(self, h, BinOp::Xor, sh);
+                let h = mix(self, h, BinOp::Mul, Operand::Const(Value::u32(2246822519)));
+                let sh = mix(self, h, BinOp::Shr, Operand::Const(Value::u32(13)));
+                let h = mix(self, h, BinOp::Xor, sh);
+                return (h, ScalarType::U32);
+            }
+            "memcpy" => self.lower_memcpy(args, span),
+            other => {
+                self.error(format!("cannot lower call to '{other}'"), span);
+            }
+        }
+        (Operand::Const(Value::u32(0)), ScalarType::U32)
+    }
+
+    fn lower_memcpy(&mut self, args: &[Expr], span: Span) {
+        if args.len() != 3 {
+            self.error("memcpy takes (dst, src, nbytes)", span);
+            return;
+        }
+        let Some(nbytes) = self.try_const(&args[2]) else {
+            self.error(
+                "memcpy length must be a compile-time constant \
+                 (possibly via window.len with a configured mask)",
+                args[2].span(),
+            );
+            return;
+        };
+        let nbytes = nbytes.bits() as usize;
+        let Some(dst) = self.resolve_bulk(&args[0]) else {
+            self.error("unsupported memcpy destination", args[0].span());
+            return;
+        };
+        let Some(src) = self.resolve_bulk(&args[1]) else {
+            self.error("unsupported memcpy source", args[1].span());
+            return;
+        };
+        let (dty, sty) = (bulk_ty(&dst), bulk_ty(&src));
+        if dty.size() != sty.size() {
+            self.error(
+                format!(
+                    "memcpy between different element widths ({} vs {})",
+                    dty, sty
+                ),
+                span,
+            );
+            return;
+        }
+        if !nbytes.is_multiple_of(dty.size()) {
+            self.error(
+                format!(
+                    "memcpy length {nbytes} is not a multiple of the element size {}",
+                    dty.size()
+                ),
+                span,
+            );
+            return;
+        }
+        let elems = nbytes / dty.size();
+        for k in 0..elems {
+            let sv = self.bulk_read(&src, k);
+            let sv = self.coerce(sv, sty, dty);
+            self.bulk_write(&dst, k, sv);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Places
+    // ------------------------------------------------------------------
+
+    fn resolve_map(&self, base: &Expr) -> Option<(MapId, ScalarType)> {
+        if let Expr::Ident(name, _) = base {
+            if let Some(&m) = self.map_ids.get(name) {
+                let elem = self.globals_elem.maps[m.0 as usize].value;
+                return Some((m, elem));
+            }
+        }
+        None
+    }
+
+    fn map_key_ty(&self, map: MapId) -> ScalarType {
+        self.globals_elem.maps[map.0 as usize].key
+    }
+
+    fn resolve_place(&mut self, e: &Expr, span: Span) -> Option<Place> {
+        match e {
+            Expr::Ident(name, _) => match self.lookup(name).cloned() {
+                Some(Binding::Local(r, ty)) => Some(Place::Local(r, ty)),
+                Some(Binding::Const(_)) => {
+                    self.error(
+                        format!("cannot assign to unrolled loop variable '{name}'"),
+                        span,
+                    );
+                    None
+                }
+                Some(Binding::WinParam { param, elem, .. }) => Some(Place::WinElem(
+                    param,
+                    Operand::Const(Value::u32(0)),
+                    elem,
+                )),
+                Some(Binding::HostParam { param, elem }) => Some(Place::HostElem(
+                    param,
+                    Operand::Const(Value::u32(0)),
+                    elem,
+                )),
+                Some(Binding::MapPtr { .. }) => {
+                    self.error("cannot assign to a map pointer", span);
+                    None
+                }
+                None => {
+                    if let Some(&arr) = self.reg_ids.get(name) {
+                        let decl = &self.globals_elem.registers[arr.0 as usize];
+                        if decl.dims.is_empty() {
+                            return Some(Place::RegElem(
+                                arr,
+                                Operand::Const(Value::u32(0)),
+                                decl.elem,
+                            ));
+                        }
+                    }
+                    self.error(format!("'{name}' is not an assignable place"), span);
+                    None
+                }
+            },
+            Expr::Index { base, index, .. } => self.resolve_index_place(base, index, span),
+            Expr::Unary {
+                op: UnaryOp::Deref,
+                expr,
+                ..
+            } => {
+                if let Expr::Ident(name, _) = &**expr {
+                    match self.lookup(name).cloned() {
+                        Some(Binding::HostParam { param, elem }) => {
+                            return Some(Place::HostElem(
+                                param,
+                                Operand::Const(Value::u32(0)),
+                                elem,
+                            ));
+                        }
+                        Some(Binding::WinParam { param, elem, .. }) => {
+                            return Some(Place::WinElem(
+                                param,
+                                Operand::Const(Value::u32(0)),
+                                elem,
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                self.error("cannot assign through this pointer", span);
+                None
+            }
+            Expr::WindowField(field, span) => {
+                if let Some((ty, off)) = self.checked.window_ext.field(field) {
+                    Some(Place::ExtField(off as u16, ty))
+                } else {
+                    self.error(format!("window field '{field}' is not writable"), *span);
+                    None
+                }
+            }
+            other => {
+                self.error("expression is not an assignable place", other.span());
+                None
+            }
+        }
+    }
+
+    fn resolve_index_place(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        span: Span,
+    ) -> Option<Place> {
+        match base {
+            Expr::Ident(name, _) => match self.lookup(name).cloned() {
+                Some(Binding::WinParam { param, elem, is_ptr }) => {
+                    if !is_ptr {
+                        self.error(format!("cannot index scalar parameter '{name}'"), span);
+                        return None;
+                    }
+                    let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                    Some(Place::WinElem(param, idx, elem))
+                }
+                Some(Binding::HostParam { param, elem }) => {
+                    let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                    Some(Place::HostElem(param, idx, elem))
+                }
+                Some(_) => {
+                    self.error(format!("cannot index '{name}'"), span);
+                    None
+                }
+                None => {
+                    if let Some(&arr) = self.reg_ids.get(name) {
+                        let decl = &self.globals_elem.registers[arr.0 as usize];
+                        let elem = decl.elem;
+                        match decl.dims.len() {
+                            0 | 1 => {
+                                let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                                return Some(Place::RegElem(arr, idx, elem));
+                            }
+                            2 => {
+                                // `Cache[i]` used as a place needs the
+                                // second index; only memcpy handles rows.
+                                self.error(
+                                    format!(
+                                        "row '{name}[i]' is not a scalar place; \
+                                         use memcpy or a second index"
+                                    ),
+                                    span,
+                                );
+                                return None;
+                            }
+                            _ => {
+                                self.error(">2-D arrays unsupported", span);
+                                return None;
+                            }
+                        }
+                    }
+                    self.error(format!("unknown array '{name}'"), span);
+                    None
+                }
+            },
+            // Two-dimensional element: `Cache[i][j]`.
+            Expr::Index {
+                base: inner_base,
+                index: inner_index,
+                ..
+            } => {
+                if let Expr::Ident(name, _) = &**inner_base {
+                    if let Some(&arr) = self.reg_ids.get(name) {
+                        let decl = self.globals_elem.registers[arr.0 as usize].clone();
+                        if decl.dims.len() == 2 {
+                            let cols = decl.dims[1] as u64;
+                            let (i, _) = self.lower_expr_as(inner_index, ScalarType::U32);
+                            let (j, _) = self.lower_expr_as(index, ScalarType::U32);
+                            let flat = self.flatten_2d(i, j, cols);
+                            return Some(Place::RegElem(arr, flat, decl.elem));
+                        }
+                    }
+                }
+                self.error("unsupported nested indexing", span);
+                None
+            }
+            _ => {
+                self.error("unsupported indexing base", span);
+                None
+            }
+        }
+    }
+
+    fn flatten_2d(&mut self, i: Operand, j: Operand, cols: u64) -> Operand {
+        let scaled = if let Some(c) = i.as_const() {
+            Operand::Const(Value::u32((c.bits() * cols) as u32))
+        } else {
+            let dst = self.fresh(ScalarType::U32);
+            self.emit(Inst::Bin {
+                dst,
+                op: BinOp::Mul,
+                a: i,
+                b: Operand::Const(Value::u32(cols as u32)),
+            });
+            Operand::Reg(dst)
+        };
+        match (scaled.as_const(), j.as_const()) {
+            (Some(a), Some(b)) => Operand::Const(Value::u32((a.bits() + b.bits()) as u32)),
+            _ => {
+                let dst = self.fresh(ScalarType::U32);
+                self.emit(Inst::Bin {
+                    dst,
+                    op: BinOp::Add,
+                    a: scaled,
+                    b: j,
+                });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    fn read_place(&mut self, p: &Place) -> Operand {
+        match p {
+            Place::Local(r, _) => Operand::Reg(*r),
+            Place::WinElem(param, idx, elem) => {
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdWin {
+                    dst,
+                    param: *param,
+                    index: *idx,
+                });
+                Operand::Reg(dst)
+            }
+            Place::RegElem(arr, idx, elem) => {
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdReg {
+                    dst,
+                    arr: *arr,
+                    index: *idx,
+                });
+                Operand::Reg(dst)
+            }
+            Place::HostElem(param, idx, elem) => {
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdHost {
+                    dst,
+                    param: *param,
+                    index: *idx,
+                });
+                Operand::Reg(dst)
+            }
+            Place::ExtField(off, ty) => {
+                let dst = self.fresh(*ty);
+                self.emit(Inst::LdMeta {
+                    dst,
+                    field: MetaField::Ext(*off, *ty),
+                });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    fn write_place(&mut self, p: &Place, val: Operand) {
+        match p {
+            Place::Local(r, _) => self.emit(Inst::Copy { dst: *r, a: val }),
+            Place::WinElem(param, idx, _) => self.emit(Inst::StWin {
+                param: *param,
+                index: *idx,
+                val,
+            }),
+            Place::RegElem(arr, idx, _) => self.emit(Inst::StReg {
+                arr: *arr,
+                index: *idx,
+                val,
+            }),
+            Place::HostElem(param, idx, _) => self.emit(Inst::StHost {
+                param: *param,
+                index: *idx,
+                val,
+            }),
+            Place::ExtField(off, ty) => self.emit(Inst::StExt {
+                offset: *off,
+                ty: *ty,
+                val,
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // memcpy bulk operands
+    // ------------------------------------------------------------------
+
+    fn resolve_bulk(&mut self, e: &Expr) -> Option<Bulk> {
+        match e {
+            // Bare pointer parameter: `data`.
+            Expr::Ident(name, _) => match self.lookup(name).cloned() {
+                Some(Binding::WinParam { param, elem, is_ptr }) if is_ptr => Some(Bulk::Win(
+                    param,
+                    Operand::Const(Value::u32(0)),
+                    elem,
+                )),
+                Some(Binding::HostParam { param, elem }) => Some(Bulk::Host(
+                    param,
+                    Operand::Const(Value::u32(0)),
+                    elem,
+                )),
+                _ => {
+                    if let Some(&arr) = self.reg_ids.get(name) {
+                        let elem = self.globals_elem.registers[arr.0 as usize].elem;
+                        return Some(Bulk::Reg(arr, Operand::Const(Value::u32(0)), elem));
+                    }
+                    None
+                }
+            },
+            // `&accum[base]` or `&data[i]`.
+            Expr::Unary {
+                op: UnaryOp::AddrOf,
+                expr,
+                ..
+            } => {
+                let Expr::Index { base, index, .. } = &**expr else {
+                    return None;
+                };
+                let Expr::Ident(name, _) = &**base else {
+                    return None;
+                };
+                match self.lookup(name).cloned() {
+                    Some(Binding::WinParam { param, elem, is_ptr }) if is_ptr => {
+                        let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                        Some(Bulk::Win(param, idx, elem))
+                    }
+                    Some(Binding::HostParam { param, elem }) => {
+                        let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                        Some(Bulk::Host(param, idx, elem))
+                    }
+                    _ => {
+                        let &arr = self.reg_ids.get(name)?;
+                        let elem = self.globals_elem.registers[arr.0 as usize].elem;
+                        let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
+                        Some(Bulk::Reg(arr, idx, elem))
+                    }
+                }
+            }
+            // Row of a 2-D array: `Cache[*idx]`.
+            Expr::Index { base, index, .. } => {
+                let Expr::Ident(name, _) = &**base else {
+                    return None;
+                };
+                let &arr = self.reg_ids.get(name)?;
+                let decl = self.globals_elem.registers[arr.0 as usize].clone();
+                if decl.dims.len() != 2 {
+                    return None;
+                }
+                let cols = decl.dims[1] as u64;
+                let (row, _) = self.lower_expr_as(index, ScalarType::U32);
+                let base_off = self.flatten_2d(row, Operand::Const(Value::u32(0)), cols);
+                Some(Bulk::Reg(arr, base_off, decl.elem))
+            }
+            _ => None,
+        }
+    }
+
+    fn bulk_index(&mut self, base: &Operand, k: usize) -> Operand {
+        if k == 0 {
+            return *base;
+        }
+        match base.as_const() {
+            Some(c) => Operand::Const(Value::u32((c.bits() as usize + k) as u32)),
+            None => {
+                let dst = self.fresh(ScalarType::U32);
+                self.emit(Inst::Bin {
+                    dst,
+                    op: BinOp::Add,
+                    a: *base,
+                    b: Operand::Const(Value::u32(k as u32)),
+                });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    fn bulk_read(&mut self, b: &Bulk, k: usize) -> Operand {
+        match b {
+            Bulk::Win(param, base, elem) => {
+                let idx = self.bulk_index(base, k);
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdWin {
+                    dst,
+                    param: *param,
+                    index: idx,
+                });
+                Operand::Reg(dst)
+            }
+            Bulk::Reg(arr, base, elem) => {
+                let idx = self.bulk_index(base, k);
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdReg {
+                    dst,
+                    arr: *arr,
+                    index: idx,
+                });
+                Operand::Reg(dst)
+            }
+            Bulk::Host(param, base, elem) => {
+                let idx = self.bulk_index(base, k);
+                let dst = self.fresh(*elem);
+                self.emit(Inst::LdHost {
+                    dst,
+                    param: *param,
+                    index: idx,
+                });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    fn bulk_write(&mut self, b: &Bulk, k: usize, val: Operand) {
+        match b {
+            Bulk::Win(param, base, _) => {
+                let idx = self.bulk_index(base, k);
+                self.emit(Inst::StWin {
+                    param: *param,
+                    index: idx,
+                    val,
+                });
+            }
+            Bulk::Reg(arr, base, _) => {
+                let idx = self.bulk_index(base, k);
+                self.emit(Inst::StReg {
+                    arr: *arr,
+                    index: idx,
+                    val,
+                });
+            }
+            Bulk::Host(param, base, _) => {
+                let idx = self.bulk_index(base, k);
+                self.emit(Inst::StHost {
+                    param: *param,
+                    index: idx,
+                    val,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+fn place_ty(p: &Place) -> ScalarType {
+    match p {
+        Place::Local(_, t)
+        | Place::WinElem(_, _, t)
+        | Place::RegElem(_, _, t)
+        | Place::HostElem(_, _, t)
+        | Place::ExtField(_, t) => *t,
+    }
+}
+
+fn bulk_ty(b: &Bulk) -> ScalarType {
+    match b {
+        Bulk::Win(_, _, t) | Bulk::Reg(_, _, t) | Bulk::Host(_, _, t) => *t,
+    }
+}
+
+fn assign_binop(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Rem => BinOp::Rem,
+        AssignOp::And => BinOp::And,
+        AssignOp::Or => BinOp::Or,
+        AssignOp::Xor => BinOp::Xor,
+        AssignOp::Shl => BinOp::Shl,
+        AssignOp::Shr => BinOp::Shr,
+        AssignOp::Assign => unreachable!("plain assignment handled separately"),
+    }
+}
+
+fn ast_binop(op: BinaryOp) -> BinOp {
+    match op {
+        BinaryOp::Add => BinOp::Add,
+        BinaryOp::Sub => BinOp::Sub,
+        BinaryOp::Mul => BinOp::Mul,
+        BinaryOp::Div => BinOp::Div,
+        BinaryOp::Rem => BinOp::Rem,
+        BinaryOp::And => BinOp::And,
+        BinaryOp::Or => BinOp::Or,
+        BinaryOp::Xor => BinOp::Xor,
+        BinaryOp::Shl => BinOp::Shl,
+        BinaryOp::Shr => BinOp::Shr,
+        BinaryOp::Eq => BinOp::Eq,
+        BinaryOp::Ne => BinOp::Ne,
+        BinaryOp::Lt => BinOp::Lt,
+        BinaryOp::Le => BinOp::Le,
+        BinaryOp::Gt => BinOp::Gt,
+        BinaryOp::Ge => BinOp::Ge,
+        BinaryOp::LAnd | BinaryOp::LOr => unreachable!("logical ops handled separately"),
+    }
+}
+
+fn bin_result_ty(op: BinOp, operand_ty: ScalarType) -> ScalarType {
+    if op.is_comparison() {
+        ScalarType::Bool
+    } else {
+        operand_ty
+    }
+}
+
+fn int_literal_ty(v: u64, unsigned: bool) -> ScalarType {
+    if unsigned || v > i64::MAX as u64 {
+        if v > u32::MAX as u64 {
+            ScalarType::U64
+        } else {
+            ScalarType::U32
+        }
+    } else if v > i32::MAX as u64 {
+        ScalarType::I64
+    } else {
+        ScalarType::I32
+    }
+}
+
+fn binop_values(op: BinaryOp, a: Value, b: Value) -> Option<Value> {
+    if matches!(op, BinaryOp::LAnd) {
+        return Some(Value::bool(a.is_truthy() && b.is_truthy()));
+    }
+    if matches!(op, BinaryOp::LOr) {
+        return Some(Value::bool(a.is_truthy() || b.is_truthy()));
+    }
+    let vb = ast_binop(op);
+    let common = usual_conversion(a.ty(), b.ty());
+    Some(Value::binop(vb, a.cast(common), b.cast(common)))
+}
+
+/// Whether an expression contains assignments, inc/dec, or calls.
+fn has_side_effects(e: &Expr) -> bool {
+    match e {
+        Expr::Assign { .. } | Expr::IncDec { .. } | Expr::Call { .. } => true,
+        Expr::Binary { lhs, rhs, .. } => has_side_effects(lhs) || has_side_effects(rhs),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => has_side_effects(expr),
+        Expr::Index { base, index, .. } => has_side_effects(base) || has_side_effects(index),
+        Expr::Ternary {
+            cond, then, els, ..
+        } => has_side_effects(cond) || has_side_effects(then) || has_side_effects(els),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_lang::frontend;
+
+    fn lower_src(src: &str, cfg: &LoweringConfig) -> Module {
+        let checked = frontend(src, "t.ncl").expect("frontend");
+        lower(&checked, cfg).unwrap_or_else(|d| {
+            panic!("lowering failed: {}", ncl_lang::diag::render(&d));
+        })
+    }
+
+    #[test]
+    fn simple_kernel_lowers() {
+        let m = lower_src(
+            "_net_ _out_ void inc(int *data) { data[0] += 1; }",
+            &LoweringConfig::with_mask("inc", [1]),
+        );
+        let k = m.kernel("inc").unwrap();
+        assert_eq!(k.blocks.len(), 1);
+        assert!(k
+            .blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::StWin { .. })));
+    }
+
+    #[test]
+    fn for_loop_unrolls_with_mask() {
+        let m = lower_src(
+            "_net_ _at_(\"s1\") int acc[64];\n\
+             _net_ _out_ void k(int *data) {\n\
+               for (unsigned i = 0; i < window.len; ++i) acc[i] += data[i];\n\
+             }",
+            &LoweringConfig::with_mask("k", [4]),
+        );
+        let k = m.kernel("k").unwrap();
+        assert!(!k.has_loop());
+        let stores = k.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::StReg { .. }))
+            .count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn for_loop_without_mask_emits_back_edge() {
+        let m = lower_src(
+            "_net_ _at_(\"s1\") int acc[64];\n\
+             _net_ _out_ void k(int *data) {\n\
+               for (unsigned i = 0; i < window.len; ++i) acc[i] += data[i];\n\
+             }",
+            &LoweringConfig::default(),
+        );
+        assert!(m.kernel("k").unwrap().has_loop());
+    }
+
+    #[test]
+    fn unroll_limit_enforced() {
+        let checked = frontend(
+            "_net_ _at_(\"s1\") int acc[100000];\n\
+             _net_ _out_ void k(int *data) {\n\
+               for (unsigned i = 0; i < 100000; ++i) acc[i] = 0;\n\
+             }",
+            "t.ncl",
+        )
+        .unwrap();
+        let err = lower(&checked, &LoweringConfig::with_mask("k", [1])).unwrap_err();
+        assert!(err[0].message.contains("unroll limit"));
+    }
+
+    #[test]
+    fn window_len_folds_to_mask() {
+        let m = lower_src(
+            "_net_ _out_ void k(int *data) { data[0] = window.len; }",
+            &LoweringConfig::with_mask("k", [8]),
+        );
+        let k = m.kernel("k").unwrap();
+        // No LdMeta(Len) should remain.
+        assert!(!k.blocks.iter().any(|b| b
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::LdMeta { field: MetaField::Len, .. }))));
+        assert!(k.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::StWin {
+                val: Operand::Const(v),
+                ..
+            } if v.bits() == 8
+        )));
+    }
+
+    #[test]
+    fn if_else_produces_diamond() {
+        let m = lower_src(
+            "_net_ _out_ void k(int *d) { if (d[0] > 0) { d[0] = 1; } else { d[0] = 2; } }",
+            &LoweringConfig::with_mask("k", [1]),
+        );
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.blocks.len(), 4); // entry, then, else, join
+        assert!(matches!(k.blocks[0].term, Terminator::Br { .. }));
+    }
+
+    #[test]
+    fn map_lookup_in_if() {
+        let m = lower_src(
+            r#"
+            _net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 16> Idx;
+            _net_ _at_("s1") bool Valid[16];
+            _net_ _out_ void k(uint64_t key) {
+                if (auto *i = Idx[key]) Valid[*i] = false;
+            }
+            "#,
+            &LoweringConfig::with_mask("k", [1]),
+        );
+        let k = m.kernel("k").unwrap();
+        assert!(k
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::MapGet { .. }))));
+    }
+
+    #[test]
+    fn memcpy_unrolls_between_window_and_registers() {
+        let m = lower_src(
+            "_net_ _at_(\"s1\") int acc[64];\n\
+             _net_ _out_ void k(int *data) { memcpy(data, &acc[4], 16); }",
+            &LoweringConfig::with_mask("k", [4]),
+        );
+        let k = m.kernel("k").unwrap();
+        let ld = k.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::LdReg { .. }))
+            .count();
+        let st = k.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::StWin { .. }))
+            .count();
+        assert_eq!((ld, st), (4, 4));
+    }
+
+    #[test]
+    fn memcpy_2d_row() {
+        let m = lower_src(
+            r#"
+            _net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 4> Idx;
+            _net_ _at_("s1") char Cache[4][8];
+            _net_ _out_ void k(uint64_t key, char *val) {
+                if (auto *i = Idx[key]) { memcpy(val, Cache[*i], 8); _reflect(); }
+            }
+            "#,
+            &LoweringConfig::with_mask("k", [1, 8]),
+        );
+        let k = m.kernel("k").unwrap();
+        let st_win: usize = k
+            .blocks
+            .iter()
+            .map(|b| {
+                b.insts
+                    .iter()
+                    .filter(|i| matches!(i, Inst::StWin { param: 1, .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(st_win, 8);
+        assert!(k.blocks.iter().any(|b| b
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Fwd { kind: FwdKind::Reflect, .. }))));
+    }
+
+    #[test]
+    fn incdec_prefix_value() {
+        // `if (++count[0] == n)` — the comparison must see the new value.
+        let m = lower_src(
+            r#"
+            _net_ _at_("s1") unsigned count[4];
+            _net_ _ctrl_ _at_("s1") unsigned n;
+            _net_ _out_ void k(int *d) {
+                if (++count[0] == n) { _bcast(); } else { _drop(); }
+            }
+            "#,
+            &LoweringConfig::with_mask("k", [1]),
+        );
+        let k = m.kernel("k").unwrap();
+        // Pattern: LdReg, Add, StReg, LdCtrl, (casts), Eq, Br.
+        let entry = &k.blocks[0];
+        let add_pos = entry
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .expect("add");
+        let st_pos = entry
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::StReg { .. }))
+            .expect("store");
+        assert!(st_pos > add_pos);
+    }
+
+    #[test]
+    fn fig4_lowers_without_loops() {
+        let src = r#"
+#define DATA_LEN 64
+#define WIN_LEN 4
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+"#;
+        let m = lower_src(src, &LoweringConfig::with_mask("allreduce", [4]));
+        let k = m.kernel("allreduce").unwrap();
+        assert!(!k.has_loop());
+        assert!(k.inst_count() > 20);
+        assert_eq!(m.registers.len(), 2);
+        assert_eq!(m.ctrls.len(), 1);
+    }
+
+    #[test]
+    fn eager_logical_rhs_side_effect_rejected() {
+        let checked = frontend(
+            "_net_ _at_(\"s1\") unsigned c[1];\n\
+             _net_ _out_ void k(int *d) { if (d[0] > 0 && ++c[0] > 1) { _drop(); } }",
+            "t.ncl",
+        )
+        .unwrap();
+        let err = lower(&checked, &LoweringConfig::with_mask("k", [1])).unwrap_err();
+        assert!(err[0].message.contains("side-effect free"), "{err:?}");
+    }
+
+    #[test]
+    fn constant_condition_folds_branch() {
+        let m = lower_src(
+            "_net_ _out_ void k(int *d) { if (2 > 1) { d[0] = 7; } else { d[0] = 9; } }",
+            &LoweringConfig::with_mask("k", [1]),
+        );
+        let k = m.kernel("k").unwrap();
+        assert_eq!(k.blocks.len(), 1);
+        assert!(k.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::StWin {
+                val: Operand::Const(v),
+                ..
+            } if v.bits() == 7
+        )));
+    }
+
+    #[test]
+    fn here_lowered() {
+        let m = lower_src(
+            r#"_net_ _out_ void k(int *d) { if (_here("s1")) { _drop(); } }"#,
+            &LoweringConfig::with_mask("k", [1]),
+        );
+        let k = m.kernel("k").unwrap();
+        assert!(k.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Here { .. })));
+    }
+}

@@ -1,0 +1,197 @@
+//! IR versioning (paper Fig. 6, "Versioning").
+//!
+//! *"This stage uses location info from kernel signatures and the AND to
+//! create multiple IR modules, containing each location's kernels and
+//! location struct implementation."*
+//!
+//! Given the generic module and the list of switch locations (label +
+//! numeric id), this pass produces one module per location:
+//!
+//! * kernels `_at_` another location are dropped; location-less kernels
+//!   are kept everywhere (SPMD);
+//! * `_here(label)` folds to a boolean constant and `location.id` to the
+//!   switch id, after which [`crate::passes::optimize`] re-folds and DCE strips the
+//!   dead divergent branches — this implements the paper's "attempt to
+//!   split location-less kernels by inspecting top-level branching on
+//!   location struct fields";
+//! * incoming kernels never appear in switch modules.
+
+use crate::ir::*;
+use crate::passes;
+use c3::{Label, ScalarType, Value};
+use ncl_lang::ast::KernelKind;
+
+/// A switch location the program deploys to.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocationInfo {
+    /// The AND label.
+    pub label: Label,
+    /// The numeric id `location.id` reads as.
+    pub id: u16,
+}
+
+/// Produces one specialized, optimized module per location.
+pub fn version_modules(generic: &Module, locations: &[LocationInfo]) -> Vec<Module> {
+    locations
+        .iter()
+        .map(|loc| {
+            let mut m = generic.clone();
+            m.location = Some(loc.label.clone());
+            m.kernels.retain(|k| {
+                k.kind == KernelKind::Outgoing
+                    && match &k.at {
+                        None => true,
+                        Some(at) => at == &loc.label,
+                    }
+            });
+            for k in &mut m.kernels {
+                specialize_kernel(k, loc);
+            }
+            passes::optimize(&mut m);
+            m
+        })
+        .collect()
+}
+
+fn specialize_kernel(k: &mut KernelIr, loc: &LocationInfo) {
+    for b in &mut k.blocks {
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Here { dst, label } => {
+                    *inst = Inst::Copy {
+                        dst: *dst,
+                        a: Operand::Const(Value::bool(*label == loc.label)),
+                    };
+                }
+                Inst::LdMeta {
+                    dst,
+                    field: MetaField::LocationId,
+                } => {
+                    *inst = Inst::Copy {
+                        dst: *dst,
+                        a: Operand::Const(Value::new(ScalarType::U16, loc.id as u64)),
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LoweringConfig};
+    use ncl_lang::frontend;
+
+    fn generic(src: &str, kernel: &str, mask: &[u16]) -> Module {
+        let checked = frontend(src, "t.ncl").expect("frontend");
+        lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec())).expect("lower")
+    }
+
+    fn locs(labels: &[&str]) -> Vec<LocationInfo> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LocationInfo {
+                label: Label::new(l),
+                id: i as u16 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn placed_kernels_filtered() {
+        let src = r#"
+_net_ _at_("s1") int a1[4];
+_net_ _at_("s2") int a2[4];
+_net_ _out_ _at_("s1") void k(int *d) { a1[0] += d[0]; }
+_net_ _out_ _at_("s2") void k(int *d) { a2[0] -= d[0]; }
+"#;
+        let checked = frontend(src, "t.ncl").unwrap();
+        let m = lower(&checked, &LoweringConfig::with_mask("k", vec![1])).unwrap();
+        let versions = version_modules(&m, &locs(&["s1", "s2"]));
+        assert_eq!(versions.len(), 2);
+        assert_eq!(versions[0].kernels.len(), 1);
+        assert_eq!(versions[1].kernels.len(), 1);
+        // s1's version only touches a1; s2's only a2.
+        let touches = |m: &Module, arr: u32| {
+            m.kernels[0].blocks.iter().any(|b| {
+                b.insts.iter().any(
+                    |i| matches!(i, Inst::StReg { arr: a, .. } if a.0 == arr),
+                )
+            })
+        };
+        assert!(touches(&versions[0], 0) && !touches(&versions[0], 1));
+        assert!(touches(&versions[1], 1) && !touches(&versions[1], 0));
+        assert!(passes::conformance(&versions[0]).is_empty());
+        assert!(passes::conformance(&versions[1]).is_empty());
+    }
+
+    #[test]
+    fn spmd_kernel_splits_on_here() {
+        let src = r#"
+_net_ _out_ void k(int *d) {
+    if (_here("agg")) { d[0] += 1; } else { d[0] -= 1; }
+}
+"#;
+        let m = generic(src, "k", &[1]);
+        let versions = version_modules(&m, &locs(&["agg", "edge"]));
+        // After specialization + optimization each version is
+        // straight-line with the other branch stripped.
+        for v in &versions {
+            assert_eq!(v.kernels[0].blocks.len(), 1, "{}", v.kernels[0]);
+        }
+        let has_add = |m: &Module| {
+            m.kernels[0].blocks[0].insts.iter().any(
+                |i| matches!(i, Inst::Bin { op: c3::BinOp::Add, b: Operand::Const(v), .. } if v.bits() == 1),
+            )
+        };
+        assert!(has_add(&versions[0]));
+        assert!(!has_add(&versions[1]));
+    }
+
+    #[test]
+    fn location_id_folds() {
+        let src = "_net_ _out_ void k(int *d) { d[0] = location.id; }";
+        let m = generic(src, "k", &[1]);
+        let versions = version_modules(&m, &locs(&["s1", "s2"]));
+        let stored = |m: &Module| {
+            m.kernels[0].blocks[0]
+                .insts
+                .iter()
+                .find_map(|i| match i {
+                    Inst::StWin {
+                        val: Operand::Const(v),
+                        ..
+                    } => Some(v.bits()),
+                    _ => None,
+                })
+                .expect("constant store")
+        };
+        assert_eq!(stored(&versions[0]), 1);
+        assert_eq!(stored(&versions[1]), 2);
+    }
+
+    #[test]
+    fn incoming_kernels_never_on_switches() {
+        let src = "_net_ _out_ void k(int *d) { _drop(); }\n\
+                   _net_ _in_ void r(int *d) {}";
+        let checked = frontend(src, "t.ncl").unwrap();
+        let mut cfg = LoweringConfig::with_mask("k", vec![1]);
+        cfg.masks.insert("r".into(), vec![1]);
+        let m = lower(&checked, &cfg).unwrap();
+        let versions = version_modules(&m, &locs(&["s1"]));
+        assert_eq!(versions[0].kernels.len(), 1);
+        assert_eq!(versions[0].kernels[0].name, "k");
+    }
+
+    #[test]
+    fn generic_module_unchanged() {
+        let src = "_net_ _out_ void k(int *d) { d[0] += 1; }";
+        let m = generic(src, "k", &[1]);
+        let snapshot = m.clone();
+        let _ = version_modules(&m, &locs(&["s1"]));
+        assert_eq!(m, snapshot);
+    }
+}

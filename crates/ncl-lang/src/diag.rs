@@ -1,0 +1,176 @@
+//! Source spans and compiler diagnostics.
+//!
+//! Every frontend error is anchored to a [`Span`] (byte range plus
+//! line/column of its start) so the driver can render
+//! `file:line:col: error: message` lines the way Clang would.
+
+use std::fmt;
+
+/// A half-open byte range in a source file, with the 1-based line and
+/// column of its start for human-readable rendering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering a single point.
+    pub fn point(offset: usize, line: u32, col: u32) -> Self {
+        Span {
+            start: offset,
+            end: offset,
+            line,
+            col,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if other.line < self.line { other.col } else { self.col },
+        }
+    }
+}
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Compilation cannot proceed.
+    Error,
+    /// Suspicious but accepted.
+    Warning,
+    /// Informational note attached to a primary diagnostic.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// A compiler diagnostic: severity, message, and source anchor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// How severe the problem is.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+    /// File the span refers to.
+    pub file: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span, file: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            file: file.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span, file: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            file: file.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.span.line, self.span.col, self.severity, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Renders a batch of diagnostics, one per line, Clang style.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span {
+            start: 4,
+            end: 8,
+            line: 1,
+            col: 5,
+        };
+        let b = Span {
+            start: 10,
+            end: 12,
+            line: 2,
+            col: 3,
+        };
+        let j = a.to(b);
+        assert_eq!((j.start, j.end, j.line, j.col), (4, 12, 1, 5));
+        // Joining the other way keeps the earlier anchor.
+        let j2 = b.to(a);
+        assert_eq!((j2.start, j2.end, j2.line, j2.col), (4, 12, 1, 5));
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::error(
+            "unknown declaration specifier '_nte_'",
+            Span {
+                start: 0,
+                end: 5,
+                line: 3,
+                col: 1,
+            },
+            "allreduce.ncl",
+        );
+        assert_eq!(
+            d.to_string(),
+            "allreduce.ncl:3:1: error: unknown declaration specifier '_nte_'"
+        );
+    }
+
+    #[test]
+    fn render_batch() {
+        let diags = vec![
+            Diagnostic::error("a", Span::point(0, 1, 1), "f"),
+            Diagnostic::warning("b", Span::point(1, 1, 2), "f"),
+        ];
+        let s = render(&diags);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("warning: b"));
+    }
+}

@@ -1,0 +1,725 @@
+//! Stage allocation: predicated linear ops → match-action stages.
+//!
+//! Constraints honored (matching both real RMT and our [`pisa`] resource
+//! model):
+//!
+//! * **RAW**: an op reading a register written by another op executes in
+//!   a strictly later stage (stage ALUs read the PHV at stage input and
+//!   write at stage output) — *except* within a fused register action
+//!   (below);
+//! * **WAR** (anti): a write may share the reader's stage — stage-input
+//!   reads see the old value — but never precede it;
+//! * **WAW**: ordered into distinct stages (same-group excepted);
+//! * **register banks**: all accesses to one register bank fuse into a
+//!   single stage, together with the ALU ops on def-use paths between
+//!   the bank's reads and its writes. This models the **stateful ALU /
+//!   RegisterAction** of RMT chips: "increment, compare against the
+//!   threshold, conditionally reset, and hand back the value" is one
+//!   atomic register access — exactly what SwitchML-style aggregation
+//!   (and the paper's Fig. 4 `++count[seq] == nworkers` pattern)
+//!   requires;
+//! * **budgets**: stages overflowing the per-stage op/table budget are
+//!   split, preserving op order and keeping fused groups intact.
+//!
+//! Map lookups are table applications: the key (and guard) must be
+//! ready before the stage, and the outputs (`found`, `val`) become
+//! available to later stages.
+
+use crate::flatten::{LinearKernel, PredInst};
+use ncl_ir::ir::{Inst, Operand, RegId};
+use std::collections::HashMap;
+
+/// Per-stage budgets the allocator packs against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocBudget {
+    /// VLIW ops per stage.
+    pub ops_per_stage: usize,
+    /// Tables per stage. Each map lookup is one table; each run of
+    /// plain ops adds one.
+    pub tables_per_stage: usize,
+    /// Maximum predicate-chain depth the stage gateway evaluates
+    /// (0 disables gateway chaining — the ablation knob).
+    pub gateway_depth: usize,
+}
+
+impl AllocBudget {
+    /// Budgets from a resource model (default gateway depth).
+    pub fn from_model(m: &pisa::ResourceModel) -> Self {
+        AllocBudget {
+            ops_per_stage: m.ops_per_stage,
+            tables_per_stage: m.tables_per_stage,
+            gateway_depth: GATEWAY_DEPTH,
+        }
+    }
+}
+
+/// The staged program: `stages[s]` lists the ops executing in stage `s`,
+/// in order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct StagedKernel {
+    /// Ops per stage.
+    pub stages: Vec<Vec<PredInst>>,
+}
+
+impl StagedKernel {
+    /// Total op count.
+    pub fn op_count(&self) -> usize {
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Reads of an instruction including its guard.
+fn reads(p: &PredInst) -> Vec<RegId> {
+    let mut r: Vec<RegId> = p
+        .inst
+        .operands()
+        .into_iter()
+        .filter_map(|o| match o {
+            Operand::Reg(x) => Some(x),
+            Operand::Const(_) => None,
+        })
+        .collect();
+    if let Some(g) = p.guard {
+        r.push(g);
+    }
+    r
+}
+
+fn writes(p: &PredInst) -> Vec<RegId> {
+    p.inst.dsts()
+}
+
+/// A dependency location beyond virtual registers: PHV-resident window
+/// state and the forwarding decision. Two accesses of the same location
+/// are ordered by the same RAW/WAR/WAW rules as register accesses —
+/// without this, two stores to `data[0]` could land in swapped stages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Loc {
+    /// A window payload element; `None` index = dynamic (conflicts with
+    /// every element of that parameter).
+    Win(u16, Option<u64>),
+    /// An extended window-struct field.
+    Ext(u16),
+    /// The forwarding-decision intrinsic.
+    Fwd,
+}
+
+fn loc_index(o: &Operand) -> Option<u64> {
+    o.as_const().map(|v| v.bits())
+}
+
+/// Locations an op reads.
+fn loc_reads(p: &PredInst) -> Vec<Loc> {
+    match &p.inst {
+        Inst::LdWin { param, index, .. } => vec![Loc::Win(*param, loc_index(index))],
+        Inst::LdMeta {
+            field: ncl_ir::ir::MetaField::Ext(off, _),
+            ..
+        } => vec![Loc::Ext(*off)],
+        _ => vec![],
+    }
+}
+
+/// Locations an op writes.
+fn loc_writes(p: &PredInst) -> Vec<Loc> {
+    match &p.inst {
+        Inst::StWin { param, index, .. } => vec![Loc::Win(*param, loc_index(index))],
+        Inst::StExt { offset, .. } => vec![Loc::Ext(*offset)],
+        Inst::Fwd { .. } => vec![Loc::Fwd],
+        _ => vec![],
+    }
+}
+
+/// Whether two locations may alias.
+fn loc_conflict(a: Loc, b: Loc) -> bool {
+    match (a, b) {
+        (Loc::Win(pa, ia), Loc::Win(pb, ib)) => {
+            pa == pb && (ia.is_none() || ib.is_none() || ia == ib)
+        }
+        _ => a == b,
+    }
+}
+
+/// The register bank an op touches, if any.
+fn bank(p: &PredInst) -> Option<u32> {
+    match &p.inst {
+        Inst::LdReg { arr, .. } | Inst::StReg { arr, .. } => Some(arr.0),
+        _ => None,
+    }
+}
+
+/// Whether an op is a table application (map lookup).
+fn is_table(p: &PredInst) -> bool {
+    matches!(p.inst, Inst::MapGet { .. })
+}
+
+/// Whether an op belongs to the predicate class: cheap boolean logic an
+/// RMT stage's *gateway* evaluates at stage input (comparisons,
+/// and/or/not over predicate bits). Bounded chains of these may share a
+/// stage with the actions they gate.
+fn is_pred_class(p: &PredInst, reg_tys: &[c3::ScalarType]) -> bool {
+    let bool_dst = p
+        .inst
+        .dst()
+        .map(|d| reg_tys[d.0 as usize] == c3::ScalarType::Bool)
+        .unwrap_or(false);
+    if !bool_dst {
+        return false;
+    }
+    matches!(
+        p.inst,
+        Inst::Bin { .. } | Inst::Un { .. } | Inst::Copy { .. } | Inst::Cast { .. }
+    )
+}
+
+/// Default predicate-chain depth evaluable within one stage's gateway.
+pub const GATEWAY_DEPTH: usize = 8;
+
+/// Allocation failure: the fixpoint diverged.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllocDiverged;
+
+/// Union-find over op indices.
+struct Uf(Vec<usize>);
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra] = rb;
+        }
+    }
+}
+
+/// Computes fused register-action groups: for every bank, its accesses
+/// plus the ops on def-use paths from the bank's reads to its writes.
+/// Returns `group[i]` = representative op index, or `usize::MAX` when
+/// ungrouped.
+fn fuse_groups(lin: &LinearKernel) -> Vec<usize> {
+    let n = lin.ops.len();
+    // def-use successor lists via last-writer.
+    let mut succ: Vec<Vec<usize>> = vec![vec![]; n];
+    let mut pred: Vec<Vec<usize>> = vec![vec![]; n];
+    {
+        let mut last_writer: HashMap<RegId, usize> = HashMap::new();
+        for (j, p) in lin.ops.iter().enumerate() {
+            for r in reads(p) {
+                if let Some(&i) = last_writer.get(&r) {
+                    succ[i].push(j);
+                    pred[j].push(i);
+                }
+            }
+            for r in writes(p) {
+                last_writer.insert(r, j);
+            }
+        }
+    }
+    let mut uf = Uf::new(n);
+    // Per bank: forward reach from reads ∩ backward reach from writes.
+    let mut banks: HashMap<u32, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    for (i, p) in lin.ops.iter().enumerate() {
+        match &p.inst {
+            Inst::LdReg { .. } => banks.entry(bank(p).unwrap()).or_default().0.push(i),
+            Inst::StReg { .. } => banks.entry(bank(p).unwrap()).or_default().1.push(i),
+            _ => {}
+        }
+    }
+    for (lds, sts) in banks.values() {
+        let fwd = reach(&succ, lds, n);
+        let bwd = reach(&pred, sts, n);
+        let mut members: Vec<usize> = (0..n)
+            .filter(|&i| fwd[i] && bwd[i])
+            .collect();
+        members.extend(lds.iter().copied());
+        members.extend(sts.iter().copied());
+        if let Some(&first) = members.first() {
+            for &m in &members[1..] {
+                uf.union(first, m);
+            }
+        }
+    }
+    let mut grouped = vec![usize::MAX; n];
+    // Only ops actually in some bank's member set get a group; compute
+    // membership again cheaply: any op unioned with a bank op.
+    let bank_ops: Vec<usize> = (0..n).filter(|&i| bank(&lin.ops[i]).is_some()).collect();
+    let bank_roots: Vec<usize> = {
+        let mut v: Vec<usize> = bank_ops.iter().map(|&i| uf.find(i)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for (i, g) in grouped.iter_mut().enumerate() {
+        let r = uf.find(i);
+        if bank_roots.contains(&r) {
+            *g = r;
+        }
+    }
+    grouped
+}
+
+fn reach(adj: &[Vec<usize>], seeds: &[usize], n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = seeds.to_vec();
+    for &s in seeds {
+        seen[s] = true;
+    }
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+/// Assigns a stage to every op and splits overflowing stages.
+pub fn allocate(lin: &LinearKernel, budget: &AllocBudget) -> Result<StagedKernel, AllocDiverged> {
+    let n = lin.ops.len();
+    if n == 0 {
+        return Ok(StagedKernel::default());
+    }
+    let group = fuse_groups(lin);
+    let same_group = |i: usize, j: usize| {
+        group[i] != usize::MAX && group[i] == group[j]
+    };
+    let pred_class: Vec<bool> = lin
+        .ops
+        .iter()
+        .map(|p| is_pred_class(p, &lin.reg_tys))
+        .collect();
+    let mut stage = vec![0usize; n];
+    let mut depth = vec![0usize; n];
+    for round in 0..10_000 {
+        let mut changed = false;
+        // Group stages from the previous state.
+        let mut group_stage: HashMap<usize, usize> = HashMap::new();
+        for i in 0..n {
+            if group[i] != usize::MAX {
+                let e = group_stage.entry(group[i]).or_insert(0);
+                *e = (*e).max(stage[i]);
+            }
+        }
+        let mut last_writer: HashMap<RegId, usize> = HashMap::new();
+        let mut readers_since: HashMap<RegId, Vec<usize>> = HashMap::new();
+        // Location accesses seen so far: (loc, op, was_write).
+        let mut loc_accesses: Vec<(Loc, usize, bool)> = Vec::new();
+        for j in 0..n {
+            let p = &lin.ops[j];
+            let strict_reads = is_table(p); // match keys need stage input
+            let mut s = stage[j];
+            let mut gateway_preds: Vec<usize> = Vec::new();
+            for r in reads(p) {
+                if let Some(&i) = last_writer.get(&r) {
+                    if same_group(i, j) {
+                        s = s.max(stage[i]); // intra-action chaining
+                    } else if !strict_reads
+                        && budget.gateway_depth > 0
+                        && pred_class[i]
+                        && (pred_class[j] || p.guard == Some(r))
+                    {
+                        // Gateway chaining: predicate logic (and the
+                        // guard it gates) may share the writer's stage,
+                        // depth permitting.
+                        s = s.max(stage[i]);
+                        gateway_preds.push(i);
+                    } else {
+                        s = s.max(stage[i] + 1);
+                    }
+                }
+            }
+            for r in writes(p) {
+                if let Some(&i) = last_writer.get(&r) {
+                    if same_group(i, j) {
+                        s = s.max(stage[i]);
+                    } else {
+                        s = s.max(stage[i] + 1);
+                    }
+                }
+                if let Some(rs) = readers_since.get(&r) {
+                    for &rd in rs {
+                        s = s.max(stage[rd]);
+                    }
+                }
+            }
+            // Location dependencies (window elements, ext fields, fwd):
+            // read-after-write → later stage; write-after-read → same or
+            // later; write-after-write → later.
+            for l in loc_reads(p) {
+                for &(al, ai, aw) in loc_accesses.iter() {
+                    if aw && loc_conflict(l, al) {
+                        s = s.max(stage[ai] + 1);
+                    }
+                }
+            }
+            for l in loc_writes(p) {
+                for &(al, ai, aw) in loc_accesses.iter() {
+                    if loc_conflict(l, al) {
+                        s = s.max(if aw { stage[ai] + 1 } else { stage[ai] });
+                    }
+                }
+            }
+            if group[j] != usize::MAX {
+                s = s.max(*group_stage.get(&group[j]).unwrap_or(&0));
+            }
+            // Gateway depth: a chain longer than the hardware evaluates
+            // in one stage spills into the next.
+            let mut d = 0usize;
+            for &i in &gateway_preds {
+                if stage[i] == s {
+                    d = d.max(depth[i] + 1);
+                }
+            }
+            if d > budget.gateway_depth {
+                s += 1;
+                d = 0;
+            }
+            depth[j] = d;
+            if s != stage[j] {
+                stage[j] = s;
+                changed = true;
+            }
+            if group[j] != usize::MAX {
+                let e = group_stage.entry(group[j]).or_insert(0);
+                *e = (*e).max(stage[j]);
+            }
+            for r in reads(p) {
+                readers_since.entry(r).or_default().push(j);
+            }
+            for r in writes(p) {
+                last_writer.insert(r, j);
+                readers_since.remove(&r);
+            }
+            for l in loc_reads(p) {
+                loc_accesses.push((l, j, false));
+            }
+            for l in loc_writes(p) {
+                loc_accesses.push((l, j, true));
+            }
+        }
+        if !changed {
+            // Final coherence: every grouped op at its group's max stage.
+            let mut final_stage: HashMap<usize, usize> = HashMap::new();
+            for i in 0..n {
+                if group[i] != usize::MAX {
+                    let e = final_stage.entry(group[i]).or_insert(stage[i]);
+                    *e = (*e).max(stage[i]);
+                }
+            }
+            let mut coherent = true;
+            for i in 0..n {
+                if group[i] != usize::MAX && stage[i] != final_stage[&group[i]] {
+                    stage[i] = final_stage[&group[i]];
+                    coherent = false;
+                }
+            }
+            if coherent {
+                return Ok(split_for_capacity(lin, &stage, &group, budget));
+            }
+        }
+        if round == 9_999 {
+            return Err(AllocDiverged);
+        }
+    }
+    Err(AllocDiverged)
+}
+
+/// Groups ops into their dependency stages, then splits stages whose op
+/// or table counts overflow the budget. Fused groups stay together.
+fn split_for_capacity(
+    lin: &LinearKernel,
+    stage: &[usize],
+    group: &[usize],
+    budget: &AllocBudget,
+) -> StagedKernel {
+    let max_stage = stage.iter().copied().max().unwrap_or(0);
+    let mut logical: Vec<Vec<usize>> = vec![vec![]; max_stage + 1];
+    for (i, &s) in stage.iter().enumerate() {
+        logical[s].push(i);
+    }
+    let mut out: Vec<Vec<PredInst>> = Vec::new();
+    for ops in logical {
+        if ops.is_empty() {
+            continue;
+        }
+        // Units: fused groups move as one; other ops are singletons.
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        let mut group_unit: HashMap<usize, usize> = HashMap::new();
+        for &i in &ops {
+            if group[i] != usize::MAX {
+                if let Some(&u) = group_unit.get(&group[i]) {
+                    units[u].push(i);
+                } else {
+                    group_unit.insert(group[i], units.len());
+                    units.push(vec![i]);
+                }
+            } else {
+                units.push(vec![i]);
+            }
+        }
+        let mut cur: Vec<usize> = Vec::new();
+        let mut cur_ops = 0usize;
+        let mut cur_tables = 0usize;
+        let mut flushes: Vec<Vec<usize>> = Vec::new();
+        for unit in units {
+            let unit_ops = unit.iter().filter(|&&i| !is_table(&lin.ops[i])).count();
+            let unit_tables = unit.iter().filter(|&&i| is_table(&lin.ops[i])).count();
+            let would_tables = cur_tables + unit_tables;
+            let would_ops = cur_ops + unit_ops;
+            let plain_table = 1; // the always-table of the sub-stage
+            if !cur.is_empty()
+                && (would_ops > budget.ops_per_stage
+                    || would_tables + plain_table > budget.tables_per_stage)
+            {
+                flushes.push(std::mem::take(&mut cur));
+                cur_ops = 0;
+                cur_tables = 0;
+            }
+            cur_ops += unit_ops;
+            cur_tables += unit_tables;
+            cur.extend(unit);
+        }
+        if !cur.is_empty() {
+            flushes.push(cur);
+        }
+        for mut chunk in flushes {
+            chunk.sort_unstable(); // preserve original op order
+            out.push(chunk.into_iter().map(|i| lin.ops[i].clone()).collect());
+        }
+    }
+    StagedKernel { stages: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten;
+    use ncl_ir::lower::{lower, LoweringConfig};
+    use ncl_lang::frontend;
+
+    fn linear(src: &str, kernel: &str, mask: &[u16]) -> (LinearKernel, ncl_ir::ir::Module) {
+        let checked = frontend(src, "t.ncl").expect("frontend");
+        let mut m = lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec()))
+            .expect("lower");
+        ncl_ir::passes::optimize(&mut m);
+        crate::lanes::split_lanes(&mut m);
+        let lin = flatten(m.kernel(kernel).unwrap(), None).expect("flatten");
+        (lin, m)
+    }
+
+    fn budget() -> AllocBudget {
+        AllocBudget {
+            ops_per_stage: 64,
+            tables_per_stage: 8,
+            gateway_depth: GATEWAY_DEPTH,
+        }
+    }
+
+    /// Stage of the op satisfying `f`, if unique.
+    fn stage_of(staged: &StagedKernel, f: impl Fn(&PredInst) -> bool) -> Option<usize> {
+        let mut found = None;
+        for (s, ops) in staged.stages.iter().enumerate() {
+            for op in ops {
+                if f(op) {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(s);
+                }
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn raw_deps_separate_stages() {
+        let (lin, _) = linear(
+            "_net_ _out_ void k(int *d) { int a = d[0] + 1; d[1] = a * 2; }",
+            "k",
+            &[2],
+        );
+        let staged = allocate(&lin, &budget()).unwrap();
+        let ld = stage_of(&staged, |p| matches!(p.inst, Inst::LdWin { .. })).unwrap();
+        let st = stage_of(&staged, |p| matches!(p.inst, Inst::StWin { .. })).unwrap();
+        assert!(st > ld, "store stage {st} must follow load stage {ld}");
+    }
+
+    #[test]
+    fn independent_ops_share_a_stage() {
+        let (lin, _) = linear(
+            "_net_ _out_ void k(int *d) { d[0] = 1; d[1] = 2; d[2] = 3; }",
+            "k",
+            &[3],
+        );
+        let staged = allocate(&lin, &budget()).unwrap();
+        assert_eq!(staged.stages.len(), 1, "{staged:?}");
+    }
+
+    #[test]
+    fn bank_rmw_fuses_in_one_stage() {
+        let (lin, m) = linear(
+            r#"
+_net_ _at_("s1") unsigned count[4];
+_net_ _out_ void k(int *d) { count[window.seq] += 1; }
+"#,
+            "k",
+            &[1],
+        );
+        assert_eq!(m.registers.len(), 1);
+        let staged = allocate(&lin, &budget()).unwrap();
+        let ld = stage_of(&staged, |p| matches!(p.inst, Inst::LdReg { .. })).unwrap();
+        let st = stage_of(&staged, |p| matches!(p.inst, Inst::StReg { .. })).unwrap();
+        assert_eq!(ld, st, "RMW must fuse into one stage");
+    }
+
+    #[test]
+    fn conditional_reset_fuses_like_a_register_action() {
+        // The Fig. 4 pattern: increment, compare, conditional reset —
+        // one stateful action on one bank, so one stage.
+        let (lin, _) = linear(
+            r#"
+_net_ _at_("s1") unsigned count[4];
+_net_ _ctrl_ _at_("s1") unsigned n;
+_net_ _out_ void k(int *d) {
+    if (++count[window.seq] == n) { count[window.seq] = 0; _bcast(); }
+    else { _drop(); }
+}
+"#,
+            "k",
+            &[1],
+        );
+        let staged = allocate(&lin, &budget()).unwrap();
+        let mut reg_stages: Vec<usize> = staged
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, ops)| {
+                ops.iter()
+                    .any(|p| matches!(p.inst, Inst::LdReg { .. } | Inst::StReg { .. }))
+            })
+            .map(|(s, _)| s)
+            .collect();
+        reg_stages.dedup();
+        assert_eq!(reg_stages.len(), 1, "{staged:#?}");
+    }
+
+    #[test]
+    fn lanes_parallelize_aggregation() {
+        let (lin, m) = linear(
+            r#"
+_net_ _at_("s1") int accum[16] = {0};
+_net_ _out_ void k(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    _drop();
+}
+"#,
+            "k",
+            &[4],
+        );
+        assert_eq!(m.registers.len(), 4, "lane split expected");
+        let staged = allocate(&lin, &budget()).unwrap();
+        let reg_stages: Vec<usize> = staged
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, ops)| ops.iter().any(|p| matches!(p.inst, Inst::StReg { .. })))
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(reg_stages.len(), 1, "{staged:?}");
+    }
+
+    #[test]
+    fn capacity_splits_preserve_order() {
+        let (lin, _) = linear(
+            "_net_ _out_ void k(int *d) {\n\
+               d[0] = 1; d[1] = 2; d[2] = 3; d[3] = 4; d[4] = 5; d[5] = 6;\n\
+             }",
+            "k",
+            &[6],
+        );
+        let tight = AllocBudget {
+            ops_per_stage: 2,
+            tables_per_stage: 8,
+            gateway_depth: GATEWAY_DEPTH,
+        };
+        let staged = allocate(&lin, &tight).unwrap();
+        assert!(staged.stages.len() >= 3, "{staged:?}");
+        for s in &staged.stages {
+            assert!(s.len() <= 2);
+        }
+        let mut indices = Vec::new();
+        for s in &staged.stages {
+            for op in s {
+                if let Inst::StWin { index, .. } = &op.inst {
+                    indices.push(index.as_const().unwrap().bits());
+                }
+            }
+        }
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn map_lookup_key_before_value_use() {
+        let (lin, _) = linear(
+            r#"
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 4> Idx;
+_net_ _at_("s1") bool Valid[4];
+_net_ _out_ void k(uint64_t key) {
+    if (auto *i = Idx[key]) { Valid[*i] = true; }
+}
+"#,
+            "k",
+            &[1],
+        );
+        let staged = allocate(&lin, &budget()).unwrap();
+        let lookup = stage_of(&staged, |p| matches!(p.inst, Inst::MapGet { .. })).unwrap();
+        let key_load = stage_of(&staged, |p| matches!(p.inst, Inst::LdWin { .. })).unwrap();
+        let valid_write =
+            stage_of(&staged, |p| matches!(p.inst, Inst::StReg { .. })).unwrap();
+        assert!(key_load < lookup);
+        assert!(lookup < valid_write);
+    }
+
+    #[test]
+    fn fig4_fits_default_budget() {
+        let (lin, _) = linear(
+            r#"
+_net_ _at_("s1") int accum[64] = {0};
+_net_ _at_("s1") unsigned count[8] = {0};
+_net_ _ctrl_ _at_("s1") unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+"#,
+            "allreduce",
+            &[8],
+        );
+        let staged = allocate(&lin, &budget()).unwrap();
+        assert!(
+            staged.stages.len() <= 12,
+            "{} stages: {staged:#?}",
+            staged.stages.len()
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Window ↔ packet conversion and multi-packet reassembly.
+//!
+//! In the prototype scope of the paper (§6), a window fits one packet —
+//! [`encode_window`]/[`decode_window`] handle that case losslessly. For
+//! windows larger than the MTU, [`fragment_window`] splits the payload
+//! across several packets (each a self-describing NCP packet whose chunk
+//! descriptors carry true array offsets) and hosts reassemble with a
+//! [`Reassembler`]. Switches skip fragmented windows — storing multiple
+//! packets "may not yet be practical due to limited switch memory"
+//! (paper §6) — and simply forward them.
+
+use crate::wire::{NcpPacket, NcpRepr, WireError, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST, FLAG_MORE_FRAGS};
+use c3::{Chunk, HostId, KernelId, NodeId, Window};
+use std::collections::HashMap;
+
+/// Encodes a single-packet window. `ext_total` pads/truncates the ext
+/// block to the program's declared window-extension size so the switch
+/// parser sees a fixed layout.
+pub fn encode_window(w: &Window, ext_total: usize) -> Vec<u8> {
+    let mut ext = w.ext.clone();
+    ext.resize(ext_total, 0);
+    let repr = NcpRepr {
+        flags: if w.last { FLAG_LAST } else { 0 },
+        kernel: w.kernel.0,
+        seq: w.seq,
+        sender: w.sender.0,
+        from: w.from.to_wire(),
+        chunks: w
+            .chunks
+            .iter()
+            .map(|c| (c.offset, c.data.len() as u16))
+            .collect(),
+        ext,
+    };
+    let mut buf = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut buf);
+    let mut off = repr.payload_offset();
+    for c in &w.chunks {
+        buf[off..off + c.data.len()].copy_from_slice(&c.data);
+        off += c.data.len();
+    }
+    buf
+}
+
+/// Decodes a packet into a window.
+pub fn decode_window(bytes: &[u8]) -> Result<Window, WireError> {
+    let p = NcpPacket::new_checked(bytes)?;
+    let chunks = (0..p.nchunks() as usize)
+        .map(|i| Chunk {
+            offset: p.chunk_desc(i).0,
+            data: p.chunk_data(i).to_vec(),
+        })
+        .collect();
+    Ok(Window {
+        kernel: KernelId(p.kernel()),
+        seq: p.seq(),
+        sender: HostId(p.sender()),
+        from: NodeId::from_wire(p.from()),
+        last: p.flags() & FLAG_LAST != 0,
+        chunks,
+        ext: p.ext().to_vec(),
+    })
+}
+
+/// Splits a window into packets no larger than `mtu`. Single-fragment
+/// windows get one packet identical to [`encode_window`]'s output.
+///
+/// Each fragment carries a subset of each chunk's bytes with corrected
+/// array offsets. Every fragment sets [`FLAG_FRAGMENT`]; the first also
+/// sets [`FLAG_FIRST_FRAG`] and all but the final set
+/// [`FLAG_MORE_FRAGS`] — so reassembly is order- and loss-tolerant.
+///
+/// # Panics
+/// Panics if `mtu` is too small to carry even one element of payload
+/// next to the header.
+pub fn fragment_window(w: &Window, ext_total: usize, mtu: usize) -> Vec<Vec<u8>> {
+    let single = encode_window(w, ext_total);
+    if single.len() <= mtu {
+        return vec![single];
+    }
+    let overhead =
+        crate::wire::HEADER_LEN + w.chunks.len() * crate::wire::CHUNK_DESC_LEN + ext_total;
+    assert!(
+        mtu > overhead,
+        "mtu {mtu} cannot fit the NCP header overhead {overhead}"
+    );
+    let budget = mtu - overhead;
+    let mut fragments = Vec::new();
+    let mut cursors: Vec<usize> = vec![0; w.chunks.len()];
+    let mut first = true;
+    loop {
+        let mut frag_chunks: Vec<Chunk> = Vec::new();
+        let mut used = 0usize;
+        let mut any = false;
+        for (i, c) in w.chunks.iter().enumerate() {
+            let rest = c.data.len() - cursors[i];
+            let take = rest.min(budget.saturating_sub(used));
+            frag_chunks.push(Chunk {
+                offset: c.offset + cursors[i] as u32,
+                data: c.data[cursors[i]..cursors[i] + take].to_vec(),
+            });
+            cursors[i] += take;
+            used += take;
+            if take > 0 {
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        let done = cursors
+            .iter()
+            .zip(&w.chunks)
+            .all(|(&cur, c)| cur == c.data.len());
+        let fw = Window {
+            kernel: w.kernel,
+            seq: w.seq,
+            sender: w.sender,
+            from: w.from,
+            last: w.last && done,
+            chunks: frag_chunks,
+            ext: w.ext.clone(),
+        };
+        let mut bytes = encode_window(&fw, ext_total);
+        let mut flags = if fw.last { FLAG_LAST } else { 0 } | FLAG_FRAGMENT;
+        if first {
+            flags |= FLAG_FIRST_FRAG;
+        }
+        if !done {
+            flags |= FLAG_MORE_FRAGS;
+        }
+        NcpPacket::new_unchecked(&mut bytes[..]).set_flags(flags);
+        fragments.push(bytes);
+        first = false;
+        if done {
+            break;
+        }
+    }
+    fragments
+}
+
+/// Key identifying a window under reassembly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct FragKey {
+    sender: u16,
+    kernel: u16,
+    seq: u32,
+}
+
+/// Host-side reassembly of (possibly fragmented) windows.
+///
+/// Feed every received packet to [`Reassembler::push`]; complete windows
+/// pop out. Fragments may arrive in any order and duplicates are
+/// tolerated; a window completes once the first fragment (chunk start
+/// offsets), the final fragment (chunk end offsets), and a gap-free byte
+/// coverage in between have all been seen.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<FragKey, Partial>,
+}
+
+#[derive(Debug)]
+struct Partial {
+    meta: Window,
+    /// Per chunk: disjoint received pieces `(offset, data)`.
+    pieces: Vec<Vec<(u32, Vec<u8>)>>,
+    /// Per chunk: start offset (from the FIRST fragment).
+    starts: Vec<Option<u32>>,
+    /// Per chunk: end offset (from the final fragment).
+    ends: Vec<Option<u32>>,
+}
+
+impl Partial {
+    fn complete(&self) -> bool {
+        for c in 0..self.pieces.len() {
+            let (Some(start), Some(end)) = (self.starts[c], self.ends[c]) else {
+                return false;
+            };
+            let received: usize = self.pieces[c].iter().map(|(_, d)| d.len()).sum();
+            if received != (end - start) as usize {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assemble(mut self) -> Window {
+        let mut chunks = Vec::with_capacity(self.pieces.len());
+        for (c, mut pieces) in self.pieces.drain(..).enumerate() {
+            let start = self.starts[c].expect("complete");
+            let end = self.ends[c].expect("complete");
+            let mut data = vec![0u8; (end - start) as usize];
+            pieces.sort_by_key(|(o, _)| *o);
+            for (off, piece) in pieces {
+                let rel = (off - start) as usize;
+                data[rel..rel + piece.len()].copy_from_slice(&piece);
+            }
+            chunks.push(Chunk {
+                offset: start,
+                data,
+            });
+        }
+        Window {
+            chunks,
+            ..self.meta
+        }
+    }
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one packet. Returns a completed window if this packet
+    /// finished one (or was an unfragmented window).
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Option<Window>, WireError> {
+        let p = NcpPacket::new_checked(bytes)?;
+        let flags = p.flags();
+        let w = decode_window(bytes)?;
+        if flags & FLAG_FRAGMENT == 0 {
+            // Unfragmented window: fast path.
+            return Ok(Some(w));
+        }
+        let key = FragKey {
+            sender: w.sender.0,
+            kernel: w.kernel.0,
+            seq: w.seq,
+        };
+        let nchunks = w.chunks.len();
+        let entry = self.partial.entry(key).or_insert_with(|| Partial {
+            meta: Window {
+                kernel: w.kernel,
+                seq: w.seq,
+                sender: w.sender,
+                from: w.from,
+                last: false,
+                chunks: vec![],
+                ext: w.ext.clone(),
+            },
+            pieces: vec![Vec::new(); nchunks],
+            starts: vec![None; nchunks],
+            ends: vec![None; nchunks],
+        });
+        let first = flags & FLAG_FIRST_FRAG != 0;
+        let final_frag = flags & FLAG_MORE_FRAGS == 0;
+        if final_frag {
+            entry.meta.last = flags & FLAG_LAST != 0;
+        }
+        for (c, chunk) in w.chunks.iter().enumerate() {
+            if c >= entry.pieces.len() {
+                break;
+            }
+            if first {
+                entry.starts[c] = Some(chunk.offset);
+            }
+            if final_frag {
+                entry.ends[c] = Some(chunk.offset + chunk.data.len() as u32);
+            }
+            if !chunk.data.is_empty()
+                && !entry.pieces[c].iter().any(|(o, _)| *o == chunk.offset)
+            {
+                entry.pieces[c].push((chunk.offset, chunk.data.clone()));
+            }
+        }
+        if entry.complete() {
+            let done = self.partial.remove(&key).expect("entry exists");
+            return Ok(Some(done.assemble()));
+        }
+        Ok(None)
+    }
+
+    /// Number of windows currently mid-reassembly.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Drops all partial windows (loss-handling policy is the caller's).
+    pub fn clear(&mut self) {
+        self.partial.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3::ScalarType;
+
+    fn window(vals: &[u32], seq: u32, last: bool) -> Window {
+        Window {
+            kernel: KernelId(2),
+            seq,
+            sender: HostId(1),
+            from: NodeId::Host(HostId(1)),
+            last,
+            chunks: vec![Chunk {
+                offset: seq * vals.len() as u32 * 4,
+                data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+            }],
+            ext: vec![0xEE, 0xFF],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let w = window(&[1, 2, 3, 4], 5, true);
+        let bytes = encode_window(&w, 2);
+        let back = decode_window(&bytes).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn ext_padded_to_program_size() {
+        let mut w = window(&[1], 0, false);
+        w.ext = vec![0xAB];
+        let bytes = encode_window(&w, 4);
+        let back = decode_window(&bytes).unwrap();
+        assert_eq!(back.ext, vec![0xAB, 0, 0, 0]);
+    }
+
+    #[test]
+    fn single_packet_fragmentation_is_identity() {
+        let w = window(&[1, 2], 0, true);
+        let frags = fragment_window(&w, 2, 1500);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(decode_window(&frags[0]).unwrap(), w);
+    }
+
+    #[test]
+    fn fragmentation_splits_and_reassembles() {
+        // 64 elements = 256 payload bytes; tiny MTU forces fragments.
+        let vals: Vec<u32> = (0..64).collect();
+        let w = window(&vals, 3, true);
+        let frags = fragment_window(&w, 2, 96);
+        assert!(frags.len() > 1, "expected multiple fragments");
+        // All but last carry MORE_FRAGS.
+        for (i, f) in frags.iter().enumerate() {
+            let p = NcpPacket::new_checked(&f[..]).unwrap();
+            let more = p.flags() & FLAG_MORE_FRAGS != 0;
+            assert_eq!(more, i + 1 < frags.len(), "fragment {i}");
+            assert!(f.len() <= 96, "fragment {i} exceeds mtu: {}", f.len());
+        }
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in &frags {
+            out = r.push(f).unwrap();
+        }
+        let got = out.expect("window completes on the final fragment");
+        assert_eq!(got.chunks[0].data, w.chunks[0].data);
+        assert_eq!(got.chunks[0].offset, w.chunks[0].offset);
+        assert!(got.last);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_fragments() {
+        let vals: Vec<u32> = (0..32).collect();
+        let w = window(&vals, 0, false);
+        let mut frags = fragment_window(&w, 2, 80);
+        assert!(frags.len() >= 3);
+        frags.swap(0, 1);
+        let mut r = Reassembler::new();
+        let mut got = None;
+        for f in &frags {
+            got = r.push(f).unwrap();
+        }
+        let got = got.expect("complete");
+        assert_eq!(got.chunks[0].data, w.chunks[0].data);
+    }
+
+    #[test]
+    fn interleaved_windows_reassemble_independently() {
+        let w0 = window(&(0..32).collect::<Vec<_>>(), 0, false);
+        let w1 = window(&(100..132).collect::<Vec<_>>(), 1, true);
+        let f0 = fragment_window(&w0, 2, 80);
+        let f1 = fragment_window(&w1, 2, 80);
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        for (a, b) in f0.iter().zip(&f1) {
+            if let Some(w) = r.push(a).unwrap() {
+                done.push(w);
+            }
+            if let Some(w) = r.push(b).unwrap() {
+                done.push(w);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        let seqs: Vec<u32> = done.iter().map(|w| w.seq).collect();
+        assert!(seqs.contains(&0) && seqs.contains(&1));
+    }
+
+    #[test]
+    fn unfragmented_fast_path() {
+        let w = window(&[9, 9], 7, true);
+        let mut r = Reassembler::new();
+        let got = r.push(&encode_window(&w, 2)).unwrap().unwrap();
+        assert_eq!(got, w);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembler_rejects_garbage() {
+        let mut r = Reassembler::new();
+        assert!(r.push(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn multi_chunk_window_roundtrip() {
+        let w = Window {
+            kernel: KernelId(1),
+            seq: 0,
+            sender: HostId(2),
+            from: NodeId::Switch(c3::SwitchId(1)),
+            last: true,
+            chunks: vec![
+                Chunk {
+                    offset: 0,
+                    data: 77u64.to_be_bytes().to_vec(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: vec![1; 16],
+                },
+                Chunk {
+                    offset: 0,
+                    data: vec![0], // bool chunk
+                },
+            ],
+            ext: vec![],
+        };
+        let back = decode_window(&encode_window(&w, 0)).unwrap();
+        assert_eq!(back, w);
+        assert_eq!(back.chunks[0].get(ScalarType::U64, 0).bits(), 77);
+    }
+}

@@ -1,0 +1,112 @@
+//! An in-memory loopback backend: per-node packet queues with optional
+//! loss and reordering injection. Used by unit tests and the failure-
+//! injection integration tests; the discrete-event simulator in
+//! `netsim` supersedes it for timed experiments.
+
+use c3::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// A packet in flight on the memory bus.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemPacket {
+    /// Sending node.
+    pub from: NodeId,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+/// A zero-latency in-memory packet bus between named nodes.
+#[derive(Debug, Default)]
+pub struct MemBus {
+    queues: HashMap<NodeId, VecDeque<MemPacket>>,
+    /// Drop every `n`-th packet when set (1-based counting).
+    pub drop_every: Option<u64>,
+    sent: u64,
+    /// Packets dropped so far.
+    pub dropped: u64,
+}
+
+impl MemBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends `data` from `from` to `to`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, data: Vec<u8>) {
+        self.sent += 1;
+        if let Some(n) = self.drop_every {
+            if n > 0 && self.sent.is_multiple_of(n) {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.queues
+            .entry(to)
+            .or_default()
+            .push_back(MemPacket { from, data });
+    }
+
+    /// Receives the next packet queued for `node`.
+    pub fn recv(&mut self, node: NodeId) -> Option<MemPacket> {
+        self.queues.get_mut(&node)?.pop_front()
+    }
+
+    /// Packets waiting for `node`.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.queues.get(&node).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Reverses `node`'s queue (reordering injection).
+    pub fn scramble(&mut self, node: NodeId) {
+        if let Some(q) = self.queues.get_mut(&node) {
+            let mut v: Vec<_> = q.drain(..).collect();
+            v.reverse();
+            q.extend(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3::HostId;
+
+    fn h(n: u16) -> NodeId {
+        NodeId::Host(HostId(n))
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut bus = MemBus::new();
+        bus.send(h(1), h(2), vec![1]);
+        bus.send(h(1), h(2), vec![2]);
+        assert_eq!(bus.pending(h(2)), 2);
+        assert_eq!(bus.recv(h(2)).unwrap().data, vec![1]);
+        assert_eq!(bus.recv(h(2)).unwrap().data, vec![2]);
+        assert!(bus.recv(h(2)).is_none());
+    }
+
+    #[test]
+    fn loss_injection() {
+        let mut bus = MemBus::new();
+        bus.drop_every = Some(2);
+        for i in 0..10u8 {
+            bus.send(h(1), h(2), vec![i]);
+        }
+        assert_eq!(bus.dropped, 5);
+        assert_eq!(bus.pending(h(2)), 5);
+    }
+
+    #[test]
+    fn scramble_reorders() {
+        let mut bus = MemBus::new();
+        for i in 0..3u8 {
+            bus.send(h(1), h(2), vec![i]);
+        }
+        bus.scramble(h(2));
+        assert_eq!(bus.recv(h(2)).unwrap().data, vec![2]);
+        assert_eq!(bus.recv(h(2)).unwrap().data, vec![1]);
+        assert_eq!(bus.recv(h(2)).unwrap().data, vec![0]);
+    }
+}

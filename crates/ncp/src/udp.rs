@@ -1,0 +1,173 @@
+//! The Sockets/UDP backend (the paper's first prototype target, §6).
+//!
+//! [`UdpEndpoint`] wraps a `std::net::UdpSocket` with NCP window
+//! send/receive: windows are encoded with [`crate::codec`], fragmented
+//! to the MTU, and reassembled on receipt. The endpoint is synchronous
+//! with a configurable read timeout — NCP imposes no async runtime on
+//! its hosts, and the examples drive one endpoint per thread.
+
+use crate::codec::{fragment_window, Reassembler};
+use c3::Window;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+/// The NCP well-known UDP port (also baked into the generated P4
+/// parser's `parse_udp` state).
+pub const NCP_UDP_PORT: u16 = 9047;
+
+/// A synchronous NCP-over-UDP endpoint.
+#[derive(Debug)]
+pub struct UdpEndpoint {
+    socket: UdpSocket,
+    reassembler: Reassembler,
+    /// Maximum UDP payload per packet.
+    pub mtu: usize,
+    /// Ext-block size of the deployed program (fixed parser layout).
+    pub ext_total: usize,
+    buf: Vec<u8>,
+}
+
+impl UdpEndpoint {
+    /// Binds to `addr` with a default 100 ms read timeout.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        Ok(UdpEndpoint {
+            socket,
+            reassembler: Reassembler::new(),
+            mtu: 1472, // Ethernet MTU minus IP/UDP headers
+            ext_total: 0,
+            buf: vec![0u8; 65536],
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Adjusts the read timeout.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.socket.set_read_timeout(timeout)
+    }
+
+    /// Sends a window to `dst`, fragmenting to the MTU if necessary.
+    /// Returns the number of packets sent.
+    pub fn send_window(&self, dst: SocketAddr, w: &Window) -> io::Result<usize> {
+        let frags = fragment_window(w, self.ext_total, self.mtu);
+        for f in &frags {
+            self.socket.send_to(f, dst)?;
+        }
+        Ok(frags.len())
+    }
+
+    /// Sends raw packet bytes (used by the software switch to forward).
+    pub fn send_raw(&self, dst: SocketAddr, bytes: &[u8]) -> io::Result<()> {
+        self.socket.send_to(bytes, dst).map(|_| ())
+    }
+
+    /// Receives the next complete window (reassembling fragments).
+    /// `Ok(None)` on timeout; malformed packets are skipped.
+    pub fn recv_window(&mut self) -> io::Result<Option<(Window, SocketAddr)>> {
+        loop {
+            let (n, src) = match self.socket.recv_from(&mut self.buf) {
+                Ok(r) => r,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            };
+            match self.reassembler.push(&self.buf[..n]) {
+                Ok(Some(w)) => return Ok(Some((w, src))),
+                Ok(None) => continue, // mid-reassembly
+                Err(_) => continue,   // not NCP; ignore
+            }
+        }
+    }
+
+    /// Receives raw packet bytes (software-switch data path).
+    pub fn recv_raw(&mut self) -> io::Result<Option<(Vec<u8>, SocketAddr)>> {
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((n, src)) => Ok(Some((self.buf[..n].to_vec(), src))),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3::{Chunk, HostId, KernelId, NodeId};
+
+    fn loopback_pair() -> (UdpEndpoint, UdpEndpoint) {
+        let a = UdpEndpoint::bind("127.0.0.1:0").unwrap();
+        let b = UdpEndpoint::bind("127.0.0.1:0").unwrap();
+        (a, b)
+    }
+
+    fn window(vals: &[u32]) -> Window {
+        Window {
+            kernel: KernelId(1),
+            seq: 0,
+            sender: HostId(1),
+            from: NodeId::Host(HostId(1)),
+            last: true,
+            chunks: vec![Chunk {
+                offset: 0,
+                data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+            }],
+            ext: vec![],
+        }
+    }
+
+    #[test]
+    fn loopback_window_roundtrip() {
+        let (a, mut b) = loopback_pair();
+        let w = window(&[1, 2, 3, 4]);
+        let sent = a.send_window(b.local_addr().unwrap(), &w).unwrap();
+        assert_eq!(sent, 1);
+        let (got, src) = b.recv_window().unwrap().expect("window arrives");
+        assert_eq!(got, w);
+        assert_eq!(src, a.local_addr().unwrap());
+    }
+
+    #[test]
+    fn fragmented_window_over_loopback() {
+        let (mut a, mut b) = loopback_pair();
+        a.mtu = 64;
+        let vals: Vec<u32> = (0..64).collect();
+        let w = window(&vals);
+        let sent = a.send_window(b.local_addr().unwrap(), &w).unwrap();
+        assert!(sent > 1, "expected fragmentation, sent {sent}");
+        let (got, _) = b.recv_window().unwrap().expect("reassembled");
+        assert_eq!(got.chunks[0].data, w.chunks[0].data);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (_, mut b) = loopback_pair();
+        b.set_timeout(Some(Duration::from_millis(10))).unwrap();
+        assert!(b.recv_window().unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_packets_skipped() {
+        let (a, mut b) = loopback_pair();
+        b.set_timeout(Some(Duration::from_millis(50))).unwrap();
+        a.send_raw(b.local_addr().unwrap(), &[1, 2, 3]).unwrap();
+        let w = window(&[7]);
+        a.send_window(b.local_addr().unwrap(), &w).unwrap();
+        let (got, _) = b.recv_window().unwrap().expect("real window after noise");
+        assert_eq!(got, w);
+    }
+}

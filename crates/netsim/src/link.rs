@@ -1,0 +1,191 @@
+//! Store-and-forward links.
+//!
+//! A link direction is a FIFO transmitter: a packet of `n` bytes starts
+//! serializing when the transmitter frees up, takes `n·8/bandwidth`
+//! to put on the wire, and arrives `latency` later. Deterministic loss
+//! (`drop_every`) and probabilistic loss (seeded xorshift) support the
+//! failure-injection tests.
+
+use crate::event::{Time, SECONDS};
+
+/// Static link parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkSpec {
+    /// Bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub latency: Time,
+    /// Drop every n-th packet (deterministic loss; 0 = never).
+    pub drop_every: u64,
+    /// Probabilistic loss in [0, 1] (applied with a per-link seeded
+    /// PRNG; 0.0 = never).
+    pub loss: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000, // 10 Gb/s
+            latency: 1_000,                // 1 µs
+            drop_every: 0,
+            loss: 0.0,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// A datacenter-ish 100 Gb/s / 1 µs link.
+    pub fn dc_100g() -> Self {
+        LinkSpec {
+            bandwidth_bps: 100_000_000_000,
+            latency: 1_000,
+            ..Default::default()
+        }
+    }
+
+    /// Serialization time for `bytes`.
+    pub fn ser_time(&self, bytes: usize) -> Time {
+        (bytes as u128 * 8 * SECONDS as u128 / self.bandwidth_bps as u128) as Time
+    }
+}
+
+/// One direction of a link at runtime.
+#[derive(Clone, Debug)]
+pub struct LinkDir {
+    /// Parameters.
+    pub spec: LinkSpec,
+    /// When the transmitter is next free.
+    pub free_at: Time,
+    /// Packets sent.
+    pub packets: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Packets dropped by loss injection.
+    pub dropped: u64,
+    rng: u64,
+}
+
+impl LinkDir {
+    /// Creates a direction with a seed for probabilistic loss.
+    pub fn new(spec: LinkSpec, seed: u64) -> Self {
+        LinkDir {
+            spec,
+            free_at: 0,
+            packets: 0,
+            bytes: 0,
+            dropped: 0,
+            rng: seed | 1,
+        }
+    }
+
+    fn next_rand(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Attempts to transmit `bytes` at time `now`. Returns the arrival
+    /// time at the far end, or `None` when loss injection eats the
+    /// packet (which still counts the serialization — the bits were
+    /// sent).
+    pub fn transmit(&mut self, now: Time, nbytes: usize) -> Option<Time> {
+        let start = now.max(self.free_at);
+        let ser = self.spec.ser_time(nbytes);
+        self.free_at = start + ser;
+        self.packets += 1;
+        self.bytes += nbytes as u64;
+        if self.spec.drop_every > 0 && self.packets.is_multiple_of(self.spec.drop_every) {
+            self.dropped += 1;
+            return None;
+        }
+        if self.spec.loss > 0.0 && self.next_rand() < self.spec.loss {
+            self.dropped += 1;
+            return None;
+        }
+        Some(start + ser + self.spec.latency)
+    }
+
+    /// Queueing delay a packet sent at `now` would currently see.
+    pub fn backlog(&self, now: Time) -> Time {
+        self.free_at.saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time() {
+        let spec = LinkSpec {
+            bandwidth_bps: 1_000_000_000, // 1 Gb/s
+            latency: 500,
+            ..Default::default()
+        };
+        // 1250 bytes = 10_000 bits @1Gb/s = 10 µs.
+        assert_eq!(spec.ser_time(1250), 10_000);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let spec = LinkSpec {
+            bandwidth_bps: 1_000_000_000,
+            latency: 0,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        let a1 = dir.transmit(0, 1250).unwrap();
+        let a2 = dir.transmit(0, 1250).unwrap();
+        assert_eq!(a1, 10_000);
+        assert_eq!(a2, 20_000, "second packet queues behind the first");
+        assert_eq!(dir.backlog(0), 20_000);
+        // After the queue drains, no backlog.
+        let a3 = dir.transmit(50_000, 1250).unwrap();
+        assert_eq!(a3, 60_000);
+    }
+
+    #[test]
+    fn latency_added_after_serialization() {
+        let spec = LinkSpec {
+            bandwidth_bps: 1_000_000_000,
+            latency: 7_000,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        assert_eq!(dir.transmit(0, 1250), Some(17_000));
+    }
+
+    #[test]
+    fn deterministic_loss() {
+        let spec = LinkSpec {
+            drop_every: 3,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        let outcomes: Vec<bool> = (0..9).map(|_| dir.transmit(0, 100).is_some()).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(dir.dropped, 3);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_seeded() {
+        let spec = LinkSpec {
+            loss: 0.5,
+            ..Default::default()
+        };
+        let run = |seed: u64| -> Vec<bool> {
+            let mut dir = LinkDir::new(spec, seed);
+            (0..32).map(|_| dir.transmit(0, 100).is_some()).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same trace");
+        let drops = run(42).iter().filter(|ok| !**ok).count();
+        assert!(drops > 4 && drops < 28, "loss roughly half, got {drops}/32");
+    }
+}

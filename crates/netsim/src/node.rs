@@ -1,0 +1,134 @@
+//! Node types: the host-application trait and the switch configuration.
+
+use crate::event::Time;
+use crate::sim::Packet;
+use c3::{HostId, NodeId, SwitchId, Value};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// An out-of-band control-plane operation a host can request against a
+/// switch pipeline (the paper's "transparent control-plane interaction",
+/// §3.2 — e.g. `ncl::ctrl_wr` or NetCache-style map management).
+#[derive(Clone, Debug)]
+pub enum CtrlOp {
+    /// Install a table entry.
+    TableInsert {
+        /// Target table.
+        table: String,
+        /// The entry.
+        entry: pisa::Entry,
+    },
+    /// Remove entries matching the patterns.
+    TableRemove {
+        /// Target table.
+        table: String,
+        /// Patterns to remove.
+        patterns: Vec<pisa::MatchPattern>,
+    },
+    /// Write a register element (control variables).
+    RegWrite {
+        /// Register name.
+        name: String,
+        /// Element index.
+        index: usize,
+        /// New value.
+        value: Value,
+    },
+}
+
+/// Context handed to host applications: send packets, arm timers, read
+/// the clock. Sends are routed by the simulator's shortest-path tables.
+pub struct HostCtx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// This host's id.
+    pub host: HostId,
+    pub(crate) out: &'a mut Vec<Packet>,
+    pub(crate) timers: &'a mut Vec<(Time, u64)>,
+    pub(crate) ctrl: &'a mut Vec<(SwitchId, CtrlOp)>,
+}
+
+impl HostCtx<'_> {
+    /// Sends `payload` towards `dst`.
+    pub fn send(&mut self, dst: NodeId, payload: Vec<u8>) {
+        self.out.push(Packet {
+            src: NodeId::Host(self.host),
+            dst,
+            payload,
+        });
+    }
+
+    /// Arms a timer to fire `delay` from now with the given token.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// Requests an out-of-band control-plane operation against a switch.
+    /// Applied after the control-plane RTT configured on the network
+    /// (out-of-band: it does not consume data-plane bandwidth).
+    pub fn ctrl(&mut self, switch: SwitchId, op: CtrlOp) {
+        self.ctrl.push((switch, op));
+    }
+}
+
+/// A host application driving one simulated host.
+///
+/// Implementations live in `ncl-core` (the libncrt worker/server apps)
+/// and in the examples; the simulator only calls these hooks.
+pub trait HostApp {
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut HostCtx) {}
+    /// Called for every packet delivered to this host.
+    fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet);
+    /// Called when a timer armed with [`HostCtx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut HostCtx, _token: u64) {}
+    /// Downcast support (inspect application state after a run).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Configuration of a simulated switch.
+pub struct SwitchCfg {
+    /// The loaded PISA pipeline; `None` makes a plain forwarder (the
+    /// baseline switches of E1/E2).
+    pub pipeline: Option<pisa::Pipeline>,
+    /// `_pass(label)` target resolution: label id → node.
+    pub labels: HashMap<u16, NodeId>,
+    /// `_bcast()` targets — the overlay neighbours one hop away from
+    /// this location in the AND (paper §4.1).
+    pub bcast: Vec<NodeId>,
+    /// Latency of one pipeline pass.
+    pub pipeline_latency: Time,
+    /// Latency of plain (non-NCP) forwarding.
+    pub fwd_latency: Time,
+}
+
+impl Default for SwitchCfg {
+    fn default() -> Self {
+        SwitchCfg {
+            pipeline: None,
+            labels: HashMap::new(),
+            bcast: Vec::new(),
+            pipeline_latency: 600, // ~600 ns per pass, Tofino-ish
+            fwd_latency: 400,
+        }
+    }
+}
+
+/// Per-switch runtime counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SwitchStats {
+    /// Packets that executed a kernel.
+    pub ncp_processed: u64,
+    /// Packets plainly forwarded (not NCP / no pipeline).
+    pub forwarded: u64,
+    /// Windows dropped by `_drop()`.
+    pub kernel_drops: u64,
+    /// Windows reflected.
+    pub reflected: u64,
+    /// Windows broadcast (counted once per ingress window).
+    pub broadcast: u64,
+    /// Recirculation passes beyond the first.
+    pub recirculations: u64,
+}

@@ -1,0 +1,229 @@
+//! Failure injection: packet loss and reordering against the full
+//! system. NCP's prototype transport is unreliable (Sockets/UDP, paper
+//! §6), so the properties to check are *integrity* ones: lost windows
+//! may stall progress but never corrupt results.
+
+use ncl::core::apps::{allreduce_source, kvs_source, KvsClient, KvsOp, KvsServer};
+use ncl::core::control::ControlPlane;
+use ncl::core::deploy::deploy;
+use ncl::core::nclc::{compile, CompileConfig};
+use ncl::core::runtime::{NclHost, OutInvocation, TypedArray};
+use ncl::model::{HostId, NodeId, ScalarType, Value};
+use ncl::netsim::{HostApp, LinkSpec};
+use std::collections::HashMap;
+
+#[test]
+fn lost_contributions_stall_but_never_corrupt() {
+    // Drop every 5th packet on the links: some aggregation slots never
+    // fill, so their results are never broadcast — but every broadcast
+    // that *does* arrive carries a correct full sum.
+    let n = 4usize;
+    let data_len = 64usize;
+    let win = 8usize;
+    let src = allreduce_source(data_len, win);
+    let and = format!("hosts worker {n}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    let program = compile(&src, &and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=n as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = vec![w as i32; data_len];
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % n as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, data_len), (ScalarType::Bool, 1)],
+        )
+        .unwrap();
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let lossy = LinkSpec {
+        drop_every: 5,
+        ..LinkSpec::default()
+    };
+    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default())
+        .expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(n as u32),
+    );
+    dep.net.run();
+    assert!(dep.net.stats.link_drops > 0, "loss injection must fire");
+    // Integrity: every received slot element is either untouched (0) or
+    // the exact full sum 1+2+3+4 = 10.
+    let expected = (1..=n as i32).sum::<i32>();
+    let mut any_received = false;
+    for w in 1..=n as u16 {
+        let host = dep.net.host_app::<NclHost>(HostId(w)).unwrap();
+        let mem = host.memory(kid).unwrap();
+        for i in 0..data_len {
+            let v = mem.arrays[0][i].as_i128() as i32;
+            assert!(
+                v == 0 || v == expected,
+                "worker {w} element {i} has partial sum {v}"
+            );
+            any_received |= v == expected;
+        }
+    }
+    assert!(any_received, "some slots should still complete");
+}
+
+#[test]
+fn kvs_loss_reduces_throughput_not_integrity() {
+    let val_words = 4usize;
+    let server_id = 2u16;
+    let src = kvs_source(server_id, 8, val_words);
+    let and = "hosts client 1\nswitch s1\nhost server\nlink client* s1\nlink server s1\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks
+        .insert("query".into(), vec![1, val_words as u16, 1]);
+    let program = compile(&src, and, &cfg).expect("compiles");
+    let kernel = program.kernel_ids["query"];
+
+    let mut schedule = vec![KvsOp {
+        at: 0,
+        key: 4,
+        put: true,
+    }];
+    for i in 1..=30u64 {
+        schedule.push(KvsOp {
+            at: i * 1_000_000,
+            key: 4,
+            put: false,
+        });
+    }
+    let nops = schedule.len();
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    apps.insert(
+        "client1".into(),
+        Box::new(KvsClient::new(
+            NodeId::Host(HostId(server_id)),
+            HostId(server_id),
+            kernel,
+            val_words,
+            schedule,
+        )),
+    );
+    apps.insert(
+        "server".into(),
+        Box::new(KvsServer::new(
+            kernel,
+            val_words,
+            None,
+            Some(ControlPlane::new(program.switch("s1").unwrap())),
+            8,
+        )),
+    );
+    let lossy = LinkSpec {
+        drop_every: 7,
+        ..LinkSpec::default()
+    };
+    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default())
+        .expect("deploys");
+    let s1 = dep.switch("s1");
+    dep.net
+        .host_app_mut::<KvsServer>(HostId(server_id))
+        .unwrap()
+        .cache_switch = Some(s1);
+    dep.net.run();
+    let client = dep.net.host_app::<KvsClient>(HostId(1)).unwrap();
+    assert!(dep.net.stats.link_drops > 0);
+    assert!(
+        client.samples.len() < nops,
+        "some operations should be lost"
+    );
+    assert!(!client.samples.is_empty(), "some should complete");
+    assert_eq!(client.corrupt, 0, "no completed GET may be corrupt");
+}
+
+#[test]
+fn reordered_fragments_reassemble() {
+    // Multi-packet windows with adversarial fragment ordering (beyond
+    // the netsim FIFO model): push fragments in reverse and shuffled
+    // orders through the reassembler.
+    use ncl::model::{Chunk, KernelId, Window};
+    let vals: Vec<u32> = (0..256).collect();
+    let w = Window {
+        kernel: KernelId(1),
+        seq: 3,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: true,
+        chunks: vec![Chunk {
+            offset: 128,
+            data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }],
+        ext: vec![],
+    };
+    let frags = ncl::ncp::codec::fragment_window(&w, 0, 200);
+    assert!(frags.len() >= 4);
+    for perm in 0..4u64 {
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        // Simple deterministic shuffles.
+        match perm {
+            1 => order.reverse(),
+            2 => order.rotate_left(frags.len() / 2),
+            3 => {
+                order.reverse();
+                order.rotate_left(1);
+            }
+            _ => {}
+        }
+        let mut r = ncl::ncp::codec::Reassembler::new();
+        let mut got = None;
+        for &i in &order {
+            if let Some(win) = r.push(&frags[i]).unwrap() {
+                got = Some(win);
+            }
+        }
+        let got = got.unwrap_or_else(|| panic!("permutation {perm} failed to complete"));
+        assert_eq!(got.chunks[0].data, w.chunks[0].data, "permutation {perm}");
+        assert_eq!(got.chunks[0].offset, w.chunks[0].offset);
+    }
+}
+
+#[test]
+fn lost_fragment_keeps_window_pending() {
+    use ncl::model::{Chunk, KernelId, Window};
+    let vals: Vec<u32> = (0..64).collect();
+    let w = Window {
+        kernel: KernelId(1),
+        seq: 0,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: false,
+        chunks: vec![Chunk {
+            offset: 0,
+            data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }],
+        ext: vec![],
+    };
+    let frags = ncl::ncp::codec::fragment_window(&w, 0, 100);
+    assert!(frags.len() >= 3);
+    let mut r = ncl::ncp::codec::Reassembler::new();
+    // Drop the middle fragment.
+    for (i, f) in frags.iter().enumerate() {
+        if i == 1 {
+            continue;
+        }
+        assert!(r.push(f).unwrap().is_none(), "incomplete window completed");
+    }
+    assert_eq!(r.pending(), 1);
+    // The late fragment finally completes it.
+    let got = r.push(&frags[1]).unwrap().expect("completes");
+    assert_eq!(got.chunks[0].data, w.chunks[0].data);
+}

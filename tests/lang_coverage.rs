@@ -1,0 +1,152 @@
+//! Additional frontend coverage through the public API: `_hash` typing,
+//! diagnostics quality, and grammar corners the unit tests don't reach.
+
+use ncl_lang::frontend;
+
+fn ok(src: &str) {
+    frontend(src, "t.ncl")
+        .unwrap_or_else(|d| panic!("should compile: {}", ncl_lang::diag::render(&d)));
+}
+
+fn err_containing(src: &str, needle: &str) {
+    let diags = frontend(src, "t.ncl").expect_err("should be rejected");
+    assert!(
+        diags.iter().any(|d| d.message.contains(needle)),
+        "no diagnostic containing '{needle}' in: {}",
+        ncl_lang::diag::render(&diags)
+    );
+}
+
+#[test]
+fn hash_builtin_types() {
+    ok("_net_ _out_ void k(uint32_t *d) { d[0] = _hash(d[0], 7); }");
+    // Result is uint32_t; assigning into narrower places needs no cast
+    // (C truncation), wider is fine too.
+    ok("_net_ _out_ void k(uint64_t *d) { d[0] = _hash((uint32_t)d[0], 1); }");
+    err_containing(
+        "_net_ _out_ void k(uint32_t *d) { d[0] = _hash(d[0]); }",
+        "_hash() takes (value, salt)",
+    );
+    err_containing(
+        "_net_ _out_ void k(uint32_t *d) { d[0] = _hash(d, 1); }",
+        "_hash value must be a scalar",
+    );
+}
+
+#[test]
+fn chained_else_if_ladder() {
+    ok(r#"
+_net_ _out_ void k(int *d) {
+    if (d[0] > 10) { d[1] = 1; }
+    else if (d[0] > 5) { d[1] = 2; }
+    else if (d[0] > 0) { d[1] = 3; }
+    else { d[1] = 4; }
+}
+"#);
+}
+
+#[test]
+fn hex_binary_char_literals_in_kernels() {
+    ok(r#"
+_net_ _out_ void k(uint32_t *d) {
+    d[0] = (d[0] & 0xFF00FF00) | (d[1] & 0b1010);
+    d[2] = (uint32_t)'A';
+}
+"#);
+}
+
+#[test]
+fn deeply_nested_expression_parses() {
+    let mut e = String::from("d[0]");
+    for _ in 0..40 {
+        e = format!("({e} + 1)");
+    }
+    ok(&format!("_net_ _out_ void k(int *d) {{ d[0] = {e}; }}"));
+}
+
+#[test]
+fn shadowing_in_nested_blocks() {
+    ok(r#"
+_net_ _out_ void k(int *d) {
+    int x = 1;
+    { int y = x + 1; d[0] = y; }
+    { int y = x + 2; d[1] = y; }
+}
+"#);
+    err_containing(
+        "_net_ _out_ void k(int *d) { int x = 1; int x = 2; }",
+        "redeclaration",
+    );
+}
+
+#[test]
+fn sizeof_in_const_contexts() {
+    ok(r#"
+const unsigned WORDS = 32 / sizeof(uint32_t);
+_net_ _at_("s1") int a[WORDS];
+_net_ _out_ void k(int *d) { a[0] += d[0]; }
+"#);
+}
+
+#[test]
+fn comparison_chain_is_rejected_sanely() {
+    // `a < b < c` parses as `(a < b) < c` (bool < int) — C would allow
+    // it after promotion; we do too via promotion to int.
+    ok("_net_ _out_ void k(int *d) { if ((d[0] < d[1]) != (d[1] < d[2])) { _drop(); } }");
+}
+
+#[test]
+fn ext_specifier_position_enforced() {
+    err_containing(
+        "_net_ _out_ void a(int *d) { _drop(); }\n\
+         _net_ _in_ void r(_ext_ int *h, int *d) {}",
+        "extend the list at the end",
+    );
+}
+
+#[test]
+fn window_ext_shadowing_builtin_rejected() {
+    err_containing(
+        "_wnd_ struct W { uint32_t seq; };\n_net_ _out_ void k(int *d) {}",
+        "shadows a builtin",
+    );
+}
+
+#[test]
+fn diagnostics_carry_positions() {
+    let diags = frontend(
+        "_net_ _out_ void k(int *d) {\n    d[0] = unknown_name;\n}",
+        "pos.ncl",
+    )
+    .unwrap_err();
+    let d = &diags[0];
+    assert_eq!(d.span.line, 2);
+    assert!(d.to_string().starts_with("pos.ncl:2:"));
+}
+
+#[test]
+fn division_and_modulo_by_parameter() {
+    ok("_net_ _out_ void k(int *d) { d[0] = d[1] / d[2] + d[1] % d[2]; }");
+}
+
+#[test]
+fn empty_kernel_is_fine() {
+    ok("_net_ _out_ void noop(int *d) { }");
+}
+
+#[test]
+fn keywords_cannot_name_kernels() {
+    let diags = frontend("_net_ _out_ void for(int *d) {}", "t.ncl").unwrap_err();
+    assert!(!diags.is_empty());
+}
+
+#[test]
+fn unsigned_long_and_short_types() {
+    ok(r#"
+_net_ _out_ void k(int *d) {
+    unsigned long big = 5000000000ul;
+    short small = (short)d[0];
+    d[1] = (int)(big % 1000) + small;
+}
+"#);
+}

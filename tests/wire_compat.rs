@@ -1,0 +1,158 @@
+//! Cross-crate wire-format agreement: the `ncp` codec (what hosts send)
+//! and the parser `ncl-p4` generates (what switches parse) implement the
+//! same DESIGN.md §4.4 layout. A drift between them would silently turn
+//! every window into pass-through traffic.
+
+use ncl::core::nclc::{compile, CompileConfig};
+use ncl::model::{Chunk, HostId, KernelId, NodeId, ScalarType, Value, Window};
+use ncl::pisa::{Pipeline, ResourceModel};
+use proptest::prelude::*;
+
+const AND: &str = "host h1\nhost h2\nswitch s1\nlink h1 s1\nlink h2 s1\n";
+
+/// An identity kernel: the pipeline must deparse exactly what the codec
+/// encoded.
+fn identity_pipeline(mask: Vec<u16>) -> (Pipeline, u16, usize) {
+    let params = (0..mask.len())
+        .map(|i| format!("uint32_t *a{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let src = format!(
+        "_wnd_ struct W {{ uint16_t tag; uint32_t aux; }};\n\
+         _net_ _out_ void ident({params}) {{ }}\n"
+    );
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("ident".into(), mask);
+    let program = compile(&src, AND, &cfg).expect("compiles");
+    let kid = program.kernel_ids["ident"];
+    let ext = program.checked.window_ext.size();
+    let pipe = Pipeline::load(
+        program.switch("s1").unwrap().pipeline.clone(),
+        ResourceModel::default(),
+    )
+    .unwrap();
+    (pipe, kid, ext)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// codec-encode → generated-parser → pipeline → deparse →
+    /// codec-decode is the identity on windows matching the mask.
+    #[test]
+    fn encoded_windows_survive_the_generated_pipeline(
+        mask in proptest::collection::vec(1u16..6, 1..3),
+        seq in any::<u32>(),
+        sender in 1u16..50,
+        last in any::<bool>(),
+        tag in any::<u16>(),
+        aux in any::<u32>(),
+        seed in any::<u32>(),
+    ) {
+        let (mut pipe, kid, ext_total) = identity_pipeline(mask.clone());
+        let chunks: Vec<Chunk> = mask
+            .iter()
+            .enumerate()
+            .map(|(ci, &elems)| Chunk {
+                offset: seq.wrapping_mul(elems as u32).wrapping_mul(4),
+                data: (0..elems as u32)
+                    .flat_map(|e| {
+                        seed.wrapping_add(e)
+                            .wrapping_mul(ci as u32 + 1)
+                            .to_be_bytes()
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut w = Window {
+            kernel: KernelId(kid),
+            seq,
+            sender: HostId(sender),
+            from: NodeId::Host(HostId(sender)),
+            last,
+            chunks,
+            ext: vec![],
+        };
+        w.ext_write(0, Value::new(ScalarType::U16, tag as u64));
+        w.ext_write(2, Value::u32(aux));
+
+        let bytes = ncl::ncp::codec::encode_window(&w, ext_total);
+        let out = pipe.process(&bytes).expect("generated parser accepts");
+        prop_assert_eq!(out.fwd_code, 0, "identity kernel passes");
+        let back = ncl::ncp::codec::decode_window(&out.packet).expect("codec decodes");
+        prop_assert_eq!(back.seq, w.seq);
+        prop_assert_eq!(back.sender, w.sender);
+        prop_assert_eq!(back.last, w.last);
+        prop_assert_eq!(&back.chunks, &w.chunks);
+        prop_assert_eq!(&back.ext, &w.ext);
+        // The switch rewrote nothing else; `from` is rewritten by the
+        // embedding (netsim), not the pipeline.
+        prop_assert_eq!(back.from, w.from);
+    }
+}
+
+#[test]
+fn codec_and_codegen_header_constants_agree() {
+    // The layout constants the two crates hardcode must match.
+    use ncl::ncp::wire::{HEADER_LEN, MAGIC, VERSION};
+    assert_eq!(MAGIC, 0x4E43);
+    assert_eq!(VERSION, 1);
+    assert_eq!(HEADER_LEN, 16);
+    let total: usize = ncl::p4::codegen::NCP_FIELDS
+        .iter()
+        .map(|(_, ty)| ty.size())
+        .sum();
+    assert_eq!(
+        total, HEADER_LEN,
+        "generated parser's NCP header width must equal the codec's"
+    );
+    // Field order sanity: kernel id at offset 4, seq at 6 (the codec's
+    // accessors), mirrored in the generated field order.
+    let names: Vec<&str> = ncl::p4::codegen::NCP_FIELDS.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        vec![
+            "ncp.magic",
+            "ncp.version",
+            "ncp.flags",
+            "ncp.kernel",
+            "ncp.seq",
+            "ncp.sender",
+            "ncp.from",
+            "ncp.nchunks",
+            "ncp.ext_len",
+        ]
+    );
+}
+
+#[test]
+fn truncated_and_corrupt_packets_never_execute() {
+    let (mut pipe, kid, ext) = identity_pipeline(vec![2]);
+    let w = Window {
+        kernel: KernelId(kid),
+        seq: 1,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: false,
+        chunks: vec![Chunk {
+            offset: 0,
+            data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        }],
+        ext: vec![],
+    };
+    let good = ncl::ncp::codec::encode_window(&w, ext);
+    // Every strict prefix fails to parse (forwarded as plain traffic).
+    for cut in [0, 1, 8, 15, good.len() - 1] {
+        assert!(
+            pipe.process(&good[..cut]).is_none(),
+            "prefix of {cut} bytes must not execute"
+        );
+    }
+    // Unknown kernel id: parser has no branch.
+    let mut bad = good.clone();
+    bad[4] = 0xEE;
+    bad[5] = 0xEE;
+    assert!(pipe.process(&bad).is_none());
+    // The pristine packet still parses.
+    assert!(pipe.process(&good).is_some());
+}
