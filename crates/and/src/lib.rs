@@ -129,35 +129,34 @@ pub fn parse(source: &str) -> Result<Overlay, AndError> {
     let mut next_switch = 0u16;
     let mut pending_links: Vec<(usize, String, String)> = Vec::new();
 
-    let add_node =
-        |overlay: &mut Overlay,
-         by_label: &mut HashMap<String, usize>,
-         label: String,
-         kind: AndKind,
-         next_host: &mut u16,
-         next_switch: &mut u16|
-         -> Result<(), AndError> {
-            if by_label.contains_key(&label) {
-                return Err(AndError::Duplicate { label });
+    let add_node = |overlay: &mut Overlay,
+                    by_label: &mut HashMap<String, usize>,
+                    label: String,
+                    kind: AndKind,
+                    next_host: &mut u16,
+                    next_switch: &mut u16|
+     -> Result<(), AndError> {
+        if by_label.contains_key(&label) {
+            return Err(AndError::Duplicate { label });
+        }
+        let id = match kind {
+            AndKind::Host => {
+                *next_host += 1;
+                *next_host
             }
-            let id = match kind {
-                AndKind::Host => {
-                    *next_host += 1;
-                    *next_host
-                }
-                AndKind::Switch => {
-                    *next_switch += 1;
-                    *next_switch
-                }
-            };
-            by_label.insert(label.clone(), overlay.nodes.len());
-            overlay.nodes.push(AndNode {
-                label: Label::new(label),
-                kind,
-                id,
-            });
-            Ok(())
+            AndKind::Switch => {
+                *next_switch += 1;
+                *next_switch
+            }
         };
+        by_label.insert(label.clone(), overlay.nodes.len());
+        overlay.nodes.push(AndNode {
+            label: Label::new(label),
+            kind,
+            id,
+        });
+        Ok(())
+    };
 
     for (ln, raw) in source.lines().enumerate() {
         let line = ln + 1;
@@ -314,11 +313,7 @@ impl Overlay {
 
     /// Overlay neighbours of a node (the `_bcast()` fan-out set).
     pub fn neighbours(&self, label: &str) -> Vec<&AndNode> {
-        let Some(idx) = self
-            .nodes
-            .iter()
-            .position(|n| n.label.as_str() == label)
-        else {
+        let Some(idx) = self.nodes.iter().position(|n| n.label.as_str() == label) else {
             return vec![];
         };
         self.edges
@@ -423,16 +418,15 @@ impl Overlay {
                 }
                 None => {
                     return Err(AndError::EmbedFailed {
-                        reason: format!(
-                            "no feasible physical node for '{}'",
-                            self.nodes[ov].label
-                        ),
+                        reason: format!("no feasible physical node for '{}'", self.nodes[ov].label),
                     })
                 }
             }
         }
-        let mut assignment: Vec<usize> =
-            assignment.into_iter().map(|a| a.expect("assigned")).collect();
+        let mut assignment: Vec<usize> = assignment
+            .into_iter()
+            .map(|a| a.expect("assigned"))
+            .collect();
         self.refine_embedding(phys, &dist, &mut assignment, &mut used);
         Ok(assignment)
     }
@@ -497,9 +491,7 @@ impl Overlay {
         let dist = phys.all_pairs_distances();
         self.edges
             .iter()
-            .map(|&(a, b)| {
-                dist[assignment[a]][assignment[b]].unwrap_or(u32::MAX) as u64
-            })
+            .map(|&(a, b)| dist[assignment[a]][assignment[b]].unwrap_or(u32::MAX) as u64)
             .sum()
     }
 }
@@ -680,10 +672,7 @@ link   server s1
     fn embed_fails_when_too_small() {
         let o = parse(ALLREDUCE_AND).unwrap();
         let phys = PhysTopology::spine_leaf(1, 1, 2); // only 2 hosts
-        assert!(matches!(
-            o.embed(&phys),
-            Err(AndError::EmbedFailed { .. })
-        ));
+        assert!(matches!(o.embed(&phys), Err(AndError::EmbedFailed { .. })));
     }
 
     #[test]

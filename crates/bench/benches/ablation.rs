@@ -19,6 +19,8 @@ struct Variant {
     gateway: usize,
 }
 
+type ProgramSpec = (&'static str, String, Vec<(&'static str, Vec<u16>)>);
+
 fn compile_with(src: &str, masks: &[(&str, Vec<u16>)], v: &Variant) -> String {
     let checked = match ncl_lang::frontend(src, "abl.ncl") {
         Ok(c) => c,
@@ -66,12 +68,28 @@ fn compile_with(src: &str, masks: &[(&str, Vec<u16>)], v: &Variant) -> String {
 
 fn main() {
     let variants = [
-        Variant { name: "full backend", lanes: true, gateway: 8 },
-        Variant { name: "no gateway chaining", lanes: true, gateway: 0 },
-        Variant { name: "no lane splitting", lanes: false, gateway: 8 },
-        Variant { name: "neither", lanes: false, gateway: 0 },
+        Variant {
+            name: "full backend",
+            lanes: true,
+            gateway: 8,
+        },
+        Variant {
+            name: "no gateway chaining",
+            lanes: true,
+            gateway: 0,
+        },
+        Variant {
+            name: "no lane splitting",
+            lanes: false,
+            gateway: 8,
+        },
+        Variant {
+            name: "neither",
+            lanes: false,
+            gateway: 0,
+        },
     ];
-    let programs: Vec<(&str, String, Vec<(&str, Vec<u16>)>)> = vec![
+    let programs: Vec<ProgramSpec> = vec![
         (
             "AllReduce (win 8)",
             allreduce_source(256, 8),

@@ -65,13 +65,15 @@ fn bench_embedding(c: &mut Criterion) {
     quality_table();
     bcast_table();
 
-    for (workers, spines, leaves, hpl) in
-        [(8usize, 2usize, 4usize, 4usize), (32, 4, 16, 8), (64, 8, 32, 8)]
-    {
+    for (workers, spines, leaves, hpl) in [
+        (8usize, 2usize, 4usize, 4usize),
+        (32, 4, 16, 8),
+        (64, 8, 32, 8),
+    ] {
         let ov = overlay(workers);
         let phys = PhysTopology::spine_leaf(spines, leaves, hpl);
         c.bench_function(
-            &format!("embed/{workers}w-into-{}nodes", phys.nodes.len()),
+            format!("embed/{workers}w-into-{}nodes", phys.nodes.len()),
             |b| b.iter(|| ov.embed(black_box(&phys)).expect("embeds")),
         );
     }

@@ -88,8 +88,8 @@ fn main() {
         for (k, m) in &case.masks {
             cfg.masks.insert(k.to_string(), m.clone());
         }
-        let program = compile(&case.ncl, case.and, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let program =
+            compile(&case.ncl, case.and, &cfg).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         let p4 = &program.switches[0].1.p4_source;
         let (nl, nt) = (effective_lines(&case.ncl), tokens(&case.ncl));
         let (pl, pt) = (effective_lines(p4), tokens(p4));

@@ -23,15 +23,15 @@ fn sources() -> Vec<(&'static str, String, LoweringConfig)> {
 
 fn bench_stages(c: &mut Criterion) {
     for (name, src, lcfg) in sources() {
-        c.bench_function(&format!("frontend/{name}"), |b| {
+        c.bench_function(format!("frontend/{name}"), |b| {
             b.iter(|| ncl_lang::frontend(black_box(&src), "bench.ncl").expect("frontend"))
         });
         let checked = ncl_lang::frontend(&src, "bench.ncl").expect("frontend");
-        c.bench_function(&format!("lower/{name}"), |b| {
+        c.bench_function(format!("lower/{name}"), |b| {
             b.iter(|| lower(black_box(&checked), &lcfg).expect("lower"))
         });
         let module = lower(&checked, &lcfg).expect("lower");
-        c.bench_function(&format!("optimize/{name}"), |b| {
+        c.bench_function(format!("optimize/{name}"), |b| {
             b.iter(|| {
                 let mut m = module.clone();
                 ncl_ir::passes::optimize(&mut m)
@@ -43,12 +43,12 @@ fn bench_stages(c: &mut Criterion) {
             label: c3::Label::new("s1"),
             id: 1,
         }];
-        c.bench_function(&format!("version/{name}"), |b| {
+        c.bench_function(format!("version/{name}"), |b| {
             b.iter(|| version_modules(black_box(&optimized), &locations))
         });
         let versions = version_modules(&optimized, &locations);
         let opts = ncl_p4::CompileOptions::default();
-        c.bench_function(&format!("codegen/{name}"), |b| {
+        c.bench_function(format!("codegen/{name}"), |b| {
             b.iter(|| {
                 ncl_p4::compile_module(
                     black_box(&versions[0]),

@@ -12,12 +12,7 @@ use ncl_ir::{Interpreter, SwitchState};
 use pisa::{Pipeline, ResourceModel};
 use std::hint::black_box;
 
-fn setup() -> (
-    ncl_ir::ir::Module,
-    Pipeline,
-    Vec<u8>,
-    c3::Window,
-) {
+fn setup() -> (ncl_ir::ir::Module, Pipeline, Vec<u8>, c3::Window) {
     let src = allreduce_source(1024, 32);
     let mut lcfg = LoweringConfig::default();
     lcfg.masks.insert("allreduce".into(), vec![32]);

@@ -15,10 +15,7 @@ const AND: &str = "host a\nhost b\nswitch s1\nlink a s1\nlink b s1\n";
 fn synth_kernel(depth: usize, width: usize) -> (String, Vec<u16>) {
     let mut body = String::from("    int acc = data[0];\n");
     for i in 0..depth {
-        body.push_str(&format!(
-            "    acc = acc * 3 + data[{}];\n",
-            i % width
-        ));
+        body.push_str(&format!("    acc = acc * 3 + data[{}];\n", i % width));
     }
     body.push_str("    data[0] = acc;\n");
     (
@@ -93,12 +90,9 @@ fn bench_pipeline(c: &mut Criterion) {
             continue;
         };
         g.throughput(Throughput::Elements(1));
-        g.bench_function(
-            format!("{name}-{}stages", report.stages_used),
-            |b| {
-                b.iter(|| pipe.process(black_box(&pkt)).expect("processes"))
-            },
-        );
+        g.bench_function(format!("{name}-{}stages", report.stages_used), |b| {
+            b.iter(|| pipe.process(black_box(&pkt)).expect("processes"))
+        });
     }
     g.finish();
 

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Forward::Pass.to_string(), "_pass()");
-        assert_eq!(Forward::PassTo(Label::new("srv")).to_string(), "_pass(\"srv\")");
+        assert_eq!(
+            Forward::PassTo(Label::new("srv")).to_string(),
+            "_pass(\"srv\")"
+        );
         assert_eq!(Forward::Drop.to_string(), "_drop()");
     }
 

@@ -92,10 +92,7 @@ impl fmt::Display for WindowError {
                 array,
                 expected,
                 got,
-            } => write!(
-                f,
-                "chunk {array} carries {got} bytes, expected {expected}"
-            ),
+            } => write!(f, "chunk {array} carries {got} bytes, expected {expected}"),
         }
     }
 }
@@ -192,7 +189,9 @@ impl WindowSpec {
 
     /// Total payload bytes per window across all arrays.
     pub fn window_bytes(&self) -> usize {
-        (0..self.elem_types.len()).map(|i| self.chunk_bytes(i)).sum()
+        (0..self.elem_types.len())
+            .map(|i| self.chunk_bytes(i))
+            .sum()
     }
 
     /// Splits `arrays` (one byte slice per array, elements in big-endian
@@ -399,11 +398,8 @@ mod tests {
     #[test]
     fn split_uniform_two_arrays() {
         // Fig. 2: two arrays split evenly in windows of length two.
-        let spec = WindowSpec::new(
-            vec![ScalarType::U32, ScalarType::U32],
-            Mask::new([2, 2]),
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::new(vec![ScalarType::U32, ScalarType::U32], Mask::new([2, 2])).unwrap();
         let h0 = be_u32s(&[0, 1, 2, 3, 4, 5, 6, 7]);
         let h1 = be_u32s(&[10, 11, 12, 13, 14, 15, 16, 17]);
         let ws = spec.split(&[&h0, &h1]).unwrap();
@@ -418,8 +414,7 @@ mod tests {
 
     #[test]
     fn split_tail_window_may_be_short() {
-        let spec =
-            WindowSpec::new(vec![ScalarType::U32], Mask::new([4])).unwrap();
+        let spec = WindowSpec::new(vec![ScalarType::U32], Mask::new([4])).unwrap();
         let a = be_u32s(&[1, 2, 3, 4, 5, 6]);
         let ws = spec.split(&[&a]).unwrap();
         assert_eq!(ws.len(), 2);
@@ -428,8 +423,7 @@ mod tests {
 
     #[test]
     fn split_rejects_ragged_arrays() {
-        let spec =
-            WindowSpec::new(vec![ScalarType::U32], Mask::new([2])).unwrap();
+        let spec = WindowSpec::new(vec![ScalarType::U32], Mask::new([2])).unwrap();
         let bad = [0u8; 7];
         assert!(matches!(
             spec.split(&[&bad]),
@@ -439,11 +433,8 @@ mod tests {
 
     #[test]
     fn split_rejects_mismatched_window_counts() {
-        let spec = WindowSpec::new(
-            vec![ScalarType::U32, ScalarType::U32],
-            Mask::new([2, 2]),
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::new(vec![ScalarType::U32, ScalarType::U32], Mask::new([2, 2])).unwrap();
         let a = be_u32s(&[1, 2, 3, 4]);
         let b = be_u32s(&[1, 2]);
         assert!(matches!(
@@ -454,11 +445,8 @@ mod tests {
 
     #[test]
     fn split_then_reassemble_is_identity() {
-        let spec = WindowSpec::new(
-            vec![ScalarType::U32, ScalarType::U16],
-            Mask::new([2, 3]),
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::new(vec![ScalarType::U32, ScalarType::U16], Mask::new([2, 3])).unwrap();
         let a = be_u32s(&[9, 8, 7, 6, 5, 4]);
         let b: Vec<u8> = (0u16..9).flat_map(|v| v.to_be_bytes()).collect();
         let ws = spec.split(&[&a, &b]).unwrap();
@@ -469,8 +457,7 @@ mod tests {
 
     #[test]
     fn reassemble_out_of_order() {
-        let spec =
-            WindowSpec::new(vec![ScalarType::U32], Mask::new([1])).unwrap();
+        let spec = WindowSpec::new(vec![ScalarType::U32], Mask::new([1])).unwrap();
         let a = be_u32s(&[1, 2, 3]);
         let mut ws = spec.split(&[&a]).unwrap();
         ws.reverse();
@@ -480,8 +467,7 @@ mod tests {
 
     #[test]
     fn reassemble_rejects_overflow_chunk() {
-        let spec =
-            WindowSpec::new(vec![ScalarType::U32], Mask::new([1])).unwrap();
+        let spec = WindowSpec::new(vec![ScalarType::U32], Mask::new([1])).unwrap();
         let w = Window {
             kernel: KernelId(0),
             seq: 0,
@@ -535,11 +521,8 @@ mod tests {
 
     #[test]
     fn window_bytes_accounting() {
-        let spec = WindowSpec::new(
-            vec![ScalarType::U32, ScalarType::U8],
-            Mask::new([2, 4]),
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::new(vec![ScalarType::U32, ScalarType::U8], Mask::new([2, 4])).unwrap();
         assert_eq!(spec.chunk_bytes(0), 8);
         assert_eq!(spec.chunk_bytes(1), 4);
         assert_eq!(spec.window_bytes(), 12);

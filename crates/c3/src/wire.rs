@@ -47,7 +47,8 @@ pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 /// Checked read of a big-endian `u16`; `None` on a short buffer.
 #[inline]
 pub fn try_get_u16(buf: &[u8], off: usize) -> Option<u16> {
-    buf.get(off..off + 2).map(|s| u16::from_be_bytes([s[0], s[1]]))
+    buf.get(off..off + 2)
+        .map(|s| u16::from_be_bytes([s[0], s[1]]))
 }
 
 /// Checked read of a big-endian `u32`; `None` on a short buffer.

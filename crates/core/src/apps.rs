@@ -47,9 +47,7 @@ fn ps_decode(bytes: &[u8]) -> Option<(u16, u32, Vec<i32>)> {
     if bytes.len() < 10 + n * 4 {
         return None;
     }
-    let vals = (0..n)
-        .map(|i| get_u32(bytes, 10 + i * 4) as i32)
-        .collect();
+    let vals = (0..n).map(|i| get_u32(bytes, 10 + i * 4) as i32).collect();
     Some((worker, seq, vals))
 }
 
@@ -102,8 +100,7 @@ impl HostApp for PsWorker {
             }
         }
         self.slots_done += 1;
-        if self.slots_done == self.data.len().div_ceil(self.slot) && self.done_at.is_none()
-        {
+        if self.slots_done == self.data.len().div_ceil(self.slot) && self.done_at.is_none() {
             self.done_at = Some(ctx.now);
         }
     }

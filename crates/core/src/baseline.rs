@@ -12,8 +12,8 @@
 
 use c3::{BinOp, ScalarType, Value};
 use pisa::{
-    ActionDef, ActionRef, Arg, DeparserSpec, Extract, FieldClass, MatchKind, ParserSpec,
-    PhvLayout, PipelineConfig, PrimOp, RegisterArrayDef, StageConfig, TableDef,
+    ActionDef, ActionRef, Arg, DeparserSpec, Extract, FieldClass, MatchKind, ParserSpec, PhvLayout,
+    PipelineConfig, PrimOp, RegisterArrayDef, StageConfig, TableDef,
 };
 use std::collections::HashMap;
 
@@ -304,9 +304,7 @@ parser CacheParser(packet_in pkt, out headers_t hdr,
         s.push_str(&format!("        pkt.extract(hdr.val{i});\n"));
     }
     s.push_str("        transition accept; }\n}\n\n");
-    s.push_str(&format!(
-        "Register<bit<1>, bit<32>>({slots}) Valid;\n"
-    ));
+    s.push_str(&format!("Register<bit<1>, bit<32>>({slots}) Valid;\n"));
     for i in 0..val_words {
         s.push_str(&format!("Register<bit<32>, bit<32>>({slots}) Value{i};\n"));
     }

@@ -48,8 +48,7 @@ fn parse_args() -> Args {
                     eprintln!("--mask expects kernel=N[,N...], got '{spec}'");
                     usage();
                 };
-                let counts: Result<Vec<u16>, _> =
-                    counts.split(',').map(str::parse).collect();
+                let counts: Result<Vec<u16>, _> = counts.split(',').map(str::parse).collect();
                 match counts {
                     Ok(c) => masks.push((k.to_string(), c)),
                     Err(_) => {
@@ -150,10 +149,9 @@ fn main() -> ExitCode {
     }
     if wants("trace") {
         for (label, compiled) in &program.switches {
-            let Ok(mut pipe) = pisa::Pipeline::load(
-                compiled.pipeline.clone(),
-                pisa::ResourceModel::default(),
-            ) else {
+            let Ok(mut pipe) =
+                pisa::Pipeline::load(compiled.pipeline.clone(), pisa::ResourceModel::default())
+            else {
                 continue;
             };
             for (kname, &kid) in &compiled.kernel_ids {
@@ -183,8 +181,7 @@ fn main() -> ExitCode {
                     chunks,
                     ext: vec![],
                 };
-                let pkt =
-                    ncp::codec::encode_window(&w, program.checked.window_ext.size());
+                let pkt = ncp::codec::encode_window(&w, program.checked.window_ext.size());
                 println!("== trace: kernel '{kname}' at {label} (zero window) ==");
                 match pipe.process_traced(&pkt) {
                     Some((out, traces)) => {
@@ -193,7 +190,10 @@ fn main() -> ExitCode {
                                 println!("  {t}");
                             }
                         }
-                        println!("  decision code {} after {} pass(es)", out.fwd_code, out.passes);
+                        println!(
+                            "  decision code {} after {} pass(es)",
+                            out.fwd_code, out.passes
+                        );
                     }
                     None => println!("  (window not recognized)"),
                 }

@@ -94,9 +94,7 @@ impl ControlPlane {
         };
         let mut ok = true;
         for t in tables {
-            ok &= pipe
-                .table_insert(t, Self::entry(key, value))
-                .is_ok();
+            ok &= pipe.table_insert(t, Self::entry(key, value)).is_ok();
         }
         ok
     }

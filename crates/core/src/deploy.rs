@@ -10,12 +10,27 @@
 //! compiled pipeline, `_bcast()` fan-out and `_pass(label)` targets
 //! resolved from the overlay.
 
+use crate::fastpath::FastPathSwitch;
 use crate::nclc::CompiledProgram;
 use c3::{HostId, Label, NodeId, SwitchId};
 use ncl_and::AndKind;
-use netsim::{HostApp, LinkSpec, Network, NetworkBuilder, SwitchCfg};
+use netsim::{FastDatapath, HostApp, LinkSpec, Network, NetworkBuilder, SwitchCfg};
 use pisa::{Pipeline, ResourceModel};
 use std::collections::HashMap;
+
+/// Which switch engine [`deploy_with`] loads into the simulated
+/// switches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SwitchBackend {
+    /// The modeled PISA pipeline (resource-checked, recirculation-aware)
+    /// — the default, and the engine all resource experiments use.
+    #[default]
+    Pisa,
+    /// The compiled fast-path executor ([`FastPathSwitch`]): versioned
+    /// IR kernels lowered to linear micro-op programs, cached per
+    /// `(kernel, location)` and executed allocation-free.
+    FastPath,
+}
 
 /// A deployed program: the runnable network plus name resolution.
 pub struct Deployment {
@@ -58,12 +73,24 @@ impl std::fmt::Display for DeployError {
 impl std::error::Error for DeployError {}
 
 /// Deploys a compiled program: `apps` supplies one application per AND
-/// host label; every link uses `link_spec`.
+/// host label; every link uses `link_spec`. Switches run the modeled
+/// PISA pipeline; see [`deploy_with`] to pick the backend.
 pub fn deploy(
+    program: &CompiledProgram,
+    apps: HashMap<String, Box<dyn HostApp>>,
+    link_spec: LinkSpec,
+    model: ResourceModel,
+) -> Result<Deployment, DeployError> {
+    deploy_with(program, apps, link_spec, model, SwitchBackend::Pisa)
+}
+
+/// [`deploy`] with an explicit switch engine.
+pub fn deploy_with(
     program: &CompiledProgram,
     mut apps: HashMap<String, Box<dyn HostApp>>,
     link_spec: LinkSpec,
     model: ResourceModel,
+    backend: SwitchBackend,
 ) -> Result<Deployment, DeployError> {
     let mut b = NetworkBuilder::new();
     let mut nodes: HashMap<Label, NodeId> = HashMap::new();
@@ -83,16 +110,25 @@ pub fn deploy(
             }
             AndKind::Switch => {
                 let compiled = program.switch(n.label.as_str());
-                let pipeline = match compiled {
-                    Some(c) => Some(
-                        Pipeline::load(c.pipeline.clone(), model).map_err(|e| {
+                // The fast path replaces the pipeline wholesale: one
+                // engine per switch, never both.
+                let fastpath: Option<Box<dyn FastDatapath>> = match backend {
+                    SwitchBackend::FastPath => {
+                        FastPathSwitch::from_program(program, n.label.as_str())
+                            .map(|fp| Box::new(fp) as Box<dyn FastDatapath>)
+                    }
+                    SwitchBackend::Pisa => None,
+                };
+                let pipeline = match (backend, compiled) {
+                    (SwitchBackend::Pisa, Some(c)) => {
+                        Some(Pipeline::load(c.pipeline.clone(), model).map_err(|e| {
                             DeployError::Load {
                                 label: n.label.to_string(),
                                 error: e.to_string(),
                             }
-                        })?,
-                    ),
-                    None => None,
+                        })?)
+                    }
+                    _ => None,
                 };
                 // `_pass(label)` targets: every labelled node.
                 let labels: HashMap<u16, NodeId> = program
@@ -112,6 +148,7 @@ pub fn deploy(
                     .collect();
                 let id = b.add_switch(SwitchCfg {
                     pipeline,
+                    fastpath,
                     labels,
                     bcast,
                     ..SwitchCfg::default()
@@ -140,9 +177,7 @@ impl Deployment {
 
     /// The switch id for an AND label.
     pub fn switch(&self, label: &str) -> SwitchId {
-        self.node(label)
-            .as_switch()
-            .expect("label names a switch")
+        self.node(label).as_switch().expect("label names a switch")
     }
 
     /// The host id for an AND label.
@@ -186,8 +221,10 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
 
     /// The paper's Fig. 4 running end to end on the simulated network:
     /// three workers, in-network aggregation, broadcast of results.
-    #[test]
-    fn allreduce_full_system() {
+    /// Runs under either switch engine; the assertions are identical —
+    /// the system-level differential check between the PISA model and
+    /// the compiled fast path.
+    fn run_allreduce(backend: SwitchBackend) {
         let mut cfg = CompileConfig::default();
         cfg.masks.insert("allreduce".into(), vec![4]);
         cfg.masks.insert("result".into(), vec![4]);
@@ -219,39 +256,44 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
             host.done_on_flag(kid, 1);
             apps.insert(format!("worker{w}"), Box::new(host));
         }
-        let mut dep = deploy(
+        let mut dep = deploy_with(
             &program,
             apps,
             LinkSpec::default(),
             pisa::ResourceModel::default(),
+            backend,
         )
         .expect("deploys");
 
-        // Control plane: nworkers = 3.
+        // Control plane: nworkers = 3. The deferred-op form works
+        // against either engine.
         let cp = ControlPlane::new(program.switch("s1").unwrap());
         let s1 = dep.switch("s1");
-        cp.ctrl_wr(
-            dep.net.switch_pipeline_mut(s1).unwrap(),
-            "nworkers",
-            Value::u32(3),
-        );
+        match backend {
+            SwitchBackend::Pisa => {
+                cp.ctrl_wr(
+                    dep.net.switch_pipeline_mut(s1).unwrap(),
+                    "nworkers",
+                    Value::u32(3),
+                );
+            }
+            SwitchBackend::FastPath => {
+                let fp = dep.net.switch_fastpath_mut(s1).unwrap();
+                for op in cp.ctrl_wr_ops("nworkers", Value::u32(3)) {
+                    assert!(fp.ctrl(&op));
+                }
+            }
+        }
 
         dep.net.run();
 
         // Every worker holds the element-wise sum 1+2+3 = 6.
         for w in 1..=3u16 {
-            let host = dep
-                .net
-                .host_app::<NclHost>(HostId(w))
-                .expect("worker app");
+            let host = dep.net.host_app::<NclHost>(HostId(w)).expect("worker app");
             assert!(host.done_at.is_some(), "worker {w} never completed");
             let mem = host.memory(kid).unwrap();
             for i in 0..16 {
-                assert_eq!(
-                    mem.arrays[0][i],
-                    Value::i32(6),
-                    "worker {w} element {i}"
-                );
+                assert_eq!(mem.arrays[0][i], Value::i32(6), "worker {w} element {i}");
             }
         }
         // The switch aggregated 12 windows (3 workers × 4) and
@@ -263,6 +305,17 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
         // Ingress at the switch ≈ 3× what one worker sent — the INC
         // bandwidth win E1 measures.
         assert!(dep.net.node_ingress_bytes(NodeId::Switch(s1)) > 0);
+    }
+
+    #[test]
+    fn allreduce_full_system() {
+        run_allreduce(SwitchBackend::Pisa);
+    }
+
+    /// Same workload, same assertions, compiled fast-path engine.
+    #[test]
+    fn allreduce_full_system_fastpath() {
+        run_allreduce(SwitchBackend::FastPath);
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The compiled fast-path switch datapath.
+//!
+//! A [`FastPathSwitch`] is the lean per-packet executor for one switch
+//! location: every outgoing kernel of the location's versioned IR module
+//! is lowered once through [`CompiledKernel::compile_for`] and cached by
+//! NCP kernel id — the per-`(KernelId, location)` compiled-kernel cache.
+//! Window processing then runs the linear micro-op program against the
+//! location's persistent [`SwitchState`] with a reusable [`ExecScratch`]
+//! and the zero-copy NCP codec ([`decode_window_into`] /
+//! [`encode_window_into`]), so the steady state allocates only the
+//! outgoing packet buffer.
+//!
+//! It plugs into the simulator as a [`netsim::FastDatapath`]
+//! (see [`crate::deploy::SwitchBackend::FastPath`]) and serves as the
+//! software-switch engine for the Sockets/UDP backend. The modeled PISA
+//! pipeline remains the resource-checked hardware model; the
+//! differential tests below hold the two to identical verdicts, output
+//! windows, and register state.
+
+use crate::nclc::CompiledProgram;
+use c3::{Forward, Label, Value, Window};
+use ncl_ir::ir::{CtrlId, MapId, Module};
+use ncl_ir::{CompiledKernel, ExecScratch, SwitchState};
+use ncp::codec::{decode_window_into, encode_window_into};
+use ncp::{NcpPacket, FLAG_FRAGMENT};
+use netsim::{CtrlOp, FastDatapath, FastVerdict};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A compiled fast-path datapath for one switch location.
+pub struct FastPathSwitch {
+    /// NCP kernel id → compiled program (placement checks hoisted for
+    /// this location).
+    kernels: HashMap<u16, CompiledKernel>,
+    /// The location's persistent device state.
+    pub state: SwitchState,
+    scratch: ExecScratch,
+    /// Decoded-window scratch, reused across packets.
+    win: Window,
+    ext_total: usize,
+    ctrl_by_name: HashMap<String, CtrlId>,
+    /// Compiled register-copy name → ctrl (deferred control ops arrive
+    /// under the names the backend assigned).
+    ctrl_by_copy: HashMap<String, CtrlId>,
+    map_by_name: HashMap<String, MapId>,
+    /// Compiled lookup-table name → map.
+    map_by_table: HashMap<String, MapId>,
+    reg_by_name: HashMap<String, usize>,
+    label_wires: HashMap<Label, u16>,
+    /// Windows executed.
+    pub windows: u64,
+    /// Kernel executions that errored (window forwarded unmodified).
+    pub errors: u64,
+}
+
+impl FastPathSwitch {
+    /// Builds the datapath from a location's versioned module.
+    /// `location_id` is the AND node id (`location.id`), `kernel_ids`
+    /// the program-wide NCP ids, `label_wires` the `_pass(label)` wire
+    /// ids, and `ext_total` the program's window-extension size.
+    pub fn new(
+        module: &Module,
+        location_id: u16,
+        kernel_ids: &HashMap<String, u16>,
+        label_wires: &HashMap<Label, u16>,
+        ext_total: usize,
+    ) -> Self {
+        let mut state = SwitchState::from_module(module);
+        state.location_id = location_id;
+        let kernels = module
+            .kernels
+            .iter()
+            .filter_map(|k| {
+                kernel_ids
+                    .get(&k.name)
+                    .map(|&id| (id, CompiledKernel::compile_for(k, module)))
+            })
+            .collect();
+        let ctrl_by_name = module
+            .ctrls
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), CtrlId(i as u32)))
+            .collect();
+        let map_by_name = module
+            .maps
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), MapId(i as u32)))
+            .collect();
+        let reg_by_name = module
+            .registers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), i))
+            .collect();
+        FastPathSwitch {
+            kernels,
+            state,
+            scratch: ExecScratch::new(),
+            win: Window {
+                kernel: c3::KernelId(0),
+                seq: 0,
+                sender: c3::HostId(0),
+                from: c3::NodeId::Host(c3::HostId(0)),
+                last: false,
+                chunks: Vec::new(),
+                ext: Vec::new(),
+            },
+            ext_total,
+            ctrl_by_name,
+            ctrl_by_copy: HashMap::new(),
+            map_by_name,
+            map_by_table: HashMap::new(),
+            reg_by_name,
+            label_wires: label_wires.clone(),
+            windows: 0,
+            errors: 0,
+        }
+    }
+
+    /// Builds the datapath for one switch label of a compiled program,
+    /// aliasing the backend's compiled control-register and lookup-table
+    /// names so deferred [`CtrlOp`]s emitted by
+    /// [`crate::control::ControlPlane`] resolve unchanged.
+    pub fn from_program(program: &CompiledProgram, label: &str) -> Option<Self> {
+        let module = program.module(label)?;
+        let id = program.overlay.node(label)?.id;
+        let mut fp = Self::new(
+            module,
+            id,
+            &program.kernel_ids,
+            &program.label_ids,
+            program.checked.window_ext.size(),
+        );
+        if let Some(compiled) = program.switch(label) {
+            for (src, copies) in &compiled.ctrl_regs {
+                if let Some(&c) = fp.ctrl_by_name.get(src) {
+                    for copy in copies {
+                        fp.ctrl_by_copy.insert(copy.clone(), c);
+                    }
+                }
+            }
+            for (src, tables) in &compiled.map_tables {
+                if let Some(&m) = fp.map_by_name.get(src) {
+                    for t in tables {
+                        fp.map_by_table.insert(t.clone(), m);
+                    }
+                }
+            }
+        }
+        Some(fp)
+    }
+
+    /// Processes one payload: decode (buffer-reusing), execute the
+    /// cached compiled kernel, re-encode. `None` for non-NCP traffic,
+    /// fragments (switches compute only on single-packet windows, paper
+    /// §6), unknown kernels, and execution errors — the switch then
+    /// plainly forwards the original packet.
+    pub fn process_window(&mut self, payload: &[u8]) -> Option<FastVerdict> {
+        let (kid, flags) = match NcpPacket::new_checked(payload) {
+            Ok(p) => (p.kernel(), p.flags()),
+            Err(_) => return None,
+        };
+        if flags & FLAG_FRAGMENT != 0 || !self.kernels.contains_key(&kid) {
+            return None;
+        }
+        if decode_window_into(payload, &mut self.win).is_err() {
+            return None;
+        }
+        self.windows += 1;
+        let kernel = &self.kernels[&kid];
+        let fwd = match kernel.run_outgoing(&mut self.win, &mut self.state, &mut self.scratch) {
+            Ok(f) => f,
+            Err(_) => {
+                self.errors += 1;
+                return None;
+            }
+        };
+        let (fwd_code, fwd_label) = match &fwd {
+            Forward::Pass => (0, 0),
+            Forward::Reflect => (1, 0),
+            Forward::Bcast => (2, 0),
+            Forward::Drop => (3, 0),
+            Forward::PassTo(l) => (4, self.label_wires.get(l).copied().unwrap_or(0)),
+        };
+        let mut out = Vec::new();
+        if fwd_code != 3 {
+            encode_window_into(&self.win, self.ext_total, &mut out);
+        }
+        Some(FastVerdict {
+            payload: out,
+            fwd_code,
+            fwd_label,
+        })
+    }
+
+    /// `ncl::ctrl_wr` against this location's state.
+    pub fn ctrl_wr(&mut self, var: &str, value: Value) -> bool {
+        match self.ctrl_by_name.get(var) {
+            Some(&c) => {
+                self.state.ctrl_write(c, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads element `idx` of a source-level register array.
+    pub fn register_read(&self, array: &str, idx: usize) -> Option<Value> {
+        let &r = self.reg_by_name.get(array)?;
+        self.state.registers[r].get(idx).copied()
+    }
+
+    /// Control-plane map insert (source-level name). `false` when the
+    /// map is unknown or full.
+    pub fn map_insert(&mut self, map: &str, key: u64, value: Value) -> bool {
+        match self.map_by_name.get(map) {
+            Some(&m) => self.state.map_insert(m, key, value),
+            None => false,
+        }
+    }
+
+    /// Control-plane map removal (source-level name).
+    pub fn map_remove(&mut self, map: &str, key: u64) -> bool {
+        match self.map_by_name.get(map) {
+            Some(&m) => self.state.map_remove(m, key),
+            None => false,
+        }
+    }
+}
+
+impl FastDatapath for FastPathSwitch {
+    fn process(&mut self, payload: &[u8]) -> Option<FastVerdict> {
+        self.process_window(payload)
+    }
+
+    fn ctrl(&mut self, op: &CtrlOp) -> bool {
+        match op {
+            CtrlOp::RegWrite { name, index, value } => {
+                // Control variables first (by source or compiled-copy
+                // name), then plain register arrays by source name.
+                if let Some(&c) = self
+                    .ctrl_by_name
+                    .get(name)
+                    .or_else(|| self.ctrl_by_copy.get(name))
+                {
+                    self.state.ctrl_write(c, *value);
+                    return true;
+                }
+                let Some(&r) = self.reg_by_name.get(name) else {
+                    return false;
+                };
+                match self.state.registers[r].get_mut(*index) {
+                    Some(slot) => {
+                        *slot = value.cast(slot.ty());
+                        true
+                    }
+                    None => false,
+                }
+            }
+            CtrlOp::TableInsert { table, entry } => {
+                let Some(&m) = self
+                    .map_by_table
+                    .get(table)
+                    .or_else(|| self.map_by_name.get(table))
+                else {
+                    return false;
+                };
+                // Map-table entries key on (guard, key); see
+                // `ControlPlane::entry`.
+                let key = entry.patterns.last().map(|p| p.value).unwrap_or(0);
+                let Some(&value) = entry.args.first() else {
+                    return false;
+                };
+                self.state.map_insert(m, key, value)
+            }
+            CtrlOp::TableRemove { table, patterns } => {
+                let Some(&m) = self
+                    .map_by_table
+                    .get(table)
+                    .or_else(|| self.map_by_name.get(table))
+                else {
+                    return false;
+                };
+                let key = patterns.last().map(|p| p.value).unwrap_or(0);
+                self.state.map_remove(m, key)
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::allreduce_source;
+    use crate::control::ControlPlane;
+    use crate::nclc::{compile, CompileConfig, CompiledProgram};
+    use c3::{Chunk, HostId, KernelId, NodeId};
+    use ncp::codec::{decode_window, encode_window, fragment_window};
+    use pisa::{Pipeline, ResourceModel};
+
+    const AND: &str = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+
+    fn allreduce_program() -> CompiledProgram {
+        let src = allreduce_source(16, 4);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        compile(&src, AND, &cfg).expect("compiles")
+    }
+
+    fn window(kid: u16, worker: u16, seq: u32, vals: &[i32]) -> Window {
+        Window {
+            kernel: KernelId(kid),
+            seq,
+            sender: HostId(worker),
+            from: NodeId::Host(HostId(worker)),
+            last: seq == 3,
+            chunks: vec![Chunk {
+                offset: seq * 16,
+                data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+            }],
+            ext: vec![],
+        }
+    }
+
+    /// Packet-level differential: the compiled fast path and the PISA
+    /// pipeline see the same byte stream and must agree on every
+    /// verdict, every emitted window, and the final register state.
+    #[test]
+    fn verdicts_and_state_match_the_pisa_pipeline() {
+        let p = allreduce_program();
+        let kid = p.kernel_ids["allreduce"];
+        let compiled = p.switch("s1").unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+        let cp = ControlPlane::new(compiled);
+        assert!(cp.ctrl_wr(&mut pipe, "nworkers", Value::u32(3)));
+        let mut fp = FastPathSwitch::from_program(&p, "s1").expect("fastpath builds");
+        assert!(fp.ctrl_wr("nworkers", Value::u32(3)));
+
+        let ext = p.checked.window_ext.size();
+        for seq in 0..4u32 {
+            for worker in 1..=3u16 {
+                let vals: Vec<i32> = (0..4).map(|i| worker as i32 * 10 + i).collect();
+                let bytes = encode_window(&window(kid, worker, seq, &vals), ext);
+                let pi = pipe.process(&bytes).expect("pisa processes");
+                let fv = fp.process_window(&bytes).expect("fastpath processes");
+                assert_eq!(fv.fwd_code, pi.fwd_code, "worker {worker} seq {seq}");
+                if fv.fwd_code != 3 {
+                    assert_eq!(
+                        decode_window(&fv.payload).unwrap(),
+                        decode_window(&pi.packet).unwrap(),
+                        "worker {worker} seq {seq}"
+                    );
+                }
+            }
+        }
+        // Only the third window of each slot broadcast the sums; the
+        // final device state agrees element-wise.
+        for i in 0..16 {
+            assert_eq!(
+                fp.register_read("accum", i),
+                cp.read_register(&pipe, "accum", i),
+                "accum[{i}]"
+            );
+        }
+        for i in 0..4 {
+            assert_eq!(
+                fp.register_read("count", i),
+                cp.read_register(&pipe, "count", i),
+                "count[{i}]"
+            );
+        }
+        assert_eq!(fp.windows, 12);
+        assert_eq!(fp.errors, 0);
+    }
+
+    #[test]
+    fn non_ncp_fragments_and_unknown_kernels_pass_through() {
+        let p = allreduce_program();
+        let kid = p.kernel_ids["allreduce"];
+        let mut fp = FastPathSwitch::from_program(&p, "s1").unwrap();
+        // Garbage is not NCP.
+        assert!(fp.process_window(b"hello not ncp").is_none());
+        // Fragments are forwarded for host-side reassembly.
+        let big = window(kid, 1, 0, &(0..64).collect::<Vec<_>>());
+        for frag in fragment_window(&big, 0, 80) {
+            assert!(fp.process_window(&frag).is_none());
+        }
+        // Unknown kernel ids are forwarded, not executed.
+        let alien = encode_window(&window(999, 1, 0, &[1, 2, 3, 4]), 0);
+        assert!(fp.process_window(&alien).is_none());
+        assert_eq!(fp.windows, 0);
+    }
+
+    /// Deferred control-plane operations emitted by [`ControlPlane`]
+    /// (compiled register-copy and lookup-table names) resolve against
+    /// the fast path unchanged.
+    #[test]
+    fn deferred_ctrl_ops_resolve_compiled_names() {
+        let src = r#"
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 8> Idx;
+_net_ _at_("s1") bool Valid[8] = {false};
+_net_ _ctrl_ _at_("s1") unsigned thresh = 3;
+_net_ _out_ void k(uint64_t key) {
+    if (auto *i = Idx[key]) {
+        if (Valid[*i]) { _reflect(); }
+    }
+    if (window.seq > thresh) { _drop(); }
+}
+"#;
+        let and = "host h1\nhost h2\nswitch s1\nlink h1 s1\nlink h2 s1\n";
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("k".into(), vec![1]);
+        let p = compile(src, and, &cfg).expect("compiles");
+        let cp = ControlPlane::new(p.switch("s1").unwrap());
+        let mut fp = FastPathSwitch::from_program(&p, "s1").unwrap();
+
+        for op in cp.ctrl_wr_ops("thresh", Value::u32(7)) {
+            assert!(fp.ctrl(&op));
+        }
+        for op in cp.map_insert_ops("Idx", 42, Value::new(c3::ScalarType::U8, 3)) {
+            fp.ctrl(&op);
+        }
+        assert_eq!(
+            fp.state.maps[0].get(&42).copied().map(|v| v.bits()),
+            Some(3)
+        );
+        // Direct source-level writes work too: mark slot 3 valid.
+        assert!(fp.ctrl(&CtrlOp::RegWrite {
+            name: "Valid".into(),
+            index: 3,
+            value: Value::bool(true),
+        }));
+
+        let kid = p.kernel_ids["k"];
+        let get = |seq: u32, key: u64| Window {
+            kernel: KernelId(kid),
+            seq,
+            sender: HostId(1),
+            from: NodeId::Host(HostId(1)),
+            last: false,
+            chunks: vec![Chunk {
+                offset: 0,
+                data: key.to_be_bytes().to_vec(),
+            }],
+            ext: vec![],
+        };
+        // Cached key reflects; uncached passes; seq beyond the written
+        // threshold drops.
+        let v = fp.process_window(&encode_window(&get(0, 42), 0)).unwrap();
+        assert_eq!(v.fwd_code, 1);
+        let v = fp.process_window(&encode_window(&get(0, 7), 0)).unwrap();
+        assert_eq!(v.fwd_code, 0);
+        let v = fp.process_window(&encode_window(&get(8, 7), 0)).unwrap();
+        assert_eq!(v.fwd_code, 3);
+        assert!(v.payload.is_empty(), "dropped windows are not re-encoded");
+        // Removal restores the pass behaviour for key 42.
+        for op in cp.map_remove_ops("Idx", 42) {
+            fp.ctrl(&op);
+        }
+        let v = fp.process_window(&encode_window(&get(0, 42), 0)).unwrap();
+        assert_eq!(v.fwd_code, 0);
+    }
+}

@@ -16,6 +16,10 @@
 //!   `ncl::ctrl_wr`, map management (NetCache-style inserts/evictions);
 //! * [`mod@deploy`] — maps the AND overlay onto a simulated network
 //!   (Fig. 3c) and loads every switch with its compiled pipeline;
+//! * [`fastpath`] — the compiled fast-path switch executor: versioned
+//!   IR lowered to linear micro-op programs, cached per
+//!   `(kernel, location)` and run allocation-free against persistent
+//!   switch state (an alternative [`deploy`] backend);
 //! * [`baseline`] — the comparison points the evaluation needs: a
 //!   handwritten NetCache-style pipeline (Fig. 1b) and host-only
 //!   AllReduce/KVS applications that use switches as plain forwarders.
@@ -41,10 +45,12 @@ pub mod apps;
 pub mod baseline;
 pub mod control;
 pub mod deploy;
+pub mod fastpath;
 pub mod nclc;
 pub mod runtime;
 
 pub use control::ControlPlane;
-pub use deploy::{deploy, Deployment};
+pub use deploy::{deploy, deploy_with, Deployment, SwitchBackend};
+pub use fastpath::FastPathSwitch;
 pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};
 pub use runtime::{NclHost, OutInvocation, TypedArray};

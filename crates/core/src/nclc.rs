@@ -51,6 +51,10 @@ pub struct CompiledProgram {
     pub overlay: Overlay,
     /// Compiled artifacts per switch location.
     pub switches: Vec<(Label, CompiledSwitch)>,
+    /// The versioned IR module per switch location — the same IR the
+    /// backend compiled, consumed by the fast-path executor
+    /// ([`crate::fastpath::FastPathSwitch`]).
+    pub modules: Vec<(Label, Module)>,
     /// Program-wide kernel ids (hosts and switches agree).
     pub kernel_ids: HashMap<String, u16>,
     /// AND label → wire id (for `_pass(label)` and deployment).
@@ -64,6 +68,14 @@ impl CompiledProgram {
             .iter()
             .find(|(l, _)| l.as_str() == label)
             .map(|(_, c)| c)
+    }
+
+    /// The versioned IR module for a location.
+    pub fn module(&self, label: &str) -> Option<&Module> {
+        self.modules
+            .iter()
+            .find(|(l, _)| l.as_str() == label)
+            .map(|(_, m)| m)
     }
 
     /// Total effective P4 lines across all switches (E3 metric).
@@ -108,7 +120,10 @@ impl std::fmt::Display for NclcError {
             }
             NclcError::And(e) => write!(f, "AND file: {e}"),
             NclcError::UnknownLocation { what, label } => {
-                write!(f, "{what} is placed at \"{label}\", which the AND file does not define")
+                write!(
+                    f,
+                    "{what} is placed at \"{label}\", which the AND file does not define"
+                )
             }
             NclcError::Backend { location, error } => {
                 write!(f, "backend rejected program for \"{location}\": {error}")
@@ -183,14 +198,15 @@ pub fn compile(
         ..CompileOptions::default()
     };
     let mut switches = Vec::new();
+    let mut modules = Vec::new();
     for (loc, module) in locations.iter().zip(versions) {
-        let compiled = compile_module(&module, &cfg.model, &opts).map_err(|error| {
-            NclcError::Backend {
+        let compiled =
+            compile_module(&module, &cfg.model, &opts).map_err(|error| NclcError::Backend {
                 location: loc.label.clone(),
                 error,
-            }
-        })?;
+            })?;
         switches.push((loc.label.clone(), compiled));
+        modules.push((loc.label.clone(), module));
     }
 
     Ok(CompiledProgram {
@@ -198,6 +214,7 @@ pub fn compile(
         generic,
         overlay,
         switches,
+        modules,
         kernel_ids,
         label_ids,
     })
@@ -280,15 +297,18 @@ link   worker* s1
 
     #[test]
     fn frontend_errors_propagate() {
-        let err = compile("_net_ _out_ void k(int *d) { goto x; }", ALLREDUCE_AND, &cfg())
-            .unwrap_err();
+        let err = compile(
+            "_net_ _out_ void k(int *d) { goto x; }",
+            ALLREDUCE_AND,
+            &cfg(),
+        )
+        .unwrap_err();
         assert!(matches!(err, NclcError::Frontend(_)));
     }
 
     #[test]
     fn and_errors_propagate() {
-        let err = compile("_net_ _out_ void k(int *d) {}", "host a\nhost a", &cfg())
-            .unwrap_err();
+        let err = compile("_net_ _out_ void k(int *d) {}", "host a\nhost a", &cfg()).unwrap_err();
         assert!(matches!(err, NclcError::And(_)));
     }
 

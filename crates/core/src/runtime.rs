@@ -18,7 +18,7 @@
 use crate::nclc::CompiledProgram;
 use c3::{HostId, KernelId, Mask, NodeId, ScalarType, Value, Window, WindowSpec};
 use ncl_ir::ir::{KernelIr, Module};
-use ncl_ir::{HostMemory, Interpreter};
+use ncl_ir::{CompiledKernel, ExecScratch, HostMemory};
 use ncp::codec::{encode_window, Reassembler};
 use netsim::{HostApp, HostCtx, Packet, Time};
 use std::any::Any;
@@ -194,8 +194,11 @@ pub fn kernel_runtimes(program: &CompiledProgram) -> HashMap<String, KernelRunti
 
 /// An incoming-kernel binding: the `_in_` kernel plus its host memory.
 pub struct IncomingBinding {
-    /// The kernel IR (interpreted on each window).
+    /// The kernel IR (kept for inspection; execution uses `compiled`).
     pub kernel: KernelIr,
+    /// The kernel lowered to the linear fast-path program — windows run
+    /// through this, allocation-free, against the host's scratch.
+    pub compiled: CompiledKernel,
     /// Host arrays backing the `_ext_` parameters.
     pub memory: HostMemory,
 }
@@ -215,7 +218,7 @@ pub struct NclHost {
     incoming: HashMap<u16, IncomingBinding>,
     done_when: Option<DonePredicate>,
     reassembler: Reassembler,
-    interp: Interpreter,
+    scratch: ExecScratch,
     /// Windows received (count).
     pub windows_received: u64,
     /// Windows sent.
@@ -238,7 +241,7 @@ impl NclHost {
             incoming: HashMap::new(),
             done_when: None,
             reassembler: Reassembler::new(),
-            interp: Interpreter::default(),
+            scratch: ExecScratch::new(),
             windows_received: 0,
             windows_sent: 0,
             done_at: None,
@@ -294,6 +297,7 @@ impl NclHost {
         self.incoming.insert(
             id,
             IncomingBinding {
+                compiled: CompiledKernel::compile(&kernel),
                 kernel,
                 memory: HostMemory::new(ext_sizes),
             },
@@ -332,10 +336,7 @@ impl NclHost {
         let inv = self.outs[idx].clone();
         let rt = &self.runtimes[&inv.kernel];
         let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
-        let windows = rt
-            .spec
-            .split(&arrays)
-            .expect("validated at out() time");
+        let windows = rt.spec.split(&arrays).expect("validated at out() time");
         let me = NodeId::Host(ctx.host);
         for (i, mut w) in windows.into_iter().enumerate() {
             w.kernel = KernelId(rt.id);
@@ -361,9 +362,9 @@ impl NclHost {
             self.window_log.push(w.clone());
         }
         if let Some(binding) = self.incoming.get_mut(&w.kernel.0) {
-            let _ = self
-                .interp
-                .run_incoming(&binding.kernel, &mut w, &mut binding.memory);
+            let _ = binding
+                .compiled
+                .run_incoming(&mut w, &mut binding.memory, &mut self.scratch);
         }
         if self.done_at.is_none() {
             if let Some(pred) = &self.done_when {
@@ -467,10 +468,7 @@ pub fn invocation_packets(
         }
     }
     let slices: Vec<&[u8]> = arrays.iter().map(|a| &a.bytes[..]).collect();
-    let windows = rt
-        .spec
-        .split(&slices)
-        .map_err(RuntimeError::Window)?;
+    let windows = rt.spec.split(&slices).map_err(RuntimeError::Window)?;
     let ext_total = program.checked.window_ext.size();
     Ok(windows
         .into_iter()

@@ -34,7 +34,9 @@ fn compiles_and_emits_p4() {
         .arg(&prog)
         .args(["--and"])
         .arg(&and)
-        .args(["--mask", "count=1", "--emit", "p4", "--emit", "report", "-o"])
+        .args([
+            "--mask", "count=1", "--emit", "p4", "--emit", "report", "-o",
+        ])
         .arg(&out)
         .output()
         .expect("runs");

@@ -1,0 +1,2536 @@
+//! The compiled fast-path executor for NCL kernels.
+//!
+//! [`CompiledKernel::compile`] flattens the block-structured [`KernelIr`]
+//! into a linear micro-op program: jump targets become instruction
+//! offsets, window/host parameter types and register/ctrl/map ids are
+//! resolved to dense indices at compile time, and a forward type
+//! dataflow over the virtual register file proves operand types so the
+//! hot loop can run width-specialized ALU ops without the dynamic type
+//! dispatch the tree interpreter pays per instruction.
+//!
+//! The program executes against a reusable [`ExecScratch`] — register
+//! file plus the empty host-memory/switch-state views the interpreter
+//! allocates fresh on every call — so steady-state window processing
+//! performs **zero heap allocations**.
+//!
+//! The tree interpreter ([`crate::interp::Interpreter`]) stays the
+//! semantic oracle: for every kernel, window, and device state,
+//! `CompiledKernel` must produce bit-identical windows, switch state,
+//! forwarding decisions, and errors. The edge cases this implies are
+//! inherited wholesale:
+//!
+//! * window-data reads out of chunk bounds yield 0; writes are dropped;
+//! * register-array indices wrap modulo the array length, and accessing
+//!   an array not placed at this location errors *only if the access
+//!   executes*;
+//! * map misses read as 0 with the hit bit clear, and the value register
+//!   keeps its current dynamic type;
+//! * the forwarding decision defaults to `_pass()`; the last executed
+//!   `Fwd` wins;
+//! * `_here()` consults the device state at run time (state location can
+//!   change between runs);
+//! * the step budget counts instructions plus terminators. Kernels whose
+//!   CFG is acyclic and shorter than the budget provably cannot exhaust
+//!   it, and for those the counter is elided from the loop entirely.
+
+use crate::interp::{HostMemory, InterpError, SwitchState};
+use crate::ir::*;
+use c3::{BinOp, Chunk, Forward, Label, ScalarType, UnOp, Value, Window};
+
+/// Default step budget, matching [`crate::interp::Interpreter`].
+const DEFAULT_STEP_LIMIT: usize = 1_000_000;
+
+/// A micro-op operand: a dense register index or an immediate.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Opnd {
+    Reg(u32),
+    Const(Value),
+}
+
+impl Opnd {
+    #[inline(always)]
+    fn read(self, regs: &[Value]) -> Value {
+        match self {
+            Opnd::Reg(r) => regs[r as usize],
+            Opnd::Const(v) => v,
+        }
+    }
+}
+
+/// Signedness-resolved comparison predicates (width handled by the
+/// canonical bit representation: `Value` never carries stale high bits).
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum CmpOp {
+    Eq,
+    Ne,
+    LtU,
+    LeU,
+    GtU,
+    GeU,
+    LtS,
+    LeS,
+    GtS,
+    GeS,
+}
+
+/// One linear micro-op. Jump targets are instruction offsets.
+#[derive(Clone, Debug)]
+enum Op {
+    // -------- type-specialized ALU (emitted when the dataflow proves
+    // both operand types; bit-identical to `Value::binop` on same-typed
+    // operands because `Value::new` re-masks and bool-normalizes) -------
+    Add {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    Sub {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    Mul {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    BitAnd {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    BitOr {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    BitXor {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+        b: Opnd,
+    },
+    Shl {
+        dst: u32,
+        ty: ScalarType,
+        width: u32,
+        a: Opnd,
+        b: Opnd,
+    },
+    ShrU {
+        dst: u32,
+        ty: ScalarType,
+        width: u32,
+        a: Opnd,
+        b: Opnd,
+    },
+    ShrS {
+        dst: u32,
+        ty: ScalarType,
+        width: u32,
+        a: Opnd,
+        b: Opnd,
+    },
+    Cmp {
+        dst: u32,
+        op: CmpOp,
+        ext: u32,
+        a: Opnd,
+        b: Opnd,
+    },
+    // -------- generic ALU fallback (dynamic types) --------
+    Bin {
+        dst: u32,
+        op: BinOp,
+        a: Opnd,
+        b: Opnd,
+    },
+    Un {
+        dst: u32,
+        op: UnOp,
+        a: Opnd,
+    },
+    Cast {
+        dst: u32,
+        ty: ScalarType,
+        a: Opnd,
+    },
+    Select {
+        dst: u32,
+        cond: Opnd,
+        a: Opnd,
+        b: Opnd,
+    },
+    Copy {
+        dst: u32,
+        a: Opnd,
+    },
+    // -------- window data (parameter element type pre-resolved) --------
+    LdWin {
+        dst: u32,
+        param: u32,
+        ty: ScalarType,
+        index: Opnd,
+    },
+    StWin {
+        param: u32,
+        ty: ScalarType,
+        index: Opnd,
+        val: Opnd,
+    },
+    /// Constant-index chunk read: element index and the exclusive byte
+    /// bound pre-multiplied, so the bounds check is a single compare
+    /// (no division) and the load needs no index arithmetic.
+    LdWinC {
+        dst: u32,
+        param: u32,
+        ty: ScalarType,
+        idx: u32,
+        end: u32,
+    },
+    /// Constant-index chunk write, same precomputation.
+    StWinC {
+        param: u32,
+        ty: ScalarType,
+        idx: u32,
+        end: u32,
+        val: Opnd,
+    },
+    // -------- metadata (one op per field: no field dispatch in the loop)
+    LdSeq {
+        dst: u32,
+    },
+    LdSender {
+        dst: u32,
+    },
+    LdFrom {
+        dst: u32,
+    },
+    LdLen {
+        dst: u32,
+        ty: ScalarType,
+    },
+    LdNChunks {
+        dst: u32,
+    },
+    LdLast {
+        dst: u32,
+    },
+    LdExt {
+        dst: u32,
+        offset: u32,
+        ty: ScalarType,
+    },
+    LdLocationId {
+        dst: u32,
+    },
+    StExt {
+        offset: u32,
+        ty: ScalarType,
+        val: Opnd,
+    },
+    // -------- switch state --------
+    LdReg {
+        dst: u32,
+        arr: u32,
+        index: Opnd,
+    },
+    StReg {
+        arr: u32,
+        index: Opnd,
+        val: Opnd,
+    },
+    // Module-resolved register access: the placement check, the array
+    // length, and the slot element type are all compile-time facts
+    // (`compile_for` only), so the hot loop skips the emptiness check,
+    // the modulo (pre-wrapped constant index, or a mask for
+    // power-of-two lengths), and the slot-type read.
+    /// Constant index, pre-wrapped modulo the array length.
+    LdRegC {
+        dst: u32,
+        arr: u32,
+        idx: u32,
+    },
+    /// Constant index store; `ty` is the proven slot type.
+    StRegC {
+        arr: u32,
+        idx: u32,
+        ty: ScalarType,
+        val: Opnd,
+    },
+    /// Dynamic index, power-of-two length: wrap with a mask.
+    LdRegM {
+        dst: u32,
+        arr: u32,
+        mask: u32,
+        index: Opnd,
+    },
+    /// Dynamic masked store.
+    StRegM {
+        arr: u32,
+        mask: u32,
+        ty: ScalarType,
+        index: Opnd,
+        val: Opnd,
+    },
+    /// Dynamic index, arbitrary known length: wrap with `%`.
+    LdRegL {
+        dst: u32,
+        arr: u32,
+        len: u32,
+        index: Opnd,
+    },
+    /// Dynamic store with known length.
+    StRegL {
+        arr: u32,
+        len: u32,
+        ty: ScalarType,
+        index: Opnd,
+        val: Opnd,
+    },
+    LdCtrl {
+        dst: u32,
+        ctrl: u32,
+    },
+    MapGet {
+        found: u32,
+        val: u32,
+        map: u32,
+        key: Opnd,
+    },
+    /// Access to state the module provably does not place here: the
+    /// placement check hoisted to compile time (fires only if executed).
+    NotPlaced {
+        what: &'static str,
+    },
+    // -------- host memory (incoming kernels) --------
+    LdHost {
+        dst: u32,
+        param: u32,
+        ty: ScalarType,
+        index: Opnd,
+    },
+    StHost {
+        param: u32,
+        index: Opnd,
+        val: Opnd,
+    },
+    // -------- forwarding --------
+    FwdPass,
+    FwdPassTo {
+        label: Label,
+    },
+    FwdReflect,
+    FwdBcast,
+    FwdDrop,
+    Here {
+        dst: u32,
+        label: Label,
+    },
+    // -------- fused element-wise runs (see [`VecOp`]) --------
+    /// `arr[(base+c) & amask] += win[param][c]` for a run of `n` groups.
+    VecAccum(Box<VecOp>),
+    /// `win[param][c] = arr[(base+c) & amask]` for a run of `n` groups.
+    VecRegToWin(Box<VecOp>),
+    /// `arr[(base+c) & amask] = win[param][c]` for a run of `n` groups.
+    VecWinToReg(Box<VecOp>),
+    // -------- control flow (targets are instruction offsets) --------
+    Jmp {
+        target: u32,
+    },
+    Br {
+        cond: Opnd,
+        then: u32,
+        els: u32,
+    },
+    /// Fused compare-and-branch (one dispatch instead of two). Still
+    /// writes `dst`: later blocks may read the compare result.
+    CmpBr {
+        dst: u32,
+        op: CmpOp,
+        ext: u32,
+        a: Opnd,
+        b: Opnd,
+        then: u32,
+        els: u32,
+    },
+    Ret,
+}
+
+/// A fused run of unrolled element-wise groups, the shape the loop
+/// unroller leaves behind for `accum[base+i] += data[i]`-style bodies:
+/// repeated `index-add / LdReg / LdWin / Add / StReg` (or the two copy
+/// directions) with consecutive constant chunk indices. One dispatch
+/// executes the whole run as a tight native loop; the intermediate
+/// virtual registers are elided entirely (fusion proves nothing outside
+/// the run reads them).
+///
+/// Iteration `i` touches chunk element `c = idx0 + i` and register slot
+/// `((base + c) & imask) & amask`, mirroring the scalar ops bit for
+/// bit. When `head_cost < cost`, the first group has no leading index
+/// add (the unroller uses the base register directly), so iteration 0
+/// uses the base bits unmasked, exactly as the scalar `LdReg`/`StReg`
+/// would.
+///
+/// Step accounting stays exact under `counted`: the run charges the
+/// same per-instruction budget the interpreter would, and on exhaustion
+/// performs exactly the stores whose scalar counterparts would have
+/// executed before the limit hit (each group's store is its last
+/// micro-op, and loads/ALU sub-ops only write elided registers).
+#[derive(Clone, Debug)]
+struct VecOp {
+    param: u32,
+    /// Chunk element type.
+    wty: ScalarType,
+    /// First chunk element index.
+    idx0: u32,
+    /// Number of groups in the run.
+    n: u32,
+    arr: u32,
+    /// Register slot mask (power-of-two array length minus one).
+    amask: u32,
+    /// Virtual register holding the base index.
+    base: u32,
+    /// Width mask of the index-add type.
+    imask: u64,
+    /// Accumulate type (`VecAccum` only; both operands proven).
+    aty: ScalarType,
+    /// Store cast target: register slot type, or the chunk element type
+    /// for `VecRegToWin`.
+    sty: ScalarType,
+    /// Interpreter steps per full group.
+    cost: u32,
+    /// Steps of the first group (one less than `cost` when headless).
+    head_cost: u32,
+}
+
+impl VecOp {
+    /// Register slot for iteration `i` (chunk element `idx0 + i`),
+    /// mirroring the scalar index add: iteration 0 of a headless run
+    /// uses the base bits without the index-type mask, exactly as the
+    /// scalar `LdReg`/`StReg` reads the base register directly.
+    #[inline(always)]
+    fn slot(&self, base_bits: u64, i: u32) -> usize {
+        let k = if i == 0 && self.head_cost < self.cost {
+            base_bits
+        } else {
+            base_bits.wrapping_add((self.idx0 + i) as u64) & self.imask
+        };
+        k as usize & self.amask as usize
+    }
+}
+
+/// Zero-extended big-endian load of `N` bytes — what [`Value::read_be`]
+/// produces for every non-bool scalar, without the type dispatch.
+#[inline(always)]
+fn be_load<const N: usize>(data: &[u8], off: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw[8 - N..].copy_from_slice(&data[off..off + N]);
+    u64::from_be_bytes(raw)
+}
+
+/// Big-endian store of the low `N` bytes, mirroring [`Value::write_be`].
+#[inline(always)]
+fn be_store<const N: usize>(data: &mut [u8], off: usize, bits: u64) {
+    data[off..off + N].copy_from_slice(&bits.to_be_bytes()[8 - N..]);
+}
+
+/// `arr[slot] += win[c]` over a fused run. The width-specialized loops
+/// handle the common case (chunk, accumulate, and slot types all equal
+/// and non-bool); anything else takes the `Value`-typed loop.
+fn vec_accum(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: Option<&Chunk>) {
+    if v.wty == v.aty && v.aty == v.sty && v.wty != ScalarType::Bool {
+        return match v.wty.size() {
+            1 => vec_accum_fast::<1>(v, m, base_bits, arr, chunk),
+            2 => vec_accum_fast::<2>(v, m, base_bits, arr, chunk),
+            4 => vec_accum_fast::<4>(v, m, base_bits, arr, chunk),
+            _ => vec_accum_fast::<8>(v, m, base_bits, arr, chunk),
+        };
+    }
+    let size = v.wty.size();
+    for i in 0..m {
+        let cc = (v.idx0 + i) as usize;
+        let slot = v.slot(base_bits, i);
+        let w = chunk
+            .filter(|c| (cc + 1) * size <= c.data.len())
+            .map(|c| c.get(v.wty, cc))
+            .unwrap_or_else(|| Value::zero(v.wty));
+        let bits = arr[slot].bits().wrapping_add(w.bits());
+        arr[slot] = Value::new(v.aty, bits).cast(v.sty);
+    }
+}
+
+#[inline(always)]
+fn vec_accum_fast<const N: usize>(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+) {
+    let mask = v.aty.mask();
+    for i in 0..m {
+        let off = (v.idx0 + i) as usize * N;
+        let w = match chunk {
+            Some(c) if off + N <= c.data.len() => be_load::<N>(&c.data, off),
+            _ => 0,
+        };
+        let slot = v.slot(base_bits, i);
+        let bits = arr[slot].bits().wrapping_add(w) & mask;
+        arr[slot] = Value::new(v.aty, bits);
+    }
+}
+
+/// `win[c] = arr[slot]` over a fused run. A missing chunk drops every
+/// store, exactly like the scalar `StWin`.
+fn vec_reg_to_win(v: &VecOp, m: u32, base_bits: u64, arr: &[Value], chunk: Option<&mut Chunk>) {
+    let Some(c) = chunk else { return };
+    match v.wty.size() {
+        1 => vec_reg_to_win_fast::<1>(v, m, base_bits, arr, c),
+        2 => vec_reg_to_win_fast::<2>(v, m, base_bits, arr, c),
+        4 => vec_reg_to_win_fast::<4>(v, m, base_bits, arr, c),
+        _ => vec_reg_to_win_fast::<8>(v, m, base_bits, arr, c),
+    }
+}
+
+#[inline(always)]
+fn vec_reg_to_win_fast<const N: usize>(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &[Value],
+    c: &mut Chunk,
+) {
+    for i in 0..m {
+        let off = (v.idx0 + i) as usize * N;
+        if off + N > c.data.len() {
+            continue;
+        }
+        let d = arr[v.slot(base_bits, i)];
+        // Same-type cast is the identity on canonical values (bool
+        // included: canonical bool bits are already 0/1).
+        let bits = if d.ty() == v.wty {
+            d.bits()
+        } else {
+            d.cast(v.wty).bits()
+        };
+        be_store::<N>(&mut c.data, off, bits);
+    }
+}
+
+/// `arr[slot] = win[c]` over a fused run.
+fn vec_win_to_reg(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: Option<&Chunk>) {
+    if v.wty == v.sty && v.wty != ScalarType::Bool {
+        return match v.wty.size() {
+            1 => vec_win_to_reg_fast::<1>(v, m, base_bits, arr, chunk),
+            2 => vec_win_to_reg_fast::<2>(v, m, base_bits, arr, chunk),
+            4 => vec_win_to_reg_fast::<4>(v, m, base_bits, arr, chunk),
+            _ => vec_win_to_reg_fast::<8>(v, m, base_bits, arr, chunk),
+        };
+    }
+    let size = v.wty.size();
+    for i in 0..m {
+        let cc = (v.idx0 + i) as usize;
+        let w = chunk
+            .filter(|c| (cc + 1) * size <= c.data.len())
+            .map(|c| c.get(v.wty, cc))
+            .unwrap_or_else(|| Value::zero(v.wty));
+        arr[v.slot(base_bits, i)] = w.cast(v.sty);
+    }
+}
+
+#[inline(always)]
+fn vec_win_to_reg_fast<const N: usize>(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+) {
+    for i in 0..m {
+        let off = (v.idx0 + i) as usize * N;
+        let w = match chunk {
+            Some(c) if off + N <= c.data.len() => be_load::<N>(&c.data, off),
+            _ => 0,
+        };
+        arr[v.slot(base_bits, i)] = Value::new(v.sty, w);
+    }
+}
+
+/// Reusable execution scratch: the per-run state the tree interpreter
+/// allocates fresh on every call. Steady-state reuse performs no heap
+/// allocation (the register file retains its capacity; the spare
+/// state/host views stay empty by construction).
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    regs: Vec<Value>,
+    spare_state: SwitchState,
+    spare_host: HostMemory,
+}
+
+impl ExecScratch {
+    /// A fresh scratch. One per execution site; reuse across runs.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+}
+
+/// What the type dataflow knows about a virtual register at a point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Ty {
+    Known(ScalarType),
+    Any,
+}
+
+impl Ty {
+    fn join(self, other: Ty) -> Ty {
+        match (self, other) {
+            (Ty::Known(a), Ty::Known(b)) if a == b => self,
+            _ => Ty::Any,
+        }
+    }
+}
+
+/// A [`KernelIr`] lowered to a linear, slot-resolved micro-op program.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// Kernel name (diagnostics).
+    pub name: String,
+    ops: Vec<Op>,
+    /// Typed-zero image of the register file: the per-run reset is one
+    /// memcpy instead of a per-register constructor loop.
+    zero_regs: Vec<Value>,
+    step_limit: usize,
+    has_loop: bool,
+    /// Interpreter-visible step count of a full straight-line execution
+    /// (fused ops cover several interpreter steps each).
+    interp_len: usize,
+    /// Elide the step counter when the CFG is acyclic and shorter than
+    /// the budget (it provably cannot exhaust it).
+    counted: bool,
+}
+
+/// Compile-time context resolving state types/placement from a module.
+struct ModuleCtx<'a> {
+    module: &'a Module,
+}
+
+impl CompiledKernel {
+    /// Lowers a kernel without module context. State accesses keep
+    /// their dynamic placement checks and map/ctrl/array element types
+    /// are treated as unknown (the generic ALU ops handle them).
+    pub fn compile(kernel: &KernelIr) -> Self {
+        Self::build(kernel, None)
+    }
+
+    /// Lowers a kernel with its module: array/ctrl element types feed
+    /// the type dataflow, and accesses to state the module does not
+    /// place at its location compile to a hoisted placement error.
+    ///
+    /// The caller must run the result against switch state built by
+    /// [`SwitchState::from_module`] on the *same* module, which is what
+    /// the `(kernel, location)` caches in the runtime do.
+    pub fn compile_for(kernel: &KernelIr, module: &Module) -> Self {
+        Self::build(kernel, Some(ModuleCtx { module }))
+    }
+
+    /// Overrides the step budget (default one million, matching the
+    /// interpreter) and recomputes whether the loop needs a counter.
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self.counted = self.has_loop || self.interp_len > limit;
+        self
+    }
+
+    /// Number of micro-ops in the program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program is empty (never: `Ret` is always present).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Runs an outgoing kernel on a window at a switch; mirrors
+    /// [`crate::interp::Interpreter::run_outgoing`].
+    pub fn run_outgoing(
+        &self,
+        window: &mut Window,
+        state: &mut SwitchState,
+        scratch: &mut ExecScratch,
+    ) -> Result<Forward, InterpError> {
+        let mut host = std::mem::take(&mut scratch.spare_host);
+        let result = self.run(window, state, &mut host, &mut scratch.regs);
+        scratch.spare_host = host;
+        result
+    }
+
+    /// Runs an incoming kernel on a window at a host; mirrors
+    /// [`crate::interp::Interpreter::run_incoming`].
+    pub fn run_incoming(
+        &self,
+        window: &mut Window,
+        host: &mut HostMemory,
+        scratch: &mut ExecScratch,
+    ) -> Result<(), InterpError> {
+        let mut state = std::mem::take(&mut scratch.spare_state);
+        let result = self.run(window, &mut state, host, &mut scratch.regs);
+        scratch.spare_state = state;
+        result.map(|_| ())
+    }
+
+    fn run(
+        &self,
+        window: &mut Window,
+        state: &mut SwitchState,
+        host: &mut HostMemory,
+        regs: &mut Vec<Value>,
+    ) -> Result<Forward, InterpError> {
+        // Reset the register file to typed zeros without reallocating.
+        regs.clear();
+        regs.extend_from_slice(&self.zero_regs);
+        let regs = &mut regs[..];
+
+        let mut decision = Forward::Pass;
+        let mut pc = 0usize;
+        let mut steps = 0usize;
+        loop {
+            if self.counted {
+                steps += 1;
+                if steps > self.step_limit {
+                    return Err(InterpError::StepLimit);
+                }
+            }
+            match &self.ops[pc] {
+                Op::Add { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits().wrapping_add(b.read(regs).bits());
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::Sub { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits().wrapping_sub(b.read(regs).bits());
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::Mul { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits().wrapping_mul(b.read(regs).bits());
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::BitAnd { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits() & b.read(regs).bits();
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::BitOr { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits() | b.read(regs).bits();
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::BitXor { dst, ty, a, b } => {
+                    let bits = a.read(regs).bits() ^ b.read(regs).bits();
+                    regs[*dst as usize] = Value::new(*ty, bits);
+                }
+                Op::Shl {
+                    dst,
+                    ty,
+                    width,
+                    a,
+                    b,
+                } => {
+                    let sh = b.read(regs).bits() as u32 % width;
+                    regs[*dst as usize] = Value::new(*ty, a.read(regs).bits().wrapping_shl(sh));
+                }
+                Op::ShrU {
+                    dst,
+                    ty,
+                    width,
+                    a,
+                    b,
+                } => {
+                    let sh = b.read(regs).bits() as u32 % width;
+                    regs[*dst as usize] = Value::new(*ty, a.read(regs).bits() >> sh);
+                }
+                Op::ShrS {
+                    dst,
+                    ty,
+                    width,
+                    a,
+                    b,
+                } => {
+                    let sh = b.read(regs).bits() as u32 % width;
+                    let ext = 64 - width;
+                    let x = ((a.read(regs).bits() << ext) as i64) >> ext; // sign-extend
+                    regs[*dst as usize] = Value::new(*ty, (x >> sh) as u64);
+                }
+                Op::Cmp { dst, op, ext, a, b } => {
+                    let r = cmp_eval(*op, *ext, a.read(regs).bits(), b.read(regs).bits());
+                    regs[*dst as usize] = Value::bool(r);
+                }
+                Op::Bin { dst, op, a, b } => {
+                    regs[*dst as usize] = Value::binop(*op, a.read(regs), b.read(regs));
+                }
+                Op::Un { dst, op, a } => {
+                    regs[*dst as usize] = Value::unop(*op, a.read(regs));
+                }
+                Op::Cast { dst, ty, a } => {
+                    regs[*dst as usize] = a.read(regs).cast(*ty);
+                }
+                Op::Select { dst, cond, a, b } => {
+                    regs[*dst as usize] = if cond.read(regs).is_truthy() {
+                        a.read(regs)
+                    } else {
+                        b.read(regs)
+                    };
+                }
+                Op::Copy { dst, a } => {
+                    regs[*dst as usize] = a.read(regs);
+                }
+                Op::LdWin {
+                    dst,
+                    param,
+                    ty,
+                    index,
+                } => {
+                    let idx = index.read(regs).bits() as usize;
+                    let v = window
+                        .chunks
+                        .get(*param as usize)
+                        .filter(|c| idx < c.elems(*ty))
+                        .map(|c| c.get(*ty, idx))
+                        .unwrap_or_else(|| Value::zero(*ty));
+                    regs[*dst as usize] = v;
+                }
+                Op::StWin {
+                    param,
+                    ty,
+                    index,
+                    val,
+                } => {
+                    let idx = index.read(regs).bits() as usize;
+                    let v = val.read(regs).cast(*ty);
+                    if let Some(c) = window.chunks.get_mut(*param as usize) {
+                        if idx < c.elems(*ty) {
+                            c.set(*ty, idx, v);
+                        }
+                    }
+                }
+                Op::LdWinC {
+                    dst,
+                    param,
+                    ty,
+                    idx,
+                    end,
+                } => {
+                    let v = window
+                        .chunks
+                        .get(*param as usize)
+                        .filter(|c| *end as usize <= c.data.len())
+                        .map(|c| c.get(*ty, *idx as usize))
+                        .unwrap_or_else(|| Value::zero(*ty));
+                    regs[*dst as usize] = v;
+                }
+                Op::StWinC {
+                    param,
+                    ty,
+                    idx,
+                    end,
+                    val,
+                } => {
+                    let v = val.read(regs).cast(*ty);
+                    if let Some(c) = window.chunks.get_mut(*param as usize) {
+                        if *end as usize <= c.data.len() {
+                            c.set(*ty, *idx as usize, v);
+                        }
+                    }
+                }
+                Op::LdSeq { dst } => regs[*dst as usize] = Value::u32(window.seq),
+                Op::LdSender { dst } => {
+                    regs[*dst as usize] = Value::new(ScalarType::U16, window.sender.0 as u64);
+                }
+                Op::LdFrom { dst } => {
+                    regs[*dst as usize] = Value::new(ScalarType::U16, window.from.to_wire() as u64);
+                }
+                Op::LdLen { dst, ty } => {
+                    let n = window.chunks.first().map(|c| c.elems(*ty)).unwrap_or(0);
+                    regs[*dst as usize] = Value::new(ScalarType::U16, n as u64);
+                }
+                Op::LdNChunks { dst } => {
+                    regs[*dst as usize] = Value::new(ScalarType::U8, window.chunks.len() as u64);
+                }
+                Op::LdLast { dst } => regs[*dst as usize] = Value::bool(window.last),
+                Op::LdExt { dst, offset, ty } => {
+                    regs[*dst as usize] = window.ext_read(*ty, *offset as usize);
+                }
+                Op::LdLocationId { dst } => {
+                    regs[*dst as usize] = Value::new(ScalarType::U16, state.location_id as u64);
+                }
+                Op::StExt { offset, ty, val } => {
+                    let v = val.read(regs).cast(*ty);
+                    window.ext_write(*offset as usize, v);
+                }
+                Op::LdReg { dst, arr, index } => {
+                    let a = &state.registers[*arr as usize];
+                    if a.is_empty() {
+                        return Err(InterpError::NotPlacedHere("register array"));
+                    }
+                    let idx = index.read(regs).bits() as usize % a.len();
+                    regs[*dst as usize] = a[idx];
+                }
+                Op::StReg { arr, index, val } => {
+                    let v = val.read(regs);
+                    let idx = index.read(regs).bits() as usize;
+                    let a = &mut state.registers[*arr as usize];
+                    if a.is_empty() {
+                        return Err(InterpError::NotPlacedHere("register array"));
+                    }
+                    let idx = idx % a.len();
+                    let ty = a[idx].ty();
+                    a[idx] = v.cast(ty);
+                }
+                Op::LdRegC { dst, arr, idx } => {
+                    regs[*dst as usize] = state.registers[*arr as usize][*idx as usize];
+                }
+                Op::StRegC { arr, idx, ty, val } => {
+                    let v = val.read(regs).cast(*ty);
+                    state.registers[*arr as usize][*idx as usize] = v;
+                }
+                Op::LdRegM {
+                    dst,
+                    arr,
+                    mask,
+                    index,
+                } => {
+                    let idx = index.read(regs).bits() as usize & *mask as usize;
+                    regs[*dst as usize] = state.registers[*arr as usize][idx];
+                }
+                Op::StRegM {
+                    arr,
+                    mask,
+                    ty,
+                    index,
+                    val,
+                } => {
+                    let v = val.read(regs).cast(*ty);
+                    let idx = index.read(regs).bits() as usize & *mask as usize;
+                    state.registers[*arr as usize][idx] = v;
+                }
+                Op::LdRegL {
+                    dst,
+                    arr,
+                    len,
+                    index,
+                } => {
+                    let idx = index.read(regs).bits() as usize % *len as usize;
+                    regs[*dst as usize] = state.registers[*arr as usize][idx];
+                }
+                Op::StRegL {
+                    arr,
+                    len,
+                    ty,
+                    index,
+                    val,
+                } => {
+                    let v = val.read(regs).cast(*ty);
+                    let idx = index.read(regs).bits() as usize % *len as usize;
+                    state.registers[*arr as usize][idx] = v;
+                }
+                Op::LdCtrl { dst, ctrl } => {
+                    regs[*dst as usize] = state.ctrls[*ctrl as usize];
+                }
+                Op::MapGet {
+                    found,
+                    val,
+                    map,
+                    key,
+                } => {
+                    let k = key.read(regs).bits();
+                    let ty = regs[*val as usize].ty();
+                    match state.maps[*map as usize].get(&k) {
+                        Some(v) => {
+                            regs[*found as usize] = Value::bool(true);
+                            regs[*val as usize] = v.cast(ty);
+                        }
+                        None => {
+                            regs[*found as usize] = Value::bool(false);
+                            regs[*val as usize] = Value::zero(ty);
+                        }
+                    }
+                }
+                Op::NotPlaced { what } => {
+                    return Err(InterpError::NotPlacedHere(what));
+                }
+                Op::LdHost {
+                    dst,
+                    param,
+                    ty,
+                    index,
+                } => {
+                    let idx = index.read(regs).bits() as usize;
+                    let v = host
+                        .arrays
+                        .get(*param as usize)
+                        .and_then(|a| a.get(idx))
+                        .copied()
+                        .unwrap_or_else(|| Value::zero(*ty));
+                    regs[*dst as usize] = v;
+                }
+                Op::StHost { param, index, val } => {
+                    let v = val.read(regs);
+                    let idx = index.read(regs).bits() as usize;
+                    if let Some(a) = host.arrays.get_mut(*param as usize) {
+                        if let Some(slot) = a.get_mut(idx) {
+                            let ty = slot.ty();
+                            *slot = v.cast(ty);
+                        }
+                    }
+                }
+                Op::FwdPass => decision = Forward::Pass,
+                Op::FwdPassTo { label } => decision = Forward::PassTo(label.clone()),
+                Op::FwdReflect => decision = Forward::Reflect,
+                Op::FwdBcast => decision = Forward::Bcast,
+                Op::FwdDrop => decision = Forward::Drop,
+                Op::Here { dst, label } => {
+                    let here = state.location.as_ref().map(|l| l == label).unwrap_or(false);
+                    regs[*dst as usize] = Value::bool(here);
+                }
+                Op::VecAccum(v) => {
+                    let (m, exhausted) = self.vec_iters(v, &mut steps);
+                    let base_bits = regs[v.base as usize].bits();
+                    vec_accum(
+                        v,
+                        m,
+                        base_bits,
+                        &mut state.registers[v.arr as usize],
+                        window.chunks.get(v.param as usize),
+                    );
+                    if exhausted {
+                        return Err(InterpError::StepLimit);
+                    }
+                }
+                Op::VecRegToWin(v) => {
+                    let (m, exhausted) = self.vec_iters(v, &mut steps);
+                    let base_bits = regs[v.base as usize].bits();
+                    vec_reg_to_win(
+                        v,
+                        m,
+                        base_bits,
+                        &state.registers[v.arr as usize],
+                        window.chunks.get_mut(v.param as usize),
+                    );
+                    if exhausted {
+                        return Err(InterpError::StepLimit);
+                    }
+                }
+                Op::VecWinToReg(v) => {
+                    let (m, exhausted) = self.vec_iters(v, &mut steps);
+                    let base_bits = regs[v.base as usize].bits();
+                    vec_win_to_reg(
+                        v,
+                        m,
+                        base_bits,
+                        &mut state.registers[v.arr as usize],
+                        window.chunks.get(v.param as usize),
+                    );
+                    if exhausted {
+                        return Err(InterpError::StepLimit);
+                    }
+                }
+                Op::Jmp { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::Br { cond, then, els } => {
+                    pc = if cond.read(regs).is_truthy() {
+                        *then as usize
+                    } else {
+                        *els as usize
+                    };
+                    continue;
+                }
+                Op::CmpBr {
+                    dst,
+                    op,
+                    ext,
+                    a,
+                    b,
+                    then,
+                    els,
+                } => {
+                    let r = cmp_eval(*op, *ext, a.read(regs).bits(), b.read(regs).bits());
+                    regs[*dst as usize] = Value::bool(r);
+                    // The fusion covers an instruction plus a terminator:
+                    // charge the second step so budget exhaustion stays
+                    // bit-identical to the interpreter.
+                    if self.counted {
+                        steps += 1;
+                        if steps > self.step_limit {
+                            return Err(InterpError::StepLimit);
+                        }
+                    }
+                    pc = if r { *then as usize } else { *els as usize };
+                    continue;
+                }
+                Op::Ret => return Ok(decision),
+            }
+            pc += 1;
+        }
+    }
+
+    /// How many groups of a fused run execute, and whether the step
+    /// budget dies inside it. The main loop pre-charged one step for
+    /// this op; group `j`'s store (its last micro-op) executes exactly
+    /// when the interpreter's budget would have reached it.
+    #[inline(always)]
+    fn vec_iters(&self, v: &VecOp, steps: &mut usize) -> (u32, bool) {
+        if !self.counted {
+            return (v.n, false);
+        }
+        let before = *steps - 1; // loop top pre-charged one step
+        let budget = self.step_limit - before;
+        let (head, cost, n) = (v.head_cost as usize, v.cost as usize, v.n as usize);
+        let total = head + (n - 1) * cost;
+        if total <= budget {
+            *steps = before + total;
+            (v.n, false)
+        } else {
+            let m = if budget < head {
+                0
+            } else {
+                ((budget - head) / cost + 1).min(n)
+            };
+            (m as u32, true)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Lowering
+    // -----------------------------------------------------------------
+
+    fn build(kernel: &KernelIr, ctx: Option<ModuleCtx<'_>>) -> Self {
+        // Parameter element types, resolved once (the interpreter
+        // rebuilds these Vecs on every run).
+        let win_params: Vec<ScalarType> = kernel
+            .params
+            .iter()
+            .filter(|p| !p.ext)
+            .map(|p| p.elem)
+            .collect();
+        let ext_params: Vec<ScalarType> = kernel
+            .params
+            .iter()
+            .filter(|p| p.ext)
+            .map(|p| p.elem)
+            .collect();
+
+        let entry_tys: Vec<Ty> = kernel.reg_tys.iter().map(|&t| Ty::Known(t)).collect();
+        let block_tys = type_dataflow(kernel, &entry_tys, &win_params, ctx.as_ref());
+
+        // Lower per block first (compare+branch fusion changes op
+        // counts, so offsets are only known afterwards); jump targets
+        // hold block ids until the final patch pass.
+        let mut block_ops: Vec<Vec<Op>> = Vec::with_capacity(kernel.blocks.len());
+        for (bi, b) in kernel.blocks.iter().enumerate() {
+            let mut v: Vec<Op> = Vec::with_capacity(b.insts.len() + 1);
+            let mut tys = block_tys[bi].clone();
+            for inst in &b.insts {
+                v.push(lower_inst(
+                    inst,
+                    &tys,
+                    &win_params,
+                    &ext_params,
+                    ctx.as_ref(),
+                ));
+                transfer(inst, &mut tys, &win_params, ctx.as_ref());
+            }
+            match &b.term {
+                Terminator::Ret => v.push(Op::Ret),
+                Terminator::Jmp(next) => v.push(Op::Jmp { target: next.0 }),
+                Terminator::Br { cond, then, els } => {
+                    // Fuse when the branch consumes the compare computed
+                    // immediately before it.
+                    let fusable = matches!(
+                        (cond, v.last()),
+                        (Operand::Reg(r), Some(Op::Cmp { dst, .. })) if *dst == r.0
+                    );
+                    if fusable {
+                        let Some(Op::Cmp { dst, op, ext, a, b }) = v.pop() else {
+                            unreachable!("just matched")
+                        };
+                        v.push(Op::CmpBr {
+                            dst,
+                            op,
+                            ext,
+                            a,
+                            b,
+                            then: then.0,
+                            els: els.0,
+                        });
+                    } else {
+                        v.push(Op::Br {
+                            cond: lower_opnd(cond),
+                            then: then.0,
+                            els: els.0,
+                        });
+                    }
+                }
+            }
+            block_ops.push(v);
+        }
+
+        // Fuse runs of unrolled element-wise groups into vector ops
+        // (within blocks only: jump targets land on block starts).
+        fuse_element_runs(&mut block_ops, kernel.reg_tys.len());
+
+        let mut block_start = Vec::with_capacity(block_ops.len());
+        let mut off = 0u32;
+        for v in &block_ops {
+            block_start.push(off);
+            off += v.len() as u32;
+        }
+        let mut ops = Vec::with_capacity(off as usize);
+        for v in block_ops {
+            for mut op in v {
+                match &mut op {
+                    Op::Jmp { target } => *target = block_start[*target as usize],
+                    Op::Br { then, els, .. } | Op::CmpBr { then, els, .. } => {
+                        *then = block_start[*then as usize];
+                        *els = block_start[*els as usize];
+                    }
+                    _ => {}
+                }
+                ops.push(op);
+            }
+        }
+
+        let has_loop = kernel.has_loop();
+        let interp_len: usize = ops.iter().map(op_cost).sum();
+        CompiledKernel {
+            name: kernel.name.clone(),
+            counted: has_loop || interp_len > DEFAULT_STEP_LIMIT,
+            ops,
+            zero_regs: kernel.reg_tys.iter().map(|&ty| Value::zero(ty)).collect(),
+            step_limit: DEFAULT_STEP_LIMIT,
+            interp_len,
+            has_loop,
+        }
+    }
+}
+
+/// Evaluates a signedness-resolved comparison over canonical bits.
+#[inline(always)]
+fn cmp_eval(op: CmpOp, ext: u32, x: u64, y: u64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::LtU => x < y,
+        CmpOp::LeU => x <= y,
+        CmpOp::GtU => x > y,
+        CmpOp::GeU => x >= y,
+        CmpOp::LtS => ((x << ext) as i64) < ((y << ext) as i64),
+        CmpOp::LeS => ((x << ext) as i64) <= ((y << ext) as i64),
+        CmpOp::GtS => ((x << ext) as i64) > ((y << ext) as i64),
+        CmpOp::GeS => ((x << ext) as i64) >= ((y << ext) as i64),
+    }
+}
+
+fn lower_opnd(o: &Operand) -> Opnd {
+    match o {
+        Operand::Reg(r) => Opnd::Reg(r.0),
+        Operand::Const(v) => Opnd::Const(*v),
+    }
+}
+
+/// Interpreter steps one micro-op accounts for.
+fn op_cost(op: &Op) -> usize {
+    match op {
+        Op::CmpBr { .. } => 2,
+        Op::VecAccum(v) | Op::VecRegToWin(v) | Op::VecWinToReg(v) => {
+            (v.head_cost + (v.n - 1) * v.cost) as usize
+        }
+        _ => 1,
+    }
+}
+
+/// Visits every virtual register a micro-op reads. Exhaustive on
+/// purpose: a missed read would let run fusion elide a live register.
+fn op_reads(op: &Op, f: &mut impl FnMut(u32)) {
+    let mut o = |x: &Opnd| {
+        if let Opnd::Reg(r) = x {
+            f(*r)
+        }
+    };
+    match op {
+        Op::Add { a, b, .. }
+        | Op::Sub { a, b, .. }
+        | Op::Mul { a, b, .. }
+        | Op::BitAnd { a, b, .. }
+        | Op::BitOr { a, b, .. }
+        | Op::BitXor { a, b, .. }
+        | Op::Shl { a, b, .. }
+        | Op::ShrU { a, b, .. }
+        | Op::ShrS { a, b, .. }
+        | Op::Cmp { a, b, .. }
+        | Op::Bin { a, b, .. }
+        | Op::CmpBr { a, b, .. } => {
+            o(a);
+            o(b);
+        }
+        Op::Un { a, .. } | Op::Cast { a, .. } | Op::Copy { a, .. } => o(a),
+        Op::Select { cond, a, b, .. } => {
+            o(cond);
+            o(a);
+            o(b);
+        }
+        Op::LdWin { index, .. }
+        | Op::LdReg { index, .. }
+        | Op::LdRegM { index, .. }
+        | Op::LdRegL { index, .. }
+        | Op::LdHost { index, .. } => o(index),
+        Op::StWin { index, val, .. }
+        | Op::StReg { index, val, .. }
+        | Op::StRegM { index, val, .. }
+        | Op::StRegL { index, val, .. }
+        | Op::StHost { index, val, .. } => {
+            o(index);
+            o(val);
+        }
+        Op::StWinC { val, .. } | Op::StRegC { val, .. } | Op::StExt { val, .. } => o(val),
+        // MapGet reads the value register's current dynamic type.
+        Op::MapGet { key, val, .. } => {
+            o(key);
+            f(*val);
+        }
+        Op::Br { cond, .. } => o(cond),
+        Op::VecAccum(v) | Op::VecRegToWin(v) | Op::VecWinToReg(v) => f(v.base),
+        Op::LdWinC { .. }
+        | Op::LdSeq { .. }
+        | Op::LdSender { .. }
+        | Op::LdFrom { .. }
+        | Op::LdLen { .. }
+        | Op::LdNChunks { .. }
+        | Op::LdLast { .. }
+        | Op::LdExt { .. }
+        | Op::LdLocationId { .. }
+        | Op::LdRegC { .. }
+        | Op::LdCtrl { .. }
+        | Op::NotPlaced { .. }
+        | Op::FwdPass
+        | Op::FwdPassTo { .. }
+        | Op::FwdReflect
+        | Op::FwdBcast
+        | Op::FwdDrop
+        | Op::Here { .. }
+        | Op::Jmp { .. }
+        | Op::Ret => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Element-wise run fusion
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum VecKind {
+    Accum,
+    RegToWin,
+    WinToReg,
+}
+
+/// One matched unrolled group: the micro-ops for a single element of an
+/// `arr[base+c] (op)= win[c]` body.
+struct Group {
+    len: usize,
+    kind: VecKind,
+    /// Has a leading index add (all but the first group of a run do).
+    headed: bool,
+    /// Chunk element index.
+    cc: u32,
+    base: u32,
+    /// Index-add type (meaningful when `headed`).
+    ity: ScalarType,
+    param: u32,
+    wty: ScalarType,
+    arr: u32,
+    amask: u32,
+    /// Accumulate type (`Accum` only).
+    aty: ScalarType,
+    /// Register-slot store type (`Accum`/`WinToReg`).
+    sty: ScalarType,
+    /// Intermediate registers the fused run elides.
+    elided: [u32; 4],
+    nelided: usize,
+}
+
+/// Matches one unrolled group at the head of `ops`. The shapes are the
+/// three orders the lowering pipeline actually produces; anything else
+/// simply stays scalar.
+fn match_group(ops: &[Op]) -> Option<Group> {
+    // Optional leading index add: `k = base + c` at an integer type.
+    let head = match ops.first()? {
+        Op::Add {
+            dst,
+            ty,
+            a: Opnd::Reg(base),
+            b: Opnd::Const(v),
+        } if *ty != ScalarType::Bool => Some((*dst, *base, *ty, v.bits())),
+        _ => None,
+    };
+
+    // Accum / RegToWin: [add], LdRegM, ...
+    if let Some(&Op::LdRegM {
+        dst: d,
+        arr,
+        mask: amask,
+        index: Opnd::Reg(ix),
+    }) = ops.get(head.is_some() as usize)
+    {
+        let at = head.is_some() as usize + 1;
+        let (k, base, ity, off) = match head {
+            Some((k, base, ity, off)) => (k, base, ity, off),
+            None => (ix, ix, ScalarType::U32, 0),
+        };
+        if ix != k || d == base || head.map(|h| h.0 == base) == Some(true) {
+            return None;
+        }
+        match (ops.get(at), ops.get(at + 1)) {
+            // ... LdWinC, Add, StRegM  (accumulate)
+            (
+                Some(&Op::LdWinC {
+                    dst: w,
+                    param,
+                    ty: wty,
+                    idx: cc,
+                    ..
+                }),
+                Some(&Op::Add {
+                    dst: s,
+                    ty: aty,
+                    a: Opnd::Reg(x),
+                    b: Opnd::Reg(y),
+                }),
+            ) if (x == d && y == w) || (x == w && y == d) => {
+                if head.is_some() && off != cc as u64 {
+                    return None;
+                }
+                match ops.get(at + 2) {
+                    Some(&Op::StRegM {
+                        arr: arr2,
+                        mask: m2,
+                        ty: sty,
+                        index: Opnd::Reg(ix2),
+                        val: Opnd::Reg(v2),
+                    }) if arr2 == arr && m2 == amask && ix2 == k && v2 == s => {
+                        let elided = [d, w, s, if head.is_some() { k } else { d }];
+                        if distinct(&[d, w, s], k, base, head.is_some()) {
+                            Some(Group {
+                                len: at + 3,
+                                kind: VecKind::Accum,
+                                headed: head.is_some(),
+                                cc,
+                                base,
+                                ity,
+                                param,
+                                wty,
+                                arr,
+                                amask,
+                                aty,
+                                sty,
+                                elided,
+                                nelided: if head.is_some() { 4 } else { 3 },
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            // ... StWinC  (register → window copy)
+            (
+                Some(&Op::StWinC {
+                    param,
+                    ty: wty,
+                    idx: cc,
+                    val: Opnd::Reg(v2),
+                    ..
+                }),
+                _,
+            ) if v2 == d => {
+                if head.is_some() && off != cc as u64 {
+                    return None;
+                }
+                let elided = [d, if head.is_some() { k } else { d }, 0, 0];
+                if distinct(&[d], k, base, head.is_some()) {
+                    Some(Group {
+                        len: at + 1,
+                        kind: VecKind::RegToWin,
+                        headed: head.is_some(),
+                        cc,
+                        base,
+                        ity,
+                        param,
+                        wty,
+                        arr,
+                        amask,
+                        aty: wty,
+                        sty: wty,
+                        elided,
+                        nelided: if head.is_some() { 2 } else { 1 },
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+    // WinToReg: LdWinC, [add], StRegM  (window → register copy)
+    else if let Some(&Op::LdWinC {
+        dst: w,
+        param,
+        ty: wty,
+        idx: cc,
+        ..
+    }) = ops.first()
+    {
+        let head = match ops.get(1) {
+            Some(Op::Add {
+                dst,
+                ty,
+                a: Opnd::Reg(base),
+                b: Opnd::Const(v),
+            }) if *ty != ScalarType::Bool => Some((*dst, *base, *ty, v.bits())),
+            _ => None,
+        };
+        let at = 1 + head.is_some() as usize;
+        let (k, base, ity, off) = match head {
+            Some((k, base, ity, off)) => (k, base, ity, off),
+            None => (u32::MAX, u32::MAX, ScalarType::U32, 0),
+        };
+        if head.is_some() && (off != cc as u64 || k == base || w == base || w == k) {
+            return None;
+        }
+        match ops.get(at) {
+            Some(&Op::StRegM {
+                arr,
+                mask: amask,
+                ty: sty,
+                index: Opnd::Reg(ix),
+                val: Opnd::Reg(v2),
+            }) if v2 == w => {
+                let (base, ix_ok) = if head.is_some() {
+                    (base, ix == k)
+                } else {
+                    (ix, ix != w)
+                };
+                if !ix_ok {
+                    return None;
+                }
+                let elided = [w, if head.is_some() { k } else { w }, 0, 0];
+                Some(Group {
+                    len: at + 1,
+                    kind: VecKind::WinToReg,
+                    headed: head.is_some(),
+                    cc,
+                    base,
+                    ity,
+                    param,
+                    wty,
+                    arr,
+                    amask,
+                    aty: sty,
+                    sty,
+                    elided,
+                    nelided: if head.is_some() { 2 } else { 1 },
+                })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Intermediate registers must be pairwise distinct and distinct from
+/// the base/index registers, or the scalar dataflow the vector loop
+/// models would be wrong.
+fn distinct(dsts: &[u32], k: u32, base: u32, headed: bool) -> bool {
+    for (i, &a) in dsts.iter().enumerate() {
+        if a == base || (headed && a == k) {
+            return false;
+        }
+        for &b in &dsts[i + 1..] {
+            if a == b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Replaces runs of matched groups with one vector op per run. Sound
+/// only when nothing outside the run reads the elided registers, which
+/// is checked against whole-kernel read counts.
+fn fuse_element_runs(block_ops: &mut [Vec<Op>], nregs: usize) {
+    let mut global_reads = vec![0u32; nregs];
+    for block in block_ops.iter() {
+        for op in block {
+            op_reads(op, &mut |r| global_reads[r as usize] += 1);
+        }
+    }
+
+    for block in block_ops.iter_mut() {
+        let mut out: Vec<Op> = Vec::with_capacity(block.len());
+        let mut i = 0;
+        while i < block.len() {
+            match try_fuse_run(&block[i..], &global_reads) {
+                Some((op, len)) => {
+                    out.push(op);
+                    i += len;
+                }
+                None => {
+                    out.push(block[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        *block = out;
+    }
+}
+
+/// Attempts to fuse a run starting at `ops[0]`; returns the vector op
+/// and how many scalar ops it replaces.
+fn try_fuse_run(ops: &[Op], global_reads: &[u32]) -> Option<(Op, usize)> {
+    let first = match_group(ops)?;
+    let mut groups = vec![first];
+    loop {
+        let prev = groups.last().expect("non-empty");
+        let at: usize = groups.iter().map(|g| g.len).sum();
+        match match_group(&ops[at..]) {
+            Some(g)
+                if g.headed
+                    && g.kind == prev.kind
+                    && g.cc == prev.cc + 1
+                    && g.base == prev.base
+                    && g.param == prev.param
+                    && g.wty == prev.wty
+                    && g.arr == prev.arr
+                    && g.amask == prev.amask
+                    && g.aty == prev.aty
+                    && g.sty == prev.sty
+                    && (!prev.headed || g.ity == prev.ity) =>
+            {
+                groups.push(g)
+            }
+            _ => break,
+        }
+    }
+    if groups.len() < 2 {
+        return None;
+    }
+
+    // Trim the run until every elided register is read only inside it.
+    loop {
+        if groups.len() < 2 {
+            return None;
+        }
+        let len: usize = groups.iter().map(|g| g.len).sum();
+        let mut region_reads = std::collections::HashMap::new();
+        for op in &ops[..len] {
+            op_reads(op, &mut |r| *region_reads.entry(r).or_insert(0u32) += 1);
+        }
+        let live_outside = groups.iter().any(|g| {
+            g.elided[..g.nelided]
+                .iter()
+                .any(|&r| global_reads[r as usize] != region_reads.get(&r).copied().unwrap_or(0))
+        });
+        if !live_outside {
+            break;
+        }
+        // The common offender is the final group's destination feeding a
+        // later use; dropping tail groups converges quickly.
+        groups.pop();
+    }
+
+    let first = &groups[0];
+    let ity = if first.headed {
+        first.ity
+    } else {
+        groups[1].ity
+    };
+    let width = ity.bits();
+    let imask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let cost = match first.kind {
+        VecKind::Accum => 5u32,
+        VecKind::RegToWin | VecKind::WinToReg => 3,
+    };
+    let v = Box::new(VecOp {
+        param: first.param,
+        wty: first.wty,
+        idx0: first.cc,
+        n: groups.len() as u32,
+        arr: first.arr,
+        amask: first.amask,
+        base: first.base,
+        imask,
+        aty: first.aty,
+        sty: first.sty,
+        cost,
+        head_cost: if first.headed { cost } else { cost - 1 },
+    });
+    let len = groups.iter().map(|g| g.len).sum();
+    let op = match first.kind {
+        VecKind::Accum => Op::VecAccum(v),
+        VecKind::RegToWin => Op::VecRegToWin(v),
+        VecKind::WinToReg => Op::VecWinToReg(v),
+    };
+    Some((op, len))
+}
+
+/// The type of an operand under the current dataflow facts.
+fn opnd_ty(o: &Operand, tys: &[Ty]) -> Ty {
+    match o {
+        Operand::Const(v) => Ty::Known(v.ty()),
+        Operand::Reg(r) => tys[r.0 as usize],
+    }
+}
+
+/// The type an instruction writes to its destination, or `Ty::Any` when
+/// it cannot be proven. Mirrors the dynamic typing of the interpreter.
+fn result_ty(
+    inst: &Inst,
+    tys: &[Ty],
+    win_params: &[ScalarType],
+    ctx: Option<&ModuleCtx<'_>>,
+) -> Ty {
+    match inst {
+        Inst::Bin { op, a, b, .. } => {
+            if op.is_comparison() {
+                return Ty::Known(ScalarType::Bool);
+            }
+            match (opnd_ty(a, tys), opnd_ty(b, tys)) {
+                (Ty::Known(x), Ty::Known(y)) if x == y => Ty::Known(x),
+                _ => Ty::Any,
+            }
+        }
+        Inst::Un { op, a, .. } => match op {
+            UnOp::Not => Ty::Known(ScalarType::Bool),
+            UnOp::Neg | UnOp::BitNot => opnd_ty(a, tys),
+        },
+        Inst::Cast { ty, .. } => Ty::Known(*ty),
+        Inst::Select { a, b, .. } => opnd_ty(a, tys).join(opnd_ty(b, tys)),
+        Inst::Copy { a, .. } => opnd_ty(a, tys),
+        // Chunk reads always produce the parameter element type (the
+        // out-of-bounds fallback is a zero of that same type).
+        Inst::LdWin { param, .. } => Ty::Known(win_params[*param as usize]),
+        Inst::LdMeta { field, .. } => Ty::Known(field.ty()),
+        Inst::LdReg { arr, .. } => match ctx {
+            Some(c) => Ty::Known(c.module.registers[arr.0 as usize].elem),
+            None => Ty::Any,
+        },
+        Inst::LdCtrl { ctrl, .. } => match ctx {
+            Some(c) => Ty::Known(c.module.ctrls[ctrl.0 as usize].ty),
+            None => Ty::Any,
+        },
+        Inst::LdHost { .. } => Ty::Any, // host array element types are dynamic
+        Inst::Here { .. } => Ty::Known(ScalarType::Bool),
+        _ => Ty::Any,
+    }
+}
+
+/// Applies an instruction's type effects to the dataflow state.
+fn transfer(inst: &Inst, tys: &mut [Ty], win_params: &[ScalarType], ctx: Option<&ModuleCtx<'_>>) {
+    match inst {
+        Inst::MapGet { found, .. } => {
+            tys[found.0 as usize] = Ty::Known(ScalarType::Bool);
+            // The value register keeps its current dynamic type.
+        }
+        _ => {
+            let r = result_ty(inst, tys, win_params, ctx);
+            for dst in inst.dsts() {
+                tys[dst.0 as usize] = r;
+            }
+        }
+    }
+}
+
+/// Forward type dataflow: per-block register types at entry, as a
+/// fixpoint over the CFG (join = type equality, else `Any`).
+fn type_dataflow(
+    kernel: &KernelIr,
+    entry: &[Ty],
+    win_params: &[ScalarType],
+    ctx: Option<&ModuleCtx<'_>>,
+) -> Vec<Vec<Ty>> {
+    let n = kernel.blocks.len();
+    let mut states: Vec<Option<Vec<Ty>>> = vec![None; n];
+    states[0] = Some(entry.to_vec());
+    let mut work = vec![BlockId(0)];
+    while let Some(b) = work.pop() {
+        let mut tys = states[b.0 as usize].clone().expect("reachable block");
+        for inst in &kernel.blocks[b.0 as usize].insts {
+            transfer(inst, &mut tys, win_params, ctx);
+        }
+        for succ in kernel.blocks[b.0 as usize].term.successors() {
+            let slot = &mut states[succ.0 as usize];
+            match slot {
+                None => {
+                    *slot = Some(tys.clone());
+                    work.push(succ);
+                }
+                Some(existing) => {
+                    let mut changed = false;
+                    for (e, t) in existing.iter_mut().zip(&tys) {
+                        let joined = e.join(*t);
+                        if joined != *e {
+                            *e = joined;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    // Unreachable blocks still get lowered; give them fully-unknown
+    // types so lowering falls back to the generic (always-correct) ops.
+    states
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| vec![Ty::Any; entry.len()]))
+        .collect()
+}
+
+/// Lowers one IR instruction to a micro-op under the dataflow facts
+/// `tys` (register types at this program point).
+fn lower_inst(
+    inst: &Inst,
+    tys: &[Ty],
+    win_params: &[ScalarType],
+    ext_params: &[ScalarType],
+    ctx: Option<&ModuleCtx<'_>>,
+) -> Op {
+    match inst {
+        Inst::Bin { dst, op, a, b } => {
+            let (ta, tb) = (opnd_ty(a, tys), opnd_ty(b, tys));
+            let (la, lb) = (lower_opnd(a), lower_opnd(b));
+            if let (Ty::Known(x), Ty::Known(y)) = (ta, tb) {
+                if x == y {
+                    return lower_typed_bin(dst.0, *op, x, la, lb);
+                }
+            }
+            Op::Bin {
+                dst: dst.0,
+                op: *op,
+                a: la,
+                b: lb,
+            }
+        }
+        Inst::Un { dst, op, a } => Op::Un {
+            dst: dst.0,
+            op: *op,
+            a: lower_opnd(a),
+        },
+        Inst::Cast { dst, ty, a } => Op::Cast {
+            dst: dst.0,
+            ty: *ty,
+            a: lower_opnd(a),
+        },
+        Inst::Select { dst, cond, a, b } => Op::Select {
+            dst: dst.0,
+            cond: lower_opnd(cond),
+            a: lower_opnd(a),
+            b: lower_opnd(b),
+        },
+        Inst::Copy { dst, a } => Op::Copy {
+            dst: dst.0,
+            a: lower_opnd(a),
+        },
+        Inst::LdWin { dst, param, index } => {
+            let ty = win_params[*param as usize];
+            match const_chunk_bounds(index, ty) {
+                Some((idx, end)) => Op::LdWinC {
+                    dst: dst.0,
+                    param: *param as u32,
+                    ty,
+                    idx,
+                    end,
+                },
+                None => Op::LdWin {
+                    dst: dst.0,
+                    param: *param as u32,
+                    ty,
+                    index: lower_opnd(index),
+                },
+            }
+        }
+        Inst::StWin { param, index, val } => {
+            let ty = win_params[*param as usize];
+            match const_chunk_bounds(index, ty) {
+                Some((idx, end)) => Op::StWinC {
+                    param: *param as u32,
+                    ty,
+                    idx,
+                    end,
+                    val: lower_opnd(val),
+                },
+                None => Op::StWin {
+                    param: *param as u32,
+                    ty,
+                    index: lower_opnd(index),
+                    val: lower_opnd(val),
+                },
+            }
+        }
+        Inst::LdMeta { dst, field } => match field {
+            MetaField::Seq => Op::LdSeq { dst: dst.0 },
+            MetaField::Sender => Op::LdSender { dst: dst.0 },
+            MetaField::From => Op::LdFrom { dst: dst.0 },
+            MetaField::Len => Op::LdLen {
+                dst: dst.0,
+                ty: win_params.first().copied().unwrap_or(ScalarType::U8),
+            },
+            MetaField::NChunks => Op::LdNChunks { dst: dst.0 },
+            MetaField::Last => Op::LdLast { dst: dst.0 },
+            MetaField::Ext(off, ty) => Op::LdExt {
+                dst: dst.0,
+                offset: *off as u32,
+                ty: *ty,
+            },
+            MetaField::LocationId => Op::LdLocationId { dst: dst.0 },
+        },
+        Inst::StExt { offset, ty, val } => Op::StExt {
+            offset: *offset as u32,
+            ty: *ty,
+            val: lower_opnd(val),
+        },
+        Inst::LdReg { dst, arr, index } => match placed(ctx, arr) {
+            Some(false) => Op::NotPlaced {
+                what: "register array",
+            },
+            // Placed here: the array's length is a compile-time fact, so
+            // resolve the wrap-around and skip the emptiness check.
+            Some(true) => {
+                let len = reg_len(ctx, arr);
+                if len == 0 {
+                    // The interpreter reports an empty placed array as
+                    // not-placed; preserve that exactly.
+                    Op::NotPlaced {
+                        what: "register array",
+                    }
+                } else {
+                    match (lower_opnd(index), len) {
+                        (Opnd::Const(v), _) => Op::LdRegC {
+                            dst: dst.0,
+                            arr: arr.0,
+                            idx: (v.bits() as usize % len) as u32,
+                        },
+                        (index, l) if l.is_power_of_two() && l - 1 <= u32::MAX as usize => {
+                            Op::LdRegM {
+                                dst: dst.0,
+                                arr: arr.0,
+                                mask: (l - 1) as u32,
+                                index,
+                            }
+                        }
+                        (index, l) if l <= u32::MAX as usize => Op::LdRegL {
+                            dst: dst.0,
+                            arr: arr.0,
+                            len: l as u32,
+                            index,
+                        },
+                        (index, _) => Op::LdReg {
+                            dst: dst.0,
+                            arr: arr.0,
+                            index,
+                        },
+                    }
+                }
+            }
+            None => Op::LdReg {
+                dst: dst.0,
+                arr: arr.0,
+                index: lower_opnd(index),
+            },
+        },
+        Inst::StReg { arr, index, val } => match placed(ctx, arr) {
+            Some(false) => Op::NotPlaced {
+                what: "register array",
+            },
+            Some(true) => {
+                let len = reg_len(ctx, arr);
+                if len == 0 {
+                    Op::NotPlaced {
+                        what: "register array",
+                    }
+                } else {
+                    // Stores cast into the slot's existing type, which is
+                    // fixed at init time (every runtime store preserves
+                    // it), so the cast target is a compile-time fact when
+                    // the slot types are uniform — or per-slot for a
+                    // constant index.
+                    let decl = &ctx.expect("placed implies ctx").module.registers[arr.0 as usize];
+                    let uniform = decl.init.iter().all(|v| v.ty() == decl.elem);
+                    match (lower_opnd(index), len) {
+                        (Opnd::Const(v), _) => {
+                            let idx = v.bits() as usize % len;
+                            let slot_ty = decl.init.get(idx).map(|v| v.ty()).unwrap_or(decl.elem);
+                            Op::StRegC {
+                                arr: arr.0,
+                                idx: idx as u32,
+                                ty: slot_ty,
+                                val: lower_opnd(val),
+                            }
+                        }
+                        (index, l)
+                            if uniform && l.is_power_of_two() && l - 1 <= u32::MAX as usize =>
+                        {
+                            Op::StRegM {
+                                arr: arr.0,
+                                mask: (l - 1) as u32,
+                                ty: decl.elem,
+                                index,
+                                val: lower_opnd(val),
+                            }
+                        }
+                        (index, l) if uniform && l <= u32::MAX as usize => Op::StRegL {
+                            arr: arr.0,
+                            len: l as u32,
+                            ty: decl.elem,
+                            index,
+                            val: lower_opnd(val),
+                        },
+                        (index, _) => Op::StReg {
+                            arr: arr.0,
+                            index,
+                            val: lower_opnd(val),
+                        },
+                    }
+                }
+            }
+            None => Op::StReg {
+                arr: arr.0,
+                index: lower_opnd(index),
+                val: lower_opnd(val),
+            },
+        },
+        Inst::LdCtrl { dst, ctrl } => Op::LdCtrl {
+            dst: dst.0,
+            ctrl: ctrl.0,
+        },
+        Inst::MapGet {
+            found,
+            val,
+            map,
+            key,
+        } => Op::MapGet {
+            found: found.0,
+            val: val.0,
+            map: map.0,
+            key: lower_opnd(key),
+        },
+        Inst::LdHost { dst, param, index } => Op::LdHost {
+            dst: dst.0,
+            param: *param as u32,
+            ty: ext_params
+                .get(*param as usize)
+                .copied()
+                .unwrap_or(ScalarType::I32),
+            index: lower_opnd(index),
+        },
+        Inst::StHost { param, index, val } => Op::StHost {
+            param: *param as u32,
+            index: lower_opnd(index),
+            val: lower_opnd(val),
+        },
+        Inst::Fwd { kind, label } => match (kind, label) {
+            (FwdKind::Pass, Some(l)) => Op::FwdPassTo { label: l.clone() },
+            (FwdKind::Pass, None) => Op::FwdPass,
+            (FwdKind::Reflect, _) => Op::FwdReflect,
+            (FwdKind::Bcast, _) => Op::FwdBcast,
+            (FwdKind::Drop, _) => Op::FwdDrop,
+        },
+        Inst::Here { dst, label } => Op::Here {
+            dst: dst.0,
+            label: label.clone(),
+        },
+    }
+}
+
+/// Whether the module context proves the array placed (Some(true)),
+/// proves it absent (Some(false)), or lacks the information (None).
+fn placed(ctx: Option<&ModuleCtx<'_>>, arr: &ArrId) -> Option<bool> {
+    let c = ctx?;
+    let decl = &c.module.registers[arr.0 as usize];
+    Some(c.module.placed_here(&decl.at))
+}
+
+/// Flattened slot count of a register array (ctx must be present).
+fn reg_len(ctx: Option<&ModuleCtx<'_>>, arr: &ArrId) -> usize {
+    ctx.expect("placed implies ctx").module.registers[arr.0 as usize].len()
+}
+
+/// For a constant chunk index, the pre-multiplied byte bounds used by
+/// the division-free window ops: `idx < data.len() / size` is exactly
+/// `(idx + 1) * size <= data.len()` (integer arithmetic), so the in-range
+/// check reduces to one comparison against the precomputed `end`.
+/// Returns None when the bounds overflow `u32` — those indices are out
+/// of range of any real chunk, and the generic op handles them.
+fn const_chunk_bounds(index: &Operand, ty: ScalarType) -> Option<(u32, u32)> {
+    let Operand::Const(v) = index else {
+        return None;
+    };
+    let idx = v.bits();
+    let end = idx.checked_add(1)?.checked_mul(ty.size() as u64)?;
+    if idx <= u32::MAX as u64 && end <= u32::MAX as u64 {
+        Some((idx as u32, end as u32))
+    } else {
+        None
+    }
+}
+
+/// Emits the width/signedness-specialized form of a binary op whose
+/// operand types are statically proven equal to `ty`.
+fn lower_typed_bin(dst: u32, op: BinOp, ty: ScalarType, a: Opnd, b: Opnd) -> Op {
+    let width = ty.bits();
+    let ext = 64 - width;
+    let signed = ty.is_signed();
+    match op {
+        BinOp::Add => Op::Add { dst, ty, a, b },
+        BinOp::Sub => Op::Sub { dst, ty, a, b },
+        BinOp::Mul => Op::Mul { dst, ty, a, b },
+        BinOp::And => Op::BitAnd { dst, ty, a, b },
+        BinOp::Or => Op::BitOr { dst, ty, a, b },
+        BinOp::Xor => Op::BitXor { dst, ty, a, b },
+        BinOp::Shl => Op::Shl {
+            dst,
+            ty,
+            width,
+            a,
+            b,
+        },
+        BinOp::Shr if signed => Op::ShrS {
+            dst,
+            ty,
+            width,
+            a,
+            b,
+        },
+        BinOp::Shr => Op::ShrU {
+            dst,
+            ty,
+            width,
+            a,
+            b,
+        },
+        BinOp::Eq => Op::Cmp {
+            dst,
+            op: CmpOp::Eq,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Ne => Op::Cmp {
+            dst,
+            op: CmpOp::Ne,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Lt if signed => Op::Cmp {
+            dst,
+            op: CmpOp::LtS,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Le if signed => Op::Cmp {
+            dst,
+            op: CmpOp::LeS,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Gt if signed => Op::Cmp {
+            dst,
+            op: CmpOp::GtS,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Ge if signed => Op::Cmp {
+            dst,
+            op: CmpOp::GeS,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Lt => Op::Cmp {
+            dst,
+            op: CmpOp::LtU,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Le => Op::Cmp {
+            dst,
+            op: CmpOp::LeU,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Gt => Op::Cmp {
+            dst,
+            op: CmpOp::GtU,
+            ext,
+            a,
+            b,
+        },
+        BinOp::Ge => Op::Cmp {
+            dst,
+            op: CmpOp::GeU,
+            ext,
+            a,
+            b,
+        },
+        // Division keeps the (rare) generic path: its zero/sign handling
+        // is intricate and not hot in any workload we model.
+        BinOp::Div | BinOp::Rem => Op::Bin { dst, op, a, b },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::lower::{lower, LoweringConfig};
+    use c3::{Chunk, HostId, KernelId, NodeId};
+    use ncl_lang::frontend;
+
+    fn build(src: &str, kernel: &str, mask: &[u16]) -> (Module, SwitchState) {
+        let checked = frontend(src, "t.ncl").expect("frontend");
+        let cfg = LoweringConfig::with_mask(kernel, mask.to_vec());
+        let module = lower(&checked, &cfg).expect("lower");
+        let state = SwitchState::from_module(&module);
+        (module, state)
+    }
+
+    fn window_u32(vals: &[u32]) -> Window {
+        Window {
+            kernel: KernelId(0),
+            seq: 0,
+            sender: HostId(1),
+            from: NodeId::Host(HostId(1)),
+            last: false,
+            chunks: vec![Chunk {
+                offset: 0,
+                data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+            }],
+            ext: vec![],
+        }
+    }
+
+    /// Runs the interpreter and the fast path on identical inputs and
+    /// asserts bit-identical windows, switch state, and outcome. Returns
+    /// the fast-path outcome and its mutated window/state.
+    fn differential(
+        kernel: &KernelIr,
+        window: &Window,
+        state: &SwitchState,
+    ) -> (Result<Forward, InterpError>, Window, SwitchState) {
+        let (mut wi, mut si) = (window.clone(), state.clone());
+        let ri = Interpreter::default().run_outgoing(kernel, &mut wi, &mut si);
+
+        let compiled = CompiledKernel::compile(kernel);
+        let mut scratch = ExecScratch::new();
+        let (mut wf, mut sf) = (window.clone(), state.clone());
+        let rf = compiled.run_outgoing(&mut wf, &mut sf, &mut scratch);
+
+        assert_eq!(ri, rf, "forward decision diverged");
+        assert_eq!(wi.chunks, wf.chunks, "window chunks diverged");
+        assert_eq!(wi.ext, wf.ext, "window ext diverged");
+        assert_eq!(si.registers, sf.registers, "switch registers diverged");
+        assert_eq!(si.ctrls, sf.ctrls, "switch ctrls diverged");
+        assert_eq!(si.maps, sf.maps, "switch maps diverged");
+        (rf, wf, sf)
+    }
+
+    #[test]
+    fn increment_matches_interpreter() {
+        let (m, st) = build(
+            "_net_ _out_ void inc(int *data) { data[0] += 1; }",
+            "inc",
+            &[1],
+        );
+        let w = window_u32(&[41]);
+        let (fwd, wf, _) = differential(m.kernel("inc").unwrap(), &w, &st);
+        assert_eq!(fwd.unwrap(), Forward::Pass);
+        assert_eq!(wf.chunks[0].get(ScalarType::I32, 0), Value::i32(42));
+    }
+
+    #[test]
+    fn allreduce_matches_interpreter_across_rounds() {
+        let src = r#"
+#define DATA_LEN 8
+#define WIN_LEN 4
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+"#;
+        let (m, mut st) = build(src, "allreduce", &[4]);
+        st.ctrl_write(CtrlId(0), Value::u32(3));
+        let k = m.kernel("allreduce").unwrap();
+        let compiled = CompiledKernel::compile(k);
+        let it = Interpreter::default();
+        let mut scratch = ExecScratch::new();
+        // Run both executors through three aggregation rounds, diffing
+        // the evolving switch state after every window.
+        let mut st_f = st.clone();
+        for worker in 1..=3u32 {
+            let mut wi = window_u32(&[worker; 4]);
+            let mut wf = wi.clone();
+            let ri = it.run_outgoing(k, &mut wi, &mut st).unwrap();
+            let rf = compiled
+                .run_outgoing(&mut wf, &mut st_f, &mut scratch)
+                .unwrap();
+            assert_eq!(ri, rf);
+            assert_eq!(wi.chunks, wf.chunks);
+            assert_eq!(st.registers, st_f.registers);
+        }
+        assert_eq!(st_f.registers[0][0], Value::i32(6));
+        assert_eq!(st_f.registers[1][0], Value::u32(0));
+    }
+
+    #[test]
+    fn map_hit_and_miss_match() {
+        let src = r#"
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 4> Idx;
+_net_ _at_("s1") bool Valid[4] = {false};
+_net_ _out_ void k(uint64_t key) {
+    if (auto *i = Idx[key]) { Valid[*i] = true; _reflect(); }
+}
+"#;
+        let (m, mut st) = build(src, "k", &[1]);
+        let k = m.kernel("k").unwrap();
+        let mut w = window_u32(&[]);
+        w.chunks[0].data = 99u64.to_be_bytes().to_vec();
+        let (fwd, _, _) = differential(k, &w, &st);
+        assert_eq!(fwd.unwrap(), Forward::Pass); // miss
+        assert!(st.map_insert(MapId(0), 99, Value::new(ScalarType::U8, 2)));
+        let (fwd, _, sf) = differential(k, &w, &st);
+        assert_eq!(fwd.unwrap(), Forward::Reflect); // hit
+        assert_eq!(sf.registers[0][2], Value::bool(true));
+    }
+
+    #[test]
+    fn incoming_kernel_matches_on_host_memory() {
+        let src = r#"
+_net_ _out_ void k(int *data) { _drop(); }
+_net_ _in_ void recv(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    if (window.last) *done = true;
+}
+"#;
+        let checked = frontend(src, "t.ncl").unwrap();
+        let mut cfg = LoweringConfig::with_mask("recv", vec![4]);
+        cfg.masks.insert("k".into(), vec![4]);
+        let m = lower(&checked, &cfg).unwrap();
+        let k = m.kernel("recv").unwrap();
+        let sizes = [(ScalarType::I32, 8), (ScalarType::Bool, 1)];
+        let mut hi = HostMemory::new(&sizes);
+        let mut hf = HostMemory::new(&sizes);
+        let mut w = window_u32(&[9, 8, 7, 6]);
+        w.seq = 1;
+        w.last = true;
+        let mut wf = w.clone();
+        Interpreter::default()
+            .run_incoming(k, &mut w, &mut hi)
+            .unwrap();
+        let compiled = CompiledKernel::compile(k);
+        let mut scratch = ExecScratch::new();
+        compiled
+            .run_incoming(&mut wf, &mut hf, &mut scratch)
+            .unwrap();
+        assert_eq!(hi.arrays, hf.arrays);
+        assert_eq!(hf.arrays[0][4], Value::i32(9));
+        assert_eq!(hf.arrays[1][0], Value::bool(true));
+    }
+
+    #[test]
+    fn register_wrap_and_oob_window_match() {
+        let (m, st) = build(
+            "_net_ _at_(\"s1\") int acc[4] = {0};\n\
+             _net_ _out_ void k(int *data) { acc[data[0]] = 7; data[9] = 5; data[0] = data[8] + 1; _drop(); }",
+            "k",
+            &[2],
+        );
+        let k = m.kernel("k").unwrap();
+        let w = window_u32(&[6, 4]);
+        let (_, wf, sf) = differential(k, &w, &st);
+        assert_eq!(sf.registers[0][2], Value::i32(7)); // 6 % 4 == 2
+        assert_eq!(wf.chunks[0].get(ScalarType::I32, 0), Value::i32(1));
+    }
+
+    #[test]
+    fn dynamic_loop_and_step_limit_match() {
+        let (m, st) = build(
+            "_net_ _out_ void k(int *data) {\n\
+               int x = data[0];\n\
+               while (x > 0) { x = x - 2; }\n\
+               data[0] = x;\n\
+             }",
+            "k",
+            &[1],
+        );
+        let k = m.kernel("k").unwrap();
+        let (_, wf, _) = differential(k, &w7(), &st);
+        assert_eq!(wf.chunks[0].get(ScalarType::I32, 0), Value::i32(-1));
+
+        // Runaway loops exhaust the budget at the same instruction count.
+        let (m, mut st) = build(
+            "_net_ _out_ void k(int *data) { while (true) { data[0] += 1; } }",
+            "k",
+            &[1],
+        );
+        let k = m.kernel("k").unwrap();
+        let it = Interpreter { step_limit: 10_000 };
+        let compiled = CompiledKernel::compile(k).with_step_limit(10_000);
+        let mut wi = window_u32(&[0]);
+        let mut wf = wi.clone();
+        let mut st_f = st.clone();
+        let mut scratch = ExecScratch::new();
+        assert_eq!(
+            it.run_outgoing(k, &mut wi, &mut st),
+            Err(InterpError::StepLimit)
+        );
+        assert_eq!(
+            compiled.run_outgoing(&mut wf, &mut st_f, &mut scratch),
+            Err(InterpError::StepLimit)
+        );
+        // Both stop with identical partial effects on the window.
+        assert_eq!(wi.chunks, wf.chunks);
+    }
+
+    fn w7() -> Window {
+        window_u32(&[7])
+    }
+
+    #[test]
+    fn here_reads_location_dynamically() {
+        let (m, mut st) = build(
+            r#"_net_ _out_ void k(int *d) { if (_here("s1")) { _drop(); } else { _reflect(); } }"#,
+            "k",
+            &[1],
+        );
+        let k = m.kernel("k").unwrap();
+        st.location = Some(Label::new("s1"));
+        let (fwd, _, _) = differential(k, &w7(), &st);
+        assert_eq!(fwd.unwrap(), Forward::Drop);
+        st.location = Some(Label::new("s2"));
+        let (fwd, _, _) = differential(k, &w7(), &st);
+        assert_eq!(fwd.unwrap(), Forward::Reflect);
+    }
+
+    #[test]
+    fn ext_fields_match() {
+        let src = r#"
+_wnd_ struct W { uint16_t tag; };
+_net_ _out_ void k(int *d) { window.tag = window.tag + 1; }
+"#;
+        let (m, st) = build(src, "k", &[1]);
+        let k = m.kernel("k").unwrap();
+        let mut w = window_u32(&[0]);
+        w.ext_write(0, Value::new(ScalarType::U16, 41));
+        let (_, wf, _) = differential(k, &w, &st);
+        assert_eq!(
+            wf.ext_read(ScalarType::U16, 0),
+            Value::new(ScalarType::U16, 42)
+        );
+    }
+
+    #[test]
+    fn compile_for_hoists_placement_checks() {
+        let (mut m, _) = build(
+            "_net_ _at_(\"s1\") int acc[4] = {0};\n\
+             _net_ _out_ void k(int *data) { if (data[0] > 100) { acc[0] += 1; } }",
+            "k",
+            &[1],
+        );
+        // Pretend this module was versioned to a location that does not
+        // host `acc`: the access compiles to a hoisted placement error...
+        m.location = Some(Label::new("s2"));
+        let st = SwitchState::from_module(&m);
+        let k = m.kernel("k").unwrap();
+        let compiled = CompiledKernel::compile_for(k, &m);
+        let mut scratch = ExecScratch::new();
+        // ...which fires only if the guarded access actually executes,
+        // exactly like the interpreter's dynamic check.
+        let mut w = window_u32(&[1]);
+        let mut s = st.clone();
+        assert_eq!(
+            compiled.run_outgoing(&mut w, &mut s, &mut scratch).unwrap(),
+            Forward::Pass
+        );
+        let mut w = window_u32(&[200]);
+        let mut s = st.clone();
+        assert_eq!(
+            compiled.run_outgoing(&mut w, &mut s, &mut scratch),
+            Err(InterpError::NotPlacedHere("register array"))
+        );
+        // The interpreter agrees on both.
+        let it = Interpreter::default();
+        let mut w = window_u32(&[1]);
+        let mut s = st.clone();
+        assert_eq!(it.run_outgoing(k, &mut w, &mut s).unwrap(), Forward::Pass);
+        let mut w = window_u32(&[200]);
+        let mut s = st;
+        assert_eq!(
+            it.run_outgoing(k, &mut w, &mut s),
+            Err(InterpError::NotPlacedHere("register array"))
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_kernels() {
+        // One scratch serving two kernels of different register counts
+        // must not leak state between runs.
+        let (m1, st1) = build("_net_ _out_ void a(int *data) { data[0] += 1; }", "a", &[1]);
+        let (m2, st2) = build(
+            "_net_ _out_ void b(int *data) { for (unsigned i = 0; i < window.len; ++i) data[i] = data[i] * 2; }",
+            "b",
+            &[4],
+        );
+        let ka = CompiledKernel::compile(m1.kernel("a").unwrap());
+        let kb = CompiledKernel::compile(m2.kernel("b").unwrap());
+        let mut scratch = ExecScratch::new();
+        let (mut sa, mut sb) = (st1.clone(), st2.clone());
+        for round in 0..3 {
+            let mut w = window_u32(&[round]);
+            ka.run_outgoing(&mut w, &mut sa, &mut scratch).unwrap();
+            assert_eq!(
+                w.chunks[0].get(ScalarType::I32, 0),
+                Value::i32(round as i32 + 1)
+            );
+            let mut w = window_u32(&[1, 2, 3, 4]);
+            kb.run_outgoing(&mut w, &mut sb, &mut scratch).unwrap();
+            assert_eq!(w.chunks[0].get(ScalarType::I32, 3), Value::i32(8));
+        }
+    }
+}

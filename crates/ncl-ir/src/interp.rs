@@ -17,8 +17,9 @@ use c3::{Forward, Label, ScalarType, Value, Window};
 use std::collections::HashMap;
 
 /// Runtime switch state for one device: register arrays, control
-/// variables, map contents, and the device's identity.
-#[derive(Clone, Debug)]
+/// variables, map contents, and the device's identity. The `Default`
+/// state is the empty host-side state `run_incoming` executes against.
+#[derive(Clone, Debug, Default)]
 pub struct SwitchState {
     /// Register contents, indexed by [`ArrId`].
     pub registers: Vec<Vec<Value>>,
@@ -189,11 +190,7 @@ impl Interpreter {
         state: &mut SwitchState,
         host: &mut HostMemory,
     ) -> Result<Forward, InterpError> {
-        let mut regs: Vec<Value> = kernel
-            .reg_tys
-            .iter()
-            .map(|&ty| Value::zero(ty))
-            .collect();
+        let mut regs: Vec<Value> = kernel.reg_tys.iter().map(|&ty| Value::zero(ty)).collect();
         let mut decision = Forward::Pass;
         let mut steps = 0usize;
         let mut block = BlockId(0);
@@ -305,26 +302,16 @@ impl Interpreter {
                 let v = match field {
                     MetaField::Seq => Value::u32(window.seq),
                     MetaField::Sender => Value::new(ScalarType::U16, window.sender.0 as u64),
-                    MetaField::From => {
-                        Value::new(ScalarType::U16, window.from.to_wire() as u64)
-                    }
+                    MetaField::From => Value::new(ScalarType::U16, window.from.to_wire() as u64),
                     MetaField::Len => {
                         let ty = win_params.first().copied().unwrap_or(ScalarType::U8);
-                        let n = window
-                            .chunks
-                            .first()
-                            .map(|c| c.elems(ty))
-                            .unwrap_or(0);
+                        let n = window.chunks.first().map(|c| c.elems(ty)).unwrap_or(0);
                         Value::new(ScalarType::U16, n as u64)
                     }
-                    MetaField::NChunks => {
-                        Value::new(ScalarType::U8, window.chunks.len() as u64)
-                    }
+                    MetaField::NChunks => Value::new(ScalarType::U8, window.chunks.len() as u64),
                     MetaField::Last => Value::bool(window.last),
                     MetaField::Ext(off, ty) => window.ext_read(*ty, *off as usize),
-                    MetaField::LocationId => {
-                        Value::new(ScalarType::U16, state.location_id as u64)
-                    }
+                    MetaField::LocationId => Value::new(ScalarType::U16, state.location_id as u64),
                 };
                 regs[dst.0 as usize] = v;
             }
@@ -408,11 +395,7 @@ impl Interpreter {
                 };
             }
             Inst::Here { dst, label } => {
-                let here = state
-                    .location
-                    .as_ref()
-                    .map(|l| l == label)
-                    .unwrap_or(false);
+                let here = state.location.as_ref().map(|l| l == label).unwrap_or(false);
                 regs[dst.0 as usize] = Value::bool(here);
             }
         }

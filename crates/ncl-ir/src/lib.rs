@@ -26,13 +26,21 @@
 //! and switch state. The PISA pipeline produced by `ncl-p4` must agree
 //! with the interpreter on every window — that differential property is
 //! the compiler's correctness argument and is tested with proptest.
+//!
+//! For production window processing there is additionally the **compiled
+//! fast path** ([`exec::CompiledKernel`]): the same semantics lowered to
+//! a linear micro-op program executed against reusable scratch with zero
+//! steady-state allocations. The interpreter stays the oracle; the fast
+//! path must match it bit for bit (see `tests/fastpath_differential.rs`).
 
+pub mod exec;
 pub mod interp;
 pub mod ir;
 pub mod lower;
 pub mod passes;
 pub mod version;
 
+pub use exec::{CompiledKernel, ExecScratch};
 pub use interp::{HostMemory, Interpreter, SwitchState};
 pub use ir::{
     ArrId, BlockId, CtrlId, Inst, KernelIr, MapId, MetaField, Module, Operand, RegId, Terminator,

@@ -24,9 +24,7 @@ use crate::ir::*;
 use c3::{BinOp, Label, ScalarType, UnOp, Value};
 use ncl_lang::ast::{self, AssignOp, BinaryOp, Expr, Stmt, UnaryOp};
 use ncl_lang::diag::{Diagnostic, Span};
-use ncl_lang::sema::{
-    const_eval_with, usual_conversion, CheckedProgram, GlobalKind, KernelInfo,
-};
+use ncl_lang::sema::{const_eval_with, usual_conversion, CheckedProgram, GlobalKind, KernelInfo};
 use std::collections::HashMap;
 
 /// Configuration for lowering: the window masks kernels compile against.
@@ -168,7 +166,11 @@ enum Binding {
     /// An `_ext_` host parameter of an incoming kernel.
     HostParam { param: u16, elem: ScalarType },
     /// A pointer produced by a map lookup: `(found, value)` registers.
-    MapPtr { found: RegId, val: RegId, elem: ScalarType },
+    MapPtr {
+        found: RegId,
+        val: RegId,
+        elem: ScalarType,
+    },
 }
 
 /// A resolved assignable/readable place.
@@ -585,7 +587,9 @@ impl Lowerer<'_> {
         span: Span,
     ) -> Option<usize> {
         let Stmt::Decl {
-            name, init: Some(ie), ..
+            name,
+            init: Some(ie),
+            ..
         } = init?
         else {
             return None;
@@ -898,12 +902,7 @@ impl Lowerer<'_> {
                     return (if cv.is_truthy() { a } else { b }, common);
                 }
                 let dst = self.fresh(common);
-                self.emit(Inst::Select {
-                    dst,
-                    cond: c,
-                    a,
-                    b,
-                });
+                self.emit(Inst::Select { dst, cond: c, a, b });
                 (Operand::Reg(dst), common)
             }
             Expr::SizeOf(ty, _) => (
@@ -964,10 +963,7 @@ impl Lowerer<'_> {
                 });
                 return (Operand::Reg(dst), elem);
             }
-            self.error(
-                format!("array '{name}' used as a scalar value"),
-                span,
-            );
+            self.error(format!("array '{name}' used as a scalar value"), span);
             return (Operand::Const(Value::u32(0)), ScalarType::U32);
         }
         if let Some(&ctrl) = self.ctrl_ids.get(name) {
@@ -1055,10 +1051,7 @@ impl Lowerer<'_> {
                 (Operand::Const(Value::u32(0)), ScalarType::U32)
             }
             UnaryOp::AddrOf => {
-                self.error(
-                    "'&' is only valid as a memcpy operand",
-                    span,
-                );
+                self.error("'&' is only valid as a memcpy operand", span);
                 (Operand::Const(Value::u32(0)), ScalarType::U32)
             }
             UnaryOp::Not => {
@@ -1119,10 +1112,7 @@ impl Lowerer<'_> {
                 BinOp::Or
             };
             if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
-                return (
-                    Operand::Const(Value::binop(bop, x, y)),
-                    ScalarType::Bool,
-                );
+                return (Operand::Const(Value::binop(bop, x, y)), ScalarType::Bool);
             }
             let dst = self.fresh(ScalarType::Bool);
             self.emit(Inst::Bin { dst, op: bop, a, b });
@@ -1333,16 +1323,12 @@ impl Lowerer<'_> {
                     );
                     None
                 }
-                Some(Binding::WinParam { param, elem, .. }) => Some(Place::WinElem(
-                    param,
-                    Operand::Const(Value::u32(0)),
-                    elem,
-                )),
-                Some(Binding::HostParam { param, elem }) => Some(Place::HostElem(
-                    param,
-                    Operand::Const(Value::u32(0)),
-                    elem,
-                )),
+                Some(Binding::WinParam { param, elem, .. }) => {
+                    Some(Place::WinElem(param, Operand::Const(Value::u32(0)), elem))
+                }
+                Some(Binding::HostParam { param, elem }) => {
+                    Some(Place::HostElem(param, Operand::Const(Value::u32(0)), elem))
+                }
                 Some(Binding::MapPtr { .. }) => {
                     self.error("cannot assign to a map pointer", span);
                     None
@@ -1405,15 +1391,14 @@ impl Lowerer<'_> {
         }
     }
 
-    fn resolve_index_place(
-        &mut self,
-        base: &Expr,
-        index: &Expr,
-        span: Span,
-    ) -> Option<Place> {
+    fn resolve_index_place(&mut self, base: &Expr, index: &Expr, span: Span) -> Option<Place> {
         match base {
             Expr::Ident(name, _) => match self.lookup(name).cloned() {
-                Some(Binding::WinParam { param, elem, is_ptr }) => {
+                Some(Binding::WinParam {
+                    param,
+                    elem,
+                    is_ptr,
+                }) => {
                     if !is_ptr {
                         self.error(format!("cannot index scalar parameter '{name}'"), span);
                         return None;
@@ -1591,16 +1576,14 @@ impl Lowerer<'_> {
         match e {
             // Bare pointer parameter: `data`.
             Expr::Ident(name, _) => match self.lookup(name).cloned() {
-                Some(Binding::WinParam { param, elem, is_ptr }) if is_ptr => Some(Bulk::Win(
+                Some(Binding::WinParam {
                     param,
-                    Operand::Const(Value::u32(0)),
                     elem,
-                )),
-                Some(Binding::HostParam { param, elem }) => Some(Bulk::Host(
-                    param,
-                    Operand::Const(Value::u32(0)),
-                    elem,
-                )),
+                    is_ptr,
+                }) if is_ptr => Some(Bulk::Win(param, Operand::Const(Value::u32(0)), elem)),
+                Some(Binding::HostParam { param, elem }) => {
+                    Some(Bulk::Host(param, Operand::Const(Value::u32(0)), elem))
+                }
                 _ => {
                     if let Some(&arr) = self.reg_ids.get(name) {
                         let elem = self.globals_elem.registers[arr.0 as usize].elem;
@@ -1622,7 +1605,11 @@ impl Lowerer<'_> {
                     return None;
                 };
                 match self.lookup(name).cloned() {
-                    Some(Binding::WinParam { param, elem, is_ptr }) if is_ptr => {
+                    Some(Binding::WinParam {
+                        param,
+                        elem,
+                        is_ptr,
+                    }) if is_ptr => {
                         let (idx, _) = self.lower_expr_as(index, ScalarType::U32);
                         Some(Bulk::Win(param, idx, elem))
                     }
@@ -1867,8 +1854,7 @@ mod tests {
         );
         let k = m.kernel("inc").unwrap();
         assert_eq!(k.blocks.len(), 1);
-        assert!(k
-            .blocks[0]
+        assert!(k.blocks[0]
             .insts
             .iter()
             .any(|i| matches!(i, Inst::StWin { .. })));
@@ -1927,10 +1913,13 @@ mod tests {
         );
         let k = m.kernel("k").unwrap();
         // No LdMeta(Len) should remain.
-        assert!(!k.blocks.iter().any(|b| b
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::LdMeta { field: MetaField::Len, .. }))));
+        assert!(!k.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(
+            i,
+            Inst::LdMeta {
+                field: MetaField::Len,
+                ..
+            }
+        ))));
         assert!(k.blocks[0].insts.iter().any(|i| matches!(
             i,
             Inst::StWin {
@@ -2015,10 +2004,13 @@ mod tests {
             })
             .sum();
         assert_eq!(st_win, 8);
-        assert!(k.blocks.iter().any(|b| b
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Fwd { kind: FwdKind::Reflect, .. }))));
+        assert!(k.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(
+            i,
+            Inst::Fwd {
+                kind: FwdKind::Reflect,
+                ..
+            }
+        ))));
     }
 
     #[test]

@@ -252,8 +252,7 @@ fn fold_inst(inst: &Inst) -> Option<Inst> {
             }
             // x + 0, x - 0, x | 0, x ^ 0 → x ; x * 1 → x ; x * 0, x & 0 → 0.
             if let Some(y) = b.as_const() {
-                if y.bits() == 0 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor)
-                {
+                if y.bits() == 0 && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor) {
                     return Some(Inst::Copy { dst: *dst, a: *a });
                 }
                 if y.bits() == 1 && *op == BinOp::Mul {
@@ -621,14 +620,18 @@ _net_ _out_ void k(int *data) {
         let before = m.kernel("k").unwrap().inst_count();
         let stats = optimize(&mut m);
         let after = m.kernel("k").unwrap().inst_count();
-        assert!(after < before, "optimize should shrink ({before} -> {after})");
+        assert!(
+            after < before,
+            "optimize should shrink ({before} -> {after})"
+        );
         assert!(stats.folded > 0 || stats.dce_removed > 0);
         assert!(conformance(&m).is_empty());
     }
 
     #[test]
     fn constant_branch_collapses() {
-        let src = "_net_ _out_ void k(int *d) { int c = 3; if (c > 1) { d[0] = 1; } else { d[0] = 2; } }";
+        let src =
+            "_net_ _out_ void k(int *d) { int c = 3; if (c > 1) { d[0] = 1; } else { d[0] = 2; } }";
         let mut m = build(src, "k", &[1]);
         optimize(&mut m);
         let k = m.kernel("k").unwrap();

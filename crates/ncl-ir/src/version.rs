@@ -117,9 +117,9 @@ _net_ _out_ _at_("s2") void k(int *d) { a2[0] -= d[0]; }
         // s1's version only touches a1; s2's only a2.
         let touches = |m: &Module, arr: u32| {
             m.kernels[0].blocks.iter().any(|b| {
-                b.insts.iter().any(
-                    |i| matches!(i, Inst::StReg { arr: a, .. } if a.0 == arr),
-                )
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i, Inst::StReg { arr: a, .. } if a.0 == arr))
             })
         };
         assert!(touches(&versions[0], 0) && !touches(&versions[0], 1));

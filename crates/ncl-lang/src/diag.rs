@@ -37,7 +37,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            col: if other.line < self.line { other.col } else { self.col },
+            col: if other.line < self.line {
+                other.col
+            } else {
+                self.col
+            },
         }
     }
 }

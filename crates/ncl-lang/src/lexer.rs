@@ -155,8 +155,9 @@ impl<'s> Lexer<'s> {
                         self.span_from(start),
                     ));
                 }
-                let (value, unsigned) = parse_int(&digits)
-                    .ok_or_else(|| self.error("malformed integer literal", self.span_from(start)))?;
+                let (value, unsigned) = parse_int(&digits).ok_or_else(|| {
+                    self.error("malformed integer literal", self.span_from(start))
+                })?;
                 self.defines.insert(name, (value, unsigned));
             }
             "include" => {
@@ -339,10 +340,7 @@ impl<'s> Lexer<'s> {
             (b'<', ..) => (Lt, 1),
             (b'>', ..) => (Gt, 1),
             (other, ..) => {
-                return Err(self.error(
-                    format!("unexpected character '{}'", other as char),
-                    start,
-                ))
+                return Err(self.error(format!("unexpected character '{}'", other as char), start))
             }
         };
         for _ in 0..len {
@@ -384,7 +382,9 @@ fn parse_int(text: &str) -> Option<(u64, bool)> {
         return None;
     }
     let clean: String = digits.chars().filter(|&c| c != '_').collect();
-    u64::from_str_radix(&clean, radix).ok().map(|v| (v, unsigned))
+    u64::from_str_radix(&clean, radix)
+        .ok()
+        .map(|v| (v, unsigned))
 }
 
 #[cfg(test)]
@@ -404,13 +404,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("_net_ _out_ void allreduce"),
-            vec![
-                KwNet,
-                KwOut,
-                KwVoid,
-                Ident("allreduce".into()),
-                Eof
-            ]
+            vec![KwNet, KwOut, KwVoid, Ident("allreduce".into()), Eof]
         );
     }
 
@@ -495,10 +489,7 @@ mod tests {
     #[test]
     fn defines_expand() {
         let src = "#define WIN_LEN 32\n#define DATA_LEN 0x100\nWIN_LEN DATA_LEN";
-        assert_eq!(
-            kinds(src),
-            vec![Int(32, false), Int(256, false), Eof]
-        );
+        assert_eq!(kinds(src), vec![Int(32, false), Int(256, false), Eof]);
     }
 
     #[test]

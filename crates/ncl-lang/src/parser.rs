@@ -327,10 +327,7 @@ impl<'t> Parser<'t> {
                     return Err(Bail);
                 }
                 (false, false) => {
-                    self.err_at(
-                        "'_net_' function must also be '_out_' or '_in_'",
-                        spec.span,
-                    );
+                    self.err_at("'_net_' function must also be '_out_' or '_in_'", spec.span);
                     return Err(Bail);
                 }
             };
@@ -656,9 +653,7 @@ impl<'t> Parser<'t> {
             }
             TokenKind::KwSwitch | TokenKind::KwGoto | TokenKind::KwDo => {
                 let what = self.peek().glyph();
-                self.err_here(format!(
-                    "'{what}' is not part of the NCL kernel subset"
-                ));
+                self.err_here(format!("'{what}' is not part of the NCL kernel subset"));
                 Err(Bail)
             }
             TokenKind::KwAuto => self.auto_decl(),
@@ -698,7 +693,9 @@ impl<'t> Parser<'t> {
         };
         let name = self.ident()?;
         if self.peek() == &TokenKind::LBracket {
-            self.err_here("local arrays are not supported in kernels; use switch memory (`_net_` globals)");
+            self.err_here(
+                "local arrays are not supported in kernels; use switch memory (`_net_` globals)",
+            );
             return Err(Bail);
         }
         let init = if self.eat(&TokenKind::Assign) {
@@ -967,9 +964,7 @@ impl<'t> Parser<'t> {
                     let field = self.ident()?;
                     let span = expr.span().to(fspan);
                     expr = match &expr {
-                        Expr::Ident(name, _) if name == "window" => {
-                            Expr::WindowField(field, span)
-                        }
+                        Expr::Ident(name, _) if name == "window" => Expr::WindowField(field, span),
                         Expr::Ident(name, _) if name == "location" => {
                             Expr::LocationField(field, span)
                         }
@@ -1173,9 +1168,8 @@ mod tests {
 
     #[test]
     fn incoming_kernel_with_ext_params() {
-        let p = parse_ok(
-            "_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {}",
-        );
+        let p =
+            parse_ok("_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {}");
         let Item::Kernel(k) = &p.items[0] else {
             panic!()
         };
@@ -1199,9 +1193,7 @@ mod tests {
 
     #[test]
     fn window_fields() {
-        let p = parse_ok(
-            "_net_ _out_ void k(int *d) { unsigned b = window.seq * window.len; }",
-        );
+        let p = parse_ok("_net_ _out_ void k(int *d) { unsigned b = window.seq * window.len; }");
         let Item::Kernel(k) = &p.items[0] else {
             panic!()
         };
@@ -1223,7 +1215,10 @@ mod tests {
         let Item::Kernel(k) = &p.items[0] else {
             panic!()
         };
-        let Stmt::If { decl: Some((n, _)), .. } = &k.body.stmts[0] else {
+        let Stmt::If {
+            decl: Some((n, _)), ..
+        } = &k.body.stmts[0]
+        else {
             panic!("expected if-with-decl")
         };
         assert_eq!(n, "idx");
@@ -1263,9 +1258,7 @@ mod tests {
 
     #[test]
     fn casts_vs_parens() {
-        let p = parse_ok(
-            "_net_ _out_ void k(int *d) { int x = (int)d[0]; int y = (x + 1); }",
-        );
+        let p = parse_ok("_net_ _out_ void k(int *d) { int x = (int)d[0]; int y = (x + 1); }");
         let Item::Kernel(k) = &p.items[0] else {
             panic!()
         };
@@ -1287,9 +1280,7 @@ mod tests {
 
     #[test]
     fn memcpy_with_addr_of() {
-        let p = parse_ok(
-            "_net_ _out_ void k(int *data) { memcpy(data, &accum[4], 16); }",
-        );
+        let p = parse_ok("_net_ _out_ void k(int *data) { memcpy(data, &accum[4], 16); }");
         let Item::Kernel(k) = &p.items[0] else {
             panic!()
         };

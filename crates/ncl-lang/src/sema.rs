@@ -439,7 +439,10 @@ impl Checker {
                 }
                 if g.init.is_some() {
                     self.error(
-                        format!("map '{}' cannot have an initializer; the control plane populates it", g.name),
+                        format!(
+                            "map '{}' cannot have an initializer; the control plane populates it",
+                            g.name
+                        ),
                         g.span,
                     );
                 }
@@ -481,7 +484,10 @@ impl Checker {
                         }
                     },
                     Some(Initializer::List(_)) => {
-                        self.error("control variables are scalars; list initializer invalid", g.span);
+                        self.error(
+                            "control variables are scalars; list initializer invalid",
+                            g.span,
+                        );
                         Value::zero(*ty)
                     }
                 };
@@ -508,7 +514,10 @@ impl Checker {
                     },
                     Some(Initializer::List(_)) => {
                         self.error(
-                            format!("scalar '{}' cannot take a multi-element initializer", g.name),
+                            format!(
+                                "scalar '{}' cannot take a multi-element initializer",
+                                g.name
+                            ),
                             g.span,
                         );
                         Value::zero(*ty)
@@ -926,7 +935,10 @@ impl BodyCx<'_> {
             Stmt::While { cond, body, .. } => {
                 if let Some(t) = self.expr(cond) {
                     if !t.is_condition() {
-                        self.error(format!("loop condition has non-scalar type {t}"), cond.span());
+                        self.error(
+                            format!("loop condition has non-scalar type {t}"),
+                            cond.span(),
+                        );
                     }
                 }
                 self.loop_depth += 1;
@@ -1093,7 +1105,10 @@ impl BodyCx<'_> {
                 Some(Ty::Scalar(*ty))
             }
             Expr::Ternary {
-                cond, then, els, span,
+                cond,
+                then,
+                els,
+                span,
             } => {
                 let c = self.expr(cond)?;
                 if !c.is_condition() {
@@ -1193,7 +1208,10 @@ impl BodyCx<'_> {
                         index.span(),
                     ),
                     None => {
-                        self.error(format!("map key must be a scalar, found {it}"), index.span());
+                        self.error(
+                            format!("map key must be a scalar, found {it}"),
+                            index.span(),
+                        );
                     }
                 }
                 Some(Ty::OptPtr(*v))
@@ -1383,10 +1401,7 @@ impl BodyCx<'_> {
                 // Builtin fields are read-only; extension fields may be
                 // rewritten by kernels (they travel with the window).
                 if self.checker.out.window_ext.field(field).is_none() {
-                    self.error(
-                        format!("builtin window field '{field}' is read-only"),
-                        span,
-                    );
+                    self.error(format!("builtin window field '{field}' is read-only"), span);
                 }
             }
             other => {
@@ -1402,10 +1417,7 @@ impl BodyCx<'_> {
                 match args {
                     [] => {}
                     [Expr::Str(..)] => {}
-                    _ => self.error(
-                        "_pass() takes no argument or one label string",
-                        span,
-                    ),
+                    _ => self.error("_pass() takes no argument or one label string", span),
                 }
                 Some(Ty::Void)
             }
@@ -1432,7 +1444,10 @@ impl BodyCx<'_> {
                 }
                 if let Some(t) = self.expr(&args[0]) {
                     if t.as_scalar().is_none() {
-                        self.error(format!("_hash value must be a scalar, found {t}"), args[0].span());
+                        self.error(
+                            format!("_hash value must be a scalar, found {t}"),
+                            args[0].span(),
+                        );
                     }
                 }
                 if let Some(t) = self.expr(&args[1]) {
@@ -1450,10 +1465,16 @@ impl BodyCx<'_> {
                 let dst = self.expr(&args[0])?;
                 let src = self.expr(&args[1])?;
                 if !dst.is_pointerish() {
-                    self.error(format!("memcpy destination must be pointer-like, found {dst}"), args[0].span());
+                    self.error(
+                        format!("memcpy destination must be pointer-like, found {dst}"),
+                        args[0].span(),
+                    );
                 }
                 if !src.is_pointerish() {
-                    self.error(format!("memcpy source must be pointer-like, found {src}"), args[1].span());
+                    self.error(
+                        format!("memcpy source must be pointer-like, found {src}"),
+                        args[1].span(),
+                    );
                 }
                 if let Some(t) = self.expr(&args[2]) {
                     if t.as_scalar().is_none() {
@@ -1581,7 +1602,9 @@ pub fn const_eval_with(e: &Expr, consts: &HashMap<String, Value>) -> Option<Valu
             let common = usual_conversion(a.ty(), b.ty());
             Some(Value::binop(vb, a.cast(common), b.cast(common)))
         }
-        Expr::Ternary { cond, then, els, .. } => {
+        Expr::Ternary {
+            cond, then, els, ..
+        } => {
             let c = const_eval_with(cond, consts)?;
             if c.is_truthy() {
                 const_eval_with(then, consts)
@@ -1765,9 +1788,10 @@ mod tests {
             _net_ _out_ void k(uint64_t key) { Idx[key] = 1; }
         "#;
         let diags = check(src).unwrap_err();
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("control plane")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("control plane")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -1777,9 +1801,10 @@ mod tests {
             _net_ _out_ _at_("s1") void k(int *d) { mem[0] = 1; }
         "#;
         let diags = check(src).unwrap_err();
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("placed at \"s2\"")), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("placed at \"s2\"")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -1819,7 +1844,10 @@ mod tests {
     #[test]
     fn unknown_window_field_lists_available() {
         let msg = first_error("_net_ _out_ void k(int *d) { unsigned x = window.wat; }");
-        assert!(msg.contains("no field 'wat'") && msg.contains("seq"), "{msg}");
+        assert!(
+            msg.contains("no field 'wat'") && msg.contains("seq"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -1900,9 +1928,7 @@ mod tests {
 
     #[test]
     fn assign_to_constant_rejected() {
-        let msg = first_error(
-            "const int N = 3;\n_net_ _out_ void k(int *d) { N = 4; }",
-        );
+        let msg = first_error("const int N = 3;\n_net_ _out_ void k(int *d) { N = 4; }");
         assert!(msg.contains("constant"), "{msg}");
     }
 

@@ -237,9 +237,7 @@ fn fuse_groups(lin: &LinearKernel) -> Vec<usize> {
     for (lds, sts) in banks.values() {
         let fwd = reach(&succ, lds, n);
         let bwd = reach(&pred, sts, n);
-        let mut members: Vec<usize> = (0..n)
-            .filter(|&i| fwd[i] && bwd[i])
-            .collect();
+        let mut members: Vec<usize> = (0..n).filter(|&i| fwd[i] && bwd[i]).collect();
         members.extend(lds.iter().copied());
         members.extend(sts.iter().copied());
         if let Some(&first) = members.first() {
@@ -291,9 +289,7 @@ pub fn allocate(lin: &LinearKernel, budget: &AllocBudget) -> Result<StagedKernel
         return Ok(StagedKernel::default());
     }
     let group = fuse_groups(lin);
-    let same_group = |i: usize, j: usize| {
-        group[i] != usize::MAX && group[i] == group[j]
-    };
+    let same_group = |i: usize, j: usize| group[i] != usize::MAX && group[i] == group[j];
     let pred_class: Vec<bool> = lin
         .ops
         .iter()
@@ -510,8 +506,8 @@ mod tests {
 
     fn linear(src: &str, kernel: &str, mask: &[u16]) -> (LinearKernel, ncl_ir::ir::Module) {
         let checked = frontend(src, "t.ncl").expect("frontend");
-        let mut m = lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec()))
-            .expect("lower");
+        let mut m =
+            lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec())).expect("lower");
         ncl_ir::passes::optimize(&mut m);
         crate::lanes::split_lanes(&mut m);
         let lin = flatten(m.kernel(kernel).unwrap(), None).expect("flatten");
@@ -689,8 +685,7 @@ _net_ _out_ void k(uint64_t key) {
         let staged = allocate(&lin, &budget()).unwrap();
         let lookup = stage_of(&staged, |p| matches!(p.inst, Inst::MapGet { .. })).unwrap();
         let key_load = stage_of(&staged, |p| matches!(p.inst, Inst::LdWin { .. })).unwrap();
-        let valid_write =
-            stage_of(&staged, |p| matches!(p.inst, Inst::StReg { .. })).unwrap();
+        let valid_write = stage_of(&staged, |p| matches!(p.inst, Inst::StReg { .. })).unwrap();
         assert!(key_load < lookup);
         assert!(lookup < valid_write);
     }

@@ -30,9 +30,8 @@ use c3::{BinOp, ScalarType, Value};
 use ncl_ir::ir::{CtrlId, FwdKind, Inst, MetaField, Module, Operand, RegId};
 use ncl_lang::ast::KernelKind;
 use pisa::{
-    ActionDef, ActionRef, Arg, DeparserSpec, Extract, FieldClass, FieldId, MatchKind,
-    ParserSpec, PhvLayout, PipelineConfig, PrimOp, RegisterArrayDef, ResourceModel,
-    StageConfig, TableDef,
+    ActionDef, ActionRef, Arg, DeparserSpec, Extract, FieldClass, FieldId, MatchKind, ParserSpec,
+    PhvLayout, PipelineConfig, PrimOp, RegisterArrayDef, ResourceModel, StageConfig, TableDef,
 };
 use std::collections::HashMap;
 
@@ -116,7 +115,11 @@ pub fn build_pipeline(
         .map(|r| RegisterArrayDef {
             name: r.name.clone(),
             elem: r.elem,
-            len: if module.placed_here(&r.at) { r.len() } else { 0 },
+            len: if module.placed_here(&r.at) {
+                r.len()
+            } else {
+                0
+            },
             init: r.init.clone(),
         })
         .collect();
@@ -128,9 +131,7 @@ pub fn build_pipeline(
     let mut parser = ParserSpec {
         common: NCP_FIELDS
             .iter()
-            .map(|(n, _)| Extract {
-                field: ncp[n],
-            })
+            .map(|(n, _)| Extract { field: ncp[n] })
             .collect(),
         // Protocol recognition (Fig. 3b): magic "NC" and version 1.
         verify: vec![(ncp["ncp.magic"], 0x4E43), (ncp["ncp.version"], 1)],
@@ -199,11 +200,7 @@ pub fn build_pipeline(
         for (pi, p) in win_params.iter().enumerate() {
             let mut elems = Vec::new();
             for e in 0..kernel.mask[pi] as usize {
-                let f = layout.add(
-                    format!("k{kid}.p{pi}_e{e}"),
-                    p.elem,
-                    FieldClass::Header,
-                );
+                let f = layout.add(format!("k{kid}.p{pi}_e{e}"), p.elem, FieldClass::Header);
                 branch_extracts.push(Extract { field: f });
                 branch_fields.push(f);
                 elems.push(f);
@@ -395,7 +392,8 @@ impl Translator<'_> {
                         ));
                         run_idx += 1;
                     }
-                    cfg.tables.push(self.map_table(p, *found, *val, *map, key, si)?);
+                    cfg.tables
+                        .push(self.map_table(p, *found, *val, *map, key, si)?);
                 } else {
                     let prim = self.translate_plain(p)?;
                     run.extend(prim);
@@ -548,11 +546,7 @@ impl Translator<'_> {
                 let idx = self.const_index(index)?;
                 let src = self.arg(val);
                 match self.payload.get(*param as usize).and_then(|p| p.get(idx)) {
-                    Some(&f) => vec![PrimOp::Mov {
-                        guard,
-                        dst: f,
-                        src,
-                    }],
+                    Some(&f) => vec![PrimOp::Mov { guard, dst: f, src }],
                     // Out-of-mask writes drop.
                     None => vec![],
                 }
@@ -702,7 +696,6 @@ impl Translator<'_> {
     }
 }
 
-
 /// A pool of reusable metadata PHV fields, shared across the kernels of
 /// one pipeline (only one kernel executes per packet, so their scratch
 /// containers can overlap — the paper's "reverse SROA" of SSA registers
@@ -813,10 +806,7 @@ fn pool_count(pool: &FieldPool, ty: ScalarType) -> usize {
 
 /// Encodes a window into NCP packet bytes exactly as the parser above
 /// expects (test/bench helper; the real runtime lives in `ncp`).
-pub fn encode_window_for_test(
-    w: &c3::Window,
-    ext_total: usize,
-) -> Vec<u8> {
+pub fn encode_window_for_test(w: &c3::Window, ext_total: usize) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&0x4E43u16.to_be_bytes()); // magic
     out.push(1); // version
@@ -939,8 +929,7 @@ mod tests {
     ) {
         let (module, compiled) = compile(src, &[(kernel, mask)]);
         let kid = compiled.kernel_ids[kernel];
-        let mut pipe =
-            Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
         let mut state = SwitchState::from_module(&module);
         setup(&mut state, &mut pipe, &compiled);
         let it = Interpreter::default();
@@ -984,10 +973,7 @@ mod tests {
             src,
             "k",
             vec![2],
-            vec![
-                window_u32(0, &[20, 0], 0),
-                window_u32(0, &[3, 0], 0),
-            ],
+            vec![window_u32(0, &[20, 0], 0), window_u32(0, &[3, 0], 0)],
             |_, _, _| {},
         );
     }
@@ -1039,14 +1025,13 @@ _net_ _out_ void get(uint64_t key, uint32_t *val) {
 "#;
         let (module, compiled) = compile(src, &[("get", vec![1, 4])]);
         let kid = compiled.kernel_ids["get"];
-        let mut pipe =
-            Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
         let mut state = SwitchState::from_module(&module);
 
         // Control plane: key 77 → slot 3, valid, value {9,8,7,6}.
         state.map_insert(ncl_ir::MapId(0), 77, Value::new(ScalarType::U8, 3));
         state.registers[1][3] = Value::bool(true); // Valid (module order)
-        // Interpreter-side Cache[3] = {9,8,7,6} (flattened 2-D).
+                                                   // Interpreter-side Cache[3] = {9,8,7,6} (flattened 2-D).
         for (j, v) in [9u32, 8, 7, 6].iter().enumerate() {
             state.registers[0][3 * 4 + j] = Value::u32(*v);
         }
@@ -1056,10 +1041,7 @@ _net_ _out_ void get(uint64_t key, uint32_t *val) {
             pipe.table_insert(
                 t,
                 pisa::Entry {
-                    patterns: vec![
-                        pisa::MatchPattern::exact(1),
-                        pisa::MatchPattern::exact(77),
-                    ],
+                    patterns: vec![pisa::MatchPattern::exact(1), pisa::MatchPattern::exact(77)],
                     action: ActionRef(1),
                     args: vec![Value::new(ScalarType::U8, 3)],
                     priority: 0,
@@ -1112,8 +1094,7 @@ _net_ _out_ void k(int *d) { window.tag = window.tag + 1; }
 "#;
         let (module, compiled) = compile(src, &[("k", vec![1])]);
         let kid = compiled.kernel_ids["k"];
-        let mut pipe =
-            Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
         let mut w = window_u32(kid, &[0], 0);
         w.ext_write(0, Value::new(ScalarType::U16, 41));
         let pkt = encode_window_for_test(&w, module.window_ext.size());
@@ -1131,8 +1112,7 @@ _net_ _out_ void k(int *d) { window.tag = window.tag + 1; }
             "_net_ _out_ void k(int *d) { d[0] += 1; }",
             &[("k", vec![1])],
         );
-        let mut pipe =
-            Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
         // Not an NCP packet for kernel 1 (unknown kernel id 999).
         let mut w = window_u32(999, &[1], 0);
         w.kernel = KernelId(999);
@@ -1157,8 +1137,7 @@ _net_ _out_ void k(int *d) { window.tag = window.tag + 1; }
             &CompileOptions::default(),
         )
         .unwrap();
-        let mut pipe =
-            Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
         let ka = compiled.kernel_ids["ka"];
         let kb = compiled.kernel_ids["kb"];
         let run = |pipe: &mut Pipeline, kid: u16, v: u32| -> u32 {
@@ -1180,8 +1159,7 @@ _net_ _out_ void k(int *d) { if ((unsigned)d[0] > thresh) { _drop(); } }
 "#;
         let (_, compiled) = compile(src, &[("k", vec![1])]);
         let kid = compiled.kernel_ids["k"];
-        let mut pipe =
-            Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).unwrap();
         let run = |pipe: &mut Pipeline, v: u32| -> u8 {
             let w = window_u32(kid, &[v], 0);
             let out = pipe.process(&encode_window_for_test(&w, 0)).unwrap();
@@ -1189,7 +1167,7 @@ _net_ _out_ void k(int *d) { if ((unsigned)d[0] > thresh) { _drop(); } }
         };
         assert_eq!(run(&mut pipe, 9), 3); // drop: 9 > 5
         assert_eq!(run(&mut pipe, 3), 0); // pass
-        // ncl::ctrl_wr equivalent: update every copy.
+                                          // ncl::ctrl_wr equivalent: update every copy.
         for copy in &compiled.ctrl_regs["thresh"] {
             assert!(pipe.register_write(copy, 0, Value::u32(100)));
         }

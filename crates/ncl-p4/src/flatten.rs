@@ -116,7 +116,10 @@ pub fn flatten(kernel: &KernelIr, root: Option<RegId>) -> Result<LinearKernel, F
                 if first {
                     ops.push(PredInst {
                         guard: None,
-                        inst: Inst::Copy { dst: pt, a: contrib },
+                        inst: Inst::Copy {
+                            dst: pt,
+                            a: contrib,
+                        },
                     });
                 } else {
                     ops.push(PredInst {
@@ -308,12 +311,8 @@ pub fn execute_linear(
             Inst::LdMeta { dst, field } => {
                 let v = match field {
                     MetaField::Seq => Value::u32(window.seq),
-                    MetaField::Sender => {
-                        Value::new(ScalarType::U16, window.sender.0 as u64)
-                    }
-                    MetaField::From => {
-                        Value::new(ScalarType::U16, window.from.to_wire() as u64)
-                    }
+                    MetaField::Sender => Value::new(ScalarType::U16, window.sender.0 as u64),
+                    MetaField::From => Value::new(ScalarType::U16, window.from.to_wire() as u64),
                     MetaField::Len => {
                         let ty = win_params.first().copied().unwrap_or(ScalarType::U8);
                         Value::new(
@@ -321,14 +320,10 @@ pub fn execute_linear(
                             window.chunks.first().map(|c| c.elems(ty)).unwrap_or(0) as u64,
                         )
                     }
-                    MetaField::NChunks => {
-                        Value::new(ScalarType::U8, window.chunks.len() as u64)
-                    }
+                    MetaField::NChunks => Value::new(ScalarType::U8, window.chunks.len() as u64),
                     MetaField::Last => Value::bool(window.last),
                     MetaField::Ext(off, ty) => window.ext_read(*ty, *off as usize),
-                    MetaField::LocationId => {
-                        Value::new(ScalarType::U16, state.location_id as u64)
-                    }
+                    MetaField::LocationId => Value::new(ScalarType::U16, state.location_id as u64),
                 };
                 regs[dst.0 as usize] = v;
             }
@@ -352,9 +347,7 @@ pub fn execute_linear(
                     a[idx] = v.cast(ty);
                 }
             }
-            Inst::LdCtrl { dst, ctrl } => {
-                regs[dst.0 as usize] = state.ctrls[ctrl.0 as usize]
-            }
+            Inst::LdCtrl { dst, ctrl } => regs[dst.0 as usize] = state.ctrls[ctrl.0 as usize],
             Inst::MapGet {
                 found,
                 val,
@@ -407,8 +400,8 @@ mod tests {
 
     fn module(src: &str, kernel: &str, mask: &[u16]) -> Module {
         let checked = frontend(src, "t.ncl").expect("frontend");
-        let mut m = lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec()))
-            .expect("lower");
+        let mut m =
+            lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec())).expect("lower");
         ncl_ir::passes::optimize(&mut m);
         m
     }
@@ -443,7 +436,10 @@ mod tests {
             let fb = execute_linear(&lin, k, &mut wb, &mut st_b);
             assert_eq!(fa, fb, "forward decision diverged at window {i}");
             assert_eq!(wa, wb, "window diverged at window {i}");
-            assert_eq!(st_a.registers, st_b.registers, "state diverged at window {i}");
+            assert_eq!(
+                st_a.registers, st_b.registers,
+                "state diverged at window {i}"
+            );
         }
     }
 
@@ -495,10 +491,7 @@ mod tests {
         let lin = flatten(k, None).unwrap();
         let mut st = SwitchState::from_module(&m);
         let mut w = window_u32(&[9], 0);
-        assert_eq!(
-            execute_linear(&lin, k, &mut w, &mut st),
-            Forward::Reflect
-        );
+        assert_eq!(execute_linear(&lin, k, &mut w, &mut st), Forward::Reflect);
         let mut w = window_u32(&[1], 0);
         assert_eq!(execute_linear(&lin, k, &mut w, &mut st), Forward::Drop);
     }
@@ -594,9 +587,6 @@ _net_ _out_ void k(uint64_t key) {
         let src = "_net_ _out_ void k(int *d) { while (d[0] > 0) { d[0] -= 1; } }";
         let m = module(src, "k", &[1]);
         let k = m.kernel("k").unwrap();
-        assert!(matches!(
-            flatten(k, None),
-            Err(FlattenError::Cyclic { .. })
-        ));
+        assert!(matches!(flatten(k, None), Err(FlattenError::Cyclic { .. })));
     }
 }

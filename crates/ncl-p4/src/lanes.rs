@@ -118,8 +118,7 @@ pub fn split_lanes(module: &mut Module) -> LaneMap {
         match &decision {
             LaneDecision::Single => {
                 new_registers.push(decl.clone());
-                map.banks
-                    .insert(decl.name.clone(), vec![decl.name.clone()]);
+                map.banks.insert(decl.name.clone(), vec![decl.name.clone()]);
             }
             LaneDecision::Split { lanes, slot_len } => {
                 let mut bank_names = Vec::new();
@@ -168,20 +167,19 @@ pub fn split_lanes(module: &mut Module) -> LaneMap {
                         rewrites.push((bi, ii, ArrId(*first), index));
                     }
                     LaneDecision::Split { lanes, .. } => {
-                        let aff = affine_of(index, &defs, k)
-                            .expect("split arrays have affine accesses");
+                        let aff =
+                            affine_of(index, &defs, k).expect("split arrays have affine accesses");
                         let lane = (aff.offset as usize) % lanes;
                         // Slot index: the multiplicand when dynamic, or
                         // offset / lanes when the index is constant.
                         let slot = match aff.base {
                             Some(base) => {
-                                let mul =
-                                    multiplier_of(Some(base), &defs, k).expect("checked");
+                                let mul = multiplier_of(Some(base), &defs, k).expect("checked");
                                 Operand::Reg(mul)
                             }
-                            None => Operand::Const(Value::u32(
-                                (aff.offset as usize / lanes) as u32,
-                            )),
+                            None => {
+                                Operand::Const(Value::u32((aff.offset as usize / lanes) as u32))
+                            }
                         };
                         rewrites.push((bi, ii, ArrId(first + lane as u32), slot));
                     }
@@ -357,11 +355,7 @@ fn affine_of(index: Operand, defs: &HashMap<RegId, Inst>, _k: &KernelIr) -> Opti
 /// If `base` is defined as `x * L` (or `x << log2 L`), returns the
 /// multiplicand register; the constant L is recovered by
 /// [`multiplier_value`].
-fn multiplier_of(
-    base: Option<RegId>,
-    defs: &HashMap<RegId, Inst>,
-    _k: &KernelIr,
-) -> Option<RegId> {
+fn multiplier_of(base: Option<RegId>, defs: &HashMap<RegId, Inst>, _k: &KernelIr) -> Option<RegId> {
     let base = base?;
     match defs.get(&base)? {
         Inst::Bin {
@@ -420,8 +414,8 @@ mod tests {
 
     fn module(src: &str, kernel: &str, mask: &[u16]) -> Module {
         let checked = frontend(src, "t.ncl").expect("frontend");
-        let mut m = lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec()))
-            .expect("lower");
+        let mut m =
+            lower(&checked, &LoweringConfig::with_mask(kernel, mask.to_vec())).expect("lower");
         ncl_ir::passes::optimize(&mut m);
         m
     }
@@ -587,7 +581,10 @@ _net_ _out_ void k(int *data) {
             last: false,
             chunks: vec![Chunk {
                 offset: 0,
-                data: [5u32, 6, 7, 8].iter().flat_map(|v| v.to_be_bytes()).collect(),
+                data: [5u32, 6, 7, 8]
+                    .iter()
+                    .flat_map(|v| v.to_be_bytes())
+                    .collect(),
             }],
             ext: vec![],
         };

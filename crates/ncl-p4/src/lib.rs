@@ -151,8 +151,8 @@ pub fn compile_module(
     };
 
     // 2-4. Per-kernel flatten + allocate, merged into one pipeline.
-    let compiled = codegen::build_pipeline(&split, model, opts)
-        .map_err(|e| CompileError::Codegen {
+    let compiled =
+        codegen::build_pipeline(&split, model, opts).map_err(|e| CompileError::Codegen {
             kernel: e.kernel,
             reason: e.reason,
         })?;

@@ -10,19 +10,19 @@ fn emit(src: &str, kernel: &str, mask: Vec<u16>) -> String {
     let checked = ncl_lang::frontend(src, "t.ncl").expect("frontend");
     let mut module = lower(&checked, &LoweringConfig::with_mask(kernel, mask)).expect("lower");
     ncl_ir::passes::optimize(&mut module);
-    compile_module(&module, &ResourceModel::default(), &CompileOptions::default())
-        .expect("compiles")
-        .p4_source
+    compile_module(
+        &module,
+        &ResourceModel::default(),
+        &CompileOptions::default(),
+    )
+    .expect("compiles")
+    .p4_source
 }
 
 /// Every generated program carries the full template plumbing.
 #[test]
 fn structural_invariants() {
-    let p4 = emit(
-        "_net_ _out_ void k(int *d) { d[0] += 1; }",
-        "k",
-        vec![1],
-    );
+    let p4 = emit("_net_ _out_ void k(int *d) { d[0] += 1; }", "k", vec![1]);
     for needle in [
         "#include <core.p4>",
         "#include <v1model.p4>",

@@ -8,98 +8,239 @@
 //! [`Reassembler`]. Switches skip fragmented windows — storing multiple
 //! packets "may not yet be practical due to limited switch memory"
 //! (paper §6) — and simply forward them.
+//!
+//! # Zero-copy datapath
+//!
+//! The steady-state send path avoids per-window allocations:
+//! [`encode_window_into`] emits header, descriptors, ext, and payload
+//! directly into a caller-supplied buffer (typically recycled through a
+//! [`BufferPool`]), and [`fragment_window_into`] writes each fragment
+//! straight into its own pooled buffer — no intermediate fragment
+//! `Window` and no encode-then-re-slice double copy. The receive path
+//! bounds memory ([`Reassembler`] caps in-flight partial windows,
+//! evicting the stalest on overflow) and recycles fragment piece
+//! buffers internally.
 
-use crate::wire::{NcpPacket, NcpRepr, WireError, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST, FLAG_MORE_FRAGS};
+use crate::wire::{
+    NcpPacket, WireError, CHUNK_DESC_LEN, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST,
+    FLAG_MORE_FRAGS, HEADER_LEN, MAGIC, VERSION,
+};
 use c3::{Chunk, HostId, KernelId, NodeId, Window};
 use std::collections::HashMap;
 
-/// Encodes a single-packet window. `ext_total` pads/truncates the ext
-/// block to the program's declared window-extension size so the switch
-/// parser sees a fixed layout.
-pub fn encode_window(w: &Window, ext_total: usize) -> Vec<u8> {
-    let mut ext = w.ext.clone();
-    ext.resize(ext_total, 0);
-    let repr = NcpRepr {
-        flags: if w.last { FLAG_LAST } else { 0 },
-        kernel: w.kernel.0,
-        seq: w.seq,
-        sender: w.sender.0,
-        from: w.from.to_wire(),
-        chunks: w
-            .chunks
-            .iter()
-            .map(|c| (c.offset, c.data.len() as u16))
-            .collect(),
-        ext,
-    };
-    let mut buf = vec![0u8; repr.buffer_len()];
-    repr.emit(&mut buf);
-    let mut off = repr.payload_offset();
-    for c in &w.chunks {
-        buf[off..off + c.data.len()].copy_from_slice(&c.data);
-        off += c.data.len();
+/// Default cap on windows concurrently under reassembly (satellite of
+/// the fast-path work: a peer spraying first fragments must not grow
+/// host memory without bound).
+pub const DEFAULT_MAX_PENDING: usize = 256;
+
+/// A free-list of byte buffers for the packet datapath. `get` hands out
+/// an empty buffer that retains its previous capacity; `put` returns a
+/// buffer to the pool. Steady-state encode traffic therefore settles
+/// into zero heap allocations.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_buffers: 64,
+        }
     }
+}
+
+impl BufferPool {
+    /// An empty pool holding at most 64 recycled buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pool that retains at most `max_buffers` buffers;
+    /// `put` drops excess buffers instead of growing without bound.
+    pub fn with_limit(max_buffers: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_buffers,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (or a fresh one when empty).
+    pub fn get(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer for reuse. Its contents are cleared; capacity is
+    /// kept.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no recycled buffers.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// Encoded length of `w` as a single NCP packet with the given ext size.
+pub fn encoded_len(w: &Window, ext_total: usize) -> usize {
+    HEADER_LEN
+        + w.chunks.len() * CHUNK_DESC_LEN
+        + ext_total
+        + w.chunks.iter().map(|c| c.data.len()).sum::<usize>()
+}
+
+/// Writes the fixed NCP header for window `w` into (cleared) `buf`.
+fn emit_prelude(buf: &mut Vec<u8>, w: &Window, flags: u8, nchunks: usize, ext_total: usize) {
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.push(VERSION);
+    buf.push(flags);
+    buf.extend_from_slice(&w.kernel.0.to_be_bytes());
+    buf.extend_from_slice(&w.seq.to_be_bytes());
+    buf.extend_from_slice(&w.sender.0.to_be_bytes());
+    buf.extend_from_slice(&w.from.to_wire().to_be_bytes());
+    buf.push(nchunks as u8);
+    buf.push(ext_total as u8);
+}
+
+/// Writes the ext block: `w.ext` truncated/zero-padded to `ext_total`.
+fn emit_ext(buf: &mut Vec<u8>, w: &Window, ext_total: usize) {
+    let n = w.ext.len().min(ext_total);
+    buf.extend_from_slice(&w.ext[..n]);
+    buf.resize(buf.len() + (ext_total - n), 0);
+}
+
+/// Encodes a single-packet window directly into `buf` (cleared first;
+/// capacity is reused). `ext_total` pads/truncates the ext block to the
+/// program's declared window-extension size so the switch parser sees a
+/// fixed layout.
+pub fn encode_window_into(w: &Window, ext_total: usize, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.reserve(encoded_len(w, ext_total));
+    emit_prelude(
+        buf,
+        w,
+        if w.last { FLAG_LAST } else { 0 },
+        w.chunks.len(),
+        ext_total,
+    );
+    for c in &w.chunks {
+        buf.extend_from_slice(&c.offset.to_be_bytes());
+        buf.extend_from_slice(&(c.data.len() as u16).to_be_bytes());
+    }
+    emit_ext(buf, w, ext_total);
+    for c in &w.chunks {
+        buf.extend_from_slice(&c.data);
+    }
+}
+
+/// Encodes a single-packet window into a fresh buffer. Allocating
+/// convenience wrapper over [`encode_window_into`].
+pub fn encode_window(w: &Window, ext_total: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_window_into(w, ext_total, &mut buf);
     buf
 }
 
 /// Decodes a packet into a window.
 pub fn decode_window(bytes: &[u8]) -> Result<Window, WireError> {
-    let p = NcpPacket::new_checked(bytes)?;
-    let chunks = (0..p.nchunks() as usize)
-        .map(|i| Chunk {
-            offset: p.chunk_desc(i).0,
-            data: p.chunk_data(i).to_vec(),
-        })
-        .collect();
-    Ok(Window {
-        kernel: KernelId(p.kernel()),
-        seq: p.seq(),
-        sender: HostId(p.sender()),
-        from: NodeId::from_wire(p.from()),
-        last: p.flags() & FLAG_LAST != 0,
-        chunks,
-        ext: p.ext().to_vec(),
-    })
+    let mut w = Window {
+        kernel: KernelId(0),
+        seq: 0,
+        sender: HostId(0),
+        from: NodeId::Host(HostId(0)),
+        last: false,
+        chunks: Vec::new(),
+        ext: Vec::new(),
+    };
+    decode_window_into(bytes, &mut w)?;
+    Ok(w)
 }
 
-/// Splits a window into packets no larger than `mtu`. Single-fragment
-/// windows get one packet identical to [`encode_window`]'s output.
+/// Decodes a packet into an existing window, reusing its chunk and ext
+/// buffers — the receive-side counterpart of [`encode_window_into`].
+/// Steady-state decodes of same-shaped windows perform no heap
+/// allocations. On error `w` is left unchanged.
+pub fn decode_window_into(bytes: &[u8], w: &mut Window) -> Result<(), WireError> {
+    let p = NcpPacket::new_checked(bytes)?;
+    w.kernel = KernelId(p.kernel());
+    w.seq = p.seq();
+    w.sender = HostId(p.sender());
+    w.from = NodeId::from_wire(p.from());
+    w.last = p.flags() & FLAG_LAST != 0;
+    let n = p.nchunks() as usize;
+    w.chunks.truncate(n);
+    while w.chunks.len() < n {
+        w.chunks.push(Chunk {
+            offset: 0,
+            data: Vec::new(),
+        });
+    }
+    for (i, c) in w.chunks.iter_mut().enumerate() {
+        c.offset = p.chunk_desc(i).0;
+        c.data.clear();
+        c.data.extend_from_slice(p.chunk_data(i));
+    }
+    w.ext.clear();
+    w.ext.extend_from_slice(p.ext());
+    Ok(())
+}
+
+/// Splits a window into packets no larger than `mtu`, writing each
+/// fragment directly into a buffer drawn from `pool` and pushing it onto
+/// `out`. Single-fragment windows get one packet identical to
+/// [`encode_window`]'s output.
 ///
 /// Each fragment carries a subset of each chunk's bytes with corrected
-/// array offsets. Every fragment sets [`FLAG_FRAGMENT`]; the first also
-/// sets [`FLAG_FIRST_FRAG`] and all but the final set
-/// [`FLAG_MORE_FRAGS`] — so reassembly is order- and loss-tolerant.
+/// array offsets, written in one pass — there is no intermediate
+/// fragment `Window` and no encode-then-re-slice copy. Every fragment
+/// sets [`FLAG_FRAGMENT`]; the first also sets [`FLAG_FIRST_FRAG`] and
+/// all but the final set [`FLAG_MORE_FRAGS`] — so reassembly is order-
+/// and loss-tolerant.
 ///
 /// # Panics
 /// Panics if `mtu` is too small to carry even one element of payload
 /// next to the header.
-pub fn fragment_window(w: &Window, ext_total: usize, mtu: usize) -> Vec<Vec<u8>> {
-    let single = encode_window(w, ext_total);
-    if single.len() <= mtu {
-        return vec![single];
+pub fn fragment_window_into(
+    w: &Window,
+    ext_total: usize,
+    mtu: usize,
+    pool: &mut BufferPool,
+    out: &mut Vec<Vec<u8>>,
+) {
+    if encoded_len(w, ext_total) <= mtu {
+        let mut buf = pool.get();
+        encode_window_into(w, ext_total, &mut buf);
+        out.push(buf);
+        return;
     }
-    let overhead =
-        crate::wire::HEADER_LEN + w.chunks.len() * crate::wire::CHUNK_DESC_LEN + ext_total;
+    let overhead = HEADER_LEN + w.chunks.len() * CHUNK_DESC_LEN + ext_total;
     assert!(
         mtu > overhead,
         "mtu {mtu} cannot fit the NCP header overhead {overhead}"
     );
     let budget = mtu - overhead;
-    let mut fragments = Vec::new();
     let mut cursors: Vec<usize> = vec![0; w.chunks.len()];
+    let mut takes: Vec<usize> = vec![0; w.chunks.len()];
     let mut first = true;
     loop {
-        let mut frag_chunks: Vec<Chunk> = Vec::new();
+        // Plan this fragment: how many payload bytes of each chunk fit.
         let mut used = 0usize;
         let mut any = false;
         for (i, c) in w.chunks.iter().enumerate() {
             let rest = c.data.len() - cursors[i];
             let take = rest.min(budget.saturating_sub(used));
-            frag_chunks.push(Chunk {
-                offset: c.offset + cursors[i] as u32,
-                data: c.data[cursors[i]..cursors[i] + take].to_vec(),
-            });
-            cursors[i] += take;
+            takes[i] = take;
             used += take;
             if take > 0 {
                 any = true;
@@ -110,33 +251,47 @@ pub fn fragment_window(w: &Window, ext_total: usize, mtu: usize) -> Vec<Vec<u8>>
         }
         let done = cursors
             .iter()
+            .zip(takes.iter())
             .zip(&w.chunks)
-            .all(|(&cur, c)| cur == c.data.len());
-        let fw = Window {
-            kernel: w.kernel,
-            seq: w.seq,
-            sender: w.sender,
-            from: w.from,
-            last: w.last && done,
-            chunks: frag_chunks,
-            ext: w.ext.clone(),
-        };
-        let mut bytes = encode_window(&fw, ext_total);
-        let mut flags = if fw.last { FLAG_LAST } else { 0 } | FLAG_FRAGMENT;
+            .all(|((&cur, &take), c)| cur + take == c.data.len());
+        let mut flags = FLAG_FRAGMENT;
+        if w.last && done {
+            flags |= FLAG_LAST;
+        }
         if first {
             flags |= FLAG_FIRST_FRAG;
         }
         if !done {
             flags |= FLAG_MORE_FRAGS;
         }
-        NcpPacket::new_unchecked(&mut bytes[..]).set_flags(flags);
-        fragments.push(bytes);
+        // Emit the fragment in one pass into a pooled buffer.
+        let mut buf = pool.get();
+        buf.reserve(overhead + used);
+        emit_prelude(&mut buf, w, flags, w.chunks.len(), ext_total);
+        for (i, c) in w.chunks.iter().enumerate() {
+            buf.extend_from_slice(&(c.offset + cursors[i] as u32).to_be_bytes());
+            buf.extend_from_slice(&(takes[i] as u16).to_be_bytes());
+        }
+        emit_ext(&mut buf, w, ext_total);
+        for (i, c) in w.chunks.iter().enumerate() {
+            buf.extend_from_slice(&c.data[cursors[i]..cursors[i] + takes[i]]);
+            cursors[i] += takes[i];
+        }
+        out.push(buf);
         first = false;
         if done {
             break;
         }
     }
-    fragments
+}
+
+/// Splits a window into packets no larger than `mtu`. Allocating
+/// convenience wrapper over [`fragment_window_into`].
+pub fn fragment_window(w: &Window, ext_total: usize, mtu: usize) -> Vec<Vec<u8>> {
+    let mut pool = BufferPool::with_limit(0);
+    let mut out = Vec::new();
+    fragment_window_into(w, ext_total, mtu, &mut pool, &mut out);
+    out
 }
 
 /// Key identifying a window under reassembly.
@@ -154,9 +309,33 @@ struct FragKey {
 /// tolerated; a window completes once the first fragment (chunk start
 /// offsets), the final fragment (chunk end offsets), and a gap-free byte
 /// coverage in between have all been seen.
-#[derive(Debug, Default)]
+///
+/// Memory is bounded: at most [`DEFAULT_MAX_PENDING`] windows (override
+/// with [`Reassembler::with_max_pending`]) are held mid-reassembly;
+/// inserting beyond the cap evicts the partial window untouched for the
+/// longest. Fragment piece buffers are recycled through an internal
+/// [`BufferPool`], so steady-state reassembly of same-shaped windows
+/// stops allocating.
+#[derive(Debug)]
 pub struct Reassembler {
     partial: HashMap<FragKey, Partial>,
+    max_pending: usize,
+    /// Monotone push counter, for staleness ranking.
+    tick: u64,
+    evictions: u64,
+    pool: BufferPool,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler {
+            partial: HashMap::new(),
+            max_pending: DEFAULT_MAX_PENDING,
+            tick: 0,
+            evictions: 0,
+            pool: BufferPool::new(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -168,6 +347,8 @@ struct Partial {
     starts: Vec<Option<u32>>,
     /// Per chunk: end offset (from the final fragment).
     ends: Vec<Option<u32>>,
+    /// Tick of the last fragment that advanced this window.
+    touched: u64,
 }
 
 impl Partial {
@@ -184,7 +365,8 @@ impl Partial {
         true
     }
 
-    fn assemble(mut self) -> Window {
+    /// Builds the final window, returning every piece buffer to `pool`.
+    fn assemble(mut self, pool: &mut BufferPool) -> Window {
         let mut chunks = Vec::with_capacity(self.pieces.len());
         for (c, mut pieces) in self.pieces.drain(..).enumerate() {
             let start = self.starts[c].expect("complete");
@@ -194,6 +376,7 @@ impl Partial {
             for (off, piece) in pieces {
                 let rel = (off - start) as usize;
                 data[rel..rel + piece.len()].copy_from_slice(&piece);
+                pool.put(piece);
             }
             chunks.push(Chunk {
                 offset: start,
@@ -205,12 +388,33 @@ impl Partial {
             ..self.meta
         }
     }
+
+    /// Returns every piece buffer to `pool` without assembling.
+    fn recycle(mut self, pool: &mut BufferPool) {
+        for pieces in self.pieces.drain(..) {
+            for (_, piece) in pieces {
+                pool.put(piece);
+            }
+        }
+    }
 }
 
 impl Reassembler {
-    /// Creates an empty reassembler.
+    /// Creates a reassembler with the default pending-window cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Overrides the cap on windows concurrently under reassembly.
+    ///
+    /// # Panics
+    /// Panics if `max` is zero.
+    pub fn with_max_pending(max: usize) -> Self {
+        assert!(max > 0, "max_pending must be positive");
+        Reassembler {
+            max_pending: max,
+            ..Self::default()
+        }
     }
 
     /// Ingests one packet. Returns a completed window if this packet
@@ -218,57 +422,78 @@ impl Reassembler {
     pub fn push(&mut self, bytes: &[u8]) -> Result<Option<Window>, WireError> {
         let p = NcpPacket::new_checked(bytes)?;
         let flags = p.flags();
-        let w = decode_window(bytes)?;
         if flags & FLAG_FRAGMENT == 0 {
             // Unfragmented window: fast path.
-            return Ok(Some(w));
+            return Ok(Some(decode_window(bytes)?));
         }
+        self.tick += 1;
         let key = FragKey {
-            sender: w.sender.0,
-            kernel: w.kernel.0,
-            seq: w.seq,
+            sender: p.sender(),
+            kernel: p.kernel(),
+            seq: p.seq(),
         };
-        let nchunks = w.chunks.len();
+        let nchunks = p.nchunks() as usize;
+        if !self.partial.contains_key(&key) && self.partial.len() >= self.max_pending {
+            self.evict_stalest();
+        }
         let entry = self.partial.entry(key).or_insert_with(|| Partial {
             meta: Window {
-                kernel: w.kernel,
-                seq: w.seq,
-                sender: w.sender,
-                from: w.from,
+                kernel: KernelId(p.kernel()),
+                seq: p.seq(),
+                sender: HostId(p.sender()),
+                from: NodeId::from_wire(p.from()),
                 last: false,
                 chunks: vec![],
-                ext: w.ext.clone(),
+                ext: p.ext().to_vec(),
             },
             pieces: vec![Vec::new(); nchunks],
             starts: vec![None; nchunks],
             ends: vec![None; nchunks],
+            touched: 0,
         });
+        entry.touched = self.tick;
         let first = flags & FLAG_FIRST_FRAG != 0;
         let final_frag = flags & FLAG_MORE_FRAGS == 0;
         if final_frag {
             entry.meta.last = flags & FLAG_LAST != 0;
         }
-        for (c, chunk) in w.chunks.iter().enumerate() {
-            if c >= entry.pieces.len() {
-                break;
-            }
+        for c in 0..nchunks.min(entry.pieces.len()) {
+            let (offset, len) = p.chunk_desc(c);
             if first {
-                entry.starts[c] = Some(chunk.offset);
+                entry.starts[c] = Some(offset);
             }
             if final_frag {
-                entry.ends[c] = Some(chunk.offset + chunk.data.len() as u32);
+                entry.ends[c] = Some(offset + len as u32);
             }
-            if !chunk.data.is_empty()
-                && !entry.pieces[c].iter().any(|(o, _)| *o == chunk.offset)
-            {
-                entry.pieces[c].push((chunk.offset, chunk.data.clone()));
+            if len > 0 && !entry.pieces[c].iter().any(|(o, _)| *o == offset) {
+                // Copy the payload straight out of the packet into a
+                // recycled buffer — the only copy on this path.
+                let mut piece = self.pool.get();
+                piece.extend_from_slice(p.chunk_data(c));
+                entry.pieces[c].push((offset, piece));
             }
         }
         if entry.complete() {
             let done = self.partial.remove(&key).expect("entry exists");
-            return Ok(Some(done.assemble()));
+            return Ok(Some(done.assemble(&mut self.pool)));
         }
         Ok(None)
+    }
+
+    /// Evicts the partial window that has gone longest without progress.
+    fn evict_stalest(&mut self) {
+        let Some(key) = self
+            .partial
+            .iter()
+            .min_by_key(|(_, p)| p.touched)
+            .map(|(k, _)| *k)
+        else {
+            return;
+        };
+        if let Some(p) = self.partial.remove(&key) {
+            p.recycle(&mut self.pool);
+            self.evictions += 1;
+        }
     }
 
     /// Number of windows currently mid-reassembly.
@@ -276,9 +501,17 @@ impl Reassembler {
         self.partial.len()
     }
 
-    /// Drops all partial windows (loss-handling policy is the caller's).
+    /// Number of partial windows dropped by the pending-window cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops all partial windows (loss-handling policy is the caller's),
+    /// recycling their buffers.
     pub fn clear(&mut self) {
-        self.partial.clear();
+        for (_, p) in self.partial.drain() {
+            p.recycle(&mut self.pool);
+        }
     }
 }
 
@@ -308,6 +541,39 @@ mod tests {
         let bytes = encode_window(&w, 2);
         let back = decode_window(&bytes).unwrap();
         assert_eq!(back, w);
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity() {
+        let w = window(&[1, 2, 3, 4], 5, true);
+        let mut buf = Vec::new();
+        encode_window_into(&w, 2, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        assert_eq!(buf.len(), encoded_len(&w, 2));
+        // Re-encoding into the same buffer must not reallocate.
+        encode_window_into(&w, 2, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
+        assert_eq!(decode_window(&buf).unwrap(), w);
+    }
+
+    #[test]
+    fn decode_into_reuses_buffers() {
+        let w = window(&[1, 2, 3, 4], 5, true);
+        let bytes = encode_window(&w, 2);
+        let mut scratch = decode_window(&bytes).unwrap();
+        let chunk_ptr = scratch.chunks[0].data.as_ptr();
+        // Decoding a same-shaped window reuses chunk and ext storage.
+        let w2 = window(&[9, 8, 7, 6], 6, false);
+        let bytes2 = encode_window(&w2, 2);
+        decode_window_into(&bytes2, &mut scratch).unwrap();
+        assert_eq!(scratch.chunks[0].data.as_ptr(), chunk_ptr);
+        let expect = decode_window(&bytes2).unwrap();
+        assert_eq!(scratch, expect);
+        // A malformed packet leaves the window untouched.
+        assert!(decode_window_into(&[1, 2, 3], &mut scratch).is_err());
+        assert_eq!(scratch, expect);
     }
 
     #[test]
@@ -351,6 +617,26 @@ mod tests {
         assert_eq!(got.chunks[0].offset, w.chunks[0].offset);
         assert!(got.last);
         assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn pooled_fragmentation_matches_allocating_path() {
+        let vals: Vec<u32> = (0..64).collect();
+        let w = window(&vals, 3, true);
+        let reference = fragment_window(&w, 2, 96);
+        let mut pool = BufferPool::new();
+        let mut out = Vec::new();
+        fragment_window_into(&w, 2, 96, &mut pool, &mut out);
+        assert_eq!(out, reference, "pooled path must be wire-identical");
+        // Recycle and refragment: still identical, buffers reused.
+        for b in out.drain(..) {
+            pool.put(b);
+        }
+        let pooled = pool.len();
+        assert!(pooled >= reference.len());
+        fragment_window_into(&w, 2, 96, &mut pool, &mut out);
+        assert_eq!(out, reference);
+        assert_eq!(pool.len(), pooled - reference.len());
     }
 
     #[test]
@@ -403,6 +689,33 @@ mod tests {
     fn reassembler_rejects_garbage() {
         let mut r = Reassembler::new();
         assert!(r.push(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn pending_cap_evicts_stalest() {
+        // Two-fragment windows; feed only the first fragment of seqs
+        // 0..4 into a cap-2 reassembler.
+        let mut r = Reassembler::with_max_pending(2);
+        let mk = |seq| fragment_window(&window(&(0..32).collect::<Vec<_>>(), seq, true), 2, 80);
+        let all: Vec<_> = (0..4).map(mk).collect();
+        for frags in &all {
+            r.push(&frags[0]).unwrap();
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evictions(), 2);
+        // The two stalest (seq 0 and 1) were dropped; seq 3 completes.
+        let mut done = None;
+        for f in &all[3][1..] {
+            done = r.push(f).unwrap();
+        }
+        assert_eq!(done.expect("seq 3 survives").seq, 3);
+        // Seq 0 was evicted: its remaining fragments no longer complete
+        // (the FIRST fragment's start offsets are gone).
+        let mut done = None;
+        for f in &all[0][1..] {
+            done = r.push(f).unwrap();
+        }
+        assert!(done.is_none());
     }
 
     #[test]

@@ -27,5 +27,11 @@ pub mod mem;
 pub mod udp;
 pub mod wire;
 
-pub use codec::{decode_window, encode_window, Reassembler};
-pub use wire::{NcpPacket, NcpRepr, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST, FLAG_MORE_FRAGS, HEADER_LEN, MAGIC, VERSION};
+pub use codec::{
+    decode_window, decode_window_into, encode_window, encode_window_into, encoded_len,
+    fragment_window, fragment_window_into, BufferPool, Reassembler,
+};
+pub use wire::{
+    NcpPacket, NcpRepr, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST, FLAG_MORE_FRAGS, HEADER_LEN,
+    MAGIC, VERSION,
+};

@@ -6,7 +6,7 @@
 //! with a configurable read timeout — NCP imposes no async runtime on
 //! its hosts, and the examples drive one endpoint per thread.
 
-use crate::codec::{fragment_window, Reassembler};
+use crate::codec::{fragment_window_into, BufferPool, Reassembler};
 use c3::Window;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -26,6 +26,10 @@ pub struct UdpEndpoint {
     /// Ext-block size of the deployed program (fixed parser layout).
     pub ext_total: usize,
     buf: Vec<u8>,
+    /// Recycled packet buffers for the zero-copy send path.
+    pool: BufferPool,
+    /// Scratch fragment list reused across `send_window` calls.
+    frags: Vec<Vec<u8>>,
 }
 
 impl UdpEndpoint {
@@ -39,6 +43,8 @@ impl UdpEndpoint {
             mtu: 1472, // Ethernet MTU minus IP/UDP headers
             ext_total: 0,
             buf: vec![0u8; 65536],
+            pool: BufferPool::new(),
+            frags: Vec::new(),
         })
     }
 
@@ -53,13 +59,20 @@ impl UdpEndpoint {
     }
 
     /// Sends a window to `dst`, fragmenting to the MTU if necessary.
-    /// Returns the number of packets sent.
-    pub fn send_window(&self, dst: SocketAddr, w: &Window) -> io::Result<usize> {
-        let frags = fragment_window(w, self.ext_total, self.mtu);
-        for f in &frags {
-            self.socket.send_to(f, dst)?;
+    /// Packet buffers are drawn from (and returned to) an internal pool,
+    /// so steady-state sends allocate nothing. Returns the number of
+    /// packets sent.
+    pub fn send_window(&mut self, dst: SocketAddr, w: &Window) -> io::Result<usize> {
+        fragment_window_into(w, self.ext_total, self.mtu, &mut self.pool, &mut self.frags);
+        let n = self.frags.len();
+        let mut result = Ok(());
+        for f in self.frags.drain(..) {
+            if result.is_ok() {
+                result = self.socket.send_to(&f, dst).map(|_| ());
+            }
+            self.pool.put(f);
         }
-        Ok(frags.len())
+        result.map(|()| n)
     }
 
     /// Sends raw packet bytes (used by the software switch to forward).
@@ -94,8 +107,7 @@ impl UdpEndpoint {
         match self.socket.recv_from(&mut self.buf) {
             Ok((n, src)) => Ok(Some((self.buf[..n].to_vec(), src))),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
@@ -132,7 +144,7 @@ mod tests {
 
     #[test]
     fn loopback_window_roundtrip() {
-        let (a, mut b) = loopback_pair();
+        let (mut a, mut b) = loopback_pair();
         let w = window(&[1, 2, 3, 4]);
         let sent = a.send_window(b.local_addr().unwrap(), &w).unwrap();
         assert_eq!(sent, 1);
@@ -162,7 +174,7 @@ mod tests {
 
     #[test]
     fn garbage_packets_skipped() {
-        let (a, mut b) = loopback_pair();
+        let (mut a, mut b) = loopback_pair();
         b.set_timeout(Some(Duration::from_millis(50))).unwrap();
         a.send_raw(b.local_addr().unwrap(), &[1, 2, 3]).unwrap();
         let w = window(&[7]);

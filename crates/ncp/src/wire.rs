@@ -198,9 +198,7 @@ impl<T: AsRef<[u8]>> NcpPacket<T> {
 
     /// Total packet length implied by the header.
     pub fn total_len(&self) -> usize {
-        let mut n = HEADER_LEN
-            + self.nchunks() as usize * CHUNK_DESC_LEN
-            + self.ext_len() as usize;
+        let mut n = HEADER_LEN + self.nchunks() as usize * CHUNK_DESC_LEN + self.ext_len() as usize;
         for i in 0..self.nchunks() as usize {
             n += self.chunk_desc(i).1 as usize;
         }
@@ -269,11 +267,7 @@ impl NcpRepr {
         HEADER_LEN
             + self.chunks.len() * CHUNK_DESC_LEN
             + self.ext.len()
-            + self
-                .chunks
-                .iter()
-                .map(|&(_, l)| l as usize)
-                .sum::<usize>()
+            + self.chunks.iter().map(|&(_, l)| l as usize).sum::<usize>()
     }
 
     /// Emits the header into `buf` (which must be at least

@@ -32,5 +32,5 @@ pub mod sim;
 
 pub use event::Time;
 pub use link::LinkSpec;
-pub use node::{CtrlOp, HostApp, HostCtx, SwitchCfg, SwitchStats};
+pub use node::{CtrlOp, FastDatapath, FastVerdict, HostApp, HostCtx, SwitchCfg, SwitchStats};
 pub use sim::{Network, NetworkBuilder, Packet, SimStats};

@@ -88,11 +88,45 @@ pub trait HostApp {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// The outcome of one [`FastDatapath`] pass over an NCP payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FastVerdict {
+    /// The (possibly rewritten) packet payload. May be empty when the
+    /// forwarding code is 3 (`_drop()`) — dropped windows are never
+    /// re-encoded.
+    pub payload: Vec<u8>,
+    /// Forwarding decision, PISA convention: 0 `_pass()`, 1
+    /// `_reflect()`, 2 `_bcast()`, 3 `_drop()`, 4 `_pass(label)`.
+    pub fwd_code: u8,
+    /// `_pass(label)` target id (meaningful when `fwd_code == 4`).
+    pub fwd_label: u16,
+}
+
+/// An alternative switch datapath that executes windows directly —
+/// the compiled fast-path kernel executor — instead of the modeled PISA
+/// pipeline. A switch configured with one bypasses its `pipeline` for
+/// packet processing and control-plane operations.
+pub trait FastDatapath {
+    /// Processes one payload. `None` means "not NCP traffic I compute
+    /// on" — the switch plainly forwards the original packet.
+    fn process(&mut self, payload: &[u8]) -> Option<FastVerdict>;
+    /// Applies a control-plane operation; `false` when the target is
+    /// unknown to this datapath.
+    fn ctrl(&mut self, op: &CtrlOp) -> bool;
+    /// Downcast support (inspect datapath state after a run).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
 /// Configuration of a simulated switch.
 pub struct SwitchCfg {
     /// The loaded PISA pipeline; `None` makes a plain forwarder (the
     /// baseline switches of E1/E2).
     pub pipeline: Option<pisa::Pipeline>,
+    /// Compiled fast-path executor; when set it handles NCP processing
+    /// and control-plane operations instead of `pipeline`.
+    pub fastpath: Option<Box<dyn FastDatapath>>,
     /// `_pass(label)` target resolution: label id → node.
     pub labels: HashMap<u16, NodeId>,
     /// `_bcast()` targets — the overlay neighbours one hop away from
@@ -108,6 +142,7 @@ impl Default for SwitchCfg {
     fn default() -> Self {
         SwitchCfg {
             pipeline: None,
+            fastpath: None,
             labels: HashMap::new(),
             bcast: Vec::new(),
             pipeline_latency: 600, // ~600 ns per pass, Tofino-ish

@@ -98,8 +98,7 @@ impl NetworkBuilder {
             });
         }
         // All-pairs next hop by BFS from every destination.
-        let mut next_hop: Vec<HashMap<NodeId, (usize, bool)>> =
-            vec![HashMap::new(); n];
+        let mut next_hop: Vec<HashMap<NodeId, (usize, bool)>> = vec![HashMap::new(); n];
         for dst in 0..n {
             let dst_id = node_id(&self.nodes[dst]);
             let mut dist = vec![usize::MAX; n];
@@ -235,6 +234,11 @@ impl Network {
     }
 
     fn apply_ctrl(&mut self, switch: SwitchId, op: CtrlOp) {
+        // Fast-path switches take control operations directly.
+        if let Some(fp) = self.switch_fastpath_mut(switch) {
+            fp.ctrl(&op);
+            return;
+        }
         let Some(pipe) = self.switch_pipeline_mut(switch) else {
             return;
         };
@@ -324,26 +328,46 @@ impl Network {
             .ok()
             .map(|p| p.from());
 
-        let result = match cfg.pipeline.as_mut() {
-            Some(pipe) => pipe.process(&pkt.payload),
-            None => None,
+        // (payload, fwd_code, fwd_label, passes, parsed_bytes) from
+        // whichever datapath the switch runs: the compiled fast path
+        // executes windows directly (always one pass, whole payload);
+        // the PISA pipeline models the hardware pass structure.
+        let result = if let Some(fp) = cfg.fastpath.as_mut() {
+            fp.process(&pkt.payload).map(|v| {
+                (
+                    v.payload,
+                    v.fwd_code,
+                    v.fwd_label,
+                    1usize,
+                    pkt.payload.len(),
+                )
+            })
+        } else {
+            cfg.pipeline
+                .as_mut()
+                .and_then(|pipe| pipe.process(&pkt.payload))
+                .map(|o| (o.packet, o.fwd_code, o.fwd_label, o.passes, o.parsed_bytes))
         };
-        let Some(out) = result else {
-            // Not NCP (or no pipeline): plain forwarding.
+        let Some((mut payload, fwd_code, fwd_label, passes, parsed_bytes)) = result else {
+            // Not NCP (or no datapath): plain forwarding.
             stats.forwarded += 1;
             let delay = fwd_latency;
             self.delayed_route(node, pkt, delay);
             return;
         };
         stats.ncp_processed += 1;
-        stats.recirculations += (out.passes - 1) as u64;
-        let delay = pipeline_latency * out.passes as Time;
+        stats.recirculations += (passes - 1) as u64;
+        let delay = pipeline_latency * passes as Time;
 
+        if fwd_code == 3 {
+            // _drop(): consumed here; nothing to rewrite or route.
+            stats.kernel_drops += 1;
+            return;
+        }
         // Rebuild the payload: deparsed headers plus any bytes the
         // parser never consumed.
-        let mut payload = out.packet;
-        if out.parsed_bytes < pkt.payload.len() {
-            payload.extend_from_slice(&pkt.payload[out.parsed_bytes..]);
+        if parsed_bytes < pkt.payload.len() {
+            payload.extend_from_slice(&pkt.payload[parsed_bytes..]);
         }
         // Rewrite the previous hop to ourselves.
         {
@@ -351,7 +375,7 @@ impl Network {
             p.set_from(my_wire);
         }
 
-        match out.fwd_code {
+        match fwd_code {
             0 => {
                 // _pass(): continue towards the original destination.
                 let fwd = Packet {
@@ -364,9 +388,7 @@ impl Network {
             1 => {
                 // _reflect(): back to the previous hop.
                 stats.reflected += 1;
-                let back = incoming_from
-                    .map(NodeId::from_wire)
-                    .unwrap_or(pkt.src);
+                let back = incoming_from.map(NodeId::from_wire).unwrap_or(pkt.src);
                 let fwd = Packet {
                     src: pkt.src,
                     dst: back,
@@ -387,13 +409,9 @@ impl Network {
                     self.delayed_route(node, fwd, delay);
                 }
             }
-            3 => {
-                // _drop().
-                stats.kernel_drops += 1;
-            }
             4 => {
                 // _pass(label).
-                let dst = cfg.labels.get(&out.fwd_label).copied();
+                let dst = cfg.labels.get(&fwd_label).copied();
                 match dst {
                     Some(dst) => {
                         let fwd = Packet {
@@ -445,9 +463,7 @@ impl Network {
     /// Mutably borrows a host application.
     pub fn host_app_mut<T: 'static>(&mut self, id: HostId) -> Option<&mut T> {
         self.nodes.iter_mut().find_map(|n| match n {
-            NodeKind::Host { id: hid, app } if *hid == id => {
-                app.as_any_mut().downcast_mut()
-            }
+            NodeKind::Host { id: hid, app } if *hid == id => app.as_any_mut().downcast_mut(),
             _ => None,
         })
     }
@@ -467,6 +483,22 @@ impl Network {
             NodeKind::Switch { id: sid, cfg, .. } if *sid == id => cfg.pipeline.as_mut(),
             _ => None,
         })
+    }
+
+    /// Mutable access to a switch's compiled fast-path datapath, when it
+    /// runs one (configuration and post-run inspection).
+    pub fn switch_fastpath_mut(
+        &mut self,
+        id: SwitchId,
+    ) -> Option<&mut (dyn crate::node::FastDatapath + 'static)> {
+        for n in self.nodes.iter_mut() {
+            if let NodeKind::Switch { id: sid, cfg, .. } = n {
+                if *sid == id {
+                    return cfg.fastpath.as_deref_mut();
+                }
+            }
+        }
+        None
     }
 
     /// Total bytes carried over a node's links, per direction, summed.

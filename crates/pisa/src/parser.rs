@@ -225,10 +225,7 @@ mod tests {
             branches: HashMap::new(),
         };
         let pkt = [0, 0, 0, 9];
-        assert_eq!(
-            spec.parse(&l, &pkt),
-            Err(ParseError::NoBranch { value: 9 })
-        );
+        assert_eq!(spec.parse(&l, &pkt), Err(ParseError::NoBranch { value: 9 }));
     }
 
     #[test]

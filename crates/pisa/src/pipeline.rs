@@ -376,8 +376,7 @@ impl Pipeline {
     /// [`StageTrace`] records the tables that hit and every PHV field
     /// the stage changed, by name.
     pub fn process_traced(&mut self, packet: &[u8]) -> Option<(PipelineOutput, Vec<StageTrace>)> {
-        let (mut phv, parsed_bytes) = match self.config.parser.parse(&self.config.layout, packet)
-        {
+        let (mut phv, parsed_bytes) = match self.config.parser.parse(&self.config.layout, packet) {
             Ok(r) => r,
             Err(_) => {
                 self.stats.parse_errors += 1;
@@ -408,9 +407,7 @@ impl Pipeline {
                 .filter_map(|i| {
                     let f = FieldId(i as u16);
                     let (old, new) = (before.get(f), phv.get(f));
-                    (old != new).then(|| {
-                        (self.config.layout.decl(f).name.clone(), old, new)
-                    })
+                    (old != new).then(|| (self.config.layout.decl(f).name.clone(), old, new))
                 })
                 .collect();
             traces.push(StageTrace {
@@ -504,71 +501,71 @@ fn exec_op(
     phv: &mut Phv,
     args: &[Value],
 ) {
-        if let Some(g) = op.guard() {
-            if !phv.get(g).is_truthy() {
+    if let Some(g) = op.guard() {
+        if !phv.get(g).is_truthy() {
+            return;
+        }
+    }
+    match op {
+        PrimOp::Mov { dst, src, .. } => {
+            let v = arg_value(src, phv, args);
+            phv.set(*dst, v);
+        }
+        PrimOp::Alu { dst, op, a, b, .. } => {
+            let dty = layout.decl(*dst).ty;
+            let x = arg_value(a, phv, args);
+            let y = arg_value(b, phv, args);
+            // Operands are normalized to a common type by the
+            // compiler; the ALU computes in the wider operand type
+            // and the destination container truncates.
+            let common = if x.ty().size() >= y.ty().size() {
+                x.ty()
+            } else {
+                y.ty()
+            };
+            let r = Value::binop(*op, x.cast(common), y.cast(common));
+            phv.set(*dst, r.cast(dty));
+        }
+        PrimOp::UnAlu { dst, op, a, .. } => {
+            let v = arg_value(a, phv, args);
+            phv.set(*dst, Value::unop(*op, v));
+        }
+        PrimOp::Cast { dst, ty, a, .. } => {
+            let v = arg_value(a, phv, args);
+            phv.set(*dst, v.cast(*ty));
+        }
+        PrimOp::Select {
+            dst, cond, a, b, ..
+        } => {
+            let c = arg_value(cond, phv, args);
+            let v = if c.is_truthy() {
+                arg_value(a, phv, args)
+            } else {
+                arg_value(b, phv, args)
+            };
+            phv.set(*dst, v);
+        }
+        PrimOp::RegRead { dst, reg, idx, .. } => {
+            let arr = &registers[*reg as usize];
+            if arr.is_empty() {
                 return;
             }
+            let i = arg_value(idx, phv, args).bits() as usize % arr.len();
+            let v = arr[i];
+            phv.set(*dst, v);
         }
-        match op {
-            PrimOp::Mov { dst, src, .. } => {
-                let v = arg_value(src, phv, args);
-                phv.set(*dst, v);
+        PrimOp::RegWrite { reg, idx, src, .. } => {
+            let v = arg_value(src, phv, args);
+            let i_raw = arg_value(idx, phv, args).bits() as usize;
+            let arr = &mut registers[*reg as usize];
+            if arr.is_empty() {
+                return;
             }
-            PrimOp::Alu { dst, op, a, b, .. } => {
-                let dty = layout.decl(*dst).ty;
-                let x = arg_value(a, phv, args);
-                let y = arg_value(b, phv, args);
-                // Operands are normalized to a common type by the
-                // compiler; the ALU computes in the wider operand type
-                // and the destination container truncates.
-                let common = if x.ty().size() >= y.ty().size() {
-                    x.ty()
-                } else {
-                    y.ty()
-                };
-                let r = Value::binop(*op, x.cast(common), y.cast(common));
-                phv.set(*dst, r.cast(dty));
-            }
-            PrimOp::UnAlu { dst, op, a, .. } => {
-                let v = arg_value(a, phv, args);
-                phv.set(*dst, Value::unop(*op, v));
-            }
-            PrimOp::Cast { dst, ty, a, .. } => {
-                let v = arg_value(a, phv, args);
-                phv.set(*dst, v.cast(*ty));
-            }
-            PrimOp::Select {
-                dst, cond, a, b, ..
-            } => {
-                let c = arg_value(cond, phv, args);
-                let v = if c.is_truthy() {
-                    arg_value(a, phv, args)
-                } else {
-                    arg_value(b, phv, args)
-                };
-                phv.set(*dst, v);
-            }
-            PrimOp::RegRead { dst, reg, idx, .. } => {
-                let arr = &registers[*reg as usize];
-                if arr.is_empty() {
-                    return;
-                }
-                let i = arg_value(idx, phv, args).bits() as usize % arr.len();
-                let v = arr[i];
-                phv.set(*dst, v);
-            }
-            PrimOp::RegWrite { reg, idx, src, .. } => {
-                let v = arg_value(src, phv, args);
-                let i_raw = arg_value(idx, phv, args).bits() as usize;
-                let arr = &mut registers[*reg as usize];
-                if arr.is_empty() {
-                    return;
-                }
-                let i = i_raw % arr.len();
-                let ty = arr[i].ty();
-                arr[i] = v.cast(ty);
-            }
+            let i = i_raw % arr.len();
+            let ty = arr[i].ty();
+            arr[i] = v.cast(ty);
         }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -579,11 +576,7 @@ fn exec_op(
 impl Pipeline {
     /// Reads a register element (debug/verification).
     pub fn register_read(&self, name: &str, idx: usize) -> Option<Value> {
-        let r = self
-            .config
-            .registers
-            .iter()
-            .position(|r| r.name == name)?;
+        let r = self.config.registers.iter().position(|r| r.name == name)?;
         self.registers[r].get(idx).copied()
     }
 
@@ -886,14 +879,15 @@ mod tests {
         let (out, traces) = p.process_traced(&5u32.to_be_bytes()).unwrap();
         assert_eq!(out.packet, 5u32.to_be_bytes());
         assert_eq!(traces.len(), 1);
-        assert_eq!(traces[0].hits, vec![("bump".to_string(), "bump".to_string())]);
+        assert_eq!(
+            traces[0].hits,
+            vec![("bump".to_string(), "bump".to_string())]
+        );
         // meta.tmp went 0 → 5; x stayed 5 (0 + 5).
         assert!(traces[0]
             .changed
             .iter()
-            .any(|(n, old, new)| n == "meta.tmp"
-                && old.bits() == 0
-                && new.bits() == 5));
+            .any(|(n, old, new)| n == "meta.tmp" && old.bits() == 0 && new.bits() == 5));
         let rendered = traces[0].to_string();
         assert!(rendered.contains("stage 0") && rendered.contains("bump"));
         // Stats behave identically to the untraced path.

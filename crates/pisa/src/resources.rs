@@ -179,7 +179,10 @@ impl fmt::Display for ResourceViolation {
                 stage,
                 found,
                 budget,
-            } => write!(f, "stage {stage}: {found} tables exceed the budget of {budget}"),
+            } => write!(
+                f,
+                "stage {stage}: {found} tables exceed the budget of {budget}"
+            ),
             ResourceViolation::PhvHeader { used, budget } => {
                 write!(f, "header PHV needs {used} bytes, budget {budget}")
             }

@@ -249,20 +249,14 @@ impl TableDef {
             if e.patterns.len() != key_vals.len() {
                 continue;
             }
-            let hit = e
-                .patterns
-                .iter()
-                .zip(&key_vals)
-                .all(|(p, &v)| p.matches(v));
+            let hit = e.patterns.iter().zip(&key_vals).all(|(p, &v)| p.matches(v));
             if !hit {
                 continue;
             }
             // Rank: LPM tables prefer longer prefixes, ternary uses the
             // entry priority, exact tables take the first hit.
             let rank = match self.keys.first().map(|(_, k)| *k) {
-                Some(MatchKind::Lpm) => {
-                    e.patterns.iter().map(|p| p.prefix_len() as i64).sum()
-                }
+                Some(MatchKind::Lpm) => e.patterns.iter().map(|p| p.prefix_len() as i64).sum(),
                 Some(MatchKind::Ternary) => e.priority as i64,
                 _ => return Some((e.action, &e.args)),
             };
@@ -368,7 +362,11 @@ mod tests {
         let t = TableDef {
             name: "t".into(),
             keys: vec![(f, MatchKind::Ternary)],
-            actions: vec![ActionDef::default(), ActionDef::default(), ActionDef::default()],
+            actions: vec![
+                ActionDef::default(),
+                ActionDef::default(),
+                ActionDef::default(),
+            ],
             entries: vec![
                 Entry {
                     patterns: vec![MatchPattern::ternary(0x0100, 0xFF00)],
@@ -402,7 +400,11 @@ mod tests {
         let t = TableDef {
             name: "route".into(),
             keys: vec![(f, MatchKind::Lpm)],
-            actions: vec![ActionDef::default(), ActionDef::default(), ActionDef::default()],
+            actions: vec![
+                ActionDef::default(),
+                ActionDef::default(),
+                ActionDef::default(),
+            ],
             entries: vec![
                 Entry {
                     patterns: vec![MatchPattern::ternary(0x0A000000, 0xFF000000)],

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal, API-compatible subset of `criterion 0.5` as a path dependency
+//! (see README.md "Offline builds"). It implements the surface the repo's
+//! benches use: `Criterion::{sample_size, bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`, `Bencher::iter`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated so one sample runs
+//! long enough for the OS timer to resolve (>= ~2 ms), then `sample_size`
+//! samples are taken and the median and minimum per-iteration times are
+//! reported. No statistical analysis, plotting, or baseline storage — just
+//! honest wall-clock numbers suitable for recording in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    tput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least ~2 ms, so timer quantization stays well under 1%.
+    loop {
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || b.iters >= 1 << 24 {
+            break;
+        }
+        b.iters = (b.iters * 2).min(1 << 24);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let mut line = format!(
+        "{name:<48} time: [{} median, {} min, {} iters/sample]",
+        fmt_ns(median),
+        fmt_ns(min),
+        b.iters
+    );
+    if let Some(t) = tput {
+        let per_sec = |n: u64| n as f64 * 1e9 / median;
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.2} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Benchmark ids built from a name and a parameter, mirroring criterion's.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.0
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

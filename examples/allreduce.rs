@@ -18,14 +18,8 @@ const WIN: usize = 8;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let nworkers: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
-    let elements: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1024);
+    let nworkers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let elements: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
     let elements = elements.div_ceil(WIN) * WIN; // whole windows
     println!("AllReduce: {nworkers} workers × {elements} int32 elements, windows of {WIN}");
 
@@ -125,13 +119,15 @@ fn main() {
     let mut net = b.build();
     net.run();
     let ps_done = (1..=nworkers as u16)
-        .map(|w| net.host_app::<PsWorker>(HostId(w)).unwrap().done_at.unwrap())
+        .map(|w| {
+            net.host_app::<PsWorker>(HostId(w))
+                .unwrap()
+                .done_at
+                .unwrap()
+        })
         .max()
         .unwrap();
     println!("== parameter server ==");
     println!("  completion: {:.1} µs", ps_done as f64 / 1000.0);
-    println!(
-        "== speedup: {:.2}× ==",
-        ps_done as f64 / inc_done as f64
-    );
+    println!("== speedup: {:.2}× ==", ps_done as f64 / inc_done as f64);
 }

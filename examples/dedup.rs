@@ -114,7 +114,10 @@ fn main() {
         BITS
     );
     assert_eq!(delivered + dropped, sent);
-    assert!(delivered <= distinct as u64, "no duplicate may survive twice");
+    assert!(
+        delivered <= distinct as u64,
+        "no duplicate may survive twice"
+    );
     assert!(
         delivered as f64 >= distinct as f64 * 0.85,
         "false-positive rate should be small at this load factor"

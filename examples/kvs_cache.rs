@@ -47,12 +47,7 @@ impl Zipf {
     }
 }
 
-fn run(
-    with_cache: bool,
-    nclients: usize,
-    ops: usize,
-    skew: f64,
-) -> (f64, f64, u64, u64) {
+fn run(with_cache: bool, nclients: usize, ops: usize, skew: f64) -> (f64, f64, u64, u64) {
     let server_id = (nclients + 1) as u16;
     let src = kvs_source(server_id, SLOTS, VAL_WORDS);
     let and = format!(
@@ -175,11 +170,20 @@ fn main() {
          {SLOTS}-slot cache, {}B values",
         VAL_WORDS * 4
     );
-    println!("{:<14} {:>10} {:>10} {:>12} {:>8}", "mode", "mean µs", "p99 µs", "server ops", "hit %");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>8}",
+        "mode", "mean µs", "p99 µs", "server ops", "hit %"
+    );
     let (mean, p99, served, _) = run(false, nclients, ops, skew);
-    println!("{:<14} {mean:>10.1} {p99:>10.1} {served:>12} {:>8}", "server-only", "—");
+    println!(
+        "{:<14} {mean:>10.1} {p99:>10.1} {served:>12} {:>8}",
+        "server-only", "—"
+    );
     let (mean_c, p99_c, served_c, hits) = run(true, nclients, ops, skew);
-    println!("{:<14} {mean_c:>10.1} {p99_c:>10.1} {served_c:>12} {hits:>8}", "switch-cache");
+    println!(
+        "{:<14} {mean_c:>10.1} {p99_c:>10.1} {served_c:>12} {hits:>8}",
+        "switch-cache"
+    );
     println!(
         "speedup: mean {:.2}×, p99 {:.2}×; server load ÷{:.1}",
         mean / mean_c,

@@ -134,9 +134,7 @@ fn main() {
     // Core switch kept element-wise maxima of the scaled readings. The
     // compiler lane-split `peak`; the control plane resolves that.
     let core = dep.switch("core");
-    let cp = ncl_core::control::ControlPlane::new(
-        program.switch("core").expect("core program"),
-    );
+    let cp = ncl_core::control::ControlPlane::new(program.switch("core").expect("core program"));
     let pipe = dep.net.switch_pipeline_mut(core).unwrap();
     let peaks: Vec<Value> = (0..4)
         .map(|i| cp.read_register(pipe, "peak", i).unwrap())

@@ -39,7 +39,7 @@ fn main() {
     .expect("loads");
 
     // Real sockets on loopback.
-    let h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
+    let mut h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let mut h2 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let mut sw = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let sw_addr = sw.local_addr().unwrap();

@@ -101,10 +101,7 @@ fn switch_drops_all_but_the_last_contribution() {
     let windows_per_worker = 32 / 8;
     assert_eq!(stats.ncp_processed, (n * windows_per_worker) as u64);
     assert_eq!(stats.broadcast, windows_per_worker as u64);
-    assert_eq!(
-        stats.kernel_drops,
-        ((n - 1) * windows_per_worker) as u64
-    );
+    assert_eq!(stats.kernel_drops, ((n - 1) * windows_per_worker) as u64);
 }
 
 #[test]
@@ -274,8 +271,8 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {{
     let mut cfg = CompileConfig::default();
     cfg.masks.insert("allreduce".into(), vec![win as u16]);
     cfg.masks.insert("result".into(), vec![win as u16]);
-    let program = compile(&src, &worker_and(n), &cfg)
-        .unwrap_or_else(|e| panic!("corrected kernel: {e}"));
+    let program =
+        compile(&src, &worker_and(n), &cfg).unwrap_or_else(|e| panic!("corrected kernel: {e}"));
     let kid = program.kernel_ids["allreduce"];
     let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
     for w in 1..=n as u16 {

@@ -30,14 +30,22 @@ fn gen_expr(depth: u32) -> BoxedStrategy<String> {
         (-20i32..20).prop_map(|c| format!("({c})")),
         Just("window.seq".to_string()),
         Just("(int)window.len".to_string()),
-        (0..4usize, 1..64u32)
-            .prop_map(|(i, salt)| format!("(int)_hash(data[{i}], {salt})")),
+        (0..4usize, 1..64u32).prop_map(|(i, salt)| format!("(int)_hash(data[{i}], {salt})")),
     ];
     leaf.prop_recursive(depth, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^")
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             (inner.clone(), 1..5u32).prop_map(|(a, s)| format!("({a} >> {s})")),
         ]
@@ -64,12 +72,9 @@ fn gen_stmt() -> BoxedStrategy<String> {
                 "if ({c}) {{ data[{i}] = {a}; }} else {{ data[{j}] = {b}; }}"
             )
         ),
-        (gen_cond(), 0..8usize, gen_expr(1)).prop_map(|(c, i, e)| format!(
-            "if ({c}) {{ mem[{i}] = {e}; }}"
-        )),
-        gen_cond().prop_map(|c| format!(
-            "if ({c}) {{ _reflect(); }} else {{ _drop(); }}"
-        )),
+        (gen_cond(), 0..8usize, gen_expr(1))
+            .prop_map(|(c, i, e)| format!("if ({c}) {{ mem[{i}] = {e}; }}")),
+        gen_cond().prop_map(|c| format!("if ({c}) {{ _reflect(); }} else {{ _drop(); }}")),
         // Map lookup (entries installed by the harness on both sides).
         (0..4usize, 0..4usize).prop_map(|(i, j)| format!(
             "if (auto *p = Idx[(uint64_t)data[{i}]]) {{ data[{j}] = (int)*p; }}"
@@ -336,15 +341,12 @@ fn differential_edge_cases() {
     ];
     for src in cases {
         let checked = ncl_lang::frontend(src, "edge.ncl").expect("frontend");
-        let mut module =
-            lower(&checked, &LoweringConfig::with_mask("k", vec![4])).expect("lower");
+        let mut module = lower(&checked, &LoweringConfig::with_mask("k", vec![4])).expect("lower");
         ncl_ir::passes::optimize(&mut module);
         let mut opts = CompileOptions::default();
         opts.kernel_ids.insert("k".into(), 1);
-        let compiled =
-            compile_module(&module, &ResourceModel::default(), &opts).expect("compiles");
-        let mut pipe =
-            Pipeline::load(compiled.pipeline, ResourceModel::default()).expect("loads");
+        let compiled = compile_module(&module, &ResourceModel::default(), &opts).expect("compiles");
+        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).expect("loads");
         let mut state = SwitchState::from_module(&module);
         let it = Interpreter::default();
         let kir = module.kernel("k").unwrap();

@@ -52,8 +52,7 @@ fn lost_contributions_stall_but_never_corrupt() {
         drop_every: 5,
         ..LinkSpec::default()
     };
-    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default())
-        .expect("deploys");
+    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default()).expect("deploys");
     let cp = ControlPlane::new(program.switch("s1").unwrap());
     let s1 = dep.switch("s1");
     cp.ctrl_wr(
@@ -132,8 +131,7 @@ fn kvs_loss_reduces_throughput_not_integrity() {
         drop_every: 7,
         ..LinkSpec::default()
     };
-    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default())
-        .expect("deploys");
+    let mut dep = deploy(&program, apps, lossy, pisa::ResourceModel::default()).expect("deploys");
     let s1 = dep.switch("s1");
     dep.net
         .host_app_mut::<KvsServer>(HostId(server_id))

@@ -1,0 +1,342 @@
+//! Property-based differential testing of the compiled fast-path
+//! executor.
+//!
+//! The tree-walking [`Interpreter`] is the semantic oracle; the linear
+//! micro-op [`CompiledKernel`] is the optimized engine. For every
+//! example application and for proptest-generated kernels × random
+//! windows, the two must agree bit-for-bit: output windows (chunks and
+//! extension bytes), forwarding verdicts, persistent switch state after
+//! every window, and host memory for incoming kernels.
+
+use c3::{Chunk, HostId, KernelId, NodeId, ScalarType, Value, Window};
+use ncl_core::apps::{allreduce_source, kvs_source};
+use ncl_core::{compile, CompileConfig};
+use ncl_ir::ir::Module;
+use ncl_ir::lower::{lower, LoweringConfig};
+use ncl_ir::{CompiledKernel, ExecScratch, HostMemory, Interpreter, MapId, SwitchState};
+use proptest::prelude::*;
+
+/// Expression atoms over `data[0..4]`, the loop-free subset.
+fn gen_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0..4usize).prop_map(|i| format!("data[{i}]")),
+        (-20i32..20).prop_map(|c| format!("({c})")),
+        Just("window.seq".to_string()),
+        Just("(int)window.len".to_string()),
+        (0..4usize, 1..64u32).prop_map(|(i, salt)| format!("(int)_hash(data[{i}], {salt})")),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^")
+                ]
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(), 1..5u32).prop_map(|(a, s)| format!("({a} >> {s})")),
+        ]
+    })
+    .boxed()
+}
+
+fn gen_cond() -> BoxedStrategy<String> {
+    (
+        gen_expr(1),
+        gen_expr(1),
+        prop_oneof![Just("<"), Just("=="), Just(">"), Just("!=")],
+    )
+        .prop_map(|(a, b, op)| format!("{a} {op} {b}"))
+        .boxed()
+}
+
+fn gen_stmt() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0..4usize, gen_expr(2)).prop_map(|(i, e)| format!("data[{i}] = {e};")),
+        (0..8usize, gen_expr(1)).prop_map(|(i, e)| format!("mem[{i}] += {e};")),
+        (gen_cond(), 0..4usize, gen_expr(1), 0..4usize, gen_expr(1)).prop_map(
+            |(c, i, a, j, b)| format!(
+                "if ({c}) {{ data[{i}] = {a}; }} else {{ data[{j}] = {b}; }}"
+            )
+        ),
+        (gen_cond(), 0..8usize, gen_expr(1))
+            .prop_map(|(c, i, e)| format!("if ({c}) {{ mem[{i}] = {e}; }}")),
+        gen_cond().prop_map(|c| format!("if ({c}) {{ _reflect(); }} else {{ _drop(); }}")),
+        (gen_cond(), 0..8usize)
+            .prop_map(|(c, i)| format!("if ({c}) {{ mem[{i}] += 1; _bcast(); }}")),
+        // Map lookup (entries installed by the harness on both sides).
+        (0..4usize, 0..4usize).prop_map(|(i, j)| format!(
+            "if (auto *p = Idx[(uint64_t)data[{i}]]) {{ data[{j}] = (int)*p; }}"
+        )),
+        // Window-extension traffic.
+        gen_expr(1).prop_map(|e| format!("window.tag = (uint16_t)({e});")),
+        (0..4usize).prop_map(|i| format!("data[{i}] = (int)window.tag;")),
+    ]
+    .boxed()
+}
+
+fn gen_kernel() -> BoxedStrategy<String> {
+    proptest::collection::vec(gen_stmt(), 1..7)
+        .prop_map(|stmts| {
+            let body = stmts.join("\n    ");
+            format!(
+                "_wnd_ struct W {{ uint16_t tag; }};\n\
+                 _net_ _at_(\"s1\") ncl::Map<uint64_t, uint8_t, 16> Idx;\n\
+                 _net_ _at_(\"s1\") int mem[8] = {{0}};\n\
+                 _net_ _out_ void k(int *data) {{\n    {body}\n}}\n"
+            )
+        })
+        .boxed()
+}
+
+fn gen_window() -> BoxedStrategy<Window> {
+    (
+        proptest::collection::vec(any::<i32>(), 4),
+        0..4u32,
+        any::<u16>(),
+    )
+        .prop_map(|(vals, seq, tag)| {
+            let mut w = Window {
+                kernel: KernelId(1),
+                seq,
+                sender: HostId(1),
+                from: NodeId::Host(HostId(1)),
+                last: false,
+                chunks: vec![Chunk {
+                    offset: 0,
+                    data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+                }],
+                ext: vec![],
+            };
+            w.ext_write(0, Value::new(ScalarType::U16, tag as u64));
+            w
+        })
+        .boxed()
+}
+
+fn lower_kernel(src: &str, masks: &[(&str, Vec<u16>)]) -> Module {
+    let checked = ncl_lang::frontend(src, "gen.ncl")
+        .unwrap_or_else(|d| panic!("frontend: {}\n{src}", ncl_lang::diag::render(&d)));
+    let lcfg = LoweringConfig {
+        masks: masks
+            .iter()
+            .map(|(n, m)| (n.to_string(), m.clone()))
+            .collect(),
+        ..LoweringConfig::default()
+    };
+    let mut module =
+        lower(&checked, &lcfg).unwrap_or_else(|d| panic!("lower: {}", ncl_lang::diag::render(&d)));
+    ncl_ir::passes::optimize(&mut module);
+    module
+}
+
+/// Asserts the two persistent states are bit-identical.
+macro_rules! assert_states_eq {
+    ($a:expr, $b:expr, $ctx:expr) => {
+        prop_assert_eq!(&$a.registers, &$b.registers, "registers diverged: {}", $ctx);
+        prop_assert_eq!(&$a.ctrls, &$b.ctrls, "ctrls diverged: {}", $ctx);
+        prop_assert_eq!(&$a.maps, &$b.maps, "maps diverged: {}", $ctx);
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fast path ≡ interpreter on random kernels × random window
+    /// sequences, with persistent switch state carried across windows.
+    #[test]
+    fn fastpath_matches_interpreter(
+        src in gen_kernel(),
+        windows in proptest::collection::vec(gen_window(), 1..5),
+    ) {
+        let module = lower_kernel(&src, &[("k", vec![4])]);
+        let kir = module.kernel("k").unwrap();
+        let compiled = CompiledKernel::compile_for(kir, &module);
+        let mut s_interp = SwitchState::from_module(&module);
+        for key in 0..8u64 {
+            let val = Value::new(ScalarType::U8, key.wrapping_mul(3) & 0xFF);
+            s_interp.map_insert(MapId(0), key, val);
+        }
+        let mut s_fast = s_interp.clone();
+        let it = Interpreter::default();
+        let mut scratch = ExecScratch::new();
+        for (wi, w) in windows.iter().enumerate() {
+            let mut w_i = w.clone();
+            let mut w_f = w.clone();
+            let f_i = it
+                .run_outgoing(kir, &mut w_i, &mut s_interp)
+                .expect("interp runs");
+            let f_f = compiled
+                .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+                .expect("fast path runs");
+            prop_assert_eq!(&f_i, &f_f, "fwd diverged, window {} of:\n{}", wi, &src);
+            prop_assert_eq!(&w_i, &w_f, "window diverged, window {} of:\n{}", wi, &src);
+            assert_states_eq!(
+                s_interp,
+                s_fast,
+                format_args!("window {wi} of:\n{src}")
+            );
+        }
+    }
+
+    /// Fast path ≡ interpreter for incoming kernels writing host memory.
+    #[test]
+    fn fastpath_matches_interpreter_incoming(
+        vals in proptest::collection::vec(any::<i32>(), 4),
+        seq in 0..4u32,
+        last in any::<bool>(),
+    ) {
+        let src = allreduce_source(16, 4);
+        let module =
+            lower_kernel(&src, &[("allreduce", vec![4]), ("result", vec![4])]);
+        let kir = module.kernel("result").unwrap();
+        let compiled = CompiledKernel::compile(kir);
+        let ext = [(ScalarType::I32, 16), (ScalarType::Bool, 1)];
+        let mut m_interp = HostMemory::new(&ext);
+        let mut m_fast = HostMemory::new(&ext);
+        let w = Window {
+            kernel: KernelId(2),
+            seq,
+            sender: HostId(1),
+            from: NodeId::Host(HostId(1)),
+            last,
+            chunks: vec![Chunk {
+                offset: seq * 16,
+                data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+            }],
+            ext: vec![],
+        };
+        let it = Interpreter::default();
+        let mut scratch = ExecScratch::new();
+        let mut w_i = w.clone();
+        let mut w_f = w;
+        it.run_incoming(kir, &mut w_i, &mut m_interp).expect("interp runs");
+        compiled
+            .run_incoming(&mut w_f, &mut m_fast, &mut scratch)
+            .expect("fast path runs");
+        prop_assert_eq!(&m_interp.arrays, &m_fast.arrays);
+        prop_assert_eq!(&w_i, &w_f);
+    }
+}
+
+/// Deterministic differential over the example applications: the
+/// location-versioned modules the deployment actually runs, driven with
+/// full workload window sequences.
+#[test]
+fn fastpath_matches_interpreter_on_example_apps() {
+    // AllReduce (Fig. 4): 3 workers × 4 windows, aggregation + bcast.
+    let src = allreduce_source(16, 4);
+    let and = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![4]);
+    cfg.masks.insert("result".into(), vec![4]);
+    let p = compile(&src, and, &cfg).expect("allreduce compiles");
+    let module = p.module("s1").expect("versioned module");
+    let kir = module.kernel("allreduce").unwrap();
+    let compiled = CompiledKernel::compile_for(kir, module);
+    let mut s_interp = SwitchState::from_module(module);
+    s_interp.location_id = p.overlay.node("s1").unwrap().id;
+    // nworkers := 3 on both sides (ctrl 0 is the only control var).
+    s_interp.ctrl_write(ncl_ir::CtrlId(0), Value::u32(3));
+    let mut s_fast = s_interp.clone();
+    let it = Interpreter::default();
+    let mut scratch = ExecScratch::new();
+    for seq in 0..4u32 {
+        for worker in 1..=3u16 {
+            let w = Window {
+                kernel: KernelId(p.kernel_ids["allreduce"]),
+                seq,
+                sender: HostId(worker),
+                from: NodeId::Host(HostId(worker)),
+                last: seq == 3,
+                chunks: vec![Chunk {
+                    offset: seq * 16,
+                    data: (0..4)
+                        .flat_map(|i| (worker as i32 * 100 + i).to_be_bytes())
+                        .collect(),
+                }],
+                ext: vec![],
+            };
+            let mut w_i = w.clone();
+            let mut w_f = w;
+            let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp).unwrap();
+            let f_f = compiled
+                .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+                .unwrap();
+            assert_eq!(f_i, f_f, "allreduce fwd, worker {worker} seq {seq}");
+            assert_eq!(w_i, w_f, "allreduce window, worker {worker} seq {seq}");
+            assert_eq!(s_interp.registers, s_fast.registers);
+            assert_eq!(s_interp.ctrls, s_fast.ctrls);
+        }
+    }
+
+    // KVS (Fig. 5): cached GETs, Put invalidation, server refresh.
+    let and = "hosts client 2\nswitch s1\nhost server\nlink client* s1\nlink server s1\n";
+    let src = kvs_source(3, 16, 8);
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("query".into(), vec![1, 8, 1]);
+    let p = compile(&src, and, &cfg).expect("kvs compiles");
+    let module = p.module("s1").expect("versioned module");
+    let kir = module.kernel("query").unwrap();
+    let compiled = CompiledKernel::compile_for(kir, module);
+    let mut s_interp = SwitchState::from_module(module);
+    s_interp.location_id = p.overlay.node("s1").unwrap().id;
+    for key in 0..8u64 {
+        s_interp.map_insert(MapId(0), key * 7, Value::new(ScalarType::U8, key));
+    }
+    let mut s_fast = s_interp.clone();
+    let it = Interpreter::default();
+    let mut scratch = ExecScratch::new();
+    let query = |key: u64, update: bool, from: NodeId, seq: u32| Window {
+        kernel: KernelId(p.kernel_ids["query"]),
+        seq,
+        sender: HostId(1),
+        from,
+        last: false,
+        chunks: vec![
+            Chunk {
+                offset: 0,
+                data: key.to_be_bytes().to_vec(),
+            },
+            Chunk {
+                offset: 0,
+                data: (0..8u32)
+                    .flat_map(|i| (key as u32 + i).to_be_bytes())
+                    .collect(),
+            },
+            Chunk {
+                offset: 0,
+                data: vec![update as u8],
+            },
+        ],
+        ext: vec![],
+    };
+    let client = NodeId::Host(HostId(1));
+    let server = NodeId::Host(HostId(3));
+    let trace = [
+        query(7, false, client, 0),    // GET, cached but invalid → pass
+        query(7, true, server, 1),     // server refresh → drop
+        query(7, false, client, 2),    // GET, valid hit → reflect
+        query(7, true, client, 3),     // client PUT → invalidate, pass
+        query(7, false, client, 4),    // GET after PUT → miss, pass
+        query(9999, false, client, 5), // uncached key → pass
+    ];
+    for (i, w) in trace.iter().enumerate() {
+        let mut w_i = w.clone();
+        let mut w_f = w.clone();
+        let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp).unwrap();
+        let f_f = compiled
+            .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+            .unwrap();
+        assert_eq!(f_i, f_f, "kvs fwd, step {i}");
+        assert_eq!(w_i, w_f, "kvs window, step {i}");
+        assert_eq!(s_interp.registers, s_fast.registers, "kvs state, step {i}");
+        assert_eq!(s_interp.maps, s_fast.maps, "kvs maps, step {i}");
+    }
+}

@@ -124,11 +124,7 @@ fn gets_and_puts_roundtrip_without_cache() {
     assert!(!get7.from_cache);
     // key 99 was never written: its zeros don't match the pattern.
     assert_eq!(client.corrupt, 1);
-    let server = s
-        .dep
-        .net
-        .host_app::<KvsServer>(HostId(SERVER_ID))
-        .unwrap();
+    let server = s.dep.net.host_app::<KvsServer>(HostId(SERVER_ID)).unwrap();
     assert_eq!(server.served, 3);
 }
 
@@ -176,11 +172,7 @@ fn hot_keys_get_cached_and_served_by_the_switch() {
     );
     // Server load dropped: it saw the PUT, the first few GETs, nothing
     // after the fill.
-    let server = s
-        .dep
-        .net
-        .host_app::<KvsServer>(HostId(SERVER_ID))
-        .unwrap();
+    let server = s.dep.net.host_app::<KvsServer>(HostId(SERVER_ID)).unwrap();
     assert!(
         server.served < 13,
         "server served {} of 13 ops",
@@ -289,11 +281,7 @@ fn cache_mode_beats_baseline_on_hot_traffic() {
         s.dep.net.run();
         let client = s.dep.net.host_app::<KvsClient>(HostId(1)).unwrap();
         assert_eq!(client.corrupt, 0);
-        let server = s
-            .dep
-            .net
-            .host_app::<KvsServer>(HostId(SERVER_ID))
-            .unwrap();
+        let server = s.dep.net.host_app::<KvsServer>(HostId(SERVER_ID)).unwrap();
         (client.mean_latency(), server.served)
     };
     let (lat_cache, served_cache) = run(true);
@@ -348,12 +336,11 @@ fn cache_eviction_replaces_cold_keys() {
     s.dep.net.run();
     let client = s.dep.net.host_app::<KvsClient>(HostId(1)).unwrap();
     assert_eq!(client.corrupt, 0);
-    let server = s
-        .dep
-        .net
-        .host_app::<KvsServer>(HostId(SERVER_ID))
-        .unwrap();
-    assert!(server.evictions >= 1, "the hot key must displace a cold one");
+    let server = s.dep.net.host_app::<KvsServer>(HostId(SERVER_ID)).unwrap();
+    assert!(
+        server.evictions >= 1,
+        "the hot key must displace a cold one"
+    );
     assert!(
         server.cached.contains_key(&3),
         "key 3 ends up cached: {:?}",

@@ -17,14 +17,12 @@ fn gen_expr(depth: u32) -> BoxedStrategy<String> {
         Just("y".to_string()),
     ];
     leaf.prop_recursive(depth, 20, 3, |inner| {
-        prop_oneof![
-            (
-                inner.clone(),
-                inner.clone(),
-                prop::sample::select(vec!["+", "-", "*", "&", "|", "^", "/", "%"])
-            )
-                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-        ]
+        prop_oneof![(
+            inner.clone(),
+            inner.clone(),
+            prop::sample::select(vec!["+", "-", "*", "&", "|", "^", "/", "%"])
+        )
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),]
     })
     .boxed()
 }
@@ -35,17 +33,15 @@ fn gen_stmt() -> BoxedStrategy<String> {
         gen_expr(2).prop_map(|e| format!("y = {e};")),
         (0..4usize, gen_expr(2)).prop_map(|(i, e)| format!("data[{i}] = {e};")),
         (0..8usize, gen_expr(1)).prop_map(|(i, e)| format!("mem[{i}] = {e};")),
-        (gen_expr(1), gen_expr(1)).prop_map(|(c, e)| format!(
-            "if ({c} > 0) {{ x = {e}; }} else {{ y = {e}; }}"
-        )),
+        (gen_expr(1), gen_expr(1))
+            .prop_map(|(c, e)| format!("if ({c} > 0) {{ x = {e}; }} else {{ y = {e}; }}")),
         // Constant-foldable scaffolding the optimizer should strip.
         Just("x = x + 0;".to_string()),
         Just("y = y * 1;".to_string()),
         Just("if (1 > 2) { data[0] = 99; }".to_string()),
         // A bounded loop that must unroll identically.
-        gen_expr(1).prop_map(|e| format!(
-            "for (unsigned i = 0; i < 3; ++i) mem[i] = mem[i] + ({e});"
-        )),
+        gen_expr(1)
+            .prop_map(|e| format!("for (unsigned i = 0; i < 3; ++i) mem[i] = mem[i] + ({e});")),
     ]
     .boxed()
 }

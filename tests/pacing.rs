@@ -95,7 +95,7 @@ fn delayed_start_defers_first_packet() {
         let mut host = NclHost::new(&program);
         host.out(OutInvocation {
             kernel: "allreduce".into(),
-            arrays: vec![TypedArray::from_i32(&vec![1; 16])],
+            arrays: vec![TypedArray::from_i32(&[1; 16])],
             dest: NodeId::Host(HostId(w % n as u16 + 1)),
             start: 2_000_000, // 2 ms in
             gap: 0,
@@ -132,5 +132,8 @@ fn delayed_start_defers_first_packet() {
         .unwrap()
         .done_at
         .expect("completes");
-    assert!(done >= 2_000_000, "completion {done} precedes the start time");
+    assert!(
+        done >= 2_000_000,
+        "completion {done} precedes the start time"
+    );
 }

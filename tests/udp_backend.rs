@@ -103,11 +103,10 @@ _net_ _out_ void bump(int *d) { d[0] += 1; total[0] += d[0]; }
     let program = compile(src, AND, &cfg).expect("compiles");
     let compiled = program.switch("s1").unwrap();
     let kid = program.kernel_ids["bump"];
-    let pipeline =
-        Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+    let pipeline = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
 
     // Endpoints on loopback.
-    let h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
+    let mut h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let mut h2 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let sw_ep = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let sw_addr = sw_ep.local_addr().unwrap();
@@ -172,7 +171,7 @@ fn non_ncp_traffic_coexists() {
         ResourceModel::default(),
     )
     .unwrap();
-    let h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
+    let mut h1 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let mut h2 = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let sw_ep = UdpEndpoint::bind("127.0.0.1:0").unwrap();
     let sw_addr = sw_ep.local_addr().unwrap();

@@ -108,7 +108,10 @@ fn codec_and_codegen_header_constants_agree() {
     );
     // Field order sanity: kernel id at offset 4, seq at 6 (the codec's
     // accessors), mirrored in the generated field order.
-    let names: Vec<&str> = ncl::p4::codegen::NCP_FIELDS.iter().map(|(n, _)| *n).collect();
+    let names: Vec<&str> = ncl::p4::codegen::NCP_FIELDS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     assert_eq!(
         names,
         vec![
