@@ -137,6 +137,111 @@ pub fn run_allreduce_ps(nworkers: usize, elements: usize, win: usize) -> AllRedu
     }
 }
 
+/// Results of one NCP-R reliable AllReduce run (E10).
+#[derive(Clone, Copy, Debug)]
+pub struct ReliableResult {
+    /// Completion time (max across workers), ns.
+    pub completion: Time,
+    /// Bytes offered to links in total (incl. retransmissions + ACKs).
+    pub bytes_on_wire: u64,
+    /// Result payload bytes delivered to hosts (goodput numerator).
+    pub payload_bytes: u64,
+    /// Total windows retransmitted across workers.
+    pub retransmits: u64,
+    /// Duplicates suppressed by the in-switch replay filter.
+    pub switch_dups: u64,
+}
+
+/// Runs the Fig. 4 AllReduce with NCP-R enabled (E10): replay filter in
+/// the switch, reliable window transport on every worker. `link`
+/// carries the loss/duplication/reorder knobs under test.
+pub fn run_allreduce_reliable(
+    nworkers: usize,
+    elements: usize,
+    win: usize,
+    link: LinkSpec,
+) -> ReliableResult {
+    use ncl_core::nclc::ReplayFilter;
+    use ncp::ReliableConfig;
+    let slots = elements / win;
+    let src = allreduce_source(elements, win);
+    let and = format!("hosts worker {nworkers}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: nworkers as u16,
+            slots: slots as u16,
+        },
+    );
+    let program = compile(&src, &and, &cfg).expect("allreduce compiles");
+    let kid = program.kernel_ids["allreduce"];
+    // The transport tuned to the bench topology: RTO a few× the loaded
+    // RTT (µs-scale links) instead of the conservative wall-clock
+    // default, and an initial window deep enough to keep the switch
+    // pipeline busy from the first flight.
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        cwnd: 64,
+        max_cwnd: 256,
+        rto: 500_000,
+        max_rto: 8_000_000,
+        ..ReliableConfig::default()
+    };
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=nworkers as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % nworkers as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .expect("valid");
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, elements), (ScalarType::Bool, 1)],
+        )
+        .expect("paired");
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep: Deployment =
+        deploy(&program, apps, link, pisa::ResourceModel::default()).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(nworkers as u32),
+    );
+    dep.net.run();
+    let mut completion = 0;
+    let mut retransmits = 0;
+    for w in 1..=nworkers as u16 {
+        let host = dep.net.host_app::<NclHost>(HostId(w)).expect("worker");
+        completion = completion.max(host.done_at.expect("completed under NCP-R"));
+        retransmits += host
+            .sender_stats()
+            .expect("reliability enabled")
+            .retransmits;
+    }
+    ReliableResult {
+        completion,
+        bytes_on_wire: dep.net.stats.bytes_sent,
+        payload_bytes: (nworkers * elements * 4) as u64,
+        retransmits,
+        switch_dups: dep.net.switch_dup_suppressed(s1),
+    }
+}
+
 /// Results of one KVS run (E2).
 #[derive(Clone, Copy, Debug)]
 pub struct KvsResult {

@@ -27,6 +27,7 @@
 
 pub mod fwd;
 pub mod ids;
+pub mod ncpr;
 pub mod value;
 pub mod window;
 pub mod wire;

@@ -1,0 +1,28 @@
+//! Shared naming conventions for the NCP-R reliability layer.
+//!
+//! The compiler lowers a per-kernel replay filter into two synthetic
+//! register arrays; hosts, the simulator and observability tooling need
+//! to find those arrays by name in whatever datapath executes them
+//! (interpreter, compiled fast path, or PISA pipeline). The prefixes
+//! live here — the one crate everything already depends on — so the
+//! name contract has a single definition.
+
+/// Name prefix of the seen-sequence bitmap register the replay filter
+/// lowers to (`__nclr_seen_<kernel>`): one byte per `(sender, slot)`
+/// cell, set to 1 once a window lands in that cell.
+pub const REPLAY_SEEN_PREFIX: &str = "__nclr_seen_";
+
+/// Name prefix of the duplicate counter register
+/// (`__nclr_dups_<kernel>`): a single `u32` incremented every time the
+/// filter classifies an arriving window as a replay.
+pub const REPLAY_DUPS_PREFIX: &str = "__nclr_dups_";
+
+/// The seen-bitmap register name for `kernel`.
+pub fn replay_seen_register(kernel: &str) -> String {
+    format!("{REPLAY_SEEN_PREFIX}{kernel}")
+}
+
+/// The duplicate-counter register name for `kernel`.
+pub fn replay_dups_register(kernel: &str) -> String {
+    format!("{REPLAY_DUPS_PREFIX}{kernel}")
+}

@@ -12,9 +12,14 @@
 use crate::control::ControlPlane;
 use c3::{Chunk, HostId, KernelId, NodeId, ScalarType, SwitchId, Value, Window};
 use ncp::codec::{decode_window, encode_window};
+use ncp::reliable::{ReliableConfig, Sender as RelSender};
 use netsim::{HostApp, HostCtx, Packet, Time};
 use std::any::Any;
 use std::collections::HashMap;
+
+/// Timer token reserved for the KVS client's NCP-R retransmission
+/// clock (schedule timers use small indices, so the top bit is free).
+const KVS_RELIABLE_TIMER: u64 = 1 << 63;
 
 // ---------------------------------------------------------------------
 // Host-based AllReduce (parameter-server baseline)
@@ -214,6 +219,10 @@ pub struct KvsClient {
     outstanding: HashMap<u32, (Time, u64, bool)>,
     /// Responses whose value didn't match the expected pattern.
     pub corrupt: u64,
+    /// NCP-R sender (None = fire-and-forget, the pre-NCP-R behaviour).
+    reliable: Option<RelSender>,
+    /// Earliest armed RTO timer.
+    armed: Option<Time>,
 }
 
 impl KvsClient {
@@ -234,6 +243,48 @@ impl KvsClient {
             samples: Vec::new(),
             outstanding: HashMap::new(),
             corrupt: 0,
+            reliable: None,
+            armed: None,
+        }
+    }
+
+    /// Enables NCP-R retransmission for queries: unanswered operations
+    /// are re-sent on RTO from the `outstanding` map. Responses double
+    /// as ACKs (every query produces a same-`seq` reply), and queries
+    /// are idempotent server-side, so no replay filter is needed.
+    pub fn enable_retransmit(&mut self, cfg: ReliableConfig) -> &mut Self {
+        self.reliable = Some(RelSender::new(cfg));
+        self
+    }
+
+    /// NCP-R retransmissions performed (0 when disabled).
+    pub fn retransmits(&self) -> u64 {
+        self.reliable.as_ref().map_or(0, |s| s.stats.retransmits)
+    }
+
+    /// Queries still awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Drives the NCP-R sender: re-sends due queries, re-arms the RTO
+    /// timer at the earliest remaining deadline.
+    fn pump(&mut self, ctx: &mut HostCtx) {
+        let Some(s) = &mut self.reliable else { return };
+        let (due, next) = s.poll(ctx.now);
+        if let Some(deadline) = next {
+            if self.armed.is_none_or(|t| deadline < t) {
+                self.armed = Some(deadline);
+                ctx.set_timer(deadline.saturating_sub(ctx.now).max(1), KVS_RELIABLE_TIMER);
+            }
+        }
+        for (_, seq) in due {
+            let Some(&(_, key, put)) = self.outstanding.get(&seq) else {
+                continue;
+            };
+            let op = KvsOp { at: 0, key, put };
+            let w = self.query_window(seq, ctx.host, &op);
+            ctx.send(self.server, encode_window(&w, 0));
         }
     }
 
@@ -301,18 +352,39 @@ impl HostApp for KvsClient {
     }
 
     fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        if token == KVS_RELIABLE_TIMER {
+            self.armed = None;
+            self.pump(ctx);
+            return;
+        }
         let i = token as usize;
         let op = self.schedule[i];
         let seq = i as u32;
-        let w = self.query_window(seq, ctx.host, &op);
         self.outstanding.insert(seq, (ctx.now, op.key, op.put));
-        ctx.send(self.server, encode_window(&w, 0));
+        let send_now = match &mut self.reliable {
+            Some(s) => s.track(self.kernel, seq, ctx.now),
+            None => true,
+        };
+        if send_now {
+            let w = self.query_window(seq, ctx.host, &op);
+            ctx.send(self.server, encode_window(&w, 0));
+        }
+        if self.reliable.is_some() {
+            self.pump(ctx);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
         let Ok(w) = decode_window(&pkt.payload) else {
             return;
         };
+        if let Some(s) = &mut self.reliable {
+            // The response is the ACK; duplicates fall out at the
+            // `outstanding` lookup below.
+            if s.on_ack(self.kernel, w.seq) {
+                self.pump(ctx);
+            }
+        }
         let Some((issued, key, put)) = self.outstanding.remove(&w.seq) else {
             return;
         };
@@ -589,12 +661,22 @@ _net_ _at_("s1") _ctrl_ unsigned nworkers;
 
 _net_ _out_ void allreduce(int *data) {{
     unsigned base = window.seq * window.len;
-    for (unsigned i = 0; i < window.len; ++i)
-        accum[base + i] += data[i];
-    if (++count[window.seq] == nworkers) {{
-        memcpy(data, &accum[base], window.len * 4);
-        count[window.seq] = 0; _bcast();
-    }} else {{ _drop(); }}
+    if (window.replay) {{
+        // NCP-R replay: never re-accumulate. A completed slot reflects
+        // the stored sums (recovering a lost broadcast leg); an
+        // incomplete one drops and waits for the remaining workers.
+        if (count[window.seq] != 0 && count[window.seq] % nworkers == 0) {{
+            memcpy(data, &accum[base], window.len * 4);
+            _reflect();
+        }} else {{ _drop(); }}
+    }} else {{
+        for (unsigned i = 0; i < window.len; ++i)
+            accum[base + i] += data[i];
+        if (++count[window.seq] % nworkers == 0) {{
+            memcpy(data, &accum[base], window.len * 4);
+            _bcast();
+        }} else {{ _drop(); }}
+    }}
 }}
 
 _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {{

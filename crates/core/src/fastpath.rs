@@ -22,7 +22,7 @@ use c3::{Forward, Label, Value, Window};
 use ncl_ir::ir::{CtrlId, MapId, Module};
 use ncl_ir::{CompiledKernel, ExecScratch, SwitchState};
 use ncp::codec::{decode_window_into, encode_window_into};
-use ncp::{NcpPacket, FLAG_FRAGMENT};
+use ncp::{NcpPacket, FLAG_ACK, FLAG_FRAGMENT, FLAG_NACK};
 use netsim::{CtrlOp, FastDatapath, FastVerdict};
 use std::any::Any;
 use std::collections::HashMap;
@@ -162,7 +162,7 @@ impl FastPathSwitch {
             Ok(p) => (p.kernel(), p.flags()),
             Err(_) => return None,
         };
-        if flags & FLAG_FRAGMENT != 0 || !self.kernels.contains_key(&kid) {
+        if flags & (FLAG_FRAGMENT | FLAG_ACK | FLAG_NACK) != 0 || !self.kernels.contains_key(&kid) {
             return None;
         }
         if decode_window_into(payload, &mut self.win).is_err() {
@@ -289,6 +289,19 @@ impl FastDatapath for FastPathSwitch {
         }
     }
 
+    fn register_prefix_sum(&self, prefix: &str) -> u64 {
+        self.reg_by_name
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, &r)| {
+                self.state.registers[r]
+                    .first()
+                    .map(|v| v.bits())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -382,6 +395,74 @@ mod tests {
         }
         assert_eq!(fp.windows, 12);
         assert_eq!(fp.errors, 0);
+    }
+
+    /// The compiler-lowered replay filter, exercised identically in
+    /// both tiers: duplicates never re-accumulate, an incomplete slot
+    /// drops the replay, a completed slot reflects the stored sums, and
+    /// the duplicate counter is observable through both interfaces.
+    #[test]
+    fn replay_filter_suppresses_duplicates_in_both_tiers() {
+        use crate::nclc::ReplayFilter;
+        let src = allreduce_source(16, 4);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        cfg.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter {
+                senders: 4,
+                slots: 8,
+            },
+        );
+        let p = compile(&src, AND, &cfg).expect("compiles");
+        let kid = p.kernel_ids["allreduce"];
+        let compiled = p.switch("s1").unwrap();
+        let mut pipe = Pipeline::load(compiled.pipeline.clone(), ResourceModel::default()).unwrap();
+        let cp = ControlPlane::new(compiled);
+        assert!(cp.ctrl_wr(&mut pipe, "nworkers", Value::u32(3)));
+        let mut fp = FastPathSwitch::from_program(&p, "s1").expect("fastpath builds");
+        assert!(fp.ctrl_wr("nworkers", Value::u32(3)));
+        let ext = p.checked.window_ext.size();
+
+        let send = |fp: &mut FastPathSwitch, pipe: &mut Pipeline, worker: u16, seq: u32| {
+            let vals: Vec<i32> = (0..4).map(|i| worker as i32 * 10 + i).collect();
+            let bytes = encode_window(&window(kid, worker, seq, &vals), ext);
+            let pi = pipe.process(&bytes).expect("pisa processes");
+            let fv = fp.process_window(&bytes).expect("fastpath processes");
+            assert_eq!(fv.fwd_code, pi.fwd_code, "worker {worker} seq {seq}");
+            fv
+        };
+        // Worker 1 contributes to slot 0 and then retransmits: the
+        // replay is dropped pre-completion and never re-accumulates.
+        assert_eq!(send(&mut fp, &mut pipe, 1, 0).fwd_code, 3);
+        assert_eq!(send(&mut fp, &mut pipe, 1, 0).fwd_code, 3);
+        assert_eq!(fp.register_read("count", 0), Some(Value::u32(1)));
+        assert_eq!(fp.register_read("accum", 0), Some(Value::i32(10)));
+        // Workers 2 and 3 complete the slot; the third broadcasts.
+        assert_eq!(send(&mut fp, &mut pipe, 2, 0).fwd_code, 3);
+        assert_eq!(send(&mut fp, &mut pipe, 3, 0).fwd_code, 2);
+        // A post-completion replay reflects the stored sums — this is
+        // how a worker recovers a lost broadcast leg.
+        let v = send(&mut fp, &mut pipe, 1, 0);
+        assert_eq!(v.fwd_code, 1, "post-completion replay reflects");
+        let w = decode_window(&v.payload).unwrap();
+        assert_eq!(w.chunks[0].get(c3::ScalarType::I32, 0), Value::i32(60));
+        // Both duplicate-count interfaces agree.
+        assert_eq!(fp.register_prefix_sum(c3::ncpr::REPLAY_DUPS_PREFIX), 2);
+        assert_eq!(
+            cp.read_register(&pipe, "__nclr_dups_allreduce", 0)
+                .map(|v| v.bits()),
+            Some(2)
+        );
+        // And the full device state still matches across tiers.
+        for i in 0..16 {
+            assert_eq!(
+                fp.register_read("accum", i),
+                cp.read_register(&pipe, "accum", i),
+                "accum[{i}]"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use c3::Label;
 use ncl_and::{AndError, Overlay};
 use ncl_ir::ir::Module;
+pub use ncl_ir::lower::ReplayFilter;
 use ncl_ir::lower::{lower, LoweringConfig};
 use ncl_ir::version::{version_modules, LocationInfo};
 use ncl_lang::diag::Diagnostic;
@@ -27,6 +28,10 @@ pub struct CompileConfig {
     pub model: ResourceModel,
     /// Loop unroll budget.
     pub unroll_limit: usize,
+    /// Per-kernel NCP-R replay filters: the compiler lowers a
+    /// seen-sequence bitmap stage for each listed outgoing kernel and
+    /// exposes the verdict as `window.replay` (false when unfiltered).
+    pub replay_filters: HashMap<String, ReplayFilter>,
 }
 
 impl Default for CompileConfig {
@@ -35,6 +40,7 @@ impl Default for CompileConfig {
             masks: HashMap::new(),
             model: ResourceModel::default(),
             unroll_limit: 4096,
+            replay_filters: HashMap::new(),
         }
     }
 }
@@ -170,6 +176,7 @@ pub fn compile(
     let lcfg = LoweringConfig {
         masks: cfg.masks.clone(),
         unroll_limit: cfg.unroll_limit,
+        replay_filters: cfg.replay_filters.clone(),
     };
     let mut generic = lower(&checked, &lcfg).map_err(NclcError::Lowering)?;
     ncl_ir::passes::optimize(&mut generic);
@@ -326,6 +333,55 @@ _net_ _out_ void k(int *data) {
         c.model = ResourceModel::tiny();
         let err = compile(src, ALLREDUCE_AND, &c).unwrap_err();
         assert!(matches!(err, NclcError::Backend { .. }), "{err}");
+    }
+
+    #[test]
+    fn replay_filter_lowers_synthetic_registers() {
+        let mut c = cfg();
+        c.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter {
+                senders: 8,
+                slots: 16,
+            },
+        );
+        let p = compile(ALLREDUCE_NCL, ALLREDUCE_AND, &c).expect("compiles");
+        let m = p.module("s1").expect("s1 module");
+        let seen = m
+            .registers
+            .iter()
+            .find(|r| r.name == "__nclr_seen_allreduce")
+            .expect("seen bitmap register");
+        assert_eq!(seen.dims, vec![8 * 16]);
+        let dups = m
+            .registers
+            .iter()
+            .find(|r| r.name == "__nclr_dups_allreduce")
+            .expect("dups counter register");
+        assert_eq!(dups.dims, vec![1]);
+        let s1 = p.switch("s1").unwrap();
+        assert!(
+            s1.report.accepted(),
+            "the filter stage must fit the PISA budget: {:?}",
+            s1.report
+        );
+        // The stateful filter stage survives into the generated P4.
+        assert!(s1.p4_source.contains("nclr_seen"), "P4 lacks filter stage");
+    }
+
+    #[test]
+    fn window_replay_is_false_without_filter() {
+        // The NCP-R-aware allreduce kernel reads `window.replay`; with
+        // no filter configured it compiles to the same single-delivery
+        // semantics and no synthetic registers appear.
+        let src = crate::apps::allreduce_source(64, 8);
+        let p = compile(&src, ALLREDUCE_AND, &cfg()).expect("compiles");
+        let m = p.module("s1").expect("s1 module");
+        assert!(
+            !m.registers.iter().any(|r| r.name.starts_with("__nclr_")),
+            "no filter configured, no synthetic registers"
+        );
+        assert!(p.switch("s1").unwrap().report.accepted());
     }
 
     #[test]

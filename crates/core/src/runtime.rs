@@ -20,9 +20,31 @@ use c3::{HostId, KernelId, Mask, NodeId, ScalarType, Value, Window, WindowSpec};
 use ncl_ir::ir::{KernelIr, Module};
 use ncl_ir::{CompiledKernel, ExecScratch, HostMemory};
 use ncp::codec::{encode_window, Reassembler};
+use ncp::reliable::SenderStats;
+use ncp::reliable::{Receiver as RelReceiver, ReceiverStats, ReliableConfig, Sender as RelSender};
+use ncp::{AckRepr, NcpPacket};
 use netsim::{HostApp, HostCtx, Packet, Time};
 use std::any::Any;
 use std::collections::HashMap;
+
+/// Timer token reserved for the NCP-R retransmission clock. Invocation
+/// tokens are `(idx << 32) | (wi + 1)` with small `idx`, so the top bit
+/// is free.
+pub const RELIABLE_TIMER: u64 = 1 << 63;
+
+/// NCP-R state of one host: the transport engine plus the bookkeeping
+/// needed to re-encode any tracked window on retransmission.
+struct Reliability {
+    sender: RelSender,
+    receiver: RelReceiver,
+    /// `(kernel id, seq)` → `(invocation index, window index)`: where
+    /// to re-split a tracked window's bytes from. Retransmission
+    /// re-encodes from the application arrays, so no per-window byte
+    /// copies are retained.
+    wire_index: HashMap<(u16, u32), (usize, usize)>,
+    /// Earliest armed RTO timer (suppresses redundant timer events).
+    armed: Option<Time>,
+}
 
 /// A typed host array: element type plus big-endian element bytes.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -217,6 +239,7 @@ pub struct NclHost {
     outs: Vec<OutInvocation>,
     incoming: HashMap<u16, IncomingBinding>,
     done_when: Option<DonePredicate>,
+    reliable: Option<Reliability>,
     reassembler: Reassembler,
     scratch: ExecScratch,
     /// Windows received (count).
@@ -240,6 +263,7 @@ impl NclHost {
             outs: Vec::new(),
             incoming: HashMap::new(),
             done_when: None,
+            reliable: None,
             reassembler: Reassembler::new(),
             scratch: ExecScratch::new(),
             windows_received: 0,
@@ -332,31 +356,146 @@ impl NclHost {
         self.incoming.get(&kernel_id).map(|b| &b.memory)
     }
 
+    /// Enables NCP-R on this host. Launched windows are tracked by the
+    /// reliable sender (AIMD in-flight window, RTO retransmission with
+    /// exponential backoff); arriving windows are deduplicated at the
+    /// host edge and acknowledged with `FLAG_ACK` frames; any response
+    /// window keyed `(kernel, seq)` also retires the matching in-flight
+    /// window (ack-by-response). Completion additionally requires every
+    /// tracked window to be retired, so [`NclHost::done_at`] means
+    /// "delivered exactly once" — without a [`NclHost::done_when`]
+    /// predicate, that retirement alone completes the host.
+    pub fn enable_reliability(&mut self, cfg: ReliableConfig) -> &mut Self {
+        self.reliable = Some(Reliability {
+            sender: RelSender::new(cfg),
+            receiver: RelReceiver::new(),
+            wire_index: HashMap::new(),
+            armed: None,
+        });
+        self
+    }
+
+    /// NCP-R sender counters (tracked / retransmits / acked /
+    /// abandoned / cwnd cuts), when reliability is enabled.
+    pub fn sender_stats(&self) -> Option<SenderStats> {
+        self.reliable.as_ref().map(|r| r.sender.stats)
+    }
+
+    /// NCP-R receiver counters (delivered / duplicates suppressed),
+    /// when reliability is enabled.
+    pub fn receiver_stats(&self) -> Option<ReceiverStats> {
+        self.reliable.as_ref().map(|r| r.receiver.stats)
+    }
+
     fn launch(&mut self, ctx: &mut HostCtx, idx: usize) {
         let inv = self.outs[idx].clone();
         let rt = &self.runtimes[&inv.kernel];
+        let rid = rt.id;
         let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
         let windows = rt.spec.split(&arrays).expect("validated at out() time");
         let me = NodeId::Host(ctx.host);
         for (i, mut w) in windows.into_iter().enumerate() {
-            w.kernel = KernelId(rt.id);
+            w.kernel = KernelId(rid);
             w.sender = ctx.host;
             w.from = me;
-            let bytes = encode_window(&w, self.ext_total);
-            if inv.gap == 0 {
-                ctx.send(inv.dest, bytes);
-            } else {
+            if inv.gap != 0 {
                 // Pace via timers: tokens encode (invocation, window).
                 // For simplicity the paced path re-splits on fire.
                 let token = ((idx as u64) << 32) | (i as u64 + 1);
                 ctx.set_timer(inv.gap * i as Time, token);
                 continue;
             }
+            if let Some(r) = &mut self.reliable {
+                r.wire_index.insert((rid, w.seq), (idx, i));
+                if !r.sender.track(rid, w.seq, ctx.now) {
+                    continue; // queued until the congestion window opens
+                }
+            }
+            let bytes = encode_window(&w, self.ext_total);
+            ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
+        }
+        if self.reliable.is_some() {
+            self.pump(ctx);
+        }
+    }
+
+    /// Drives the NCP-R sender: retransmits due windows, releases
+    /// queued windows the congestion window has admitted, re-arms the
+    /// RTO timer at the earliest remaining deadline.
+    fn pump(&mut self, ctx: &mut HostCtx) {
+        let Some(r) = &mut self.reliable else { return };
+        let (due, next) = r.sender.poll(ctx.now);
+        let sends: Vec<(usize, usize)> = due
+            .iter()
+            .filter_map(|&(kernel, seq)| r.wire_index.get(&(kernel, seq)).copied())
+            .collect();
+        if let Some(deadline) = next {
+            if r.armed.is_none_or(|t| deadline < t) {
+                r.armed = Some(deadline);
+                ctx.set_timer(deadline.saturating_sub(ctx.now).max(1), RELIABLE_TIMER);
+            }
+        }
+        for (idx, wi) in sends {
+            if let Some((dest, bytes)) = self.window_bytes(ctx.host, idx, wi) {
+                ctx.send(dest, bytes);
+                self.windows_sent += 1;
+            }
+        }
+    }
+
+    /// Re-encodes window `wi` of invocation `idx` (the NCP-R
+    /// retransmission path re-splits from the application arrays).
+    fn window_bytes(&self, host: HostId, idx: usize, wi: usize) -> Option<(NodeId, Vec<u8>)> {
+        let inv = self.outs.get(idx)?;
+        let rt = self.runtimes.get(&inv.kernel)?;
+        let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
+        let mut w = rt.spec.split(&arrays).ok()?.into_iter().nth(wi)?;
+        w.kernel = KernelId(rt.id);
+        w.sender = host;
+        w.from = NodeId::Host(host);
+        Some((inv.dest, encode_window(&w, self.ext_total)))
+    }
+
+    /// Records completion. With NCP-R enabled, completion means
+    /// "delivered exactly once": the user predicate (when set) must
+    /// hold *and* every tracked window must be retired.
+    fn check_done(&mut self, now: Time) {
+        if self.done_at.is_some() {
+            return;
+        }
+        if let Some(r) = &self.reliable {
+            if !r.sender.idle() || r.sender.stats.tracked == 0 {
+                return;
+            }
+        }
+        let done = match &self.done_when {
+            Some(pred) => pred(&self.incoming),
+            None => self.reliable.is_some(),
+        };
+        if done {
+            self.done_at = Some(now);
         }
     }
 
     fn deliver(&mut self, ctx: &mut HostCtx, mut w: Window) {
+        if let Some(r) = &mut self.reliable {
+            // Ack-by-response: any arriving window keyed (kernel, seq)
+            // retires the matching in-flight window. The response IS the
+            // acknowledgement — a window is retired only once its result
+            // actually reached this host, never on a third-party ACK
+            // (a broadcast leg lost between switch and us must keep the
+            // window in flight so the replay filter can reflect it back).
+            let acked = r.sender.on_ack(w.kernel.0, w.seq);
+            let fresh = r.receiver.admit(w.sender.0, w.kernel.0, w.seq);
+            if acked {
+                self.pump(ctx);
+            }
+            if !fresh {
+                self.check_done(ctx.now);
+                return; // duplicate suppressed at the host edge
+            }
+        }
         self.windows_received += 1;
         if self.log_windows {
             self.window_log.push(w.clone());
@@ -366,13 +505,7 @@ impl NclHost {
                 .compiled
                 .run_incoming(&mut w, &mut binding.memory, &mut self.scratch);
         }
-        if self.done_at.is_none() {
-            if let Some(pred) = &self.done_when {
-                if pred(&self.incoming) {
-                    self.done_at = Some(ctx.now);
-                }
-            }
-        }
+        self.check_done(ctx.now);
     }
 }
 
@@ -397,12 +530,35 @@ impl HostApp for NclHost {
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx, pkt: &Packet) {
+        if self.reliable.is_some() {
+            if let Ok(p) = NcpPacket::new_checked(&pkt.payload[..]) {
+                if let Some(ack) = AckRepr::parse(&p) {
+                    let r = self.reliable.as_mut().expect("checked above");
+                    if ack.nack {
+                        r.sender.on_nack(ack.kernel, ack.seq, ctx.now);
+                    } else {
+                        r.sender.on_ack(ack.kernel, ack.seq);
+                    }
+                    self.pump(ctx);
+                    self.check_done(ctx.now);
+                    return;
+                }
+            }
+        }
         if let Ok(Some(w)) = self.reassembler.push(&pkt.payload) {
             self.deliver(ctx, w);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
+        if token == RELIABLE_TIMER {
+            if let Some(r) = &mut self.reliable {
+                r.armed = None;
+            }
+            self.pump(ctx);
+            self.check_done(ctx.now);
+            return;
+        }
         let idx = (token >> 32) as usize;
         let wi = (token & 0xFFFF_FFFF) as usize;
         if wi == 0 {
@@ -412,15 +568,26 @@ impl HostApp for NclHost {
         // Paced single window.
         let inv = self.outs[idx].clone();
         let rt = &self.runtimes[&inv.kernel];
+        let rid = rt.id;
         let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
         let windows = rt.spec.split(&arrays).expect("validated");
         if let Some(mut w) = windows.into_iter().nth(wi - 1) {
-            w.kernel = KernelId(rt.id);
+            w.kernel = KernelId(rid);
             w.sender = ctx.host;
             w.from = NodeId::Host(ctx.host);
+            if let Some(r) = &mut self.reliable {
+                r.wire_index.insert((rid, w.seq), (idx, wi - 1));
+                if !r.sender.track(rid, w.seq, ctx.now) {
+                    self.pump(ctx);
+                    return; // queued until the congestion window opens
+                }
+            }
             let bytes = encode_window(&w, self.ext_total);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
+        }
+        if self.reliable.is_some() {
+            self.pump(ctx);
         }
     }
 

@@ -27,6 +27,29 @@ use ncl_lang::diag::{Diagnostic, Span};
 use ncl_lang::sema::{const_eval_with, usual_conversion, CheckedProgram, GlobalKind, KernelInfo};
 use std::collections::HashMap;
 
+/// Sizing of a per-kernel switch replay filter (NCP-R).
+///
+/// The filter is lowered as plain IR: a `senders × slots` byte bitmap
+/// register (`__nclr_seen_<kernel>`) plus a one-element `u32` duplicate
+/// counter (`__nclr_dups_<kernel>`), with a block-0 prologue that marks
+/// the arriving `(sender % senders, seq % slots)` cell and exposes the
+/// previous mark as the boolean `window.replay` builtin. Because it is
+/// ordinary IR, the interpreter, the compiled fast path and the PISA/P4
+/// backends all execute it identically — on a PISA target it becomes a
+/// real stateful register stage.
+///
+/// Exactly-once semantics hold as long as a sender has at most `slots`
+/// sequence numbers outstanding per kernel (the transport's in-flight
+/// window must not exceed `slots`), so cells are recycled only after
+/// the slot's earlier sequence number was acknowledged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplayFilter {
+    /// Distinct senders tracked; cells index by `sender % senders`.
+    pub senders: u16,
+    /// Sequence slots tracked per sender; cells index by `seq % slots`.
+    pub slots: u16,
+}
+
 /// Configuration for lowering: the window masks kernels compile against.
 #[derive(Clone, Debug)]
 pub struct LoweringConfig {
@@ -37,6 +60,9 @@ pub struct LoweringConfig {
     pub masks: HashMap<String, Vec<u16>>,
     /// Maximum constant trip count a loop may unroll to.
     pub unroll_limit: usize,
+    /// Per-kernel replay filters (NCP-R). Only outgoing kernels are
+    /// filtered; `window.replay` reads as constant `false` elsewhere.
+    pub replay_filters: HashMap<String, ReplayFilter>,
 }
 
 impl Default for LoweringConfig {
@@ -44,6 +70,7 @@ impl Default for LoweringConfig {
         LoweringConfig {
             masks: HashMap::new(),
             unroll_limit: 4096,
+            replay_filters: HashMap::new(),
         }
     }
 }
@@ -107,6 +134,37 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
         }
     }
 
+    // NCP-R: synthesize the replay-filter registers for filtered
+    // outgoing kernels. They ride the normal register path, so every
+    // backend (interpreter, fast path, PISA/P4) gets the stateful
+    // filter stage without special cases.
+    let mut filter_regs: HashMap<String, (ArrId, ArrId)> = HashMap::new();
+    for k in &checked.kernels {
+        if k.kind != ast::KernelKind::Outgoing {
+            continue;
+        }
+        let Some(f) = cfg.replay_filters.get(&k.name) else {
+            continue;
+        };
+        let seen = ArrId(module.registers.len() as u32);
+        module.registers.push(RegisterDecl {
+            name: c3::ncpr::replay_seen_register(&k.name),
+            at: k.at.clone(),
+            elem: ScalarType::U8,
+            dims: vec![(f.senders as usize).max(1) * (f.slots as usize).max(1)],
+            init: Vec::new(),
+        });
+        let dups = ArrId(module.registers.len() as u32);
+        module.registers.push(RegisterDecl {
+            name: c3::ncpr::replay_dups_register(&k.name),
+            at: k.at.clone(),
+            elem: ScalarType::U32,
+            dims: vec![1],
+            init: Vec::new(),
+        });
+        filter_regs.insert(k.name.clone(), (seen, dups));
+    }
+
     let mut diags = Vec::new();
     for k in &checked.kernels {
         let mut lw = Lowerer {
@@ -127,8 +185,13 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
             scope: vec![HashMap::new()],
             diags: Vec::new(),
             done: false,
+            replay_reg: None,
         };
         lw.params_into_scope();
+        if let Some(&(seen, dups)) = filter_regs.get(&k.name) {
+            let f = cfg.replay_filters[&k.name];
+            lw.emit_replay_prologue(seen, dups, f);
+        }
         lw.lower_block_stmts(&k.body);
         let (blocks, reg_tys, mut kdiags) = (lw.blocks, lw.reg_tys, lw.diags);
         diags.append(&mut kdiags);
@@ -208,6 +271,9 @@ struct Lowerer<'a> {
     diags: Vec<Diagnostic>,
     /// Set once the current block ended in a `return`.
     done: bool,
+    /// Local holding the replay-filter verdict (NCP-R); `window.replay`
+    /// reads it, or constant `false` when the kernel has no filter.
+    replay_reg: Option<RegId>,
 }
 
 impl Lowerer<'_> {
@@ -227,6 +293,110 @@ impl Lowerer<'_> {
             return; // unreachable code after return
         }
         self.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    /// NCP-R replay-filter prologue (block 0, before the kernel body):
+    ///
+    /// ```text
+    /// idx    = (sender % senders) * slots + (seq % slots)
+    /// old    = seen[idx]
+    /// seen[idx] = 1
+    /// replay = old != 0
+    /// dups[0] += (u32) old
+    /// ```
+    ///
+    /// One register array read-modify-write plus one counter bump —
+    /// expressible as a single stateful RegisterAction stage on PISA.
+    fn emit_replay_prologue(&mut self, seen: ArrId, dups: ArrId, f: ReplayFilter) {
+        let senders = (f.senders as u32).max(1);
+        let slots = (f.slots as u32).max(1);
+        let sender = self.fresh(ScalarType::U16);
+        self.emit(Inst::LdMeta {
+            dst: sender,
+            field: MetaField::Sender,
+        });
+        let sender32 = self.fresh(ScalarType::U32);
+        self.emit(Inst::Cast {
+            dst: sender32,
+            ty: ScalarType::U32,
+            a: Operand::Reg(sender),
+        });
+        let row = self.fresh(ScalarType::U32);
+        self.emit(Inst::Bin {
+            dst: row,
+            op: BinOp::Rem,
+            a: Operand::Reg(sender32),
+            b: Operand::Const(Value::u32(senders)),
+        });
+        let row_base = self.fresh(ScalarType::U32);
+        self.emit(Inst::Bin {
+            dst: row_base,
+            op: BinOp::Mul,
+            a: Operand::Reg(row),
+            b: Operand::Const(Value::u32(slots)),
+        });
+        let seq = self.fresh(ScalarType::U32);
+        self.emit(Inst::LdMeta {
+            dst: seq,
+            field: MetaField::Seq,
+        });
+        let col = self.fresh(ScalarType::U32);
+        self.emit(Inst::Bin {
+            dst: col,
+            op: BinOp::Rem,
+            a: Operand::Reg(seq),
+            b: Operand::Const(Value::u32(slots)),
+        });
+        let idx = self.fresh(ScalarType::U32);
+        self.emit(Inst::Bin {
+            dst: idx,
+            op: BinOp::Add,
+            a: Operand::Reg(row_base),
+            b: Operand::Reg(col),
+        });
+        let old = self.fresh(ScalarType::U8);
+        self.emit(Inst::LdReg {
+            dst: old,
+            arr: seen,
+            index: Operand::Reg(idx),
+        });
+        self.emit(Inst::StReg {
+            arr: seen,
+            index: Operand::Reg(idx),
+            val: Operand::Const(Value::new(ScalarType::U8, 1)),
+        });
+        let replay = self.fresh(ScalarType::Bool);
+        self.emit(Inst::Bin {
+            dst: replay,
+            op: BinOp::Ne,
+            a: Operand::Reg(old),
+            b: Operand::Const(Value::new(ScalarType::U8, 0)),
+        });
+        let old32 = self.fresh(ScalarType::U32);
+        self.emit(Inst::Cast {
+            dst: old32,
+            ty: ScalarType::U32,
+            a: Operand::Reg(old),
+        });
+        let count = self.fresh(ScalarType::U32);
+        self.emit(Inst::LdReg {
+            dst: count,
+            arr: dups,
+            index: Operand::Const(Value::u32(0)),
+        });
+        let bumped = self.fresh(ScalarType::U32);
+        self.emit(Inst::Bin {
+            dst: bumped,
+            op: BinOp::Add,
+            a: Operand::Reg(count),
+            b: Operand::Reg(old32),
+        });
+        self.emit(Inst::StReg {
+            arr: dups,
+            index: Operand::Const(Value::u32(0)),
+            val: Operand::Reg(bumped),
+        });
+        self.replay_reg = Some(replay);
     }
 
     fn new_block(&mut self) -> BlockId {
@@ -997,6 +1167,15 @@ impl Lowerer<'_> {
                 MetaField::Len
             }
             "last" => MetaField::Last,
+            "replay" => {
+                // NCP-R verdict, computed by the filter prologue.
+                // Without a filter (hosts, unfiltered kernels) the
+                // window is by definition not a replay.
+                return match self.replay_reg {
+                    Some(r) => (Operand::Reg(r), ScalarType::Bool),
+                    None => (Operand::Const(Value::bool(false)), ScalarType::Bool),
+                };
+            }
             other => {
                 if let Some((ty, off)) = self.checked.window_ext.field(other) {
                     let dst = self.fresh(ty);

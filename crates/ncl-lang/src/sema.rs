@@ -237,6 +237,10 @@ pub const WINDOW_BUILTINS: &[(&str, ScalarType)] = &[
     ("len", ScalarType::U16),
     ("nchunks", ScalarType::U8),
     ("last", ScalarType::Bool),
+    // NCP-R: true when the switch replay filter has already seen this
+    // (sender, seq) — i.e. the window is a retransmission. Always false
+    // on hosts and on kernels compiled without a replay filter.
+    ("replay", ScalarType::Bool),
 ];
 
 /// The builtin fields of the `location` struct (paper §4.1).

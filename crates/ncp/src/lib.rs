@@ -14,6 +14,9 @@
 //!   multi-packet windows (fragmentation + host-side reassembly — the
 //!   paper's future-work §6 extension; switches compute only on
 //!   single-packet windows, exactly as the paper scopes its prototype);
+//! * [`reliable`] — NCP-R, the reliability layer (ACK/NACK frames,
+//!   AIMD in-flight window, RTO retransmission, receiver-side duplicate
+//!   suppression), clock- and transport-agnostic;
 //! * [`udp`] — the Sockets/UDP backend (the paper's first prototype
 //!   target), a thin endpoint over `std::net::UdpSocket`;
 //! * [`mem`] — an in-memory loopback backend for tests.
@@ -24,6 +27,7 @@
 
 pub mod codec;
 pub mod mem;
+pub mod reliable;
 pub mod udp;
 pub mod wire;
 
@@ -31,7 +35,9 @@ pub use codec::{
     decode_window, decode_window_into, encode_window, encode_window_into, encoded_len,
     fragment_window, fragment_window_into, BufferPool, Reassembler,
 };
+pub use reliable::{Receiver, ReliableConfig, Sender};
+pub use udp::{RecvEvent, UdpEndpoint, NCP_UDP_PORT};
 pub use wire::{
-    NcpPacket, NcpRepr, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST, FLAG_MORE_FRAGS, HEADER_LEN,
-    MAGIC, VERSION,
+    AckRepr, NcpPacket, NcpRepr, FLAG_ACK, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST,
+    FLAG_MORE_FRAGS, FLAG_NACK, HEADER_LEN, MAGIC, VERSION,
 };

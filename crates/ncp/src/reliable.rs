@@ -1,0 +1,448 @@
+//! NCP-R: the reliability layer over NCP windows.
+//!
+//! The paper leaves transport reliability open (§6); NCP-R closes it
+//! with a classic sender/receiver split that stays transport-agnostic:
+//!
+//! * **Sender** ([`Sender`]) — tracks every launched window under its
+//!   `(kernel, seq)` key, bounds the in-flight set with an AIMD
+//!   congestion window, retransmits on RTO with exponential backoff,
+//!   and retires windows on explicit ACK frames *or* on any response
+//!   window carrying the same `(kernel, seq)` (ack-by-response: in both
+//!   paper applications every request produces a same-keyed reply).
+//! * **Receiver** ([`Receiver`]) — per-`(sender, kernel)` duplicate
+//!   suppression with a delivery floor plus a bitmap above it, so
+//!   retransmissions of already-delivered windows are dropped at the
+//!   host edge and counted.
+//!
+//! Switch-side exactly-once execution is NOT handled here — that is the
+//! compiler-lowered replay filter (`window.replay`, see
+//! `ncl_ir::lower::ReplayFilter`). This module only makes windows
+//! *arrive*; the filter makes re-arrivals *harmless*.
+//!
+//! The engine is poll-driven and clock-agnostic: time is a `u64` in
+//! nanoseconds, fed by the caller (netsim's simulated clock or a
+//! wall-clock via `std::time::Instant`). Nothing here does I/O.
+
+use std::collections::HashMap;
+
+/// Nanosecond timestamps, matching netsim's `Time`.
+pub type Time = u64;
+
+/// Tuning knobs for a [`Sender`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout.
+    pub rto: Time,
+    /// RTO ceiling for the exponential backoff.
+    pub max_rto: Time,
+    /// Give up on a window after this many retransmissions.
+    pub max_retries: u32,
+    /// Initial congestion window (windows in flight).
+    pub cwnd: usize,
+    /// Congestion-window ceiling.
+    pub max_cwnd: usize,
+    /// Sequence slots per sender in the switch replay filter; the
+    /// in-flight set is additionally capped at this value so sequence
+    /// numbers never alias live filter cells. Zero disables the cap.
+    pub filter_slots: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            rto: 2_000_000, // 2 ms: several sim RTTs, tiny for wall-clock
+            max_rto: 64_000_000,
+            max_retries: 16,
+            cwnd: 4,
+            max_cwnd: 64,
+            filter_slots: 0,
+        }
+    }
+}
+
+/// Counters a [`Sender`] exposes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SenderStats {
+    /// Windows handed to [`Sender::track`].
+    pub tracked: u64,
+    /// Retransmissions requested by RTO expiry or NACK.
+    pub retransmits: u64,
+    /// Windows retired by ACK or response.
+    pub acked: u64,
+    /// Windows dropped after `max_retries`.
+    pub abandoned: u64,
+    /// Congestion-window cuts (loss signals).
+    pub cwnd_cuts: u64,
+}
+
+/// Key of an in-flight window.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    kernel: u16,
+    seq: u32,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    deadline: Time,
+    rto: Time,
+    retries: u32,
+}
+
+/// Sender half of NCP-R: in-flight tracking, AIMD window, RTO backoff.
+///
+/// The caller owns the actual packet bytes (retransmission re-encodes
+/// from the application's window storage); the sender only decides
+/// *which* `(kernel, seq)` to (re)send and *when*.
+#[derive(Debug)]
+pub struct Sender {
+    cfg: ReliableConfig,
+    flight: HashMap<Key, InFlight>,
+    /// Launch-ready windows the cwnd has not admitted yet, FIFO.
+    queue: Vec<Key>,
+    /// Current congestion window.
+    cwnd: usize,
+    /// Additive-increase accumulator (acks since last growth).
+    acks_since_grow: usize,
+    /// Counters.
+    pub stats: SenderStats,
+}
+
+impl Sender {
+    /// A sender with the given knobs.
+    pub fn new(cfg: ReliableConfig) -> Self {
+        Sender {
+            cwnd: cfg.cwnd.max(1),
+            cfg,
+            flight: HashMap::new(),
+            queue: Vec::new(),
+            acks_since_grow: 0,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Effective in-flight cap right now.
+    fn cap(&self) -> usize {
+        if self.cfg.filter_slots > 0 {
+            self.cwnd.min(self.cfg.filter_slots)
+        } else {
+            self.cwnd
+        }
+    }
+
+    /// Registers a window the application wants delivered. Returns
+    /// `true` if the window may be transmitted immediately; `false`
+    /// means it is queued until the congestion window opens (the caller
+    /// must not send it yet — [`Sender::poll`] will release it).
+    pub fn track(&mut self, kernel: u16, seq: u32, now: Time) -> bool {
+        self.stats.tracked += 1;
+        let key = Key { kernel, seq };
+        if self.flight.len() < self.cap() {
+            self.flight.insert(
+                key,
+                InFlight {
+                    deadline: now + self.cfg.rto,
+                    rto: self.cfg.rto,
+                    retries: 0,
+                },
+            );
+            true
+        } else {
+            self.queue.push(key);
+            false
+        }
+    }
+
+    /// Number of windows currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flight.len()
+    }
+
+    /// Number of windows waiting for the congestion window to open.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether every tracked window has been retired.
+    pub fn idle(&self) -> bool {
+        self.flight.is_empty() && self.queue.is_empty()
+    }
+
+    /// Current congestion window, for observability.
+    pub fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    /// An ACK frame (or any response window) for `(kernel, seq)`
+    /// arrived. Returns `true` if it retired an in-flight window.
+    pub fn on_ack(&mut self, kernel: u16, seq: u32) -> bool {
+        let retired = self.flight.remove(&Key { kernel, seq }).is_some();
+        if retired {
+            self.stats.acked += 1;
+            // Additive increase: one extra window per cwnd of acks.
+            self.acks_since_grow += 1;
+            if self.acks_since_grow >= self.cwnd && self.cwnd < self.cfg.max_cwnd {
+                self.cwnd += 1;
+                self.acks_since_grow = 0;
+            }
+        }
+        retired
+    }
+
+    /// A NACK for `(kernel, seq)` arrived: the next [`Sender::poll`]
+    /// retransmits it immediately (and applies the usual loss cut).
+    pub fn on_nack(&mut self, kernel: u16, seq: u32, now: Time) {
+        if let Some(f) = self.flight.get_mut(&Key { kernel, seq }) {
+            f.deadline = now; // due immediately
+        }
+    }
+
+    /// Multiplicative decrease.
+    fn cut(&mut self) {
+        self.cwnd = (self.cwnd / 2).max(1);
+        self.acks_since_grow = 0;
+        self.stats.cwnd_cuts += 1;
+    }
+
+    /// Advances the clock: expires RTOs (scheduling retransmits with
+    /// doubled timeouts and an AIMD cut), abandons windows past
+    /// `max_retries`, and admits queued windows into the freed capacity.
+    ///
+    /// Returns the `(kernel, seq)` pairs the caller must (re)transmit
+    /// now, and the earliest next deadline to poll at (if any windows
+    /// remain in flight).
+    pub fn poll(&mut self, now: Time) -> (Vec<(u16, u32)>, Option<Time>) {
+        let mut send = Vec::new();
+        let mut expired: Vec<Key> = self
+            .flight
+            .iter()
+            .filter(|(_, f)| f.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        expired.sort_by_key(|k| (k.kernel, k.seq));
+        for key in expired {
+            let f = self.flight.get_mut(&key).expect("still in flight");
+            if f.retries >= self.cfg.max_retries {
+                self.flight.remove(&key);
+                self.stats.abandoned += 1;
+                continue;
+            }
+            f.retries += 1;
+            f.rto = (f.rto * 2).min(self.cfg.max_rto);
+            f.deadline = now + f.rto;
+            self.stats.retransmits += 1;
+            self.cut();
+            send.push((key.kernel, key.seq));
+        }
+        // Admit queued windows into whatever capacity is open.
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.flight.len() >= self.cap() {
+                break;
+            }
+            let key = self.queue.remove(i);
+            self.flight.insert(
+                key,
+                InFlight {
+                    deadline: now + self.cfg.rto,
+                    rto: self.cfg.rto,
+                    retries: 0,
+                },
+            );
+            send.push((key.kernel, key.seq));
+            i = 0; // removal shifted the queue; restart scan
+        }
+        let next = self.flight.values().map(|f| f.deadline).min();
+        (send, next)
+    }
+}
+
+/// Per-`(sender, kernel)` delivery state: a floor below which every
+/// sequence number has been delivered, plus a bitmap for the out-of-
+/// order region above it.
+#[derive(Clone, Debug, Default)]
+struct DeliveryState {
+    /// All `seq < floor` are delivered.
+    floor: u32,
+    /// Delivered sequence numbers `>= floor`, as offsets from `floor`.
+    above: Vec<u32>,
+}
+
+impl DeliveryState {
+    fn seen(&self, seq: u32) -> bool {
+        seq < self.floor || self.above.contains(&(seq - self.floor))
+    }
+
+    fn mark(&mut self, seq: u32) {
+        if seq < self.floor {
+            return;
+        }
+        let off = seq - self.floor;
+        if !self.above.contains(&off) {
+            self.above.push(off);
+        }
+        // Advance the floor over any now-contiguous prefix.
+        while self.above.contains(&0) {
+            self.above.retain(|&o| o != 0);
+            for o in &mut self.above {
+                *o -= 1;
+            }
+            self.floor += 1;
+        }
+    }
+}
+
+/// Counters a [`Receiver`] exposes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReceiverStats {
+    /// Windows admitted (first delivery).
+    pub delivered: u64,
+    /// Windows suppressed as duplicates.
+    pub duplicates: u64,
+}
+
+/// Receiver half of NCP-R: duplicate suppression at the host edge.
+#[derive(Debug, Default)]
+pub struct Receiver {
+    state: HashMap<(u16, u16), DeliveryState>,
+    /// Counters.
+    pub stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        Receiver::default()
+    }
+
+    /// Records an arriving window. Returns `true` exactly once per
+    /// `(sender, kernel, seq)` — the caller delivers on `true` and
+    /// (re-)acknowledges but drops on `false`.
+    pub fn admit(&mut self, sender: u16, kernel: u16, seq: u32) -> bool {
+        let st = self.state.entry((sender, kernel)).or_default();
+        if st.seen(seq) {
+            self.stats.duplicates += 1;
+            false
+        } else {
+            st.mark(seq);
+            self.stats.delivered += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ReliableConfig {
+        ReliableConfig {
+            rto: 100,
+            max_rto: 800,
+            max_retries: 3,
+            cwnd: 2,
+            max_cwnd: 8,
+            filter_slots: 0,
+        }
+    }
+
+    #[test]
+    fn ack_retires_and_grows_window() {
+        let mut s = Sender::new(cfg());
+        assert!(s.track(1, 0, 0));
+        assert!(s.track(1, 1, 0));
+        assert!(!s.track(1, 2, 0), "cwnd=2 queues the third");
+        assert!(s.on_ack(1, 0));
+        assert!(!s.on_ack(1, 0), "double ack is idempotent");
+        let (send, _) = s.poll(10);
+        assert_eq!(send, vec![(1, 2)], "freed capacity admits the queue");
+        // Acking a full cwnd grows it by one.
+        assert!(s.on_ack(1, 1));
+        assert_eq!(s.cwnd(), 3);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_cuts() {
+        let mut s = Sender::new(cfg());
+        s.track(1, 0, 0);
+        let (send, next) = s.poll(100);
+        assert_eq!(send, vec![(1, 0)], "RTO fires at deadline");
+        assert_eq!(next, Some(300), "backoff doubled: 100 + 200");
+        assert_eq!(s.cwnd(), 1, "loss cut the window");
+        assert_eq!(s.stats.retransmits, 1);
+        let (send, next) = s.poll(300);
+        assert_eq!(send, vec![(1, 0)]);
+        assert_eq!(next, Some(700), "100*2*2 = 400 past now");
+    }
+
+    #[test]
+    fn abandons_after_max_retries() {
+        let mut s = Sender::new(cfg());
+        s.track(1, 0, 0);
+        let mut now = 0;
+        for _ in 0..3 {
+            now += 10_000; // past any deadline
+            let (send, _) = s.poll(now);
+            assert_eq!(send.len(), 1);
+        }
+        now += 10_000;
+        let (send, next) = s.poll(now);
+        assert!(send.is_empty(), "fourth expiry abandons");
+        assert_eq!(next, None);
+        assert_eq!(s.stats.abandoned, 1);
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn nack_forces_immediate_retransmit() {
+        let mut s = Sender::new(cfg());
+        s.track(1, 7, 0);
+        s.on_nack(1, 7, 50);
+        let (send, _) = s.poll(50);
+        assert_eq!(send, vec![(1, 7)]);
+        assert_eq!(s.stats.cwnd_cuts, 1);
+    }
+
+    #[test]
+    fn filter_slots_cap_in_flight() {
+        let mut s = Sender::new(ReliableConfig {
+            cwnd: 8,
+            filter_slots: 2,
+            ..cfg()
+        });
+        assert!(s.track(1, 0, 0));
+        assert!(s.track(1, 1, 0));
+        assert!(
+            !s.track(1, 2, 0),
+            "filter slots bound the flight below cwnd"
+        );
+        s.on_ack(1, 0);
+        let (send, _) = s.poll(1);
+        assert_eq!(send, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn receiver_suppresses_duplicates_in_any_order() {
+        let mut r = Receiver::new();
+        assert!(r.admit(1, 1, 1));
+        assert!(r.admit(1, 1, 0));
+        assert!(!r.admit(1, 1, 0), "below-floor duplicate");
+        assert!(!r.admit(1, 1, 1), "bitmap duplicate");
+        assert!(r.admit(1, 1, 2));
+        assert!(r.admit(2, 1, 0), "other sender is independent");
+        assert!(r.admit(1, 2, 0), "other kernel is independent");
+        assert_eq!(r.stats.delivered, 5);
+        assert_eq!(r.stats.duplicates, 2);
+    }
+
+    #[test]
+    fn receiver_floor_advances_over_reordered_prefix() {
+        let mut r = Receiver::new();
+        for seq in [3, 0, 2, 1] {
+            assert!(r.admit(1, 1, seq));
+        }
+        let st = &r.state[&(1, 1)];
+        assert_eq!(st.floor, 4, "floor swallowed the whole prefix");
+        assert!(st.above.is_empty());
+    }
+}

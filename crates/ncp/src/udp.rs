@@ -7,14 +7,36 @@
 //! its hosts, and the examples drive one endpoint per thread.
 
 use crate::codec::{fragment_window_into, BufferPool, Reassembler};
+use crate::reliable::Time;
+use crate::wire::{AckRepr, NcpPacket};
 use c3::Window;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The NCP well-known UDP port (also baked into the generated P4
 /// parser's `parse_udp` state).
 pub const NCP_UDP_PORT: u16 = 9047;
+
+/// One receive attempt's outcome, classified. [`UdpEndpoint::poll_event`]
+/// returns exactly one of these per datagram (or [`RecvEvent::Timeout`]
+/// when the socket had nothing), so callers driving the NCP-R engine can
+/// react to ACK frames and distinguish an idle link from a noisy one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvEvent {
+    /// A complete window (possibly reassembled from fragments).
+    Window(Window, SocketAddr),
+    /// An NCP-R ACK/NACK frame (a bare header, never fragmented).
+    Ack(AckRepr, SocketAddr),
+    /// A valid NCP fragment consumed mid-reassembly; no window yet.
+    Partial(SocketAddr),
+    /// A datagram that is not NCP (bad magic/version/length). Counted
+    /// in [`UdpEndpoint::malformed`].
+    Malformed(SocketAddr),
+    /// The socket produced nothing within its timeout (or immediately,
+    /// in non-blocking mode). The link is idle, not noisy.
+    Timeout,
+}
 
 /// A synchronous NCP-over-UDP endpoint.
 #[derive(Debug)]
@@ -25,11 +47,15 @@ pub struct UdpEndpoint {
     pub mtu: usize,
     /// Ext-block size of the deployed program (fixed parser layout).
     pub ext_total: usize,
+    /// Datagrams rejected as non-NCP since bind.
+    pub malformed: u64,
     buf: Vec<u8>,
     /// Recycled packet buffers for the zero-copy send path.
     pool: BufferPool,
     /// Scratch fragment list reused across `send_window` calls.
     frags: Vec<Vec<u8>>,
+    /// Wall-clock origin for [`UdpEndpoint::now`].
+    epoch: Instant,
 }
 
 impl UdpEndpoint {
@@ -42,9 +68,11 @@ impl UdpEndpoint {
             reassembler: Reassembler::new(),
             mtu: 1472, // Ethernet MTU minus IP/UDP headers
             ext_total: 0,
+            malformed: 0,
             buf: vec![0u8; 65536],
             pool: BufferPool::new(),
             frags: Vec::new(),
+            epoch: Instant::now(),
         })
     }
 
@@ -56,6 +84,22 @@ impl UdpEndpoint {
     /// Adjusts the read timeout.
     pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.socket.set_read_timeout(timeout)
+    }
+
+    /// Switches the socket between blocking (with timeout) and
+    /// non-blocking mode. Non-blocking endpoints return
+    /// [`RecvEvent::Timeout`] immediately when no datagram is queued —
+    /// the mode to use when interleaving receives with NCP-R
+    /// retransmission polls.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.socket.set_nonblocking(nonblocking)
+    }
+
+    /// Nanoseconds since this endpoint was bound: the wall-clock
+    /// counterpart of netsim's simulated `Time`, suitable for driving
+    /// [`crate::reliable::Sender::poll`].
+    pub fn now(&self) -> Time {
+        self.epoch.elapsed().as_nanos() as Time
     }
 
     /// Sends a window to `dst`, fragmenting to the MTU if necessary.
@@ -80,24 +124,58 @@ impl UdpEndpoint {
         self.socket.send_to(bytes, dst).map(|_| ())
     }
 
+    /// Sends an NCP-R ACK/NACK frame (a bare 16-byte header) to `dst`.
+    pub fn send_ack(&mut self, dst: SocketAddr, ack: AckRepr) -> io::Result<()> {
+        let mut buf = self.pool.get();
+        ack.emit_into(&mut buf);
+        let result = self.socket.send_to(&buf, dst).map(|_| ());
+        self.pool.put(buf);
+        result
+    }
+
+    /// One receive attempt, classified. Unlike [`Self::recv_window`],
+    /// this never loops: each call consumes at most one datagram, so a
+    /// caller multiplexing receives with retransmission timers is never
+    /// starved by a stream of noise, and ACK frames surface instead of
+    /// being swallowed.
+    pub fn poll_event(&mut self) -> io::Result<RecvEvent> {
+        let (n, src) = match self.socket.recv_from(&mut self.buf) {
+            Ok(r) => r,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(RecvEvent::Timeout)
+            }
+            Err(e) => return Err(e),
+        };
+        if let Ok(p) = NcpPacket::new_checked(&self.buf[..n]) {
+            if let Some(ack) = AckRepr::parse(&p) {
+                return Ok(RecvEvent::Ack(ack, src));
+            }
+        }
+        match self.reassembler.push(&self.buf[..n]) {
+            Ok(Some(w)) => Ok(RecvEvent::Window(w, src)),
+            Ok(None) => Ok(RecvEvent::Partial(src)),
+            Err(_) => {
+                self.malformed += 1;
+                Ok(RecvEvent::Malformed(src))
+            }
+        }
+    }
+
     /// Receives the next complete window (reassembling fragments).
-    /// `Ok(None)` on timeout; malformed packets are skipped.
+    /// `Ok(None)` means the read timed out with the link idle —
+    /// malformed datagrams are skipped (and counted in
+    /// [`Self::malformed`]) rather than ending the wait, so a timeout
+    /// is a genuine absence of traffic, not a parse failure in
+    /// disguise. ACK frames are also skipped; use [`Self::poll_event`]
+    /// to observe them.
     pub fn recv_window(&mut self) -> io::Result<Option<(Window, SocketAddr)>> {
         loop {
-            let (n, src) = match self.socket.recv_from(&mut self.buf) {
-                Ok(r) => r,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    return Ok(None)
-                }
-                Err(e) => return Err(e),
-            };
-            match self.reassembler.push(&self.buf[..n]) {
-                Ok(Some(w)) => return Ok(Some((w, src))),
-                Ok(None) => continue, // mid-reassembly
-                Err(_) => continue,   // not NCP; ignore
+            match self.poll_event()? {
+                RecvEvent::Window(w, src) => return Ok(Some((w, src))),
+                RecvEvent::Timeout => return Ok(None),
+                RecvEvent::Ack(..) | RecvEvent::Partial(_) | RecvEvent::Malformed(_) => continue,
             }
         }
     }
@@ -181,5 +259,85 @@ mod tests {
         a.send_window(b.local_addr().unwrap(), &w).unwrap();
         let (got, _) = b.recv_window().unwrap().expect("real window after noise");
         assert_eq!(got, w);
+        // The skipped datagram was counted, and the subsequent timeout
+        // is reported as a timeout, not conflated with the bad packet.
+        assert_eq!(b.malformed, 1);
+        b.set_timeout(Some(Duration::from_millis(10))).unwrap();
+        assert!(b.recv_window().unwrap().is_none());
+        assert_eq!(b.malformed, 1);
+    }
+
+    #[test]
+    fn poll_event_classifies_datagrams() {
+        let (mut a, mut b) = loopback_pair();
+        let b_addr = b.local_addr().unwrap();
+        b.set_nonblocking(true).unwrap();
+        // Idle, non-blocking: immediate Timeout.
+        assert_eq!(b.poll_event().unwrap(), RecvEvent::Timeout);
+        // Garbage → Malformed (one event per datagram, never a loop).
+        a.send_raw(b_addr, &[0xde, 0xad]).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let src = a.local_addr().unwrap();
+        assert_eq!(b.poll_event().unwrap(), RecvEvent::Malformed(src));
+        assert_eq!(b.malformed, 1);
+        // A fragmented window: Partial for every leading fragment, then
+        // the reassembled Window.
+        a.mtu = 64;
+        let vals: Vec<u32> = (0..64).collect();
+        let w = window(&vals);
+        let sent = a.send_window(b_addr, &w).unwrap();
+        assert!(sent > 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let mut partials = 0;
+        loop {
+            match b.poll_event().unwrap() {
+                RecvEvent::Partial(s) => {
+                    assert_eq!(s, src);
+                    partials += 1;
+                }
+                RecvEvent::Window(got, s) => {
+                    assert_eq!(got.chunks[0].data, w.chunks[0].data);
+                    assert_eq!(s, src);
+                    break;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(partials, sent - 1);
+    }
+
+    #[test]
+    fn ack_frames_surface_and_drive_the_reliable_engine() {
+        use crate::reliable::{ReliableConfig, Sender};
+        let (mut a, mut b) = loopback_pair();
+        b.set_timeout(Some(Duration::from_millis(100))).unwrap();
+        // `a` tracks a window under NCP-R, wall-clocked by the endpoint.
+        let mut sender = Sender::new(ReliableConfig::default());
+        let w = window(&[1, 2, 3]);
+        assert!(sender.track(w.kernel.0, w.seq, a.now()));
+        a.send_window(b.local_addr().unwrap(), &w).unwrap();
+        // `b` receives it and acknowledges with an explicit frame.
+        let (got, src) = b.recv_window().unwrap().expect("window arrives");
+        b.send_ack(
+            src,
+            AckRepr {
+                nack: false,
+                kernel: got.kernel.0,
+                seq: got.seq,
+                sender: got.sender.0,
+                from: 2,
+            },
+        )
+        .unwrap();
+        // recv_window skips ACK frames; poll_event surfaces them.
+        a.set_timeout(Some(Duration::from_millis(100))).unwrap();
+        match a.poll_event().unwrap() {
+            RecvEvent::Ack(ack, _) => {
+                assert!(!ack.nack);
+                assert!(sender.on_ack(ack.kernel, ack.seq));
+            }
+            other => panic!("expected an ACK frame, got {other:?}"),
+        }
+        assert!(sender.idle());
     }
 }

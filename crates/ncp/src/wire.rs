@@ -42,6 +42,14 @@ pub const FLAG_FRAGMENT: u8 = 0x04;
 /// Flags bit: this is the first fragment (carries each chunk's true
 /// starting offset).
 pub const FLAG_FIRST_FRAG: u8 = 0x08;
+/// Flags bit: NCP-R control frame acknowledging delivery of the
+/// `(sender, kernel, seq)` named in the header. ACK frames carry no
+/// chunks and are forwarded (never executed) by switches.
+pub const FLAG_ACK: u8 = 0x10;
+/// Flags bit: NCP-R control frame reporting a gap — the receiver saw
+/// traffic past `seq` without delivering `seq` itself, so the sender
+/// should retransmit immediately instead of waiting for its RTO.
+pub const FLAG_NACK: u8 = 0x20;
 
 /// Errors from packet validation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -298,6 +306,61 @@ impl NcpRepr {
     }
 }
 
+/// An NCP-R control frame: a bare NCP header whose flags carry
+/// [`FLAG_ACK`] or [`FLAG_NACK`] and whose `(kernel, seq, sender)`
+/// triple names the window being acknowledged. Control frames have no
+/// chunks and no ext block, so they are a fixed [`HEADER_LEN`] bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AckRepr {
+    /// True for a NACK (retransmit request), false for an ACK.
+    pub nack: bool,
+    /// Kernel id of the acknowledged window.
+    pub kernel: u16,
+    /// Sequence number of the acknowledged window.
+    pub seq: u32,
+    /// Original sender of the acknowledged window (the host the frame
+    /// is addressed to, logically).
+    pub sender: u16,
+    /// Node emitting the frame (wire encoding).
+    pub from: u16,
+}
+
+impl AckRepr {
+    /// Parses a control frame from a checked packet. Returns `None` if
+    /// the packet is not an ACK/NACK frame.
+    pub fn parse<T: AsRef<[u8]>>(p: &NcpPacket<T>) -> Option<Self> {
+        let flags = p.flags();
+        if flags & (FLAG_ACK | FLAG_NACK) == 0 {
+            return None;
+        }
+        Some(AckRepr {
+            nack: flags & FLAG_NACK != 0,
+            kernel: p.kernel(),
+            seq: p.seq(),
+            sender: p.sender(),
+            from: p.from(),
+        })
+    }
+
+    /// Emits the frame into (cleared) `buf` — exactly [`HEADER_LEN`]
+    /// bytes. `buf` is typically recycled through a
+    /// [`crate::codec::BufferPool`], so steady-state ACK traffic
+    /// allocates nothing.
+    pub fn emit_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.resize(HEADER_LEN, 0);
+        put_u16(buf, 0, MAGIC);
+        buf[2] = VERSION;
+        buf[3] = if self.nack { FLAG_NACK } else { FLAG_ACK };
+        put_u16(buf, 4, self.kernel);
+        put_u32(buf, 6, self.seq);
+        put_u16(buf, 10, self.sender);
+        put_u16(buf, 12, self.from);
+        buf[14] = 0;
+        buf[15] = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +448,33 @@ mod tests {
             NcpPacket::new_checked(&buf[..buf.len() - 1]).err(),
             Some(WireError::Inconsistent)
         );
+    }
+
+    #[test]
+    fn ack_frame_roundtrip() {
+        let ack = AckRepr {
+            nack: false,
+            kernel: 3,
+            seq: 99,
+            sender: 2,
+            from: 0x8001,
+        };
+        let mut buf = Vec::new();
+        ack.emit_into(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let p = NcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.flags(), FLAG_ACK);
+        assert_eq!(p.nchunks(), 0);
+        assert_eq!(AckRepr::parse(&p), Some(ack));
+        // A data packet is not a control frame.
+        let data = sample();
+        let p = NcpPacket::new_checked(&data[..]).unwrap();
+        assert_eq!(AckRepr::parse(&p), None);
+        // NACK flag survives the roundtrip.
+        let nack = AckRepr { nack: true, ..ack };
+        nack.emit_into(&mut buf);
+        let p = NcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(AckRepr::parse(&p), Some(nack));
     }
 
     #[test]

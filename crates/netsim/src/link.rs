@@ -20,6 +20,19 @@ pub struct LinkSpec {
     /// Probabilistic loss in [0, 1] (applied with a per-link seeded
     /// PRNG; 0.0 = never).
     pub loss: f64,
+    /// Deliver every n-th successfully transmitted packet twice
+    /// (deterministic duplication; 0 = never). The copy trails the
+    /// original by one serialization time, as a link-layer retransmit
+    /// would.
+    pub dup_every: u64,
+    /// When a loss fires, also drop the following `burst_len - 1`
+    /// packets (correlated loss; 0 or 1 = independent single drops).
+    pub burst_len: u64,
+    /// Delay every n-th delivered packet by an extra [`LinkSpec::jitter`]
+    /// (deterministic reordering; 0 = never).
+    pub jitter_every: u64,
+    /// Extra propagation delay applied by `jitter_every`.
+    pub jitter: Time,
 }
 
 impl Default for LinkSpec {
@@ -29,6 +42,10 @@ impl Default for LinkSpec {
             latency: 1_000,                // 1 µs
             drop_every: 0,
             loss: 0.0,
+            dup_every: 0,
+            burst_len: 0,
+            jitter_every: 0,
+            jitter: 0,
         }
     }
 }
@@ -62,6 +79,13 @@ pub struct LinkDir {
     pub bytes: u64,
     /// Packets dropped by loss injection.
     pub dropped: u64,
+    /// Packets delivered twice by duplication injection.
+    pub duplicated: u64,
+    /// Remaining packets of an in-progress loss burst.
+    burst_left: u64,
+    /// Packets that made it onto the wire (denominator for `dup_every`
+    /// and `jitter_every` cadences, which apply to delivered packets).
+    delivered: u64,
     rng: u64,
 }
 
@@ -74,6 +98,9 @@ impl LinkDir {
             packets: 0,
             bytes: 0,
             dropped: 0,
+            duplicated: 0,
+            burst_left: 0,
+            delivered: 0,
             rng: seed | 1,
         }
     }
@@ -91,22 +118,47 @@ impl LinkDir {
     /// Attempts to transmit `bytes` at time `now`. Returns the arrival
     /// time at the far end, or `None` when loss injection eats the
     /// packet (which still counts the serialization — the bits were
-    /// sent).
+    /// sent). Duplication injection is only visible through
+    /// [`LinkDir::transmit_all`]; this wrapper keeps single-delivery
+    /// callers unchanged.
     pub fn transmit(&mut self, now: Time, nbytes: usize) -> Option<Time> {
+        self.transmit_all(now, nbytes)[0]
+    }
+
+    /// Like [`LinkDir::transmit`], but returns up to two arrival times:
+    /// the packet itself and, when duplication injection fires, its
+    /// trailing copy.
+    pub fn transmit_all(&mut self, now: Time, nbytes: usize) -> [Option<Time>; 2] {
         let start = now.max(self.free_at);
         let ser = self.spec.ser_time(nbytes);
         self.free_at = start + ser;
         self.packets += 1;
         self.bytes += nbytes as u64;
-        if self.spec.drop_every > 0 && self.packets.is_multiple_of(self.spec.drop_every) {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
             self.dropped += 1;
-            return None;
+            return [None, None];
         }
-        if self.spec.loss > 0.0 && self.next_rand() < self.spec.loss {
+        let lost = (self.spec.drop_every > 0 && self.packets.is_multiple_of(self.spec.drop_every))
+            || (self.spec.loss > 0.0 && self.next_rand() < self.spec.loss);
+        if lost {
             self.dropped += 1;
-            return None;
+            self.burst_left = self.spec.burst_len.saturating_sub(1);
+            return [None, None];
         }
-        Some(start + ser + self.spec.latency)
+        self.delivered += 1;
+        let mut delay = self.spec.latency;
+        if self.spec.jitter_every > 0 && self.delivered.is_multiple_of(self.spec.jitter_every) {
+            delay += self.spec.jitter;
+        }
+        let arrival = start + ser + delay;
+        let dup = if self.spec.dup_every > 0 && self.delivered.is_multiple_of(self.spec.dup_every) {
+            self.duplicated += 1;
+            Some(arrival + ser.max(1))
+        } else {
+            None
+        };
+        [Some(arrival), dup]
     }
 
     /// Queueing delay a packet sent at `now` would currently see.
@@ -172,6 +224,64 @@ mod tests {
             vec![true, true, false, true, true, false, true, true, false]
         );
         assert_eq!(dir.dropped, 3);
+    }
+
+    #[test]
+    fn deterministic_duplication() {
+        let spec = LinkSpec {
+            dup_every: 3,
+            latency: 0,
+            bandwidth_bps: 1_000_000_000,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        let mut arrivals = Vec::new();
+        for _ in 0..6 {
+            arrivals.push(dir.transmit_all(0, 1250));
+        }
+        let dups: Vec<bool> = arrivals.iter().map(|a| a[1].is_some()).collect();
+        assert_eq!(dups, vec![false, false, true, false, false, true]);
+        assert_eq!(dir.duplicated, 2);
+        // The copy trails its original by one serialization time.
+        let [Some(first), Some(second)] = arrivals[2] else {
+            panic!("expected duplicate");
+        };
+        assert_eq!(second, first + spec.ser_time(1250));
+    }
+
+    #[test]
+    fn burst_loss_extends_a_drop() {
+        let spec = LinkSpec {
+            drop_every: 4,
+            burst_len: 3,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        let outcomes: Vec<bool> = (0..10).map(|_| dir.transmit(0, 100).is_some()).collect();
+        // Packet 4 triggers, packets 5 and 6 ride the burst; packet 8
+        // is both a multiple of 4 and a fresh trigger.
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, false, false, true, false, false, false]
+        );
+        assert_eq!(dir.dropped, 6);
+    }
+
+    #[test]
+    fn jitter_reorders_deterministically() {
+        let spec = LinkSpec {
+            jitter_every: 2,
+            jitter: 50_000,
+            latency: 1_000,
+            bandwidth_bps: 10_000_000_000,
+            ..Default::default()
+        };
+        let mut dir = LinkDir::new(spec, 1);
+        let a1 = dir.transmit(0, 100).unwrap();
+        let a2 = dir.transmit(0, 100).unwrap();
+        let a3 = dir.transmit(0, 100).unwrap();
+        assert!(a2 > a3, "jittered packet 2 arrives after packet 3");
+        assert!(a1 < a3);
     }
 
     #[test]

@@ -113,6 +113,13 @@ pub trait FastDatapath {
     /// Applies a control-plane operation; `false` when the target is
     /// unknown to this datapath.
     fn ctrl(&mut self, op: &CtrlOp) -> bool;
+    /// Sums element 0 of every register array whose source name starts
+    /// with `prefix` (NCP-R observability: the compiler-lowered replay
+    /// filters keep their duplicate counts in `__nclr_dups_*`
+    /// registers).
+    fn register_prefix_sum(&self, _prefix: &str) -> u64 {
+        0
+    }
     /// Downcast support (inspect datapath state after a run).
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast support.
@@ -166,4 +173,6 @@ pub struct SwitchStats {
     pub broadcast: u64,
     /// Recirculation passes beyond the first.
     pub recirculations: u64,
+    /// NCP-R ACK/NACK control frames forwarded without execution.
+    pub acks_forwarded: u64,
 }

@@ -151,6 +151,9 @@ pub struct SimStats {
     pub delivered: u64,
     /// Packets lost on links.
     pub link_drops: u64,
+    /// Extra deliveries injected by link duplication
+    /// ([`LinkSpec::dup_every`]).
+    pub link_dups: u64,
     /// Packets with no route to their destination.
     pub unroutable: u64,
     /// Events processed.
@@ -305,13 +308,23 @@ impl Network {
             (&mut link.ba, link.a)
         };
         self.stats.bytes_sent += pkt.payload.len() as u64;
-        match dir.transmit(self.now, pkt.payload.len() + 42) {
-            // +42: Ethernet+IP+UDP encapsulation overhead.
-            Some(arrival) => {
-                self.queue.push(arrival, Event::Arrive { node: peer, pkt });
-            }
-            None => self.stats.link_drops += 1,
+        // +42: Ethernet+IP+UDP encapsulation overhead.
+        let arrivals = dir.transmit_all(self.now, pkt.payload.len() + 42);
+        let Some(arrival) = arrivals[0] else {
+            self.stats.link_drops += 1;
+            return;
+        };
+        if let Some(dup) = arrivals[1] {
+            self.stats.link_dups += 1;
+            self.queue.push(
+                dup,
+                Event::Arrive {
+                    node: peer,
+                    pkt: pkt.clone(),
+                },
+            );
         }
+        self.queue.push(arrival, Event::Arrive { node: peer, pkt });
     }
 
     /// NCP-aware switch processing (paper Fig. 3b).
@@ -323,10 +336,22 @@ impl Network {
         let pipeline_latency = cfg.pipeline_latency;
         let fwd_latency = cfg.fwd_latency;
 
-        // Previous hop before we rewrite it (for _reflect()).
-        let incoming_from = NcpPacket::new_checked(&pkt.payload[..])
-            .ok()
-            .map(|p| p.from());
+        // Previous hop before we rewrite it (for _reflect()), plus the
+        // flags for the NCP-R control-frame check.
+        let (incoming_from, incoming_flags) = match NcpPacket::new_checked(&pkt.payload[..]) {
+            Ok(p) => (Some(p.from()), p.flags()),
+            Err(_) => (None, 0),
+        };
+
+        // NCP-R ACK/NACK frames are host-to-host control traffic: they
+        // name a kernel but must never execute it (an ACK has no data
+        // chunks). Forward them like non-NCP packets.
+        if incoming_flags & (ncp::FLAG_ACK | ncp::FLAG_NACK) != 0 {
+            stats.forwarded += 1;
+            stats.acks_forwarded += 1;
+            self.delayed_route(node, pkt, fwd_latency);
+            return;
+        }
 
         // (payload, fwd_code, fwd_label, passes, parsed_bytes) from
         // whichever datapath the switch runs: the compiled fast path
@@ -499,6 +524,31 @@ impl Network {
             }
         }
         None
+    }
+
+    /// Duplicate windows suppressed by a switch's compiler-lowered
+    /// NCP-R replay filters: the sum of its `__nclr_dups_*` registers,
+    /// read from whichever datapath (fast path or PISA pipeline)
+    /// executes them. A gauge over live switch state, not a sim
+    /// counter.
+    pub fn switch_dup_suppressed(&mut self, id: SwitchId) -> u64 {
+        if let Some(fp) = self.switch_fastpath_mut(id) {
+            return fp.register_prefix_sum(c3::ncpr::REPLAY_DUPS_PREFIX);
+        }
+        let Some(pipe) = self.switch_pipeline_mut(id) else {
+            return 0;
+        };
+        let names: Vec<String> = pipe
+            .config()
+            .registers
+            .iter()
+            .filter(|r| r.name.starts_with(c3::ncpr::REPLAY_DUPS_PREFIX))
+            .map(|r| r.name.clone())
+            .collect();
+        names
+            .iter()
+            .map(|n| pipe.register_read(n, 0).map(|v| v.bits()).unwrap_or(0))
+            .sum()
     }
 
     /// Total bytes carried over a node's links, per direction, summed.

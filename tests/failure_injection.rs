@@ -1,15 +1,21 @@
-//! Failure injection: packet loss and reordering against the full
-//! system. NCP's prototype transport is unreliable (Sockets/UDP, paper
-//! §6), so the properties to check are *integrity* ones: lost windows
-//! may stall progress but never corrupt results.
+//! Failure injection: packet loss, reordering and duplication against
+//! the full system. Without NCP-R the properties are *integrity* ones
+//! (lost windows may stall progress but never corrupt results); with
+//! NCP-R enabled the properties are *completion* ones — both paper
+//! applications must finish under loss + reordering + duplication with
+//! results bit-identical to a lossless run, while the compiler-lowered
+//! replay filter keeps switch state at single-delivery semantics.
 
 use ncl::core::apps::{allreduce_source, kvs_source, KvsClient, KvsOp, KvsServer};
 use ncl::core::control::ControlPlane;
 use ncl::core::deploy::deploy;
-use ncl::core::nclc::{compile, CompileConfig};
+use ncl::core::fastpath::FastPathSwitch;
+use ncl::core::nclc::{compile, CompileConfig, ReplayFilter};
 use ncl::core::runtime::{NclHost, OutInvocation, TypedArray};
 use ncl::model::{HostId, NodeId, ScalarType, Value};
+use ncl::ncp::reliable::ReliableConfig;
 use ncl::netsim::{HostApp, LinkSpec};
+use proptest::prelude::*;
 use std::collections::HashMap;
 
 #[test]
@@ -148,6 +154,241 @@ fn kvs_loss_reduces_throughput_not_integrity() {
     assert_eq!(client.corrupt, 0, "no completed GET may be corrupt");
 }
 
+/// The 10% loss + burst + duplication + reordering link used by the
+/// NCP-R completion tests. Fully deterministic: probabilistic loss uses
+/// per-link seeded PRNGs, the other knobs are counters.
+fn hostile_link() -> LinkSpec {
+    LinkSpec {
+        loss: 0.10,
+        burst_len: 2,
+        dup_every: 6,
+        jitter_every: 5,
+        jitter: 30_000,
+        ..LinkSpec::default()
+    }
+}
+
+/// One reliable allreduce run: returns per-worker result memories, the
+/// switch's accum/count registers, the replay-filter duplicate count
+/// and the total retransmissions.
+#[allow(clippy::type_complexity)]
+fn run_reliable_allreduce(link: LinkSpec) -> (Vec<Vec<i64>>, Vec<u64>, u64, u64) {
+    let n = 4usize;
+    let data_len = 64usize;
+    let win = 8usize;
+    let slots = data_len / win;
+    let src = allreduce_source(data_len, win);
+    let and = format!("hosts worker {n}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: 8,
+            slots: slots as u16,
+        },
+    );
+    let program = compile(&src, &and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        ..ReliableConfig::default()
+    };
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=n as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = vec![w as i32; data_len];
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % n as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, data_len), (ScalarType::Bool, 1)],
+        )
+        .unwrap();
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep = deploy(&program, apps, link, pisa::ResourceModel::default()).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(n as u32),
+    );
+    dep.net.run();
+    let dups = dep.net.switch_dup_suppressed(s1);
+    let mut memories = Vec::new();
+    let mut retransmits = 0;
+    for w in 1..=n as u16 {
+        let host = dep.net.host_app::<NclHost>(HostId(w)).unwrap();
+        assert!(
+            host.done_at.is_some(),
+            "worker {w} must complete exactly-once delivery (in flight: {:?})",
+            host.sender_stats()
+        );
+        retransmits += host
+            .sender_stats()
+            .expect("reliability enabled")
+            .retransmits;
+        let mem = host.memory(kid).unwrap();
+        memories.push(
+            (0..data_len)
+                .map(|i| mem.arrays[0][i].as_i128() as i64)
+                .collect(),
+        );
+    }
+    let pipe = dep.net.switch_pipeline_mut(s1).unwrap();
+    let mut regs = Vec::new();
+    for i in 0..data_len {
+        regs.push(cp.read_register(pipe, "accum", i).unwrap().bits());
+    }
+    for i in 0..slots {
+        regs.push(cp.read_register(pipe, "count", i).unwrap().bits());
+    }
+    (memories, regs, dups, retransmits)
+}
+
+#[test]
+fn reliable_allreduce_completes_bit_identical_under_loss() {
+    let (clean_mem, clean_regs, clean_dups, clean_rtx) =
+        run_reliable_allreduce(LinkSpec::default());
+    assert_eq!(clean_dups, 0, "lossless run sees no replays");
+    assert_eq!(clean_rtx, 0, "lossless run never retransmits");
+    let expected = (1..=4i64).sum::<i64>();
+    assert!(clean_mem.iter().all(|m| m.iter().all(|&v| v == expected)));
+
+    let (lossy_mem, lossy_regs, lossy_dups, lossy_rtx) = run_reliable_allreduce(hostile_link());
+    // Completion under 10% loss + bursts + duplication + reordering,
+    // bit-identical to the lossless run.
+    assert_eq!(lossy_mem, clean_mem, "results must be bit-identical");
+    assert_eq!(
+        lossy_regs, clean_regs,
+        "switch state must match single-delivery semantics"
+    );
+    assert!(lossy_rtx > 0, "loss must force retransmissions");
+    assert!(
+        lossy_dups > 0,
+        "the replay filter must suppress duplicates (retransmits: {lossy_rtx})"
+    );
+}
+
+/// One reliable KVS run: returns the completed `(key, put)` samples,
+/// the server's final store, the corrupt count and the retransmissions.
+#[allow(clippy::type_complexity)]
+fn run_reliable_kvs(link: LinkSpec) -> (Vec<(u64, bool)>, Vec<(u64, Vec<u32>)>, u64, u64) {
+    let val_words = 4usize;
+    let server_id = 2u16;
+    let src = kvs_source(server_id, 8, val_words);
+    let and = "hosts client 1\nswitch s1\nhost server\nlink client* s1\nlink server s1\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks
+        .insert("query".into(), vec![1, val_words as u16, 1]);
+    let program = compile(&src, and, &cfg).expect("compiles");
+    let kernel = program.kernel_ids["query"];
+
+    let mut schedule = vec![
+        KvsOp {
+            at: 0,
+            key: 4,
+            put: true,
+        },
+        KvsOp {
+            at: 0,
+            key: 9,
+            put: true,
+        },
+    ];
+    for i in 1..=30u64 {
+        schedule.push(KvsOp {
+            at: i * 1_000_000,
+            key: if i % 3 == 0 { 9 } else { 4 },
+            put: i == 15, // a mid-stream PUT exercises invalidation too
+        });
+    }
+    let nops = schedule.len();
+    let mut client = KvsClient::new(
+        NodeId::Host(HostId(server_id)),
+        HostId(server_id),
+        kernel,
+        val_words,
+        schedule,
+    );
+    // A short RTO (well under the 1 ms op spacing) so the initial PUT
+    // lands before the first dependent GET even when it is lost.
+    client.enable_retransmit(ReliableConfig {
+        rto: 200_000,
+        max_rto: 1_600_000,
+        ..ReliableConfig::default()
+    });
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    apps.insert("client1".into(), Box::new(client));
+    apps.insert(
+        "server".into(),
+        Box::new(KvsServer::new(
+            kernel,
+            val_words,
+            None,
+            Some(ControlPlane::new(program.switch("s1").unwrap())),
+            8,
+        )),
+    );
+    let mut dep = deploy(&program, apps, link, pisa::ResourceModel::default()).expect("deploys");
+    let s1 = dep.switch("s1");
+    dep.net
+        .host_app_mut::<KvsServer>(HostId(server_id))
+        .unwrap()
+        .cache_switch = Some(s1);
+    dep.net.run();
+    let client = dep.net.host_app::<KvsClient>(HostId(1)).unwrap();
+    assert_eq!(
+        client.samples.len(),
+        nops,
+        "every operation must complete ({} outstanding, {} retransmits)",
+        client.outstanding(),
+        client.retransmits()
+    );
+    let mut samples: Vec<(u64, bool)> = client.samples.iter().map(|s| (s.key, s.put)).collect();
+    samples.sort_unstable();
+    let retransmits = client.retransmits();
+    let corrupt = client.corrupt;
+    let server = dep.net.host_app::<KvsServer>(HostId(server_id)).unwrap();
+    let mut store: Vec<(u64, Vec<u32>)> =
+        server.store.iter().map(|(k, v)| (*k, v.clone())).collect();
+    store.sort_unstable();
+    (samples, store, corrupt, retransmits)
+}
+
+#[test]
+fn reliable_kvs_completes_bit_identical_under_loss() {
+    let (clean_samples, clean_store, clean_corrupt, clean_rtx) =
+        run_reliable_kvs(LinkSpec::default());
+    assert_eq!(clean_corrupt, 0);
+    assert_eq!(clean_rtx, 0, "lossless run never retransmits");
+
+    let (lossy_samples, lossy_store, lossy_corrupt, lossy_rtx) = run_reliable_kvs(hostile_link());
+    assert_eq!(lossy_corrupt, 0, "no completed GET may be corrupt");
+    assert_eq!(
+        lossy_samples, clean_samples,
+        "the completed operation set must be bit-identical"
+    );
+    assert_eq!(
+        lossy_store, clean_store,
+        "the server store must be bit-identical"
+    );
+    assert!(lossy_rtx > 0, "loss must force retransmissions");
+}
+
 #[test]
 fn reordered_fragments_reassemble() {
     // Multi-packet windows with adversarial fragment ordering (beyond
@@ -224,4 +465,80 @@ fn lost_fragment_keeps_window_pending() {
     // The late fragment finally completes it.
     let got = r.push(&frags[1]).unwrap().expect("completes");
     assert_eq!(got.chunks[0].data, w.chunks[0].data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once switch execution: for any duplication pattern over
+    /// the worker windows, the compiler-lowered replay filter leaves
+    /// the source-level switch state identical to a single-delivery
+    /// run, and counts every suppressed duplicate.
+    #[test]
+    fn replay_filter_preserves_single_delivery_state(
+        dups in proptest::collection::vec(0usize..3, 12),
+    ) {
+        use ncl::model::{Chunk, KernelId, Window};
+        let src = allreduce_source(16, 4);
+        let and = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        cfg.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter { senders: 4, slots: 4 },
+        );
+        let program = compile(&src, and, &cfg).expect("compiles");
+        let kid = program.kernel_ids["allreduce"];
+        let ext = program.checked.window_ext.size();
+        let mut noisy = FastPathSwitch::from_program(&program, "s1").unwrap();
+        let mut clean = FastPathSwitch::from_program(&program, "s1").unwrap();
+        prop_assert!(noisy.ctrl_wr("nworkers", Value::u32(3)));
+        prop_assert!(clean.ctrl_wr("nworkers", Value::u32(3)));
+        let window = |worker: u16, seq: u32| Window {
+            kernel: KernelId(kid),
+            seq,
+            sender: HostId(worker),
+            from: NodeId::Host(HostId(worker)),
+            last: seq == 3,
+            chunks: vec![Chunk {
+                offset: seq * 16,
+                data: (0..4i32)
+                    .map(|i| worker as i32 * 10 + i)
+                    .flat_map(|v| v.to_be_bytes())
+                    .collect(),
+            }],
+            ext: vec![],
+        };
+        let mut expected_dups = 0u64;
+        for (i, &extra) in dups.iter().enumerate() {
+            let worker = (i % 3) as u16 + 1;
+            let seq = (i / 3) as u32;
+            let bytes = ncl::ncp::codec::encode_window(&window(worker, seq), ext);
+            clean.process_window(&bytes).expect("clean processes");
+            for _ in 0..=extra {
+                noisy.process_window(&bytes).expect("noisy processes");
+            }
+            expected_dups += extra as u64;
+        }
+        for i in 0..16 {
+            prop_assert_eq!(
+                noisy.register_read("accum", i),
+                clean.register_read("accum", i),
+                "accum[{}]", i
+            );
+        }
+        for i in 0..4 {
+            prop_assert_eq!(
+                noisy.register_read("count", i),
+                clean.register_read("count", i),
+                "count[{}]", i
+            );
+        }
+        use ncl::netsim::FastDatapath;
+        prop_assert_eq!(
+            noisy.register_prefix_sum("__nclr_dups_"),
+            expected_dups
+        );
+    }
 }
