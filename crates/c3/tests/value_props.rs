@@ -152,3 +152,46 @@ proptest! {
         );
     }
 }
+
+/// Replays this crate's section of the shared regression corpus
+/// (tests/corpus/shared.proptest-regressions at the workspace root).
+/// The recorded shrunk case — `ty = Bool, a = 0, b = 0` — once caught
+/// Bool failing to renormalize ring-op results to {0, 1}; it must keep
+/// matching the i128 truncation model for every binary op.
+#[test]
+fn corpus_bool_zero_case_matches_model() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus/shared.proptest-regressions");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("shared corpus at {}: {e}", path.display()));
+    // Pruning the entry without removing this replay (or vice versa)
+    // is a corpus-policy violation; see the file's header.
+    assert!(
+        text.contains("cc f57e8283ba1f091768638c1709484286549f4d91fd832533bece87ece07a6766"),
+        "corpus entry for ring_ops_match_model was pruned"
+    );
+    let ty = ScalarType::Bool;
+    let x = Value::new(ty, 0);
+    let y = Value::new(ty, 0);
+    assert_eq!(x.as_i128(), model_truncate(ty, 0));
+    assert_eq!(Value::new(ty, x.bits()), x);
+    for (op, f) in [
+        (
+            BinOp::Add,
+            (|p: i128, q: i128| p.wrapping_add(q)) as fn(i128, i128) -> i128,
+        ),
+        (BinOp::Sub, |p, q| p.wrapping_sub(q)),
+        (BinOp::Mul, |p, q| p.wrapping_mul(q)),
+    ] {
+        assert_eq!(
+            Value::binop(op, x, y).as_i128(),
+            model_truncate(ty, f(x.as_i128(), y.as_i128())),
+            "{op:?} on Bool zeros"
+        );
+    }
+    for op in [BinOp::And, BinOp::Or, BinOp::Xor] {
+        assert_eq!(Value::binop(op, x, y).bits(), 0, "{op:?} on Bool zeros");
+    }
+    // Bool complement is logical: !0 = 1.
+    assert_eq!(Value::unop(UnOp::BitNot, x).bits(), 1);
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! nclc <program.ncl> --and <overlay.and> [--mask kernel=8,8]...
-//!      [--emit p4|ir|report|all] [-o out-dir]
+//!      [--lint allow|warn|deny=CODE[,CODE...]]...
+//!      [--emit p4|ir|report|cost|all] [-o out-dir]
 //! ```
 //!
 //! Takes an NCL C/C++ program and an AND file and produces "a program
@@ -11,8 +12,14 @@
 //! per-location IR and `--emit trace` pushes a zero-filled test window
 //! through each compiled pipeline, printing the per-stage execution
 //! trace (the debugging aids the paper lists as future work, §6).
+//!
+//! Static analysis (`ncl-lint`) runs on every compile: switch-state
+//! hazards and replay-unsafe updates are errors by default and the
+//! early resource estimate prints with `--emit cost`. `--lint
+//! allow=replay-unsafe` (etc.) downgrades a finding after you have
+//! understood the interleaving it describes.
 
-use ncl_core::nclc::{compile, CompileConfig, NclcError};
+use ncl_core::nclc::{compile, CompileConfig, LintCode, LintLevel, NclcError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,6 +27,7 @@ struct Args {
     program: PathBuf,
     and: PathBuf,
     masks: Vec<(String, Vec<u16>)>,
+    lints: Vec<(LintCode, LintLevel)>,
     emit: Vec<String>,
     out: PathBuf,
 }
@@ -27,7 +35,17 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: nclc <program.ncl> --and <overlay.and> \
-         [--mask kernel=N[,N...]]... [--emit p4|ir|report|all] [-o DIR]"
+         [--mask kernel=N[,N...]]... \
+         [--lint allow|warn|deny=CODE[,CODE...]]... \
+         [--emit p4|ir|report|cost|all] [-o DIR]"
+    );
+    eprintln!(
+        "lint codes: {}",
+        LintCode::ALL
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -36,6 +54,7 @@ fn parse_args() -> Args {
     let mut program = None;
     let mut and = None;
     let mut masks = Vec::new();
+    let mut lints = Vec::new();
     let mut emit = Vec::new();
     let mut out = PathBuf::from(".");
     let mut it = std::env::args().skip(1);
@@ -54,6 +73,31 @@ fn parse_args() -> Args {
                     Err(_) => {
                         eprintln!("bad mask counts in '{spec}'");
                         usage();
+                    }
+                }
+            }
+            "--lint" => {
+                let Some(spec) = it.next() else { usage() };
+                let Some((level, codes)) = spec.split_once('=') else {
+                    eprintln!("--lint expects allow|warn|deny=CODE[,CODE...], got '{spec}'");
+                    usage();
+                };
+                let level = match level {
+                    "allow" => LintLevel::Allow,
+                    "warn" => LintLevel::Warn,
+                    "deny" => LintLevel::Deny,
+                    other => {
+                        eprintln!("--lint level must be allow, warn, or deny, got '{other}'");
+                        usage();
+                    }
+                };
+                for code in codes.split(',') {
+                    match LintCode::parse(code) {
+                        Some(c) => lints.push((c, level)),
+                        None => {
+                            eprintln!("unknown lint code '{code}'");
+                            usage();
+                        }
                     }
                 }
             }
@@ -80,6 +124,7 @@ fn parse_args() -> Args {
         program,
         and,
         masks,
+        lints,
         emit,
         out,
     }
@@ -105,10 +150,28 @@ fn main() -> ExitCode {
     for (k, m) in &args.masks {
         cfg.masks.insert(k.clone(), m.clone());
     }
+    for &(code, level) in &args.lints {
+        cfg.lint_levels.insert(code, level);
+    }
+    // The frontend names the translation unit "program.ncl" in spans.
+    let lookup = |f: &str| (f == "program.ncl").then_some(src.as_str());
     let program = match compile(&src, &and_src, &cfg) {
         Ok(p) => p,
-        Err(e @ NclcError::Frontend(_)) | Err(e @ NclcError::Lowering(_)) => {
-            eprint!("{e}");
+        Err(NclcError::Frontend(d)) | Err(NclcError::Lowering(d)) => {
+            eprint!("{}", ncl_lang::diag::render_with_source(&d, lookup));
+            return ExitCode::FAILURE;
+        }
+        Err(NclcError::Lint {
+            location,
+            diagnostics,
+        }) => {
+            eprintln!("nclc: lint denied program for \"{location}\":");
+            let diags: Vec<_> = diagnostics.iter().map(|d| d.to_diagnostic()).collect();
+            eprint!("{}", ncl_lang::diag::render_with_source(&diags, lookup));
+            eprintln!(
+                "nclc: downgrade a finding with --lint allow=CODE once the \
+                 interleaving it describes is understood"
+            );
             return ExitCode::FAILURE;
         }
         Err(e) => {
@@ -116,6 +179,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Non-fatal findings still print, with carets into the source.
+    for d in program.lint_warnings() {
+        eprint!(
+            "{}",
+            ncl_lang::diag::render_with_source(&[d.to_diagnostic()], lookup)
+        );
+    }
 
     let emit_all = args.emit.iter().any(|e| e == "all");
     let wants = |what: &str| emit_all || args.emit.iter().any(|e| e == what);
@@ -145,6 +215,12 @@ fn main() -> ExitCode {
                 r.ops_by_stage.iter().max().unwrap_or(&0),
                 if r.accepted() { "accepted" } else { "REJECTED" }
             );
+        }
+        if wants("cost") {
+            match program.estimate(label.as_str()) {
+                Some(est) => print!("{}", est.render()),
+                None => println!("{label}: no pre-mapping estimate available"),
+            }
         }
     }
     if wants("trace") {

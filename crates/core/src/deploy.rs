@@ -55,6 +55,17 @@ pub enum DeployError {
         /// The loader's report.
         error: String,
     },
+    /// The lint gate denied a switch module at deployment time. The
+    /// compiler already runs this gate; it re-runs here (with the
+    /// program's own lint configuration) so a hazardous module cannot
+    /// reach a simulated switch even when a [`CompiledProgram`] is
+    /// assembled or altered by hand.
+    Lint {
+        /// The switch label.
+        label: String,
+        /// The denied findings.
+        diagnostics: Vec<ncl_ir::lint::LintDiagnostic>,
+    },
 }
 
 impl std::fmt::Display for DeployError {
@@ -65,6 +76,10 @@ impl std::fmt::Display for DeployError {
             }
             DeployError::Load { label, error } => {
                 write!(f, "pipeline for '{label}' failed to load: {error}")
+            }
+            DeployError::Lint { label, diagnostics } => {
+                writeln!(f, "lint denied deployment to '{label}':")?;
+                write!(f, "{}", ncl_ir::lint::render(diagnostics))
             }
         }
     }
@@ -109,6 +124,18 @@ pub fn deploy_with(
                 nodes.insert(n.label.clone(), NodeId::Host(id));
             }
             AndKind::Switch => {
+                // Lint gate: a module carrying denied hazards never
+                // reaches a simulated switch, whichever engine runs it.
+                if let Some(module) = program.module(n.label.as_str()) {
+                    let diags = ncl_ir::lint::lint_module(module, &program.lint_config);
+                    let (deny, _) = ncl_ir::lint::partition(diags);
+                    if !deny.is_empty() {
+                        return Err(DeployError::Lint {
+                            label: n.label.to_string(),
+                            diagnostics: deny,
+                        });
+                    }
+                }
                 let compiled = program.switch(n.label.as_str());
                 // The fast path replaces the pipeline wholesale: one
                 // engine per switch, never both.
@@ -316,6 +343,44 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
     #[test]
     fn allreduce_full_system_fastpath() {
         run_allreduce(SwitchBackend::FastPath);
+    }
+
+    /// The deploy-time lint gate is independent of the compile-time one:
+    /// escalating a lint level on an already-compiled program (the
+    /// hand-altered-artifact scenario) keeps the module off the switch.
+    #[test]
+    fn lint_denied_module_cannot_deploy() {
+        use crate::nclc::{LintCode, LintLevel};
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        let mut program = compile(ALLREDUCE, AND, &cfg).expect("compiles under default levels");
+        // ALLREDUCE has no replay filter, so its RMWs warn by default;
+        // deny them after the fact.
+        program
+            .lint_config
+            .levels
+            .insert(LintCode::ReplayUnsafeNoFilter, LintLevel::Deny);
+        let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+        for w in 1..=3u16 {
+            apps.insert(format!("worker{w}"), Box::new(NclHost::new(&program)));
+        }
+        match deploy(
+            &program,
+            apps,
+            LinkSpec::default(),
+            pisa::ResourceModel::default(),
+        ) {
+            Err(DeployError::Lint { label, diagnostics }) => {
+                assert_eq!(label, "s1");
+                assert!(diagnostics
+                    .iter()
+                    .all(|d| d.code == LintCode::ReplayUnsafeNoFilter));
+                assert!(!diagnostics.is_empty());
+            }
+            Err(other) => panic!("expected lint denial, got {other:?}"),
+            Ok(_) => panic!("expected lint denial, but deployment succeeded"),
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * [`fastpath`] — the compiled fast-path switch executor: versioned
 //!   IR lowered to linear micro-op programs, cached per
 //!   `(kernel, location)` and run allocation-free against persistent
-//!   switch state (an alternative [`deploy`] backend);
+//!   switch state (an alternative [`mod@deploy`] backend);
 //! * [`baseline`] — the comparison points the evaluation needs: a
 //!   handwritten NetCache-style pipeline (Fig. 1b) and host-only
 //!   AllReduce/KVS applications that use switches as plain forwarders.

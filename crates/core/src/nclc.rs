@@ -8,14 +8,16 @@
 use c3::Label;
 use ncl_and::{AndError, Overlay};
 use ncl_ir::ir::Module;
+pub use ncl_ir::lint::{LintCode, LintConfig, LintDiagnostic, LintLevel};
 pub use ncl_ir::lower::ReplayFilter;
 use ncl_ir::lower::{lower, LoweringConfig};
 use ncl_ir::version::{version_modules, LocationInfo};
 use ncl_lang::diag::Diagnostic;
 use ncl_lang::sema::CheckedProgram;
+pub use ncl_p4::estimate::ModuleEstimate;
 use ncl_p4::{compile_module, CompileError, CompileOptions, CompiledSwitch};
 use pisa::ResourceModel;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Compiler configuration.
 #[derive(Clone, Debug)]
@@ -32,6 +34,11 @@ pub struct CompileConfig {
     /// seen-sequence bitmap stage for each listed outgoing kernel and
     /// exposes the verdict as `window.replay` (false when unfiltered).
     pub replay_filters: HashMap<String, ReplayFilter>,
+    /// Lint level overrides (`--lint allow=.../warn=.../deny=...`).
+    /// Codes not listed use the deny-by-default policy of
+    /// [`LintCode::default_level`]. Hazards at [`LintLevel::Deny`] fail
+    /// compilation with [`NclcError::Lint`].
+    pub lint_levels: BTreeMap<LintCode, LintLevel>,
 }
 
 impl Default for CompileConfig {
@@ -41,6 +48,7 @@ impl Default for CompileConfig {
             model: ResourceModel::default(),
             unroll_limit: 4096,
             replay_filters: HashMap::new(),
+            lint_levels: BTreeMap::new(),
         }
     }
 }
@@ -65,6 +73,17 @@ pub struct CompiledProgram {
     pub kernel_ids: HashMap<String, u16>,
     /// AND label → wire id (for `_pass(label)` and deployment).
     pub label_ids: HashMap<Label, u16>,
+    /// Lint findings that survived at `Warn` level, per switch location
+    /// (denies abort compilation and never appear here).
+    pub lints: Vec<(Label, Vec<LintDiagnostic>)>,
+    /// Early per-kernel resource estimates, per switch location (the
+    /// `--lint` cost report, computed before PISA mapping).
+    pub estimates: Vec<(Label, ModuleEstimate)>,
+    /// The effective lint configuration the program was compiled under.
+    /// [`crate::deploy()`] re-runs the gate with it, so a hazardous
+    /// module cannot reach a simulated switch even when a
+    /// `CompiledProgram` is assembled or altered by hand.
+    pub lint_config: LintConfig,
 }
 
 impl CompiledProgram {
@@ -82,6 +101,19 @@ impl CompiledProgram {
             .iter()
             .find(|(l, _)| l.as_str() == label)
             .map(|(_, m)| m)
+    }
+
+    /// The early resource estimate for a location.
+    pub fn estimate(&self, label: &str) -> Option<&ModuleEstimate> {
+        self.estimates
+            .iter()
+            .find(|(l, _)| l.as_str() == label)
+            .map(|(_, e)| e)
+    }
+
+    /// All surviving lint warnings across locations.
+    pub fn lint_warnings(&self) -> impl Iterator<Item = &LintDiagnostic> {
+        self.lints.iter().flat_map(|(_, d)| d.iter())
     }
 
     /// Total effective P4 lines across all switches (E3 metric).
@@ -116,6 +148,16 @@ pub enum NclcError {
         /// The error.
         error: CompileError,
     },
+    /// Denied lint findings for one switch: state hazards or replay-
+    /// unsafe updates that must not reach hardware. Downgrade a code
+    /// with [`CompileConfig::lint_levels`] only after understanding the
+    /// interleaving it describes.
+    Lint {
+        /// The location.
+        location: Label,
+        /// The denied findings.
+        diagnostics: Vec<LintDiagnostic>,
+    },
 }
 
 impl std::fmt::Display for NclcError {
@@ -133,6 +175,13 @@ impl std::fmt::Display for NclcError {
             }
             NclcError::Backend { location, error } => {
                 write!(f, "backend rejected program for \"{location}\": {error}")
+            }
+            NclcError::Lint {
+                location,
+                diagnostics,
+            } => {
+                writeln!(f, "lint denied program for \"{location}\":")?;
+                write!(f, "{}", ncl_ir::lint::render(diagnostics))
             }
         }
     }
@@ -204,9 +253,53 @@ pub fn compile(
         label_ids: label_ids.clone(),
         ..CompileOptions::default()
     };
+    let lint_cfg = LintConfig {
+        levels: cfg.lint_levels.clone(),
+        replay_filtered: cfg.replay_filters.keys().cloned().collect(),
+        reg_accesses_per_pass: cfg.model.reg_accesses_per_pass,
+    };
     let mut switches = Vec::new();
     let mut modules = Vec::new();
+    let mut lints = Vec::new();
+    let mut estimates = Vec::new();
     for (loc, module) in locations.iter().zip(versions) {
+        // Static analysis gate: hazard/replay findings plus the early
+        // resource estimate, both before PISA mapping. A denied finding
+        // means the kernel must not reach a switch.
+        let mut diags = ncl_ir::lint::lint_module(&module, &lint_cfg);
+        let estimate = match ncl_p4::estimate::estimate_module(&module, &cfg.model) {
+            Ok(est) => {
+                let overrun_level = lint_cfg.level(LintCode::ResourceOverrun);
+                if overrun_level != LintLevel::Allow {
+                    for (kernel, v) in est.all_violations() {
+                        let span = kernel
+                            .and_then(|k| module.kernel(k))
+                            .map(|k| k.span)
+                            .unwrap_or_default();
+                        diags.push(LintDiagnostic {
+                            code: LintCode::ResourceOverrun,
+                            level: overrun_level,
+                            kernel: kernel.unwrap_or("<module>").to_string(),
+                            state: None,
+                            message: format!("estimated resource overrun: {v}"),
+                            span,
+                            file: module.file.clone(),
+                        });
+                    }
+                }
+                Some(est)
+            }
+            // Estimation failures (e.g. allocation divergence) re-occur
+            // in the backend below with a proper error; don't duplicate.
+            Err(_) => None,
+        };
+        let (deny, warns) = ncl_ir::lint::partition(diags);
+        if !deny.is_empty() {
+            return Err(NclcError::Lint {
+                location: loc.label.clone(),
+                diagnostics: deny,
+            });
+        }
         let compiled =
             compile_module(&module, &cfg.model, &opts).map_err(|error| NclcError::Backend {
                 location: loc.label.clone(),
@@ -214,6 +307,10 @@ pub fn compile(
             })?;
         switches.push((loc.label.clone(), compiled));
         modules.push((loc.label.clone(), module));
+        lints.push((loc.label.clone(), warns));
+        if let Some(est) = estimate {
+            estimates.push((loc.label.clone(), est));
+        }
     }
 
     Ok(CompiledProgram {
@@ -224,6 +321,9 @@ pub fn compile(
         modules,
         kernel_ids,
         label_ids,
+        lints,
+        estimates,
+        lint_config: lint_cfg,
     })
 }
 
@@ -345,7 +445,11 @@ _net_ _out_ void k(int *data) {
                 slots: 16,
             },
         );
-        let p = compile(ALLREDUCE_NCL, ALLREDUCE_AND, &c).expect("compiles");
+        // The replay-aware kernel: the filter-oblivious ALLREDUCE_NCL
+        // is (correctly) denied by the replay-safety lint when a filter
+        // is configured, see `filter_oblivious_kernel_denied`.
+        let src = crate::apps::allreduce_source(64, 8);
+        let p = compile(&src, ALLREDUCE_AND, &c).expect("compiles");
         let m = p.module("s1").expect("s1 module");
         let seen = m
             .registers
@@ -367,6 +471,74 @@ _net_ _out_ void k(int *data) {
         );
         // The stateful filter stage survives into the generated P4.
         assert!(s1.p4_source.contains("nclr_seen"), "P4 lacks filter stage");
+    }
+
+    #[test]
+    fn filter_oblivious_kernel_denied() {
+        // Configuring a replay filter claims exactly-once effects; a
+        // kernel that mutates state without consulting `window.replay`
+        // breaks that claim and is denied.
+        let mut c = cfg();
+        c.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter {
+                senders: 8,
+                slots: 16,
+            },
+        );
+        let err = compile(ALLREDUCE_NCL, ALLREDUCE_AND, &c).unwrap_err();
+        match err {
+            NclcError::Lint { diagnostics, .. } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.code == LintCode::ReplayUnsafe),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected lint denial, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn apps_kernels_pass_lint_with_zero_allows() {
+        // Acceptance: the flagship kernels are replay-safe and hazard-
+        // free under the deny-by-default policy, no `allow` knobs.
+        let mut c = CompileConfig::default();
+        c.masks.insert("allreduce".into(), vec![8]);
+        c.masks.insert("result".into(), vec![8]);
+        c.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter {
+                senders: 4,
+                slots: 8,
+            },
+        );
+        assert!(c.lint_levels.is_empty());
+        let p = compile(&crate::apps::allreduce_source(64, 8), ALLREDUCE_AND, &c)
+            .expect("allreduce passes deny-by-default lint");
+        assert!(
+            !p.lint_warnings().any(|d| matches!(
+                d.code,
+                LintCode::ReplayUnsafe | LintCode::ReplayUnsafeNoFilter
+            )),
+            "replay findings on the replay-aware allreduce"
+        );
+
+        let mut c = CompileConfig::default();
+        c.masks.insert("query".into(), vec![1, 8, 1]);
+        assert!(c.lint_levels.is_empty());
+        compile(&crate::apps::kvs_source(2, 16, 8), ALLREDUCE_AND, &c)
+            .expect("kvs passes deny-by-default lint");
+    }
+
+    #[test]
+    fn estimates_are_populated() {
+        let p = compile(ALLREDUCE_NCL, ALLREDUCE_AND, &cfg()).expect("compiles");
+        let est = p.estimate("s1").expect("estimate for s1");
+        assert_eq!(est.kernels.len(), 1);
+        assert_eq!(est.kernels[0].kernel, "allreduce");
+        // Agreement with the actual mapping: exact stage count.
+        let actual = p.switch("s1").unwrap();
+        assert_eq!(est.pipeline_stages, actual.report.stages_used);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use c3::{BinOp, Label, ScalarType, UnOp, Value};
 use ncl_lang::ast::KernelKind;
+use ncl_lang::diag::Span;
 use ncl_lang::sema::{GlobalKind, ParamInfo, WindowExtLayout};
 use std::fmt;
 
@@ -442,6 +443,9 @@ pub struct KernelIr {
     pub nregs: u32,
     /// Register types (index = register id).
     pub reg_tys: Vec<ScalarType>,
+    /// Declaration site in the source file ([`Module::file`]); default
+    /// (all-zero) for hand-built IR.
+    pub span: Span,
 }
 
 impl KernelIr {
@@ -530,6 +534,8 @@ pub struct RegisterDecl {
     pub dims: Vec<usize>,
     /// Initial contents, flattened.
     pub init: Vec<Value>,
+    /// Declaration site in the source file ([`Module::file`]).
+    pub span: Span,
 }
 
 impl RegisterDecl {
@@ -555,6 +561,8 @@ pub struct CtrlDecl {
     pub ty: ScalarType,
     /// Initial value.
     pub init: Value,
+    /// Declaration site in the source file ([`Module::file`]).
+    pub span: Span,
 }
 
 /// A map declaration.
@@ -570,6 +578,8 @@ pub struct MapDecl {
     pub value: ScalarType,
     /// Capacity.
     pub capacity: usize,
+    /// Declaration site in the source file ([`Module::file`]).
+    pub span: Span,
 }
 
 /// An IR module: all kernels and device state of one program, optionally
@@ -578,6 +588,9 @@ pub struct MapDecl {
 pub struct Module {
     /// Program name (diagnostics, emitted P4 preamble).
     pub name: String,
+    /// Source file the module was lowered from (anchors the spans on
+    /// kernels and declarations; empty for hand-built IR).
+    pub file: String,
     /// `Some(label)` after versioning; `None` for the generic module.
     pub location: Option<Label>,
     /// Register arrays (stable indices across versions).
@@ -706,6 +719,7 @@ mod tests {
             blocks,
             nregs: 0,
             reg_tys: vec![],
+            span: Span::default(),
         }
     }
 

@@ -36,6 +36,7 @@
 pub mod exec;
 pub mod interp;
 pub mod ir;
+pub mod lint;
 pub mod lower;
 pub mod passes;
 pub mod version;
@@ -45,5 +46,6 @@ pub use interp::{HostMemory, Interpreter, SwitchState};
 pub use ir::{
     ArrId, BlockId, CtrlId, Inst, KernelIr, MapId, MetaField, Module, Operand, RegId, Terminator,
 };
+pub use lint::{LintCode, LintConfig, LintDiagnostic, LintLevel};
 pub use lower::{lower, LoweringConfig};
 pub use version::version_modules;

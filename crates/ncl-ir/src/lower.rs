@@ -88,6 +88,7 @@ impl LoweringConfig {
 pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, Vec<Diagnostic>> {
     let mut module = Module {
         name: "ncl_program".into(),
+        file: checked.file.clone(),
         location: None,
         window_ext: checked.window_ext.clone(),
         ..Module::default()
@@ -106,6 +107,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
                     elem: *elem,
                     dims: dims.clone(),
                     init: init.clone(),
+                    span: g.span,
                 });
             }
             GlobalKind::Ctrl { ty, init } => {
@@ -115,6 +117,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
                     at: g.at.clone(),
                     ty: *ty,
                     init: *init,
+                    span: g.span,
                 });
             }
             GlobalKind::Map {
@@ -129,6 +132,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
                     key: *key,
                     value: *value,
                     capacity: *capacity,
+                    span: g.span,
                 });
             }
         }
@@ -153,6 +157,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
             elem: ScalarType::U8,
             dims: vec![(f.senders as usize).max(1) * (f.slots as usize).max(1)],
             init: Vec::new(),
+            span: k.span,
         });
         let dups = ArrId(module.registers.len() as u32);
         module.registers.push(RegisterDecl {
@@ -161,6 +166,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
             elem: ScalarType::U32,
             dims: vec![1],
             init: Vec::new(),
+            span: k.span,
         });
         filter_regs.insert(k.name.clone(), (seen, dups));
     }
@@ -204,6 +210,7 @@ pub fn lower(checked: &CheckedProgram, cfg: &LoweringConfig) -> Result<Module, V
             nregs: reg_tys.len() as u32,
             reg_tys,
             blocks,
+            span: k.span,
         });
     }
     if diags.is_empty() {

@@ -14,6 +14,7 @@
 use crate::ir::*;
 use c3::{BinOp, Value};
 use ncl_lang::ast::KernelKind;
+use ncl_lang::diag::{Diagnostic, Span};
 use std::collections::HashMap;
 
 /// Statistics from an [`optimize`] run (used by the compiler bench).
@@ -471,6 +472,8 @@ pub enum ConformanceError {
     LoopNotUnrolled {
         /// Offending kernel.
         kernel: String,
+        /// Kernel definition site.
+        span: Span,
     },
     /// A kernel accesses a register array placed elsewhere.
     NotPlacedHere {
@@ -478,6 +481,8 @@ pub enum ConformanceError {
         kernel: String,
         /// The state's name.
         what: String,
+        /// Declaration site of the misplaced state.
+        span: Span,
     },
     /// A kernel's compile mask does not match its parameter count.
     MaskArity {
@@ -487,23 +492,56 @@ pub enum ConformanceError {
         mask: usize,
         /// Window-data parameters.
         params: usize,
+        /// Kernel definition site.
+        span: Span,
     },
     /// An incoming kernel appears in a switch module.
     IncomingOnSwitch {
         /// Offending kernel.
         kernel: String,
+        /// Kernel definition site.
+        span: Span,
     },
+}
+
+impl ConformanceError {
+    /// The source span the error anchors to (the kernel definition, or
+    /// the misplaced declaration for [`ConformanceError::NotPlacedHere`]).
+    pub fn span(&self) -> Span {
+        match self {
+            ConformanceError::LoopNotUnrolled { span, .. }
+            | ConformanceError::NotPlacedHere { span, .. }
+            | ConformanceError::MaskArity { span, .. }
+            | ConformanceError::IncomingOnSwitch { span, .. } => *span,
+        }
+    }
+
+    /// The offending kernel's name.
+    pub fn kernel(&self) -> &str {
+        match self {
+            ConformanceError::LoopNotUnrolled { kernel, .. }
+            | ConformanceError::NotPlacedHere { kernel, .. }
+            | ConformanceError::MaskArity { kernel, .. }
+            | ConformanceError::IncomingOnSwitch { kernel, .. } => kernel,
+        }
+    }
+
+    /// Converts to a renderable [`Diagnostic`] anchored in `file`
+    /// (normally [`Module::file`]).
+    pub fn to_diagnostic(&self, file: &str) -> Diagnostic {
+        Diagnostic::error(self.to_string(), self.span(), file)
+    }
 }
 
 impl std::fmt::Display for ConformanceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConformanceError::LoopNotUnrolled { kernel } => write!(
+            ConformanceError::LoopNotUnrolled { kernel, .. } => write!(
                 f,
                 "kernel '{kernel}': loop has no provably constant trip count \
                  (PISA pipelines cannot loop)"
             ),
-            ConformanceError::NotPlacedHere { kernel, what } => write!(
+            ConformanceError::NotPlacedHere { kernel, what, .. } => write!(
                 f,
                 "kernel '{kernel}' accesses '{what}', which is not placed at this location"
             ),
@@ -511,12 +549,13 @@ impl std::fmt::Display for ConformanceError {
                 kernel,
                 mask,
                 params,
+                ..
             } => write!(
                 f,
                 "kernel '{kernel}': mask has {mask} entries but the kernel \
                  takes {params} window arrays"
             ),
-            ConformanceError::IncomingOnSwitch { kernel } => write!(
+            ConformanceError::IncomingOnSwitch { kernel, .. } => write!(
                 f,
                 "incoming kernel '{kernel}' cannot be compiled for a switch"
             ),
@@ -533,6 +572,13 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
     let mut errors = Vec::new();
     for k in &module.kernels {
         if k.kind != KernelKind::Outgoing {
+            // Versioning strips incoming kernels from switch modules;
+            // seeing one here means the module was handed to the switch
+            // backend without versioning.
+            errors.push(ConformanceError::IncomingOnSwitch {
+                kernel: k.name.clone(),
+                span: k.span,
+            });
             continue;
         }
         if !module.placed_here(&k.at) {
@@ -541,6 +587,7 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
         if k.has_loop() {
             errors.push(ConformanceError::LoopNotUnrolled {
                 kernel: k.name.clone(),
+                span: k.span,
             });
         }
         if !k.mask.is_empty() {
@@ -550,6 +597,7 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
                     kernel: k.name.clone(),
                     mask: k.mask.len(),
                     params,
+                    span: k.span,
                 });
             }
         }
@@ -563,6 +611,7 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
                             errors.push(ConformanceError::NotPlacedHere {
                                 kernel: k.name.clone(),
                                 what: decl.name.clone(),
+                                span: decl.span,
                             });
                         }
                     }
@@ -572,6 +621,7 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
                             errors.push(ConformanceError::NotPlacedHere {
                                 kernel: k.name.clone(),
                                 what: decl.name.clone(),
+                                span: decl.span,
                             });
                         }
                     }
@@ -581,6 +631,7 @@ pub fn conformance(module: &Module) -> Vec<ConformanceError> {
                             errors.push(ConformanceError::NotPlacedHere {
                                 kernel: k.name.clone(),
                                 what: decl.name.clone(),
+                                span: decl.span,
                             });
                         }
                     }

@@ -112,6 +112,61 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// Renders the diagnostic with a source snippet and a caret line
+    /// underneath, Clang style:
+    ///
+    /// ```text
+    /// f.ncl:3:5: error: message
+    ///     count[i] += 1;
+    ///     ^~~~~~~~~~~~~
+    /// ```
+    ///
+    /// Falls back to the single header line when the span does not land
+    /// inside `source` (e.g. synthesized spans).
+    pub fn render_snippet(&self, source: &str) -> String {
+        let mut out = self.to_string();
+        let Some(snippet) = snippet_for(source, self.span) else {
+            out.push('\n');
+            return out;
+        };
+        out.push('\n');
+        out.push_str(&snippet);
+        out
+    }
+}
+
+/// The source line containing `span.start` plus a caret line marking the
+/// span (clamped to the line). `None` when the span is out of range or
+/// the line cannot be recovered.
+fn snippet_for(source: &str, span: Span) -> Option<String> {
+    if span.line == 0 || span.start > source.len() {
+        return None;
+    }
+    let line_start = source[..span.start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    let line = &source[line_start..line_end];
+    if line.is_empty() && span.start >= line_end {
+        return None;
+    }
+    let col = span.start.saturating_sub(line_start);
+    // Tabs render as one column here; NCL sources in the tree use spaces.
+    let mut caret = String::new();
+    for _ in 0..col {
+        caret.push(' ');
+    }
+    caret.push('^');
+    let span_len = span.end.saturating_sub(span.start);
+    let avail = line.len().saturating_sub(col + 1);
+    for _ in 1..span_len.min(avail + 1) {
+        caret.push('~');
+    }
+    Some(format!("    {line}\n    {caret}\n"))
+}
+
 impl std::error::Error for Diagnostic {}
 
 /// Renders a batch of diagnostics, one per line, Clang style.
@@ -120,6 +175,26 @@ pub fn render(diags: &[Diagnostic]) -> String {
     for d in diags {
         out.push_str(&d.to_string());
         out.push('\n');
+    }
+    out
+}
+
+/// Renders a batch with caret snippets, resolving each diagnostic's file
+/// through `lookup` (file name → source text). Diagnostics whose file is
+/// unknown render header-only.
+pub fn render_with_source<'a>(
+    diags: &[Diagnostic],
+    mut lookup: impl FnMut(&str) -> Option<&'a str>,
+) -> String {
+    let mut out = String::new();
+    for d in diags {
+        match lookup(&d.file) {
+            Some(src) => out.push_str(&d.render_snippet(src)),
+            None => {
+                out.push_str(&d.to_string());
+                out.push('\n');
+            }
+        }
     }
     out
 }
@@ -165,6 +240,54 @@ mod tests {
             d.to_string(),
             "allreduce.ncl:3:1: error: unknown declaration specifier '_nte_'"
         );
+    }
+
+    #[test]
+    fn snippet_has_caret_under_span() {
+        let src = "int x;\nint count[4] = {0};\n";
+        // Span over `count` (bytes 11..16 on line 2, col 5).
+        let d = Diagnostic::error(
+            "boom",
+            Span {
+                start: 11,
+                end: 16,
+                line: 2,
+                col: 5,
+            },
+            "t.ncl",
+        );
+        let r = d.render_snippet(src);
+        assert!(r.starts_with("t.ncl:2:5: error: boom\n"));
+        assert!(r.contains("    int count[4] = {0};\n"));
+        assert!(r.contains("\n        ^~~~~\n"), "got: {r:?}");
+    }
+
+    #[test]
+    fn snippet_out_of_range_falls_back() {
+        let d = Diagnostic::error("boom", Span::point(999, 50, 1), "t.ncl");
+        let r = d.render_snippet("short");
+        assert_eq!(r, "t.ncl:50:1: error: boom\n");
+    }
+
+    #[test]
+    fn render_with_source_mixes_known_and_unknown_files() {
+        let src = "int a;";
+        let diags = vec![
+            Diagnostic::error(
+                "one",
+                Span {
+                    start: 4,
+                    end: 5,
+                    line: 1,
+                    col: 5,
+                },
+                "k.ncl",
+            ),
+            Diagnostic::error("two", Span::point(0, 1, 1), "other.ncl"),
+        ];
+        let r = render_with_source(&diags, |f| (f == "k.ncl").then_some(src));
+        assert!(r.contains("    int a;"));
+        assert!(r.contains("other.ncl:1:1: error: two\n"));
     }
 
     #[test]

@@ -423,7 +423,9 @@ impl Translator<'_> {
         stage: usize,
     ) -> Result<TableDef, BuildError> {
         let decl = &self.module.maps[map.0 as usize];
-        let guard_field = self.guard(p).expect("guard always resolves");
+        let guard_field = self
+            .guard(p)
+            .ok_or_else(|| self.err("map-table guard did not resolve to a PHV field"))?;
         let key_field = match key {
             Operand::Reg(r) => self.reg_field(*r),
             Operand::Const(_) => {
@@ -701,7 +703,7 @@ impl Translator<'_> {
 /// containers can overlap — the paper's "reverse SROA" of SSA registers
 /// onto a bounded metadata struct).
 #[derive(Default)]
-struct FieldPool {
+pub(crate) struct FieldPool {
     /// Every pool-managed field, by type.
     all: HashMap<ScalarType, Vec<FieldId>>,
 }
@@ -712,7 +714,7 @@ struct FieldPool {
 /// *read* rely on zero-initialization and therefore never take a field
 /// this kernel has already dirtied (fields dirtied by other kernels are
 /// fine — their writers are dispatch-guarded off).
-fn assign_fields(
+pub(crate) fn assign_fields(
     staged: &StagedKernel,
     reg_tys: &[ScalarType],
     layout: &mut PhvLayout,

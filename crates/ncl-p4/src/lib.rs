@@ -31,6 +31,7 @@
 
 pub mod alloc;
 pub mod codegen;
+pub mod estimate;
 pub mod flatten;
 pub mod lanes;
 pub mod p4emit;

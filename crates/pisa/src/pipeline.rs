@@ -354,18 +354,40 @@ impl Pipeline {
     /// Runs the match-action stages over an already-parsed PHV (used by
     /// differential tests that bypass the parser).
     pub fn run_stages(&mut self, phv: &mut Phv) {
-        let mut flat = 0usize;
-        for stage in &self.config.stages {
-            for table in &stage.tables {
-                let Some((action, args)) = table.lookup(phv) else {
-                    flat += 1;
-                    continue;
-                };
-                self.stats.hit_counts[flat] += 1;
+        for stage in 0..self.config.stages.len() {
+            self.run_stage(phv, stage);
+        }
+    }
+
+    /// Logical stage count of the loaded configuration.
+    pub fn stage_count(&self) -> usize {
+        self.config.stages.len()
+    }
+
+    /// Runs a single logical stage over a parsed PHV.
+    ///
+    /// [`Pipeline::process`] runs every packet to completion, which
+    /// over-serializes relative to a real RMT chip: there, a packet
+    /// recirculating for its second pass interleaves with fresh
+    /// arrivals, and in-flight packets occupy different stages at the
+    /// same instant. Stepping stages one at a time lets tests replay
+    /// exactly the interleaved schedules the `non-atomic-rmw` lint
+    /// reasons about, with each stage remaining atomic (one
+    /// RegisterAction pass) as on hardware.
+    pub fn run_stage(&mut self, phv: &mut Phv, stage: usize) {
+        let mut flat: usize = self.config.stages[..stage]
+            .iter()
+            .map(|s| s.tables.len())
+            .sum();
+        for table in &self.config.stages[stage].tables {
+            let Some((action, args)) = table.lookup(phv) else {
                 flat += 1;
-                for op in &table.actions[action.0 as usize].ops {
-                    exec_op(&self.config.layout, &mut self.registers, op, phv, args);
-                }
+                continue;
+            };
+            self.stats.hit_counts[flat] += 1;
+            flat += 1;
+            for op in &table.actions[action.0 as usize].ops {
+                exec_op(&self.config.layout, &mut self.registers, op, phv, args);
             }
         }
     }

@@ -271,6 +271,15 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {{
     let mut cfg = CompileConfig::default();
     cfg.masks.insert("allreduce".into(), vec![win as u16]);
     cfg.masks.insert("result".into(), vec![win as u16]);
+    // The round-reset trick reads `count` to decide whether to
+    // overwrite or accumulate `accum` — a cross-array read→write chain
+    // nclint rightly calls non-atomic on a real pipelined chip. This
+    // test exercises the simulator's serial-per-switch window
+    // semantics (paper §6), where the chain is safe; downgrade the
+    // finding with eyes open.
+    use ncl::core::nclc::{LintCode, LintLevel};
+    cfg.lint_levels
+        .insert(LintCode::NonAtomicRmw, LintLevel::Warn);
     let program =
         compile(&src, &worker_and(n), &cfg).unwrap_or_else(|e| panic!("corrected kernel: {e}"));
     let kid = program.kernel_ids["allreduce"];

@@ -1,0 +1,100 @@
+//! Loader for the shared proptest regression corpus
+//! (`tests/corpus/shared.proptest-regressions`).
+//!
+//! The devstub proptest runner is deterministic and never reads
+//! failure-persistence files, so recorded shrunk cases stay alive by
+//! being replayed explicitly: each owning test file pulls its section
+//! out of the corpus with [`entries_for`] and re-runs every entry. A
+//! replay test should assert its section is non-empty and that the
+//! hash of each hard-coded case is still present, so the corpus file
+//! and the replay code cannot drift apart.
+
+// Each test target includes this module via `#[path]` and uses only
+// the helpers its own payloads need.
+#![allow(dead_code)]
+
+use std::fmt::Debug;
+use std::path::Path;
+use std::str::FromStr;
+
+/// One `cc` line from the corpus.
+pub struct Entry {
+    /// The sha256-of-payload token after `cc` — an opaque identity.
+    pub hash: String,
+    /// The text after `# shrinks to`, i.e. the recorded case.
+    pub payload: String,
+}
+
+/// Returns every corpus entry recorded under `# test: <test_id>`.
+pub fn entries_for(test_id: &str) -> Vec<Entry> {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/shared.proptest-regressions");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("shared corpus at {}: {e}", path.display()));
+    let mut section = String::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# test: ") {
+            section = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("cc ") {
+            if section == test_id {
+                let (hash, payload) = rest.split_once(" # shrinks to ").unwrap_or((rest, ""));
+                out.push(Entry {
+                    hash: hash.trim().to_string(),
+                    payload: payload.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the raw text of `key = <value>` from a payload. Bracketed
+/// list values run to the closing `]`; scalars run to the next comma.
+pub fn field<'a>(payload: &'a str, key: &str) -> &'a str {
+    let pat = format!("{key} = ");
+    let start = payload
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no field `{key}` in corpus payload: {payload}"))
+        + pat.len();
+    let rest = &payload[start..];
+    let end = if let Some(tail) = rest.strip_prefix('[') {
+        tail.find(']').map(|i| i + 2).unwrap_or(rest.len())
+    } else {
+        rest.find(',').unwrap_or(rest.len())
+    };
+    rest[..end].trim()
+}
+
+/// Parses a scalar `key = <value>` field.
+pub fn num<T>(payload: &str, key: &str) -> T
+where
+    T: FromStr,
+    T::Err: Debug,
+{
+    field(payload, key).parse().expect(key)
+}
+
+/// Parses a `key = true|false` field.
+pub fn boolean(payload: &str, key: &str) -> bool {
+    num(payload, key)
+}
+
+/// Parses a `key = [a, b, c]` field.
+pub fn list<T>(payload: &str, key: &str) -> Vec<T>
+where
+    T: FromStr,
+    T::Err: Debug,
+{
+    let raw = field(payload, key);
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .unwrap_or_else(|| panic!("field `{key}` is not a list: {raw}"));
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect(key))
+        .collect()
+}

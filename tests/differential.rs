@@ -15,6 +15,9 @@ use ncl_p4::{compile_module, CompileOptions};
 use pisa::{Pipeline, ResourceModel};
 use proptest::prelude::*;
 
+#[path = "common/corpus.rs"]
+mod corpus;
+
 /// A randomly generated straight-line/branching kernel over one int
 /// array parameter and one switch array.
 #[derive(Clone, Debug)]
@@ -165,6 +168,64 @@ fn fwd_of(code: u8) -> Forward {
     }
 }
 
+/// The differential property, callable from both the proptest and the
+/// shared-corpus replay: interpreter ≡ compiled pipeline on the given
+/// kernel source × window sequence, including persistent switch state.
+fn check_kernel_vs_interpreter(src: &str, windows: &[Window]) {
+    let checked = ncl_lang::frontend(src, "gen.ncl")
+        .unwrap_or_else(|d| panic!("frontend: {}\n{}", ncl_lang::diag::render(&d), src));
+    let mut module = lower(&checked, &LoweringConfig::with_mask("k", vec![4]))
+        .unwrap_or_else(|d| panic!("lower: {}", ncl_lang::diag::render(&d)));
+    ncl_ir::passes::optimize(&mut module);
+    let mut opts = CompileOptions::default();
+    opts.kernel_ids.insert("k".into(), 1);
+    let compiled = match compile_module(&module, &ResourceModel::default(), &opts) {
+        Ok(c) => c,
+        Err(ncl_p4::CompileError::Resources(_)) => {
+            // Random kernels may legitimately exceed the chip (e.g.
+            // too many stateful micro-ops on one array). Rejection
+            // is correct behaviour, not a miscompile.
+            return;
+        }
+        Err(e) => panic!("compile: {e}\n{src}"),
+    };
+    let map_tables = compiled.map_tables.clone();
+    let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default()).expect("loads");
+    let mut state = SwitchState::from_module(&module);
+    // Corpus kernels predate the Map prelude and declare no maps; a
+    // kernel that looks one up always has lookup tables to fill.
+    if !map_tables.is_empty() {
+        sync_map_entries(&mut state, &mut pipe, &map_tables);
+    }
+    let it = Interpreter::default();
+    let kir = module.kernel("k").unwrap();
+    let ext_total = module.window_ext.size();
+    for (wi, w) in windows.iter().enumerate() {
+        let mut w_interp = w.clone();
+        let fwd_i = it
+            .run_outgoing(kir, &mut w_interp, &mut state)
+            .expect("interp");
+        let pkt = encode_window_for_test(w, ext_total);
+        let out = pipe.process(&pkt).expect("pipeline parses");
+        let w_pipe = decode_window_for_test(&out.packet, 1, ext_total);
+        let mut w_interp_ext = w_interp.ext.clone();
+        w_interp_ext.resize(ext_total, 0);
+        assert_eq!(
+            &w_interp_ext, &w_pipe.ext,
+            "ext diverged, window {wi} of kernel:\n{src}"
+        );
+        assert_eq!(
+            fwd_i,
+            fwd_of(out.fwd_code),
+            "fwd diverged, window {wi} of kernel:\n{src}"
+        );
+        assert_eq!(
+            &w_interp.chunks, &w_pipe.chunks,
+            "chunks diverged, window {wi} of kernel:\n{src}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -176,63 +237,7 @@ proptest! {
         kernel in gen_kernel(),
         windows in proptest::collection::vec(gen_window(), 1..4),
     ) {
-        let checked = ncl_lang::frontend(&kernel.src, "gen.ncl")
-            .unwrap_or_else(|d| panic!("frontend: {}\n{}", ncl_lang::diag::render(&d), kernel.src));
-        let mut module = lower(&checked, &LoweringConfig::with_mask("k", vec![4]))
-            .unwrap_or_else(|d| panic!("lower: {}", ncl_lang::diag::render(&d)));
-        ncl_ir::passes::optimize(&mut module);
-        let mut opts = CompileOptions::default();
-        opts.kernel_ids.insert("k".into(), 1);
-        let compiled = match compile_module(&module, &ResourceModel::default(), &opts) {
-            Ok(c) => c,
-            Err(ncl_p4::CompileError::Resources(_)) => {
-                // Random kernels may legitimately exceed the chip (e.g.
-                // too many stateful micro-ops on one array). Rejection
-                // is correct behaviour, not a miscompile.
-                return Ok(());
-            }
-            Err(e) => panic!("compile: {e}\n{}", kernel.src),
-        };
-        let map_tables = compiled.map_tables.clone();
-        let mut pipe = Pipeline::load(compiled.pipeline, ResourceModel::default())
-            .expect("loads");
-        let mut state = SwitchState::from_module(&module);
-        sync_map_entries(&mut state, &mut pipe, &map_tables);
-        let it = Interpreter::default();
-        let kir = module.kernel("k").unwrap();
-        let ext_total = module.window_ext.size();
-        for (wi, w) in windows.iter().enumerate() {
-            let mut w_interp = w.clone();
-            let fwd_i = it
-                .run_outgoing(kir, &mut w_interp, &mut state)
-                .expect("interp");
-            let pkt = encode_window_for_test(w, ext_total);
-            let out = pipe.process(&pkt).expect("pipeline parses");
-            let w_pipe = decode_window_for_test(&out.packet, 1, ext_total);
-            let mut w_interp_ext = w_interp.ext.clone();
-            w_interp_ext.resize(ext_total, 0);
-            prop_assert_eq!(
-                &w_interp_ext,
-                &w_pipe.ext,
-                "ext diverged, window {} of kernel:\n{}",
-                wi,
-                kernel.src
-            );
-            prop_assert_eq!(
-                fwd_i,
-                fwd_of(out.fwd_code),
-                "fwd diverged, window {} of kernel:\n{}",
-                wi,
-                kernel.src
-            );
-            prop_assert_eq!(
-                &w_interp.chunks,
-                &w_pipe.chunks,
-                "chunks diverged, window {} of kernel:\n{}",
-                wi,
-                kernel.src
-            );
-        }
+        check_kernel_vs_interpreter(&kernel.src, &windows);
         let _ = kernel.stmts;
     }
 
@@ -379,4 +384,56 @@ fn differential_edge_cases() {
         }
     }
     let _ = Value::u32(0);
+}
+
+/// Replays this file's section of the shared regression corpus
+/// (tests/corpus/shared.proptest-regressions). Both recorded shrunk
+/// kernels exposed real miscompiles once: a data→data copy chain whose
+/// second write read the first's stale PHV field, and a double
+/// same-cell `+=` followed by a predicated overwrite whose stage
+/// fusion dropped one micro-op. They must stay interpreter-identical.
+#[test]
+fn corpus_kernel_cases_match_interpreter() {
+    let entries =
+        corpus::entries_for("tests/differential.rs::compiled_pipeline_matches_interpreter");
+    let window = |vals: [i32; 4]| Window {
+        kernel: KernelId(1),
+        seq: 0,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: false,
+        chunks: vec![Chunk {
+            offset: 0,
+            data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+        }],
+        ext: vec![],
+    };
+    // (corpus hash, kernel body, window payload) — the GenKernel debug
+    // payloads in the corpus record exactly these cases; the hash
+    // check keeps the hard-coded replay and the file in sync.
+    let cases: [(&str, &str, [i32; 4]); 2] = [
+        (
+            "6b0894be8d6466ae6c1ec024559e65af2675c254416ddaf046586c28762d40a5",
+            "data[0] = (data[0] + data[0]);\n    data[0] = data[1];",
+            [0, 1, 0, 0],
+        ),
+        (
+            "cd6efca7da8e6ed33e826b5f7a621f86c37be94342a18a240dc7256db7a50f65",
+            "mem[5] += data[0];\n    mem[5] += data[0];\n    \
+             if (data[0] < data[0]) { mem[5] = data[0]; }",
+            [0, 0, 0, 0],
+        ),
+    ];
+    assert_eq!(entries.len(), cases.len(), "corpus section out of sync");
+    for (hash, body, vals) in cases {
+        assert!(
+            entries.iter().any(|e| e.hash == hash),
+            "corpus entry {hash} was pruned without removing its replay"
+        );
+        let src = format!(
+            "_net_ _at_(\"s1\") int mem[8] = {{0}};\n\
+             _net_ _out_ void k(int *data) {{\n    {body}\n}}\n"
+        );
+        check_kernel_vs_interpreter(&src, &[window(vals)]);
+    }
 }

@@ -18,6 +18,9 @@ use ncl::netsim::{HostApp, LinkSpec};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
+#[path = "common/corpus.rs"]
+mod corpus;
+
 #[test]
 fn lost_contributions_stall_but_never_corrupt() {
     // Drop every 5th packet on the links: some aggregation slots never
@@ -467,78 +470,103 @@ fn lost_fragment_keeps_window_pending() {
     assert_eq!(got.chunks[0].data, w.chunks[0].data);
 }
 
+/// Exactly-once switch execution, callable from both the proptest and
+/// the shared-corpus replay: for the given duplication pattern over
+/// the worker windows, the compiler-lowered replay filter leaves the
+/// source-level switch state identical to a single-delivery run, and
+/// counts every suppressed duplicate.
+fn check_replay_filter_single_delivery(dups: &[usize]) {
+    use ncl::model::{Chunk, KernelId, Window};
+    use ncl::netsim::FastDatapath;
+    let src = allreduce_source(16, 4);
+    let and = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![4]);
+    cfg.masks.insert("result".into(), vec![4]);
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: 4,
+            slots: 4,
+        },
+    );
+    let program = compile(&src, and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let ext = program.checked.window_ext.size();
+    let mut noisy = FastPathSwitch::from_program(&program, "s1").unwrap();
+    let mut clean = FastPathSwitch::from_program(&program, "s1").unwrap();
+    assert!(noisy.ctrl_wr("nworkers", Value::u32(3)));
+    assert!(clean.ctrl_wr("nworkers", Value::u32(3)));
+    let window = |worker: u16, seq: u32| Window {
+        kernel: KernelId(kid),
+        seq,
+        sender: HostId(worker),
+        from: NodeId::Host(HostId(worker)),
+        last: seq == 3,
+        chunks: vec![Chunk {
+            offset: seq * 16,
+            data: (0..4i32)
+                .map(|i| worker as i32 * 10 + i)
+                .flat_map(|v| v.to_be_bytes())
+                .collect(),
+        }],
+        ext: vec![],
+    };
+    let mut expected_dups = 0u64;
+    for (i, &extra) in dups.iter().enumerate() {
+        let worker = (i % 3) as u16 + 1;
+        let seq = (i / 3) as u32;
+        let bytes = ncl::ncp::codec::encode_window(&window(worker, seq), ext);
+        clean.process_window(&bytes).expect("clean processes");
+        for _ in 0..=extra {
+            noisy.process_window(&bytes).expect("noisy processes");
+        }
+        expected_dups += extra as u64;
+    }
+    for i in 0..16 {
+        assert_eq!(
+            noisy.register_read("accum", i),
+            clean.register_read("accum", i),
+            "accum[{i}]"
+        );
+    }
+    for i in 0..4 {
+        assert_eq!(
+            noisy.register_read("count", i),
+            clean.register_read("count", i),
+            "count[{i}]"
+        );
+    }
+    assert_eq!(noisy.register_prefix_sum("__nclr_dups_"), expected_dups);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Exactly-once switch execution: for any duplication pattern over
-    /// the worker windows, the compiler-lowered replay filter leaves
-    /// the source-level switch state identical to a single-delivery
-    /// run, and counts every suppressed duplicate.
     #[test]
     fn replay_filter_preserves_single_delivery_state(
         dups in proptest::collection::vec(0usize..3, 12),
     ) {
-        use ncl::model::{Chunk, KernelId, Window};
-        let src = allreduce_source(16, 4);
-        let and = "hosts worker 3\nswitch s1\nlink worker* s1\n";
-        let mut cfg = CompileConfig::default();
-        cfg.masks.insert("allreduce".into(), vec![4]);
-        cfg.masks.insert("result".into(), vec![4]);
-        cfg.replay_filters.insert(
-            "allreduce".into(),
-            ReplayFilter { senders: 4, slots: 4 },
-        );
-        let program = compile(&src, and, &cfg).expect("compiles");
-        let kid = program.kernel_ids["allreduce"];
-        let ext = program.checked.window_ext.size();
-        let mut noisy = FastPathSwitch::from_program(&program, "s1").unwrap();
-        let mut clean = FastPathSwitch::from_program(&program, "s1").unwrap();
-        prop_assert!(noisy.ctrl_wr("nworkers", Value::u32(3)));
-        prop_assert!(clean.ctrl_wr("nworkers", Value::u32(3)));
-        let window = |worker: u16, seq: u32| Window {
-            kernel: KernelId(kid),
-            seq,
-            sender: HostId(worker),
-            from: NodeId::Host(HostId(worker)),
-            last: seq == 3,
-            chunks: vec![Chunk {
-                offset: seq * 16,
-                data: (0..4i32)
-                    .map(|i| worker as i32 * 10 + i)
-                    .flat_map(|v| v.to_be_bytes())
-                    .collect(),
-            }],
-            ext: vec![],
-        };
-        let mut expected_dups = 0u64;
-        for (i, &extra) in dups.iter().enumerate() {
-            let worker = (i % 3) as u16 + 1;
-            let seq = (i / 3) as u32;
-            let bytes = ncl::ncp::codec::encode_window(&window(worker, seq), ext);
-            clean.process_window(&bytes).expect("clean processes");
-            for _ in 0..=extra {
-                noisy.process_window(&bytes).expect("noisy processes");
-            }
-            expected_dups += extra as u64;
-        }
-        for i in 0..16 {
-            prop_assert_eq!(
-                noisy.register_read("accum", i),
-                clean.register_read("accum", i),
-                "accum[{}]", i
-            );
-        }
-        for i in 0..4 {
-            prop_assert_eq!(
-                noisy.register_read("count", i),
-                clean.register_read("count", i),
-                "count[{}]", i
-            );
-        }
-        use ncl::netsim::FastDatapath;
-        prop_assert_eq!(
-            noisy.register_prefix_sum("__nclr_dups_"),
-            expected_dups
-        );
+        check_replay_filter_single_delivery(&dups);
+    }
+}
+
+/// Replays this file's section of the shared regression corpus
+/// (tests/corpus/shared.proptest-regressions): the pinned duplication
+/// patterns — no duplicates (the filter must not suppress first
+/// deliveries), every window tripled (maximum pressure on the filter
+/// slots), and a mixed schedule — run before any generated case would,
+/// exactly as upstream proptest's failure persistence would replay
+/// them.
+#[test]
+fn corpus_duplication_patterns_keep_single_delivery_state() {
+    let entries = corpus::entries_for(
+        "tests/failure_injection.rs::replay_filter_preserves_single_delivery_state",
+    );
+    assert!(!entries.is_empty(), "corpus section must not be pruned");
+    for e in &entries {
+        let dups: Vec<usize> = corpus::list(&e.payload, "dups");
+        assert_eq!(dups.len(), 12, "recorded pattern covers 3 workers × 4 seqs");
+        check_replay_filter_single_delivery(&dups);
     }
 }

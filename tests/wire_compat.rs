@@ -8,6 +8,9 @@ use ncl::model::{Chunk, HostId, KernelId, NodeId, ScalarType, Value, Window};
 use ncl::pisa::{Pipeline, ResourceModel};
 use proptest::prelude::*;
 
+#[path = "common/corpus.rs"]
+mod corpus;
+
 const AND: &str = "host h1\nhost h2\nswitch s1\nlink h1 s1\nlink h2 s1\n";
 
 /// An identity kernel: the pipeline must deparse exactly what the codec
@@ -34,11 +37,63 @@ fn identity_pipeline(mask: Vec<u16>) -> (Pipeline, u16, usize) {
     (pipe, kid, ext)
 }
 
+/// The round-trip property, callable from both the proptest and the
+/// shared-corpus replay: codec-encode → generated-parser → pipeline →
+/// deparse → codec-decode is the identity on windows matching the
+/// mask.
+fn check_encoded_window_roundtrip(
+    mask: &[u16],
+    seq: u32,
+    sender: u16,
+    last: bool,
+    tag: u16,
+    aux: u32,
+    seed: u32,
+) {
+    let (mut pipe, kid, ext_total) = identity_pipeline(mask.to_vec());
+    let chunks: Vec<Chunk> = mask
+        .iter()
+        .enumerate()
+        .map(|(ci, &elems)| Chunk {
+            offset: seq.wrapping_mul(elems as u32).wrapping_mul(4),
+            data: (0..elems as u32)
+                .flat_map(|e| {
+                    seed.wrapping_add(e)
+                        .wrapping_mul(ci as u32 + 1)
+                        .to_be_bytes()
+                })
+                .collect(),
+        })
+        .collect();
+    let mut w = Window {
+        kernel: KernelId(kid),
+        seq,
+        sender: HostId(sender),
+        from: NodeId::Host(HostId(sender)),
+        last,
+        chunks,
+        ext: vec![],
+    };
+    w.ext_write(0, Value::new(ScalarType::U16, tag as u64));
+    w.ext_write(2, Value::u32(aux));
+
+    let bytes = ncl::ncp::codec::encode_window(&w, ext_total);
+    let out = pipe.process(&bytes).expect("generated parser accepts");
+    assert_eq!(out.fwd_code, 0, "identity kernel passes");
+    let back = ncl::ncp::codec::decode_window(&out.packet).expect("codec decodes");
+    assert_eq!(back.seq, w.seq);
+    assert_eq!(back.sender, w.sender);
+    assert_eq!(back.last, w.last);
+    assert_eq!(&back.chunks, &w.chunks);
+    assert_eq!(&back.ext, &w.ext);
+    // The switch rewrote nothing else; `from` is rewritten by the
+    // embedding (netsim), not the pipeline.
+    assert_eq!(back.from, w.from);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// codec-encode → generated-parser → pipeline → deparse →
-    /// codec-decode is the identity on windows matching the mask.
     #[test]
     fn encoded_windows_survive_the_generated_pipeline(
         mask in proptest::collection::vec(1u16..6, 1..3),
@@ -49,45 +104,30 @@ proptest! {
         aux in any::<u32>(),
         seed in any::<u32>(),
     ) {
-        let (mut pipe, kid, ext_total) = identity_pipeline(mask.clone());
-        let chunks: Vec<Chunk> = mask
-            .iter()
-            .enumerate()
-            .map(|(ci, &elems)| Chunk {
-                offset: seq.wrapping_mul(elems as u32).wrapping_mul(4),
-                data: (0..elems as u32)
-                    .flat_map(|e| {
-                        seed.wrapping_add(e)
-                            .wrapping_mul(ci as u32 + 1)
-                            .to_be_bytes()
-                    })
-                    .collect(),
-            })
-            .collect();
-        let mut w = Window {
-            kernel: KernelId(kid),
-            seq,
-            sender: HostId(sender),
-            from: NodeId::Host(HostId(sender)),
-            last,
-            chunks,
-            ext: vec![],
-        };
-        w.ext_write(0, Value::new(ScalarType::U16, tag as u64));
-        w.ext_write(2, Value::u32(aux));
+        check_encoded_window_roundtrip(&mask, seq, sender, last, tag, aux, seed);
+    }
+}
 
-        let bytes = ncl::ncp::codec::encode_window(&w, ext_total);
-        let out = pipe.process(&bytes).expect("generated parser accepts");
-        prop_assert_eq!(out.fwd_code, 0, "identity kernel passes");
-        let back = ncl::ncp::codec::decode_window(&out.packet).expect("codec decodes");
-        prop_assert_eq!(back.seq, w.seq);
-        prop_assert_eq!(back.sender, w.sender);
-        prop_assert_eq!(back.last, w.last);
-        prop_assert_eq!(&back.chunks, &w.chunks);
-        prop_assert_eq!(&back.ext, &w.ext);
-        // The switch rewrote nothing else; `from` is rewritten by the
-        // embedding (netsim), not the pipeline.
-        prop_assert_eq!(back.from, w.from);
+/// Replays this file's section of the shared regression corpus
+/// (tests/corpus/shared.proptest-regressions): the recorded shrunk
+/// case — a single-element mask with `seq` at the 2^30 wrap boundary —
+/// must keep round-tripping bit-identically.
+#[test]
+fn corpus_encoded_window_cases_roundtrip() {
+    let entries =
+        corpus::entries_for("tests/wire_compat.rs::encoded_windows_survive_the_generated_pipeline");
+    assert!(!entries.is_empty(), "corpus section must not be pruned");
+    for e in &entries {
+        let mask: Vec<u16> = corpus::list(&e.payload, "mask");
+        check_encoded_window_roundtrip(
+            &mask,
+            corpus::num(&e.payload, "seq"),
+            corpus::num(&e.payload, "sender"),
+            corpus::boolean(&e.payload, "last"),
+            corpus::num(&e.payload, "tag"),
+            corpus::num(&e.payload, "aux"),
+            corpus::num(&e.payload, "seed"),
+        );
     }
 }
 
