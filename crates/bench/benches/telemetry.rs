@@ -1,0 +1,87 @@
+//! E11 — in-band window telemetry overhead (DESIGN §4.9). Regenerates
+//! the EXPERIMENTS.md §E11 table: completion time, wire bytes and
+//! goodput for sampling 0.0 (telemetry compiled in but never sampled —
+//! the baseline), 0.5 and 1.0, plus the headline acceptance number —
+//! the goodput cost of tracing *every* window at 0% loss (budget:
+//! ≤5%). Runs on a 2 KiB-PHV chip profile so the 256-element windows
+//! that amortize the fixed 33-byte section fit in one parse; the
+//! deterministic simulation makes the sampling-0.0 arm bit-identical
+//! to an untraced run. Writes the sampling-1.0 run's metrics
+//! registries to `target/e11-metrics.json` (the CI artifact).
+
+use ncl_bench::{rule, run_allreduce_telemetry};
+use pisa::ResourceModel;
+
+fn main() {
+    let nworkers = 4usize;
+    let elements = 8192usize;
+    let win = 256usize;
+    // A larger-PHV chip generation: default Tofino-ish profile except
+    // the parser budgets, so a 1 KiB window payload is parseable.
+    let model = ResourceModel {
+        stages: 48,
+        phv_header_bytes: 2048,
+        phv_metadata_bytes: 2048,
+        ..ResourceModel::default()
+    };
+    println!(
+        "E11: in-band telemetry — AllReduce ({nworkers} workers, {elements} × int32, win {win})"
+    );
+    println!("star topology; 10 Gb/s, 1 µs links; 33-byte section per sampled frame\n");
+
+    let base = run_allreduce_telemetry(nworkers, elements, win, 0.0, &model);
+    let half = run_allreduce_telemetry(nworkers, elements, win, 0.5, &model);
+    let full = run_allreduce_telemetry(nworkers, elements, win, 1.0, &model);
+
+    // Goodput ∝ payload / completion; payload is identical across arms,
+    // so the goodput overhead is the completion-time stretch.
+    let overhead = |t: u64| 100.0 * (1.0 - base.completion as f64 / t as f64);
+    rule(74);
+    println!(
+        "{:>14} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "arm", "compl µs", "wire KiB", "overhead%", "traces", "hops"
+    );
+    rule(74);
+    for (name, r) in [
+        ("sampling 0.0", &base),
+        ("sampling 0.5", &half),
+        ("sampling 1.0", &full),
+    ] {
+        println!(
+            "{:>14} {:>12.1} {:>12.1} {:>10.2} {:>10} {:>10}",
+            name,
+            r.completion as f64 / 1000.0,
+            r.bytes_on_wire as f64 / 1024.0,
+            overhead(r.completion),
+            r.traces,
+            r.hop_records
+        );
+    }
+    rule(74);
+
+    let nwindows = (nworkers * elements / win) as u64;
+    assert_eq!(base.traces, 0, "sampling 0.0 traces nothing");
+    assert_eq!(full.traces, nwindows, "sampling 1.0 traces every window");
+    assert_eq!(full.hop_records, nwindows, "one on-path switch per trace");
+    assert!(
+        half.traces < full.traces && half.traces > 0,
+        "sampling 0.5 traces a strict subset"
+    );
+    let full_overhead = overhead(full.completion);
+    println!(
+        "\nacceptance: goodput overhead at sampling 1.0, 0% loss = {full_overhead:.2}% \
+         (budget <= 5%)"
+    );
+    assert!(
+        full_overhead <= 5.0,
+        "telemetry goodput overhead {full_overhead:.2}% exceeds the 5% budget"
+    );
+
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/e11-metrics.json", &full.metrics_json)
+        .expect("write target/e11-metrics.json");
+    println!(
+        "wrote target/e11-metrics.json ({} bytes)",
+        full.metrics_json.len()
+    );
+}

@@ -99,7 +99,7 @@ pub fn run_allreduce_inc(nworkers: usize, elements: usize, win: usize) -> AllRed
         .expect("workers exist");
     AllReduceResult {
         completion,
-        bytes_on_wire: dep.net.stats.bytes_sent,
+        bytes_on_wire: dep.net.stats().bytes_sent,
         aggregator_ingress: dep.net.node_ingress_bytes(NodeId::Switch(s1)),
     }
 }
@@ -132,7 +132,7 @@ pub fn run_allreduce_ps(nworkers: usize, elements: usize, win: usize) -> AllRedu
         .expect("workers");
     AllReduceResult {
         completion,
-        bytes_on_wire: net.stats.bytes_sent,
+        bytes_on_wire: net.stats().bytes_sent,
         aggregator_ingress: net.node_ingress_bytes(NodeId::Host(ps)),
     }
 }
@@ -235,7 +235,7 @@ pub fn run_allreduce_reliable(
     }
     ReliableResult {
         completion,
-        bytes_on_wire: dep.net.stats.bytes_sent,
+        bytes_on_wire: dep.net.stats().bytes_sent,
         payload_bytes: (nworkers * elements * 4) as u64,
         retransmits,
         switch_dups: dep.net.switch_dup_suppressed(s1),
@@ -390,4 +390,109 @@ pub fn run_kvs(
 /// Pretty table separator for bench output.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// Results of one telemetry-enabled AllReduce run (E11).
+#[derive(Clone, Debug)]
+pub struct TelemetryResult {
+    /// Completion time (max across workers), ns.
+    pub completion: Time,
+    /// Bytes offered to links in total (incl. hop-record sections).
+    pub bytes_on_wire: u64,
+    /// Window traces assembled across all workers.
+    pub traces: u64,
+    /// Hop records across all traces.
+    pub hop_records: u64,
+    /// The run's metrics registries rendered as JSON (the CI artifact):
+    /// the simulator registry plus worker 1's host registry.
+    pub metrics_json: String,
+}
+
+/// Runs the Fig. 4 AllReduce with in-band window telemetry enabled
+/// (E11): every worker flags `sampling` of its outgoing windows, the
+/// switch stamps a 32-byte hop record on each, and receivers assemble
+/// the traces. Identical deployment shape to [`run_allreduce_inc`], so
+/// the completion-time delta between the two *is* the telemetry cost.
+pub fn run_allreduce_telemetry(
+    nworkers: usize,
+    elements: usize,
+    win: usize,
+    sampling: f64,
+    model: &pisa::ResourceModel,
+) -> TelemetryResult {
+    let src = allreduce_source(elements, win);
+    let and = format!("hosts worker {nworkers}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.model = *model;
+    let program = compile(&src, &and, &cfg).expect("allreduce compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=nworkers as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % nworkers as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .expect("valid");
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, elements), (ScalarType::Bool, 1)],
+        )
+        .expect("paired");
+        host.done_on_flag(kid, 1);
+        host.enable_telemetry(sampling, 65_536);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep: Deployment = deploy(&program, apps, LinkSpec::default(), *model).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(nworkers as u32),
+    );
+    dep.net.run();
+    let completion = (1..=nworkers as u16)
+        .map(|w| {
+            dep.net
+                .host_app::<NclHost>(HostId(w))
+                .expect("worker")
+                .done_at
+                .expect("completed")
+        })
+        .max()
+        .expect("workers exist");
+    let mut traces = 0u64;
+    let mut hop_records = 0u64;
+    let mut worker1_json = String::from("{}");
+    for w in 1..=nworkers as u16 {
+        let host = dep.net.host_app_mut::<NclHost>(HostId(w)).expect("worker");
+        if w == 1 {
+            worker1_json = host.metrics().render_json();
+        }
+        for t in host.take_traces() {
+            traces += 1;
+            hop_records += t.hops.len() as u64;
+        }
+    }
+    let metrics_json = format!(
+        "{{\"sim\":{},\"worker1\":{}}}",
+        dep.net.metrics().render_json(),
+        worker1_json
+    );
+    TelemetryResult {
+        completion,
+        bytes_on_wire: dep.net.stats().bytes_sent,
+        traces,
+        hop_records,
+        metrics_json,
+    }
 }

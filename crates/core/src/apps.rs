@@ -259,7 +259,7 @@ impl KvsClient {
 
     /// NCP-R retransmissions performed (0 when disabled).
     pub fn retransmits(&self) -> u64 {
-        self.reliable.as_ref().map_or(0, |s| s.stats.retransmits)
+        self.reliable.as_ref().map_or(0, |s| s.stats().retransmits)
     }
 
     /// Queries still awaiting a response.

@@ -3,7 +3,7 @@
 //! ```text
 //! nclc <program.ncl> --and <overlay.and> [--mask kernel=8,8]...
 //!      [--lint allow|warn|deny=CODE[,CODE...]]...
-//!      [--emit p4|ir|report|cost|all] [-o out-dir]
+//!      [--emit p4|ir|report|cost|timing|all] [-o out-dir]
 //! ```
 //!
 //! Takes an NCL C/C++ program and an AND file and produces "a program
@@ -17,7 +17,8 @@
 //! hazards and replay-unsafe updates are errors by default and the
 //! early resource estimate prints with `--emit cost`. `--lint
 //! allow=replay-unsafe` (etc.) downgrades a finding after you have
-//! understood the interleaving it describes.
+//! understood the interleaving it describes. `--emit timing` prints the
+//! wall-time of every compiler stage (nctel spans).
 
 use ncl_core::nclc::{compile, CompileConfig, LintCode, LintLevel, NclcError};
 use std::path::PathBuf;
@@ -37,7 +38,7 @@ fn usage() -> ! {
         "usage: nclc <program.ncl> --and <overlay.and> \
          [--mask kernel=N[,N...]]... \
          [--lint allow|warn|deny=CODE[,CODE...]]... \
-         [--emit p4|ir|report|cost|all] [-o DIR]"
+         [--emit p4|ir|report|cost|timing|all] [-o DIR]"
     );
     eprintln!(
         "lint codes: {}",
@@ -275,6 +276,9 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if wants("timing") {
+        print!("{}", program.timings.render());
     }
     if wants("ir") {
         let locations: Vec<_> = program

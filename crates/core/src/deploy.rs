@@ -11,12 +11,18 @@
 //! resolved from the overlay.
 
 use crate::fastpath::FastPathSwitch;
+use crate::interp_switch::InterpSwitch;
 use crate::nclc::CompiledProgram;
 use c3::{HostId, Label, NodeId, SwitchId};
 use ncl_and::AndKind;
-use netsim::{FastDatapath, HostApp, LinkSpec, Network, NetworkBuilder, SwitchCfg};
+use nctel::Registry;
+use netsim::{
+    FastDatapath, HostApp, KernelTelemetry, LinkSpec, Network, NetworkBuilder, SwitchCfg,
+    SwitchTelemetry,
+};
 use pisa::{Pipeline, ResourceModel};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which switch engine [`deploy_with`] loads into the simulated
 /// switches.
@@ -30,6 +36,11 @@ pub enum SwitchBackend {
     /// IR kernels lowered to linear micro-op programs, cached per
     /// `(kernel, location)` and executed allocation-free.
     FastPath,
+    /// The reference interpreter ([`InterpSwitch`]): the same versioned
+    /// IR executed by `ncl_ir::interp` — the slowest tier, kept for
+    /// three-way differential testing (interpreter vs fast path vs
+    /// PISA, including telemetry hop records).
+    Interp,
 }
 
 /// A deployed program: the runnable network plus name resolution.
@@ -102,12 +113,76 @@ pub fn deploy(
 /// [`deploy`] with an explicit switch engine.
 pub fn deploy_with(
     program: &CompiledProgram,
-    mut apps: HashMap<String, Box<dyn HostApp>>,
+    apps: HashMap<String, Box<dyn HostApp>>,
     link_spec: LinkSpec,
     model: ResourceModel,
     backend: SwitchBackend,
 ) -> Result<Deployment, DeployError> {
+    deploy_full(
+        program,
+        apps,
+        link_spec,
+        model,
+        backend,
+        Arc::new(Registry::new()),
+    )
+}
+
+/// Deploy-time telemetry identity for one switch: the static hop-record
+/// fields every execution tier stamps identically — kernel `version`
+/// (the 1-based index of the location's versioned module), PISA
+/// `stages` from the backend's resource report, and the fast-path
+/// micro-op count (`uops`), all fixed at deploy time.
+fn switch_telemetry(program: &CompiledProgram, label: &str, wire: u16) -> SwitchTelemetry {
+    let mut kernels = HashMap::new();
+    if let Some(module) = program.module(label) {
+        let version = program
+            .modules
+            .iter()
+            .position(|(l, _)| l.as_str() == label)
+            .map(|i| i as u16 + 1)
+            .unwrap_or(0);
+        let stages = program
+            .switch(label)
+            .map(|c| c.report.stages_used as u16)
+            .unwrap_or(0);
+        for k in &module.kernels {
+            if let Some(&id) = program.kernel_ids.get(&k.name) {
+                kernels.insert(
+                    id,
+                    KernelTelemetry {
+                        version,
+                        stages,
+                        uops: ncl_ir::CompiledKernel::compile_for(k, module).len() as u32,
+                    },
+                );
+            }
+        }
+    }
+    SwitchTelemetry {
+        switch_id: wire,
+        kernels,
+    }
+}
+
+/// [`deploy_with`] sharing the caller's metrics registry: the
+/// simulator's counters and the deploy gate outcomes
+/// (`deploy.hosts_loaded`, `deploy.switches_loaded`,
+/// `deploy.lint_denied`) all land on `registry`, which
+/// [`Network::metrics`] exposes after the build.
+pub fn deploy_full(
+    program: &CompiledProgram,
+    mut apps: HashMap<String, Box<dyn HostApp>>,
+    link_spec: LinkSpec,
+    model: ResourceModel,
+    backend: SwitchBackend,
+    registry: Arc<Registry>,
+) -> Result<Deployment, DeployError> {
+    let hosts_loaded = registry.counter("deploy.hosts_loaded");
+    let switches_loaded = registry.counter("deploy.switches_loaded");
+    let lint_denied = registry.counter("deploy.lint_denied");
     let mut b = NetworkBuilder::new();
+    b.with_metrics(registry);
     let mut nodes: HashMap<Label, NodeId> = HashMap::new();
 
     // Nodes in AND declaration order so netsim ids equal AND ids.
@@ -120,6 +195,7 @@ pub fn deploy_with(
                         label: n.label.to_string(),
                     })?;
                 let id = b.add_host(app);
+                hosts_loaded.inc();
                 debug_assert_eq!(id, HostId(n.id), "AND/netsim host id agreement");
                 nodes.insert(n.label.clone(), NodeId::Host(id));
             }
@@ -130,6 +206,7 @@ pub fn deploy_with(
                     let diags = ncl_ir::lint::lint_module(module, &program.lint_config);
                     let (deny, _) = ncl_ir::lint::partition(diags);
                     if !deny.is_empty() {
+                        lint_denied.inc();
                         return Err(DeployError::Lint {
                             label: n.label.to_string(),
                             diagnostics: deny,
@@ -144,6 +221,8 @@ pub fn deploy_with(
                         FastPathSwitch::from_program(program, n.label.as_str())
                             .map(|fp| Box::new(fp) as Box<dyn FastDatapath>)
                     }
+                    SwitchBackend::Interp => InterpSwitch::from_program(program, n.label.as_str())
+                        .map(|it| Box::new(it) as Box<dyn FastDatapath>),
                     SwitchBackend::Pisa => None,
                 };
                 let pipeline = match (backend, compiled) {
@@ -173,13 +252,17 @@ pub fn deploy_with(
                         AndKind::Switch => NodeId::Switch(SwitchId(peer.id)),
                     })
                     .collect();
+                let wire = NodeId::Switch(SwitchId(n.id)).to_wire();
+                let telemetry = Some(switch_telemetry(program, n.label.as_str(), wire));
                 let id = b.add_switch(SwitchCfg {
                     pipeline,
                     fastpath,
                     labels,
                     bcast,
+                    telemetry,
                     ..SwitchCfg::default()
                 });
+                switches_loaded.inc();
                 debug_assert_eq!(id, SwitchId(n.id), "AND/netsim switch id agreement");
                 nodes.insert(n.label.clone(), NodeId::Switch(id));
             }
@@ -304,7 +387,7 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
                     Value::u32(3),
                 );
             }
-            SwitchBackend::FastPath => {
+            SwitchBackend::FastPath | SwitchBackend::Interp => {
                 let fp = dep.net.switch_fastpath_mut(s1).unwrap();
                 for op in cp.ctrl_wr_ops("nworkers", Value::u32(3)) {
                     assert!(fp.ctrl(&op));
@@ -343,6 +426,13 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
     #[test]
     fn allreduce_full_system_fastpath() {
         run_allreduce(SwitchBackend::FastPath);
+    }
+
+    /// Same workload, same assertions, reference-interpreter engine —
+    /// the third tier of the differential matrix.
+    #[test]
+    fn allreduce_full_system_interp() {
+        run_allreduce(SwitchBackend::Interp);
     }
 
     /// The deploy-time lint gate is independent of the compile-time one:

@@ -23,6 +23,7 @@ use ncl_ir::ir::{CtrlId, MapId, Module};
 use ncl_ir::{CompiledKernel, ExecScratch, SwitchState};
 use ncp::codec::{decode_window_into, encode_window_into};
 use ncp::{NcpPacket, FLAG_ACK, FLAG_FRAGMENT, FLAG_NACK};
+use nctel::{Counter, Registry};
 use netsim::{CtrlOp, FastDatapath, FastVerdict};
 use std::any::Any;
 use std::collections::HashMap;
@@ -47,10 +48,14 @@ pub struct FastPathSwitch {
     map_by_table: HashMap<String, MapId>,
     reg_by_name: HashMap<String, usize>,
     label_wires: HashMap<Label, u16>,
-    /// Windows executed.
-    pub windows: u64,
+    /// Windows executed (nctel counter; cache hits of the compiled-
+    /// kernel cache).
+    windows: Counter,
+    /// NCP windows this datapath declined (fragments, unknown kernels
+    /// — cache misses, plainly forwarded).
+    misses: Counter,
     /// Kernel executions that errored (window forwarded unmodified).
-    pub errors: u64,
+    errors: Counter,
 }
 
 impl FastPathSwitch {
@@ -114,8 +119,9 @@ impl FastPathSwitch {
             map_by_table: HashMap::new(),
             reg_by_name,
             label_wires: label_wires.clone(),
-            windows: 0,
-            errors: 0,
+            windows: Counter::new(),
+            misses: Counter::new(),
+            errors: Counter::new(),
         }
     }
 
@@ -163,17 +169,19 @@ impl FastPathSwitch {
             Err(_) => return None,
         };
         if flags & (FLAG_FRAGMENT | FLAG_ACK | FLAG_NACK) != 0 || !self.kernels.contains_key(&kid) {
+            self.misses.inc();
             return None;
         }
         if decode_window_into(payload, &mut self.win).is_err() {
+            self.misses.inc();
             return None;
         }
-        self.windows += 1;
+        self.windows.inc();
         let kernel = &self.kernels[&kid];
         let fwd = match kernel.run_outgoing(&mut self.win, &mut self.state, &mut self.scratch) {
             Ok(f) => f,
             Err(_) => {
-                self.errors += 1;
+                self.errors.inc();
                 return None;
             }
         };
@@ -193,6 +201,35 @@ impl FastPathSwitch {
             fwd_code,
             fwd_label,
         })
+    }
+
+    /// Windows executed by the compiled cache (executor hits).
+    pub fn windows(&self) -> u64 {
+        self.windows.get()
+    }
+
+    /// NCP windows declined by the executor (cache misses: fragments,
+    /// unknown kernels, undecodable payloads).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Kernel executions that errored (window forwarded unmodified).
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Registers this executor's counters on `reg` under
+    /// `{prefix}.windows`, `{prefix}.misses` and `{prefix}.errors`.
+    pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.windows"), &self.windows);
+        reg.register_counter(&format!("{prefix}.misses"), &self.misses);
+        reg.register_counter(&format!("{prefix}.errors"), &self.errors);
+    }
+
+    /// Resolves a `_pass(label)` target to its wire id.
+    pub fn label_wire(&self, label: &Label) -> Option<u16> {
+        self.label_wires.get(label).copied()
     }
 
     /// `ncl::ctrl_wr` against this location's state.
@@ -393,8 +430,8 @@ mod tests {
                 "count[{i}]"
             );
         }
-        assert_eq!(fp.windows, 12);
-        assert_eq!(fp.errors, 0);
+        assert_eq!(fp.windows(), 12);
+        assert_eq!(fp.errors(), 0);
     }
 
     /// The compiler-lowered replay filter, exercised identically in
@@ -480,7 +517,8 @@ mod tests {
         // Unknown kernel ids are forwarded, not executed.
         let alien = encode_window(&window(999, 1, 0, &[1, 2, 3, 4]), 0);
         assert!(fp.process_window(&alien).is_none());
-        assert_eq!(fp.windows, 0);
+        assert_eq!(fp.windows(), 0);
+        assert!(fp.misses() >= 2, "declined traffic counts as misses");
     }
 
     /// Deferred control-plane operations emitted by [`ControlPlane`]

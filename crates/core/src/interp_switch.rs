@@ -1,0 +1,223 @@
+//! The interpreter-backed switch datapath — the third execution tier.
+//!
+//! [`InterpSwitch`] runs a location's versioned IR kernels through the
+//! reference [`Interpreter`] instead of the compiled micro-op executor
+//! ([`crate::fastpath::FastPathSwitch`]) or the modeled PISA pipeline.
+//! It exists for differential testing: all three tiers must produce the
+//! same verdicts, output windows, register state — and, with in-band
+//! telemetry enabled, bit-identical hop records (`tests/differential.rs`,
+//! DESIGN.md §4.9). Control-plane operations and state layout are
+//! delegated to an embedded [`FastPathSwitch`] so the tiers cannot
+//! drift in anything but the execution engine itself.
+
+use crate::fastpath::FastPathSwitch;
+use crate::nclc::CompiledProgram;
+use c3::{Forward, Window};
+use ncl_ir::interp::Interpreter;
+use ncl_ir::ir::KernelIr;
+use ncp::codec::{decode_window_into, encode_window_into};
+use ncp::{NcpPacket, FLAG_ACK, FLAG_FRAGMENT, FLAG_NACK};
+use netsim::{CtrlOp, FastDatapath, FastVerdict};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// An interpreter-driven datapath for one switch location.
+pub struct InterpSwitch {
+    /// State owner and control-plane delegate: the embedded fast path's
+    /// [`FastPathSwitch::state`] is the device state the interpreter
+    /// mutates, so ctrl ops and register reads behave identically
+    /// across tiers by construction.
+    inner: FastPathSwitch,
+    /// NCP kernel id → IR kernel, interpreted per window.
+    kernels: HashMap<u16, KernelIr>,
+    interp: Interpreter,
+    win: Window,
+    ext_total: usize,
+}
+
+impl InterpSwitch {
+    /// Builds the datapath for one switch label of a compiled program;
+    /// `None` when the label has no module.
+    pub fn from_program(program: &CompiledProgram, label: &str) -> Option<Self> {
+        let inner = FastPathSwitch::from_program(program, label)?;
+        let module = program.module(label)?;
+        let kernels = module
+            .kernels
+            .iter()
+            .filter_map(|k| program.kernel_ids.get(&k.name).map(|&id| (id, k.clone())))
+            .collect();
+        Some(InterpSwitch {
+            inner,
+            kernels,
+            interp: Interpreter::default(),
+            win: Window {
+                kernel: c3::KernelId(0),
+                seq: 0,
+                sender: c3::HostId(0),
+                from: c3::NodeId::Host(c3::HostId(0)),
+                last: false,
+                chunks: Vec::new(),
+                ext: Vec::new(),
+            },
+            ext_total: program.checked.window_ext.size(),
+        })
+    }
+
+    /// Processes one payload through the interpreter; same contract as
+    /// [`FastPathSwitch::process_window`].
+    pub fn process_window(&mut self, payload: &[u8]) -> Option<FastVerdict> {
+        let (kid, flags) = match NcpPacket::new_checked(payload) {
+            Ok(p) => (p.kernel(), p.flags()),
+            Err(_) => return None,
+        };
+        if flags & (FLAG_FRAGMENT | FLAG_ACK | FLAG_NACK) != 0 || !self.kernels.contains_key(&kid) {
+            return None;
+        }
+        if decode_window_into(payload, &mut self.win).is_err() {
+            return None;
+        }
+        let kernel = &self.kernels[&kid];
+        let fwd = self
+            .interp
+            .run_outgoing(kernel, &mut self.win, &mut self.inner.state)
+            .ok()?;
+        let (fwd_code, fwd_label) = match &fwd {
+            Forward::Pass => (0, 0),
+            Forward::Reflect => (1, 0),
+            Forward::Bcast => (2, 0),
+            Forward::Drop => (3, 0),
+            Forward::PassTo(l) => (4, self.inner.label_wire(l).unwrap_or(0)),
+        };
+        let mut out = Vec::new();
+        if fwd_code != 3 {
+            encode_window_into(&self.win, self.ext_total, &mut out);
+        }
+        Some(FastVerdict {
+            payload: out,
+            fwd_code,
+            fwd_label,
+        })
+    }
+
+    /// The embedded state/control delegate (post-run inspection).
+    pub fn fastpath(&self) -> &FastPathSwitch {
+        &self.inner
+    }
+}
+
+impl FastDatapath for InterpSwitch {
+    fn process(&mut self, payload: &[u8]) -> Option<FastVerdict> {
+        self.process_window(payload)
+    }
+
+    fn ctrl(&mut self, op: &CtrlOp) -> bool {
+        self.inner.ctrl(op)
+    }
+
+    fn register_prefix_sum(&self, prefix: &str) -> u64 {
+        self.inner.register_prefix_sum(prefix)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::allreduce_source;
+    use crate::nclc::{compile, CompileConfig};
+    use c3::{Chunk, HostId, KernelId, NodeId, Value};
+    use ncp::codec::{decode_window, encode_window};
+
+    const AND: &str = "hosts worker 3\nswitch s1\nlink worker* s1\n";
+
+    /// The interpreter tier agrees with the compiled fast path on every
+    /// verdict, emitted window, and the final register state.
+    #[test]
+    fn interp_tier_matches_the_fast_path() {
+        let src = allreduce_source(16, 4);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        let p = compile(&src, AND, &cfg).expect("compiles");
+        let kid = p.kernel_ids["allreduce"];
+        let ext = p.checked.window_ext.size();
+        let mut it = InterpSwitch::from_program(&p, "s1").expect("interp builds");
+        let mut fp = FastPathSwitch::from_program(&p, "s1").expect("fastpath builds");
+        assert!(it.ctrl(&CtrlOp::RegWrite {
+            name: "nworkers".into(),
+            index: 0,
+            value: Value::u32(3),
+        }));
+        assert!(fp.ctrl_wr("nworkers", Value::u32(3)));
+
+        for seq in 0..4u32 {
+            for worker in 1..=3u16 {
+                let vals: Vec<i32> = (0..4).map(|i| worker as i32 * 10 + i).collect();
+                let w = Window {
+                    kernel: KernelId(kid),
+                    seq,
+                    sender: HostId(worker),
+                    from: NodeId::Host(HostId(worker)),
+                    last: seq == 3,
+                    chunks: vec![Chunk {
+                        offset: seq * 16,
+                        data: vals.iter().flat_map(|v| v.to_be_bytes()).collect(),
+                    }],
+                    ext: vec![],
+                };
+                let bytes = encode_window(&w, ext);
+                let iv = it.process_window(&bytes).expect("interp processes");
+                let fv = fp.process_window(&bytes).expect("fastpath processes");
+                assert_eq!(iv.fwd_code, fv.fwd_code, "worker {worker} seq {seq}");
+                if iv.fwd_code != 3 {
+                    assert_eq!(
+                        decode_window(&iv.payload).unwrap(),
+                        decode_window(&fv.payload).unwrap(),
+                        "worker {worker} seq {seq}"
+                    );
+                }
+            }
+        }
+        for i in 0..16 {
+            assert_eq!(
+                it.fastpath().register_read("accum", i),
+                fp.register_read("accum", i),
+                "accum[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn non_ncp_and_unknown_kernels_pass_through() {
+        let src = allreduce_source(16, 4);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        let p = compile(&src, AND, &cfg).expect("compiles");
+        let mut it = InterpSwitch::from_program(&p, "s1").unwrap();
+        assert!(it.process_window(b"not ncp at all").is_none());
+        let alien = encode_window(
+            &Window {
+                kernel: KernelId(999),
+                seq: 0,
+                sender: HostId(1),
+                from: NodeId::Host(HostId(1)),
+                last: false,
+                chunks: vec![Chunk {
+                    offset: 0,
+                    data: vec![0; 4],
+                }],
+                ext: vec![],
+            },
+            0,
+        );
+        assert!(it.process_window(&alien).is_none());
+    }
+}

@@ -46,11 +46,13 @@ pub mod baseline;
 pub mod control;
 pub mod deploy;
 pub mod fastpath;
+pub mod interp_switch;
 pub mod nclc;
 pub mod runtime;
 
 pub use control::ControlPlane;
-pub use deploy::{deploy, deploy_with, Deployment, SwitchBackend};
+pub use deploy::{deploy, deploy_full, deploy_with, Deployment, SwitchBackend};
 pub use fastpath::FastPathSwitch;
+pub use interp_switch::InterpSwitch;
 pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};
 pub use runtime::{NclHost, OutInvocation, TypedArray};

@@ -16,6 +16,7 @@ use ncl_lang::diag::Diagnostic;
 use ncl_lang::sema::CheckedProgram;
 pub use ncl_p4::estimate::ModuleEstimate;
 use ncl_p4::{compile_module, CompileError, CompileOptions, CompiledSwitch};
+use nctel::Timeline;
 use pisa::ResourceModel;
 use std::collections::{BTreeMap, HashMap};
 
@@ -84,6 +85,11 @@ pub struct CompiledProgram {
     /// module cannot reach a simulated switch even when a
     /// `CompiledProgram` is assembled or altered by hand.
     pub lint_config: LintConfig,
+    /// Wall-time spans of every compiler stage (frontend → overlay →
+    /// lower → optimize → version → lint → estimate → backend), the
+    /// per-location stages accumulated across locations. Rendered by
+    /// `nclc --emit timing`.
+    pub timings: Timeline,
 }
 
 impl CompiledProgram {
@@ -195,9 +201,15 @@ pub fn compile(
     and_source: &str,
     cfg: &CompileConfig,
 ) -> Result<CompiledProgram, NclcError> {
+    let mut timings = Timeline::new();
+
     // Frontend (Fig. 6: clang.fe + nclc.fe).
-    let checked = ncl_lang::frontend(ncl_source, "program.ncl").map_err(NclcError::Frontend)?;
-    let overlay = ncl_and::parse(and_source).map_err(NclcError::And)?;
+    let checked = timings
+        .time("frontend", || ncl_lang::frontend(ncl_source, "program.ncl"))
+        .map_err(NclcError::Frontend)?;
+    let overlay = timings
+        .time("overlay", || ncl_and::parse(and_source))
+        .map_err(NclcError::And)?;
 
     // Validate `_at_` labels against the AND.
     for k in &checked.kernels {
@@ -227,8 +239,10 @@ pub fn compile(
         unroll_limit: cfg.unroll_limit,
         replay_filters: cfg.replay_filters.clone(),
     };
-    let mut generic = lower(&checked, &lcfg).map_err(NclcError::Lowering)?;
-    ncl_ir::passes::optimize(&mut generic);
+    let mut generic = timings
+        .time("lower", || lower(&checked, &lcfg))
+        .map_err(NclcError::Lowering)?;
+    timings.time("optimize", || ncl_ir::passes::optimize(&mut generic));
 
     // Program-wide kernel ids, in declaration order, from 1.
     let kernel_ids: HashMap<String, u16> = checked
@@ -247,7 +261,7 @@ pub fn compile(
             id: s.id,
         })
         .collect();
-    let versions = version_modules(&generic, &locations);
+    let versions = timings.time("version", || version_modules(&generic, &locations));
     let opts = CompileOptions {
         kernel_ids: kernel_ids.clone(),
         label_ids: label_ids.clone(),
@@ -266,8 +280,10 @@ pub fn compile(
         // Static analysis gate: hazard/replay findings plus the early
         // resource estimate, both before PISA mapping. A denied finding
         // means the kernel must not reach a switch.
-        let mut diags = ncl_ir::lint::lint_module(&module, &lint_cfg);
-        let estimate = match ncl_p4::estimate::estimate_module(&module, &cfg.model) {
+        let mut diags = timings.time("lint", || ncl_ir::lint::lint_module(&module, &lint_cfg));
+        let estimate = match timings.time("estimate", || {
+            ncl_p4::estimate::estimate_module(&module, &cfg.model)
+        }) {
             Ok(est) => {
                 let overrun_level = lint_cfg.level(LintCode::ResourceOverrun);
                 if overrun_level != LintLevel::Allow {
@@ -300,8 +316,9 @@ pub fn compile(
                 diagnostics: deny,
             });
         }
-        let compiled =
-            compile_module(&module, &cfg.model, &opts).map_err(|error| NclcError::Backend {
+        let compiled = timings
+            .time("backend", || compile_module(&module, &cfg.model, &opts))
+            .map_err(|error| NclcError::Backend {
                 location: loc.label.clone(),
                 error,
             })?;
@@ -324,6 +341,7 @@ pub fn compile(
         lints,
         estimates,
         lint_config: lint_cfg,
+        timings,
     })
 }
 

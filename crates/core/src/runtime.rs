@@ -22,10 +22,14 @@ use ncl_ir::{CompiledKernel, ExecScratch, HostMemory};
 use ncp::codec::{encode_window, Reassembler};
 use ncp::reliable::SenderStats;
 use ncp::reliable::{Receiver as RelReceiver, ReceiverStats, ReliableConfig, Sender as RelSender};
-use ncp::{AckRepr, NcpPacket};
+use ncp::{AckRepr, NcpPacket, FLAG_TELEMETRY};
+use nctel::hop::section_records;
+use nctel::trace::{TraceRing, WindowTrace};
+use nctel::{Counter, Registry};
 use netsim::{HostApp, HostCtx, Packet, Time};
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Timer token reserved for the NCP-R retransmission clock. Invocation
 /// tokens are `(idx << 32) | (wi + 1)` with small `idx`, so the top bit
@@ -242,6 +246,13 @@ pub struct NclHost {
     reliable: Option<Reliability>,
     reassembler: Reassembler,
     scratch: ExecScratch,
+    /// In-band telemetry: when enabled, sampled outgoing windows carry
+    /// an (initially empty) hop-record section that on-path switches
+    /// append to; assembled traces land in this ring.
+    telemetry: Option<TraceRing>,
+    registry: Arc<Registry>,
+    m_windows_sent: Counter,
+    m_windows_received: Counter,
     /// Windows received (count).
     pub windows_received: u64,
     /// Windows sent.
@@ -257,6 +268,9 @@ pub struct NclHost {
 impl NclHost {
     /// Creates a host bound to a compiled program.
     pub fn new(program: &CompiledProgram) -> Self {
+        let registry = Arc::new(Registry::new());
+        let m_windows_sent = registry.counter("host.windows_sent");
+        let m_windows_received = registry.counter("host.windows_received");
         NclHost {
             runtimes: kernel_runtimes(program),
             ext_total: program.checked.window_ext.size(),
@@ -266,6 +280,10 @@ impl NclHost {
             reliable: None,
             reassembler: Reassembler::new(),
             scratch: ExecScratch::new(),
+            telemetry: None,
+            registry,
+            m_windows_sent,
+            m_windows_received,
             windows_received: 0,
             windows_sent: 0,
             done_at: None,
@@ -366,25 +384,64 @@ impl NclHost {
     /// "delivered exactly once" — without a [`NclHost::done_when`]
     /// predicate, that retirement alone completes the host.
     pub fn enable_reliability(&mut self, cfg: ReliableConfig) -> &mut Self {
-        self.reliable = Some(Reliability {
+        let r = Reliability {
             sender: RelSender::new(cfg),
             receiver: RelReceiver::new(),
             wire_index: HashMap::new(),
             armed: None,
-        });
+        };
+        r.sender.attach_metrics(&self.registry, "ncpr.sender");
+        r.receiver.attach_metrics(&self.registry, "ncpr.receiver");
+        self.reliable = Some(r);
         self
+    }
+
+    /// Enables in-band window telemetry (paper-style INT for windows).
+    /// Sampled outgoing windows carry `FLAG_TELEMETRY` plus an empty
+    /// hop-record section; telemetry-aware switches append one fixed
+    /// 32-byte record each, and arriving sections are assembled into
+    /// [`WindowTrace`]s held in a bounded ring of `capacity` entries
+    /// (oldest evicted first). `sampling` is the fraction of outgoing
+    /// windows flagged, clamped to `0.0..=1.0`; sampling is
+    /// deterministic (an error-accumulator, not RNG) so runs replay.
+    pub fn enable_telemetry(&mut self, sampling: f64, capacity: usize) -> &mut Self {
+        self.telemetry = Some(TraceRing::new(sampling, capacity));
+        self
+    }
+
+    /// Drains and returns the assembled per-window traces (oldest
+    /// first). Empty when telemetry is disabled.
+    pub fn take_traces(&mut self) -> Vec<WindowTrace> {
+        self.telemetry
+            .as_mut()
+            .map(|t| t.take())
+            .unwrap_or_default()
+    }
+
+    /// Traces evicted or unsampled since the ring was created (ring
+    /// overflow only — unsampled windows are never counted).
+    pub fn traces_dropped(&self) -> u64 {
+        self.telemetry.as_ref().map(|t| t.dropped()).unwrap_or(0)
+    }
+
+    /// The host's metrics registry: `host.*` window counters plus, when
+    /// reliability is enabled, the `ncpr.sender.*` / `ncpr.receiver.*`
+    /// transport counters (the same atomics the [`NclHost::sender_stats`]
+    /// snapshots read — registry and snapshots cannot disagree).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// NCP-R sender counters (tracked / retransmits / acked /
     /// abandoned / cwnd cuts), when reliability is enabled.
     pub fn sender_stats(&self) -> Option<SenderStats> {
-        self.reliable.as_ref().map(|r| r.sender.stats)
+        self.reliable.as_ref().map(|r| r.sender.stats())
     }
 
     /// NCP-R receiver counters (delivered / duplicates suppressed),
     /// when reliability is enabled.
     pub fn receiver_stats(&self) -> Option<ReceiverStats> {
-        self.reliable.as_ref().map(|r| r.receiver.stats)
+        self.reliable.as_ref().map(|r| r.receiver.stats())
     }
 
     fn launch(&mut self, ctx: &mut HostCtx, idx: usize) {
@@ -411,9 +468,10 @@ impl NclHost {
                     continue; // queued until the congestion window opens
                 }
             }
-            let bytes = encode_window(&w, self.ext_total);
+            let bytes = self.encode_frame(&w);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
+            self.m_windows_sent.inc();
         }
         if self.reliable.is_some() {
             self.pump(ctx);
@@ -440,13 +498,16 @@ impl NclHost {
             if let Some((dest, bytes)) = self.window_bytes(ctx.host, idx, wi) {
                 ctx.send(dest, bytes);
                 self.windows_sent += 1;
+                self.m_windows_sent.inc();
             }
         }
     }
 
     /// Re-encodes window `wi` of invocation `idx` (the NCP-R
     /// retransmission path re-splits from the application arrays).
-    fn window_bytes(&self, host: HostId, idx: usize, wi: usize) -> Option<(NodeId, Vec<u8>)> {
+    /// Retransmits go through the telemetry sampler like first
+    /// transmissions — a retransmitted window may carry a fresh section.
+    fn window_bytes(&mut self, host: HostId, idx: usize, wi: usize) -> Option<(NodeId, Vec<u8>)> {
         let inv = self.outs.get(idx)?;
         let rt = self.runtimes.get(&inv.kernel)?;
         let arrays: Vec<&[u8]> = inv.arrays.iter().map(|a| &a.bytes[..]).collect();
@@ -454,7 +515,22 @@ impl NclHost {
         w.kernel = KernelId(rt.id);
         w.sender = host;
         w.from = NodeId::Host(host);
-        Some((inv.dest, encode_window(&w, self.ext_total)))
+        let dest = inv.dest;
+        Some((dest, self.encode_frame(&w)))
+    }
+
+    /// Encodes one outgoing window, appending an empty telemetry
+    /// section (and setting `FLAG_TELEMETRY`) when the sampler elects
+    /// this window for tracing.
+    fn encode_frame(&mut self, w: &Window) -> Vec<u8> {
+        let mut bytes = encode_window(w, self.ext_total);
+        if let Some(t) = &mut self.telemetry {
+            if t.should_sample() {
+                bytes[3] |= FLAG_TELEMETRY;
+                bytes.extend_from_slice(&nctel::hop::section_init());
+            }
+        }
+        bytes
     }
 
     /// Records completion. With NCP-R enabled, completion means
@@ -465,7 +541,7 @@ impl NclHost {
             return;
         }
         if let Some(r) = &self.reliable {
-            if !r.sender.idle() || r.sender.stats.tracked == 0 {
+            if !r.sender.idle() || r.sender.stats().tracked == 0 {
                 return;
             }
         }
@@ -478,7 +554,7 @@ impl NclHost {
         }
     }
 
-    fn deliver(&mut self, ctx: &mut HostCtx, mut w: Window) {
+    fn deliver(&mut self, ctx: &mut HostCtx, mut w: Window, hops: Option<Vec<nctel::HopRecord>>) {
         if let Some(r) = &mut self.reliable {
             // Ack-by-response: any arriving window keyed (kernel, seq)
             // retires the matching in-flight window. The response IS the
@@ -497,6 +573,15 @@ impl NclHost {
             }
         }
         self.windows_received += 1;
+        self.m_windows_received.inc();
+        if let (Some(t), Some(hops)) = (&mut self.telemetry, hops) {
+            t.push(WindowTrace {
+                kernel: w.kernel.0,
+                seq: w.seq,
+                sender: w.sender.0,
+                hops,
+            });
+        }
         if self.log_windows {
             self.window_log.push(w.clone());
         }
@@ -545,8 +630,22 @@ impl HostApp for NclHost {
                 }
             }
         }
+        // Telemetry sections ride after the NCP frame proper; peel the
+        // hop records off the raw bytes before reassembly (the codec
+        // tolerates — and ignores — trailing bytes).
+        let mut hops = None;
+        if self.telemetry.is_some() {
+            if let Ok(p) = NcpPacket::new_checked(&pkt.payload[..]) {
+                if p.flags() & FLAG_TELEMETRY != 0 {
+                    let total = p.total_len();
+                    if pkt.payload.len() > total {
+                        hops = section_records(&pkt.payload[total..]);
+                    }
+                }
+            }
+        }
         if let Ok(Some(w)) = self.reassembler.push(&pkt.payload) {
-            self.deliver(ctx, w);
+            self.deliver(ctx, w, hops);
         }
     }
 
@@ -582,9 +681,10 @@ impl HostApp for NclHost {
                     return; // queued until the congestion window opens
                 }
             }
-            let bytes = encode_window(&w, self.ext_total);
+            let bytes = self.encode_frame(&w);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
+            self.m_windows_sent.inc();
         }
         if self.reliable.is_some() {
             self.pump(ctx);

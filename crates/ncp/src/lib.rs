@@ -39,5 +39,5 @@ pub use reliable::{Receiver, ReliableConfig, Sender};
 pub use udp::{RecvEvent, UdpEndpoint, NCP_UDP_PORT};
 pub use wire::{
     AckRepr, NcpPacket, NcpRepr, FLAG_ACK, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST,
-    FLAG_MORE_FRAGS, FLAG_NACK, HEADER_LEN, MAGIC, VERSION,
+    FLAG_MORE_FRAGS, FLAG_NACK, FLAG_TELEMETRY, HEADER_LEN, MAGIC, VERSION,
 };

@@ -23,6 +23,7 @@
 //! nanoseconds, fed by the caller (netsim's simulated clock or a
 //! wall-clock via `std::time::Instant`). Nothing here does I/O.
 
+use nctel::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Nanosecond timestamps, matching netsim's `Time`.
@@ -60,7 +61,8 @@ impl Default for ReliableConfig {
     }
 }
 
-/// Counters a [`Sender`] exposes.
+/// Point-in-time snapshot of a [`Sender`]'s counters (which live on
+/// the unified `nctel` registry; see [`Sender::attach_metrics`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SenderStats {
     /// Windows handed to [`Sender::track`].
@@ -104,8 +106,12 @@ pub struct Sender {
     cwnd: usize,
     /// Additive-increase accumulator (acks since last growth).
     acks_since_grow: usize,
-    /// Counters.
-    pub stats: SenderStats,
+    /// nctel counters (detached until [`Sender::attach_metrics`]).
+    tracked: Counter,
+    retransmits: Counter,
+    acked: Counter,
+    abandoned: Counter,
+    cwnd_cuts: Counter,
 }
 
 impl Sender {
@@ -117,7 +123,33 @@ impl Sender {
             flight: HashMap::new(),
             queue: Vec::new(),
             acks_since_grow: 0,
-            stats: SenderStats::default(),
+            tracked: Counter::new(),
+            retransmits: Counter::new(),
+            acked: Counter::new(),
+            abandoned: Counter::new(),
+            cwnd_cuts: Counter::new(),
+        }
+    }
+
+    /// Registers this sender's counters on `reg` under
+    /// `{prefix}.tracked`, `{prefix}.retransmits`, `{prefix}.acked`,
+    /// `{prefix}.abandoned` and `{prefix}.cwnd_cuts`.
+    pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.tracked"), &self.tracked);
+        reg.register_counter(&format!("{prefix}.retransmits"), &self.retransmits);
+        reg.register_counter(&format!("{prefix}.acked"), &self.acked);
+        reg.register_counter(&format!("{prefix}.abandoned"), &self.abandoned);
+        reg.register_counter(&format!("{prefix}.cwnd_cuts"), &self.cwnd_cuts);
+    }
+
+    /// Snapshot of the counters (compat shim over the nctel cells).
+    pub fn stats(&self) -> SenderStats {
+        SenderStats {
+            tracked: self.tracked.get(),
+            retransmits: self.retransmits.get(),
+            acked: self.acked.get(),
+            abandoned: self.abandoned.get(),
+            cwnd_cuts: self.cwnd_cuts.get(),
         }
     }
 
@@ -135,7 +167,7 @@ impl Sender {
     /// means it is queued until the congestion window opens (the caller
     /// must not send it yet — [`Sender::poll`] will release it).
     pub fn track(&mut self, kernel: u16, seq: u32, now: Time) -> bool {
-        self.stats.tracked += 1;
+        self.tracked.inc();
         let key = Key { kernel, seq };
         if self.flight.len() < self.cap() {
             self.flight.insert(
@@ -178,7 +210,7 @@ impl Sender {
     pub fn on_ack(&mut self, kernel: u16, seq: u32) -> bool {
         let retired = self.flight.remove(&Key { kernel, seq }).is_some();
         if retired {
-            self.stats.acked += 1;
+            self.acked.inc();
             // Additive increase: one extra window per cwnd of acks.
             self.acks_since_grow += 1;
             if self.acks_since_grow >= self.cwnd && self.cwnd < self.cfg.max_cwnd {
@@ -201,7 +233,7 @@ impl Sender {
     fn cut(&mut self) {
         self.cwnd = (self.cwnd / 2).max(1);
         self.acks_since_grow = 0;
-        self.stats.cwnd_cuts += 1;
+        self.cwnd_cuts.inc();
     }
 
     /// Advances the clock: expires RTOs (scheduling retransmits with
@@ -224,13 +256,13 @@ impl Sender {
             let f = self.flight.get_mut(&key).expect("still in flight");
             if f.retries >= self.cfg.max_retries {
                 self.flight.remove(&key);
-                self.stats.abandoned += 1;
+                self.abandoned.inc();
                 continue;
             }
             f.retries += 1;
             f.rto = (f.rto * 2).min(self.cfg.max_rto);
             f.deadline = now + f.rto;
-            self.stats.retransmits += 1;
+            self.retransmits.inc();
             self.cut();
             send.push((key.kernel, key.seq));
         }
@@ -292,7 +324,8 @@ impl DeliveryState {
     }
 }
 
-/// Counters a [`Receiver`] exposes.
+/// Point-in-time snapshot of a [`Receiver`]'s counters (which live on
+/// the unified `nctel` registry; see [`Receiver::attach_metrics`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ReceiverStats {
     /// Windows admitted (first delivery).
@@ -305,8 +338,9 @@ pub struct ReceiverStats {
 #[derive(Debug, Default)]
 pub struct Receiver {
     state: HashMap<(u16, u16), DeliveryState>,
-    /// Counters.
-    pub stats: ReceiverStats,
+    /// nctel counters (detached until [`Receiver::attach_metrics`]).
+    delivered: Counter,
+    duplicates: Counter,
 }
 
 impl Receiver {
@@ -315,17 +349,32 @@ impl Receiver {
         Receiver::default()
     }
 
+    /// Registers this receiver's counters on `reg` under
+    /// `{prefix}.delivered` and `{prefix}.duplicates`.
+    pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.delivered"), &self.delivered);
+        reg.register_counter(&format!("{prefix}.duplicates"), &self.duplicates);
+    }
+
+    /// Snapshot of the counters (compat shim over the nctel cells).
+    pub fn stats(&self) -> ReceiverStats {
+        ReceiverStats {
+            delivered: self.delivered.get(),
+            duplicates: self.duplicates.get(),
+        }
+    }
+
     /// Records an arriving window. Returns `true` exactly once per
     /// `(sender, kernel, seq)` — the caller delivers on `true` and
     /// (re-)acknowledges but drops on `false`.
     pub fn admit(&mut self, sender: u16, kernel: u16, seq: u32) -> bool {
         let st = self.state.entry((sender, kernel)).or_default();
         if st.seen(seq) {
-            self.stats.duplicates += 1;
+            self.duplicates.inc();
             false
         } else {
             st.mark(seq);
-            self.stats.delivered += 1;
+            self.delivered.inc();
             true
         }
     }
@@ -369,7 +418,7 @@ mod tests {
         assert_eq!(send, vec![(1, 0)], "RTO fires at deadline");
         assert_eq!(next, Some(300), "backoff doubled: 100 + 200");
         assert_eq!(s.cwnd(), 1, "loss cut the window");
-        assert_eq!(s.stats.retransmits, 1);
+        assert_eq!(s.stats().retransmits, 1);
         let (send, next) = s.poll(300);
         assert_eq!(send, vec![(1, 0)]);
         assert_eq!(next, Some(700), "100*2*2 = 400 past now");
@@ -389,7 +438,7 @@ mod tests {
         let (send, next) = s.poll(now);
         assert!(send.is_empty(), "fourth expiry abandons");
         assert_eq!(next, None);
-        assert_eq!(s.stats.abandoned, 1);
+        assert_eq!(s.stats().abandoned, 1);
         assert!(s.idle());
     }
 
@@ -400,7 +449,7 @@ mod tests {
         s.on_nack(1, 7, 50);
         let (send, _) = s.poll(50);
         assert_eq!(send, vec![(1, 7)]);
-        assert_eq!(s.stats.cwnd_cuts, 1);
+        assert_eq!(s.stats().cwnd_cuts, 1);
     }
 
     #[test]
@@ -431,8 +480,8 @@ mod tests {
         assert!(r.admit(1, 1, 2));
         assert!(r.admit(2, 1, 0), "other sender is independent");
         assert!(r.admit(1, 2, 0), "other kernel is independent");
-        assert_eq!(r.stats.delivered, 5);
-        assert_eq!(r.stats.duplicates, 2);
+        assert_eq!(r.stats().delivered, 5);
+        assert_eq!(r.stats().duplicates, 2);
     }
 
     #[test]

@@ -10,9 +10,10 @@ use crate::codec::{fragment_window_into, BufferPool, Reassembler};
 use crate::reliable::Time;
 use crate::wire::{AckRepr, NcpPacket};
 use c3::Window;
+use nctel::{Counter, MonotonicClock, Registry};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The NCP well-known UDP port (also baked into the generated P4
 /// parser's `parse_udp` state).
@@ -47,15 +48,18 @@ pub struct UdpEndpoint {
     pub mtu: usize,
     /// Ext-block size of the deployed program (fixed parser layout).
     pub ext_total: usize,
-    /// Datagrams rejected as non-NCP since bind.
-    pub malformed: u64,
+    /// Datagrams rejected as non-NCP since bind (nctel counter).
+    malformed: Counter,
     buf: Vec<u8>,
     /// Recycled packet buffers for the zero-copy send path.
     pool: BufferPool,
     /// Scratch fragment list reused across `send_window` calls.
     frags: Vec<Vec<u8>>,
-    /// Wall-clock origin for [`UdpEndpoint::now`].
-    epoch: Instant,
+    /// Monotonic origin for [`UdpEndpoint::now`]: RTO and trace math
+    /// must never observe time running backwards, even if the system
+    /// wall clock steps (the pre-nctel implementation read an
+    /// `Instant` epoch without a latch).
+    clock: MonotonicClock,
 }
 
 impl UdpEndpoint {
@@ -68,11 +72,11 @@ impl UdpEndpoint {
             reassembler: Reassembler::new(),
             mtu: 1472, // Ethernet MTU minus IP/UDP headers
             ext_total: 0,
-            malformed: 0,
+            malformed: Counter::new(),
             buf: vec![0u8; 65536],
             pool: BufferPool::new(),
             frags: Vec::new(),
-            epoch: Instant::now(),
+            clock: MonotonicClock::new(),
         })
     }
 
@@ -95,11 +99,23 @@ impl UdpEndpoint {
         self.socket.set_nonblocking(nonblocking)
     }
 
-    /// Nanoseconds since this endpoint was bound: the wall-clock
-    /// counterpart of netsim's simulated `Time`, suitable for driving
-    /// [`crate::reliable::Sender::poll`].
+    /// Nanoseconds since this endpoint was bound, from a monotonic,
+    /// never-decreasing clock: the wall-clock counterpart of netsim's
+    /// simulated `Time`, suitable for driving
+    /// [`crate::reliable::Sender::poll`] RTO math.
     pub fn now(&self) -> Time {
-        self.epoch.elapsed().as_nanos() as Time
+        self.clock.now()
+    }
+
+    /// Datagrams rejected as non-NCP since bind.
+    pub fn malformed(&self) -> u64 {
+        self.malformed.get()
+    }
+
+    /// Registers this endpoint's counters on `reg` under
+    /// `{prefix}.malformed`.
+    pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
+        reg.register_counter(&format!("{prefix}.malformed"), &self.malformed);
     }
 
     /// Sends a window to `dst`, fragmenting to the MTU if necessary.
@@ -157,7 +173,7 @@ impl UdpEndpoint {
             Ok(Some(w)) => Ok(RecvEvent::Window(w, src)),
             Ok(None) => Ok(RecvEvent::Partial(src)),
             Err(_) => {
-                self.malformed += 1;
+                self.malformed.inc();
                 Ok(RecvEvent::Malformed(src))
             }
         }
@@ -261,10 +277,10 @@ mod tests {
         assert_eq!(got, w);
         // The skipped datagram was counted, and the subsequent timeout
         // is reported as a timeout, not conflated with the bad packet.
-        assert_eq!(b.malformed, 1);
+        assert_eq!(b.malformed(), 1);
         b.set_timeout(Some(Duration::from_millis(10))).unwrap();
         assert!(b.recv_window().unwrap().is_none());
-        assert_eq!(b.malformed, 1);
+        assert_eq!(b.malformed(), 1);
     }
 
     #[test]
@@ -279,7 +295,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let src = a.local_addr().unwrap();
         assert_eq!(b.poll_event().unwrap(), RecvEvent::Malformed(src));
-        assert_eq!(b.malformed, 1);
+        assert_eq!(b.malformed(), 1);
         // A fragmented window: Partial for every leading fragment, then
         // the reassembled Window.
         a.mtu = 64;
@@ -339,5 +355,36 @@ mod tests {
             other => panic!("expected an ACK frame, got {other:?}"),
         }
         assert!(sender.idle());
+    }
+
+    /// The satellite regression: timestamps on the RTO/trace path come
+    /// from a monotonic latch, so a time source that steps backwards
+    /// (NTP adjustment under the old wall-clock epoch) cannot produce a
+    /// decreasing `now()`. We drive the latch directly with a
+    /// backwards-stepping raw sequence.
+    #[test]
+    fn rto_clock_survives_backwards_time_steps() {
+        use crate::reliable::{ReliableConfig, Sender};
+        let clock = nctel::MonotonicClock::new();
+        // A raw source that jumps forward, steps back, then recovers.
+        let raw = [100u64, 250, 80, 90, 260];
+        let seen: Vec<u64> = raw.iter().map(|&r| clock.clamp(r)).collect();
+        assert_eq!(seen, vec![100, 250, 250, 250, 260]);
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "never decreases");
+        // And the endpoint's own clock is non-decreasing too.
+        let (a, _) = loopback_pair();
+        let (t1, t2) = (a.now(), a.now());
+        assert!(t2 >= t1);
+        // An RTO armed before the backwards step still fires at its
+        // original deadline rather than being pushed into the past.
+        let mut s = Sender::new(ReliableConfig {
+            rto: 1_000,
+            ..ReliableConfig::default()
+        });
+        s.track(1, 0, clock.clamp(300));
+        let (due, _) = s.poll(clock.clamp(10)); // source stepped back
+        assert!(due.is_empty(), "clamped clock cannot rewind the RTO");
+        let (due, _) = s.poll(clock.clamp(1_400));
+        assert_eq!(due, vec![(1, 0)]);
     }
 }

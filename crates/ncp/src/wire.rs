@@ -50,6 +50,14 @@ pub const FLAG_ACK: u8 = 0x10;
 /// traffic past `seq` without delivering `seq` itself, so the sender
 /// should retransmit immediately instead of waiting for its RTO.
 pub const FLAG_NACK: u8 = 0x20;
+/// Flags bit: the frame carries an in-band telemetry section *after*
+/// the encoded window payload — a count byte plus `count` fixed-size
+/// hop records (`nctel::hop`, DESIGN.md §4.9). The NCP length fields
+/// fully determine the payload length, so decoders that do not
+/// understand telemetry never look past the payload and skip the
+/// section for free; telemetry-aware switches strip it, execute, stamp
+/// a hop record, and re-append.
+pub const FLAG_TELEMETRY: u8 = 0x40;
 
 /// Errors from packet validation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -1,0 +1,76 @@
+//! A monotonic nanosecond clock for RTO and trace timestamps.
+//!
+//! `std::time::Instant` is already monotonic, but code that previously
+//! mixed wall-clock reads onto the stats path can regress when the
+//! system clock steps backwards (NTP adjustment, VM migration). This
+//! clock pins an `Instant` origin *and* latches the largest value ever
+//! returned, so timestamps are non-decreasing even if the underlying
+//! source misbehaves — and the latch is exposed ([`MonotonicClock::clamp`])
+//! so tests can feed a backwards-stepping source and watch it hold.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic, non-decreasing nanosecond clock (thread-safe).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+    last: AtomicU64,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+            last: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose zero is "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds since the clock was created; never decreases across
+    /// calls, even from concurrent threads.
+    pub fn now(&self) -> u64 {
+        self.clamp(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Folds an externally read timestamp through the monotonic latch:
+    /// returns `max(raw, any value previously returned)` and remembers
+    /// it. This is the regression surface: a source that steps
+    /// backwards cannot drag the clock with it.
+    pub fn clamp(&self, raw: u64) -> u64 {
+        let prev = self.last.fetch_max(raw, Ordering::Relaxed);
+        prev.max(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_nondecreasing() {
+        let c = MonotonicClock::new();
+        let mut prev = 0;
+        for _ in 0..1000 {
+            let t = c.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn backwards_step_is_latched() {
+        let c = MonotonicClock::new();
+        assert_eq!(c.clamp(100), 100);
+        // The source steps backwards; the clock must not.
+        assert_eq!(c.clamp(40), 100);
+        assert_eq!(c.clamp(100), 100);
+        assert_eq!(c.clamp(180), 180);
+    }
+}

@@ -1,0 +1,429 @@
+//! Unified metrics: lock-free counters/gauges and log-bucketed latency
+//! histograms behind a named [`Registry`], with Prometheus-text and JSON
+//! exporters.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones around atomics: the hot path is a single relaxed atomic op,
+//! never a lock. The registry itself only locks on registration and
+//! export, both cold paths. Handles can also be created *detached*
+//! (unregistered) so library types work standalone and only surface in
+//! an exporter when their owner wires them to a registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached (unregistered) counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge that can move both ways. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a detached (unregistered) gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: value `v` lands in bucket `⌈log2(v+1)⌉`, so
+/// bucket 0 holds exactly 0, bucket k holds (2^(k-1), 2^k].
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A lock-free histogram over `u64` observations (typically latencies in
+/// nanoseconds) with logarithmic buckets. Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`]: totals plus quantile upper
+/// bounds (each quantile reports the upper edge of its log2 bucket, so
+/// it over-estimates by at most 2×).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Upper bound on the 50th percentile.
+    pub p50: u64,
+    /// Upper bound on the 99th percentile.
+    pub p99: u64,
+    /// Upper bound on the 99.9th percentile.
+    pub p999: u64,
+}
+
+impl Histogram {
+    /// Creates a detached (unregistered) histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize; // 0 for v==0
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Upper bound of bucket `idx` (its largest representable value).
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= 64 {
+            u64::MAX
+        } else {
+            1u64 << idx
+        }
+    }
+
+    /// Value `v` such that at least `q` of observations are ≤ `v`
+    /// (bucket upper bound), given the already-loaded bucket counts.
+    fn quantile(counts: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil() as u64;
+        let rank = rank.clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// Takes a consistent-enough snapshot (concurrent observers may land
+    /// between loads; totals are never behind the buckets by more than
+    /// the in-flight increments).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            counts[i] = b.load(Ordering::Relaxed);
+        }
+        let total: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            p50: Self::quantile(&counts, total, 0.50),
+            p99: Self::quantile(&counts, total, 0.99),
+            p999: Self::quantile(&counts, total, 0.999),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Registration is get-or-create: asking
+/// twice for the same name yields handles sharing one cell, so distinct
+/// subsystems (e.g. a transport and the runtime wrapping it) can safely
+/// converge on one registry.
+///
+/// Names are dotted paths (`ncpr.sender.retransmits`); the Prometheus
+/// exporter rewrites dots to underscores.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates the gauge called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates the histogram called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers an existing (possibly detached) counter under `name`,
+    /// replacing whatever was there. Lets library types hand their
+    /// internal cells to an owner's registry after construction.
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Counter(c.clone()));
+    }
+
+    /// Registers an existing histogram under `name` (see
+    /// [`Registry::register_counter`]).
+    pub fn register_histogram(&self, name: &str, h: &Histogram) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Histogram(h.clone()));
+    }
+
+    /// Value of counter `name`, or `None` if absent / not a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format, in
+    /// deterministic (sorted-by-name) order. Dots in names become
+    /// underscores; histograms expose `_count`, `_sum` and quantile
+    /// gauges.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            let pname = name.replace('.', "_");
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "# TYPE {pname} summary\n\
+                         {pname}{{quantile=\"0.5\"}} {}\n\
+                         {pname}{{quantile=\"0.99\"}} {}\n\
+                         {pname}{{quantile=\"0.999\"}} {}\n\
+                         {pname}_sum {}\n\
+                         {pname}_count {}\n",
+                        s.p50, s.p99, s.p999, s.sum, s.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON object keyed by metric name, in
+    /// deterministic order. Counters/gauges map to numbers, histograms
+    /// to `{count, sum, p50, p99, p999}` objects.
+    pub fn render_json(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::from("{");
+        for (i, (name, metric)) in m.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("\"{name}\":{}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("\"{name}\":{}", g.get())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+                        s.count, s.sum, s.p50, s.p99, s.p999
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.metrics.lock().unwrap().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(r.counter_value("x.hits"), Some(4));
+        assert_eq!(r.counter_value("x.misses"), None);
+    }
+
+    #[test]
+    fn detached_counter_can_be_registered_later() {
+        let c = Counter::new();
+        c.add(7);
+        let r = Registry::new();
+        r.register_counter("late", &c);
+        c.inc();
+        assert_eq!(r.counter_value("late"), Some(8));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(100); // bucket (64,128] → upper 128
+        }
+        h.observe(1_000_000); // bucket upper 1048576
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 99 * 100 + 1_000_000);
+        assert_eq!(s.p50, 128);
+        assert_eq!(s.p99, 128);
+        assert_eq!(s.p999, 1 << 20);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p999), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn exporters_are_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").inc();
+        r.gauge("c.depth").set(-5);
+        r.histogram("d.lat").observe(100);
+        let prom = r.render_prometheus();
+        let a = prom.find("a_one 1").unwrap();
+        let b = prom.find("b_two 2").unwrap();
+        let c = prom.find("c_depth -5").unwrap();
+        assert!(a < b && b < c, "sorted order:\n{prom}");
+        assert!(prom.contains("d_lat{quantile=\"0.99\"} 128"));
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.one\":1"));
+        assert!(json.contains("\"d.lat\":{\"count\":1,\"sum\":100,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

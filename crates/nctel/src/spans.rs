@@ -1,0 +1,106 @@
+//! Compile-pipeline tracing: named, accumulated timing spans.
+//!
+//! `nclc` wraps each compiler stage (parse → sema → lower → passes →
+//! lint → PISA-map → P4-emit) in [`Timeline::time`]; repeated spans
+//! with the same name (per-location lint/backend loops) accumulate.
+//! `nclc --emit timing` renders the result.
+
+use std::time::Instant;
+
+/// An ordered list of named spans with accumulated durations (ns).
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    spans: Vec<(String, u64)>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` to span `name`, creating it (at the end) on first use.
+    pub fn record(&mut self, name: &str, ns: u64) {
+        if let Some((_, d)) = self.spans.iter_mut().find(|(n, _)| n == name) {
+            *d += ns;
+        } else {
+            self.spans.push((name.to_string(), ns));
+        }
+    }
+
+    /// Runs `f`, charging its wall time to span `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// The spans in first-recorded order as `(name, ns)` pairs.
+    pub fn spans(&self) -> &[(String, u64)] {
+        &self.spans
+    }
+
+    /// Total time across all spans (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.spans.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Renders a fixed-width table of spans with µs and share-of-total
+    /// columns, suitable for `--emit timing`.
+    pub fn render(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut out = String::from("stage                      time_us   share\n");
+        for (name, ns) in &self.spans {
+            out.push_str(&format!(
+                "{name:<24} {:>10.1}  {:>5.1}%\n",
+                *ns as f64 / 1_000.0,
+                *ns as f64 * 100.0 / total as f64
+            ));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>10.1}  100.0%\n",
+            "total",
+            self.total_ns() as f64 / 1_000.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_by_name_in_order() {
+        let mut t = Timeline::new();
+        t.record("parse", 100);
+        t.record("lint", 40);
+        t.record("lint", 60);
+        assert_eq!(
+            t.spans(),
+            &[("parse".to_string(), 100), ("lint".to_string(), 100)]
+        );
+        assert_eq!(t.total_ns(), 200);
+    }
+
+    #[test]
+    fn time_charges_the_closure_and_returns_its_value() {
+        let mut t = Timeline::new();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn render_lists_every_span_and_total() {
+        let mut t = Timeline::new();
+        t.record("parse", 1_500);
+        t.record("emit", 500);
+        let s = t.render();
+        assert!(s.contains("parse"));
+        assert!(s.contains("emit"));
+        assert!(s.contains("total"));
+        assert!(s.contains("100.0%"));
+    }
+}

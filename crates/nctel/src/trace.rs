@@ -1,0 +1,135 @@
+//! Per-window traces assembled by the receiving host from in-band
+//! telemetry sections, held in a bounded ring with a deterministic
+//! sampling knob.
+
+use crate::hop::HopRecord;
+use std::collections::VecDeque;
+
+/// The trace of one window's journey: which kernel/seq/sender it was,
+/// and the hop records stamped by each on-path switch in path order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowTrace {
+    /// Kernel id the window addressed.
+    pub kernel: u16,
+    /// Window sequence number.
+    pub seq: u32,
+    /// Originating sender id.
+    pub sender: u16,
+    /// Hop records in path order (first switch first).
+    pub hops: Vec<HopRecord>,
+}
+
+/// A bounded ring buffer of [`WindowTrace`]s with a sampling knob.
+///
+/// Sampling is a deterministic error-accumulator (no RNG, so simulated
+/// runs stay reproducible): with `sampling = 0.25` exactly every fourth
+/// [`TraceRing::should_sample`] returns `true`. When the ring is full
+/// the oldest trace is evicted and counted in
+/// [`TraceRing::dropped`].
+#[derive(Debug)]
+pub struct TraceRing {
+    ring: VecDeque<WindowTrace>,
+    cap: usize,
+    sampling: f64,
+    acc: f64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `cap` traces (minimum 1) that
+    /// samples the given fraction of windows (`sampling` clamped to
+    /// `[0, 1]`).
+    pub fn new(sampling: f64, cap: usize) -> Self {
+        TraceRing {
+            ring: VecDeque::new(),
+            cap: cap.max(1),
+            sampling: sampling.clamp(0.0, 1.0),
+            acc: 0.0,
+            dropped: 0,
+        }
+    }
+
+    /// Advances the sampler: `true` iff the next outgoing window should
+    /// carry a telemetry section.
+    pub fn should_sample(&mut self) -> bool {
+        self.acc += self.sampling;
+        if self.acc >= 1.0 {
+            self.acc -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stores a completed trace, evicting the oldest when full.
+    pub fn push(&mut self, trace: WindowTrace) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(trace);
+    }
+
+    /// Drains and returns every buffered trace, oldest first.
+    pub fn take(&mut self) -> Vec<WindowTrace> {
+        self.ring.drain(..).collect()
+    }
+
+    /// Number of buffered traces.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Traces evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seq: u32) -> WindowTrace {
+        WindowTrace {
+            kernel: 1,
+            seq,
+            sender: 7,
+            hops: vec![],
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_proportional() {
+        let mut r = TraceRing::new(0.25, 8);
+        let hits: Vec<bool> = (0..8).map(|_| r.should_sample()).collect();
+        assert_eq!(hits.iter().filter(|&&h| h).count(), 2);
+        // Exactly every 4th window.
+        assert_eq!(
+            hits,
+            vec![false, false, false, true, false, false, false, true]
+        );
+        let mut all = TraceRing::new(1.0, 8);
+        assert!((0..100).all(|_| all.should_sample()));
+        let mut none = TraceRing::new(0.0, 8);
+        assert!(!(0..100).any(|_| none.should_sample()));
+    }
+
+    #[test]
+    fn ring_bounds_and_evicts_oldest() {
+        let mut r = TraceRing::new(1.0, 2);
+        r.push(trace(1));
+        r.push(trace(2));
+        r.push(trace(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let seqs: Vec<u32> = r.take().iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![2, 3]);
+        assert!(r.is_empty());
+    }
+}

@@ -32,5 +32,8 @@ pub mod sim;
 
 pub use event::Time;
 pub use link::LinkSpec;
-pub use node::{CtrlOp, FastDatapath, FastVerdict, HostApp, HostCtx, SwitchCfg, SwitchStats};
+pub use node::{
+    CtrlOp, FastDatapath, FastVerdict, HostApp, HostCtx, KernelTelemetry, SwitchCfg, SwitchStats,
+    SwitchTelemetry,
+};
 pub use sim::{Network, NetworkBuilder, Packet, SimStats};

@@ -126,6 +126,32 @@ pub trait FastDatapath {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Deploy-time telemetry metadata for one kernel at one switch: the
+/// static fields a hop record carries (`nctel::hop`). Kept static so
+/// the interpreter, fast-path, and PISA executions of the same window
+/// stamp bit-identical records.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelTelemetry {
+    /// Deployed kernel version at this switch (1-based module index).
+    pub version: u16,
+    /// PISA stages the kernel's program occupies at this switch.
+    pub stages: u16,
+    /// Fast-path micro-op count for the kernel at this switch.
+    pub uops: u32,
+}
+
+/// Telemetry identity of a switch: enables in-band hop-record stamping
+/// on frames carrying `FLAG_TELEMETRY`. Switches without one pass
+/// telemetry sections through untouched (version negotiation: only
+/// telemetry-aware deployments stamp).
+#[derive(Clone, Debug, Default)]
+pub struct SwitchTelemetry {
+    /// The switch id stamped into hop records.
+    pub switch_id: u16,
+    /// Per-kernel static record fields.
+    pub kernels: HashMap<u16, KernelTelemetry>,
+}
+
 /// Configuration of a simulated switch.
 pub struct SwitchCfg {
     /// The loaded PISA pipeline; `None` makes a plain forwarder (the
@@ -143,6 +169,8 @@ pub struct SwitchCfg {
     pub pipeline_latency: Time,
     /// Latency of plain (non-NCP) forwarding.
     pub fwd_latency: Time,
+    /// In-band telemetry identity; `None` disables hop stamping.
+    pub telemetry: Option<SwitchTelemetry>,
 }
 
 impl Default for SwitchCfg {
@@ -154,6 +182,7 @@ impl Default for SwitchCfg {
             bcast: Vec::new(),
             pipeline_latency: 600, // ~600 ns per pass, Tofino-ish
             fwd_latency: 400,
+            telemetry: None,
         }
     }
 }

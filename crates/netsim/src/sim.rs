@@ -5,7 +5,10 @@ use crate::link::{LinkDir, LinkSpec};
 use crate::node::{CtrlOp, HostApp, HostCtx, SwitchCfg, SwitchStats};
 use c3::{HostId, NodeId, SwitchId};
 use ncp::NcpPacket;
+use nctel::hop::{section_append, section_valid, HopRecord, HOP_FORWARDED_ONLY};
+use nctel::{Counter, Registry};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// A packet in flight: explicit src/dst (the IP encapsulation) plus the
 /// payload bytes (NCP or anything else).
@@ -39,12 +42,21 @@ pub struct NetworkBuilder {
     links: Vec<(usize, usize, LinkSpec)>,
     next_host: u16,
     next_switch: u16,
+    registry: Option<Arc<Registry>>,
 }
 
 impl NetworkBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Uses `reg` as the network's metrics registry instead of a fresh
+    /// one, so the simulator's counters land next to the caller's
+    /// (e.g. `ncl-core`'s deploy gate) in one exporter.
+    pub fn with_metrics(&mut self, reg: Arc<Registry>) -> &mut Self {
+        self.registry = Some(reg);
+        self
     }
 
     /// Adds a host running `app`; ids are assigned sequentially from 1.
@@ -117,6 +129,8 @@ impl NetworkBuilder {
                 }
             }
         }
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let counters = SimCounters::new(&registry);
         Network {
             nodes: self.nodes,
             links,
@@ -125,7 +139,8 @@ impl NetworkBuilder {
             now: 0,
             started: false,
             ctrl_latency: 50_000, // 50 µs controller RTT
-            stats: SimStats::default(),
+            registry,
+            counters,
         }
     }
 }
@@ -144,7 +159,9 @@ fn node_id(n: &NodeKind) -> NodeId {
     }
 }
 
-/// Aggregate simulation counters.
+/// Point-in-time snapshot of the aggregate simulation counters (which
+/// live on the network's `nctel` [`Registry`]; see
+/// [`Network::metrics`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SimStats {
     /// Packets delivered to host applications.
@@ -160,6 +177,29 @@ pub struct SimStats {
     pub events: u64,
     /// Total bytes offered to links.
     pub bytes_sent: u64,
+}
+
+/// The registry-backed cells behind [`SimStats`].
+struct SimCounters {
+    delivered: Counter,
+    link_drops: Counter,
+    link_dups: Counter,
+    unroutable: Counter,
+    events: Counter,
+    bytes_sent: Counter,
+}
+
+impl SimCounters {
+    fn new(reg: &Registry) -> Self {
+        SimCounters {
+            delivered: reg.counter("sim.delivered"),
+            link_drops: reg.counter("sim.link_drops"),
+            link_dups: reg.counter("sim.link_dups"),
+            unroutable: reg.counter("sim.unroutable"),
+            events: reg.counter("sim.events"),
+            bytes_sent: reg.counter("sim.bytes_sent"),
+        }
+    }
 }
 
 enum Event {
@@ -179,14 +219,32 @@ pub struct Network {
     started: bool,
     /// Latency of control-plane operations (host → controller → switch).
     pub ctrl_latency: Time,
-    /// Aggregate counters.
-    pub stats: SimStats,
+    registry: Arc<Registry>,
+    counters: SimCounters,
 }
 
 impl Network {
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Snapshot of the aggregate counters (compat shim over the nctel
+    /// cells).
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            delivered: self.counters.delivered.get(),
+            link_drops: self.counters.link_drops.get(),
+            link_dups: self.counters.link_dups.get(),
+            unroutable: self.counters.unroutable.get(),
+            events: self.counters.events.get(),
+            bytes_sent: self.counters.bytes_sent.get(),
+        }
+    }
+
+    /// The metrics registry every simulator counter lives on.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Runs until the event queue drains or `deadline` passes. Returns
@@ -202,7 +260,7 @@ impl Network {
             }
             let (t, ev) = self.queue.pop().expect("peeked");
             self.now = t;
-            self.stats.events += 1;
+            self.counters.events.inc();
             self.dispatch(ev);
         }
         self.now
@@ -224,7 +282,7 @@ impl Network {
             }
             Event::Arrive { node, pkt } => match &self.nodes[node] {
                 NodeKind::Host { .. } => {
-                    self.stats.delivered += 1;
+                    self.counters.delivered.inc();
                     self.with_host(node, |app, ctx| app.on_packet(ctx, &pkt));
                 }
                 NodeKind::Switch { .. } => self.switch_process(node, pkt),
@@ -298,7 +356,7 @@ impl Network {
             return;
         }
         let Some(&(li, a_to_b)) = self.next_hop[node].get(&pkt.dst) else {
-            self.stats.unroutable += 1;
+            self.counters.unroutable.inc();
             return;
         };
         let link = &mut self.links[li];
@@ -307,15 +365,15 @@ impl Network {
         } else {
             (&mut link.ba, link.a)
         };
-        self.stats.bytes_sent += pkt.payload.len() as u64;
+        self.counters.bytes_sent.add(pkt.payload.len() as u64);
         // +42: Ethernet+IP+UDP encapsulation overhead.
         let arrivals = dir.transmit_all(self.now, pkt.payload.len() + 42);
         let Some(arrival) = arrivals[0] else {
-            self.stats.link_drops += 1;
+            self.counters.link_drops.inc();
             return;
         };
         if let Some(dup) = arrivals[1] {
-            self.stats.link_dups += 1;
+            self.counters.link_dups.inc();
             self.queue.push(
                 dup,
                 Event::Arrive {
@@ -336,12 +394,14 @@ impl Network {
         let pipeline_latency = cfg.pipeline_latency;
         let fwd_latency = cfg.fwd_latency;
 
-        // Previous hop before we rewrite it (for _reflect()), plus the
-        // flags for the NCP-R control-frame check.
-        let (incoming_from, incoming_flags) = match NcpPacket::new_checked(&pkt.payload[..]) {
-            Ok(p) => (Some(p.from()), p.flags()),
-            Err(_) => (None, 0),
-        };
+        // Previous hop before we rewrite it (for _reflect()), the flags
+        // for the NCP-R control-frame check, and the kernel id +
+        // payload length for telemetry stamping.
+        let (incoming_from, incoming_flags, ncp_meta) =
+            match NcpPacket::new_checked(&pkt.payload[..]) {
+                Ok(p) => (Some(p.from()), p.flags(), Some((p.kernel(), p.total_len()))),
+                Err(_) => (None, 0, None),
+            };
 
         // NCP-R ACK/NACK frames are host-to-host control traffic: they
         // name a kernel but must never execute it (an ACK has no data
@@ -352,6 +412,32 @@ impl Network {
             self.delayed_route(node, pkt, fwd_latency);
             return;
         }
+
+        // In-band telemetry (DESIGN.md §4.9): a frame flagged with
+        // FLAG_TELEMETRY carries a hop-record section after the encoded
+        // window. Strip it before the datapath runs — neither the
+        // generated PISA parser nor the fast-path window codec knows
+        // about it — then stamp our record and re-append on egress.
+        let mut pkt = pkt;
+        let mut tel_section: Option<Vec<u8>> = None;
+        if incoming_flags & ncp::FLAG_TELEMETRY != 0 {
+            if let Some((_, total)) = ncp_meta {
+                if total <= pkt.payload.len() && section_valid(&pkt.payload[total..]) {
+                    tel_section = Some(pkt.payload.split_off(total));
+                }
+            }
+        }
+        let ticks_in = self.now;
+        // Replay-filter duplicate count before execution: the delta
+        // after the datapath ran tells whether *this* window was
+        // suppressed as an NCP-R replay (state evolves bit-identically
+        // across the interpreter / fast-path / PISA tiers, so the flag
+        // does too).
+        let dups_before = if tel_section.is_some() && cfg.telemetry.is_some() {
+            cfg_dup_sum(cfg)
+        } else {
+            0
+        };
 
         // (payload, fwd_code, fwd_label, passes, parsed_bytes) from
         // whichever datapath the switch runs: the compiled fast path
@@ -374,8 +460,25 @@ impl Network {
                 .map(|o| (o.packet, o.fwd_code, o.fwd_label, o.passes, o.parsed_bytes))
         };
         let Some((mut payload, fwd_code, fwd_label, passes, parsed_bytes)) = result else {
-            // Not NCP (or no datapath): plain forwarding.
+            // Not NCP (or no datapath): plain forwarding. A stripped
+            // telemetry section is re-appended; a telemetry-aware
+            // switch stamps a forwarded-only record, one without the
+            // deploy-time identity passes it through untouched.
             stats.forwarded += 1;
+            if let Some(mut section) = tel_section {
+                if let Some(tel) = cfg.telemetry.as_ref() {
+                    let rec = HopRecord {
+                        switch: tel.switch_id,
+                        kernel: ncp_meta.map(|(k, _)| k).unwrap_or(0),
+                        flags: HOP_FORWARDED_ONLY,
+                        ticks_in,
+                        ticks_out: ticks_in + fwd_latency,
+                        ..HopRecord::default()
+                    };
+                    section_append(&mut section, &rec);
+                }
+                pkt.payload.extend_from_slice(&section);
+            }
             let delay = fwd_latency;
             self.delayed_route(node, pkt, delay);
             return;
@@ -398,6 +501,35 @@ impl Network {
         {
             let mut p = NcpPacket::new_unchecked(&mut payload[..]);
             p.set_from(my_wire);
+        }
+        // Stamp our hop record and re-append the telemetry section.
+        // The fast path re-encodes flags from the window (dropping the
+        // telemetry bit) while the PISA deparser echoes them; restore
+        // the bit unconditionally so both tiers emit identical frames.
+        if let Some(mut section) = tel_section {
+            if cfg.telemetry.is_some() {
+                let dups_after = cfg_dup_sum(cfg);
+                let tel = cfg.telemetry.as_ref().expect("checked above");
+                let kernel = ncp_meta.map(|(k, _)| k).unwrap_or(0);
+                let kt = tel.kernels.get(&kernel).copied().unwrap_or_default();
+                let rec = HopRecord {
+                    switch: tel.switch_id,
+                    kernel,
+                    version: kt.version,
+                    stages: kt.stages,
+                    uops: kt.uops,
+                    flags: if dups_after > dups_before {
+                        nctel::hop::HOP_DUP_SUPPRESSED
+                    } else {
+                        0
+                    },
+                    ticks_in,
+                    ticks_out: ticks_in + delay,
+                };
+                section_append(&mut section, &rec);
+            }
+            payload[3] |= ncp::FLAG_TELEMETRY;
+            payload.extend_from_slice(&section);
         }
 
         match fwd_code {
@@ -446,7 +578,7 @@ impl Network {
                         };
                         self.delayed_route(node, fwd, delay);
                     }
-                    None => self.stats.unroutable += 1,
+                    None => self.counters.unroutable.inc(),
                 }
             }
             _ => {
@@ -573,6 +705,30 @@ impl Network {
     }
 }
 
+/// Sum of a switch's `__nclr_dups_*` replay-filter registers, read from
+/// whichever datapath it runs (mirrors [`Network::switch_dup_suppressed`]
+/// but borrows only the [`SwitchCfg`], so `switch_process` can take the
+/// reading mid-flight).
+fn cfg_dup_sum(cfg: &mut SwitchCfg) -> u64 {
+    if let Some(fp) = cfg.fastpath.as_ref() {
+        return fp.register_prefix_sum(c3::ncpr::REPLAY_DUPS_PREFIX);
+    }
+    let Some(pipe) = cfg.pipeline.as_mut() else {
+        return 0;
+    };
+    let names: Vec<String> = pipe
+        .config()
+        .registers
+        .iter()
+        .filter(|r| r.name.starts_with(c3::ncpr::REPLAY_DUPS_PREFIX))
+        .map(|r| r.name.clone())
+        .collect();
+    names
+        .iter()
+        .map(|n| pipe.register_read(n, 0).map(|v| v.bits()).unwrap_or(0))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,7 +793,7 @@ mod tests {
         assert_eq!(echo.seen, vec![b"ping".to_vec()]);
         let pinger = net.host_app::<Pinger>(h1).unwrap();
         assert_eq!(pinger.replies, 1);
-        assert_eq!(net.stats.delivered, 2);
+        assert_eq!(net.stats().delivered, 2);
         let st = net.switch_stats(s1).unwrap();
         assert_eq!(st.forwarded, 2);
     }
@@ -691,7 +847,7 @@ mod tests {
         }));
         let mut net = b.build();
         net.run();
-        assert_eq!(net.stats.unroutable, 1);
+        assert_eq!(net.stats().unroutable, 1);
     }
 
     #[test]
@@ -737,7 +893,7 @@ mod tests {
             b.link(h2, s1, LinkSpec::default());
             let mut net = b.build();
             let end = net.run();
-            (end, net.stats)
+            (end, net.stats())
         };
         assert_eq!(run(), run());
     }
@@ -760,7 +916,7 @@ mod tests {
         );
         let mut net = b.build();
         net.run();
-        assert_eq!(net.stats.delivered, 0);
-        assert_eq!(net.stats.link_drops, 1);
+        assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().link_drops, 1);
     }
 }

@@ -165,7 +165,8 @@ fn main() {
     assert!(sender.idle(), "every window must be acknowledged");
     println!(
         "h1: all {} windows delivered exactly once ({} retransmits)",
-        got, sender.stats.retransmits
+        got,
+        sender.stats().retransmits
     );
 
     stop_tx.send(()).unwrap();

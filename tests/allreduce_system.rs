@@ -116,7 +116,7 @@ fn ingress_to_egress_asymmetry_shows_the_aggregation_win() {
     assert!(ingress > 0);
     // Workers received exactly one result stream each: delivered =
     // n × windows.
-    assert_eq!(dep.net.stats.delivered, (n * (128 / 8)) as u64);
+    assert_eq!(dep.net.stats().delivered, (n * (128 / 8)) as u64);
 }
 
 #[test]

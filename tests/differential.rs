@@ -437,3 +437,104 @@ fn corpus_kernel_cases_match_interpreter() {
         check_kernel_vs_interpreter(&src, &[window(vals)]);
     }
 }
+
+/// The in-band telemetry differential (DESIGN.md §4.9): the same window
+/// crossing the same two-switch chain must yield *bit-identical* hop
+/// records whether each switch runs the modeled PISA pipeline, the
+/// compiled fast-path executor, or the IR interpreter. Everything in a
+/// hop record — switch id, kernel id/version, stage count, micro-op
+/// count, dup flag, sim-time ticks — comes from deploy-time metadata
+/// and simulated time, so a tier that drifted in timing, versioning, or
+/// section handling shows up as a byte diff here.
+#[test]
+fn telemetry_hop_records_identical_across_tiers() {
+    use ncl::core::deploy::{deploy_with, SwitchBackend};
+    use ncl::core::nclc::{compile, CompileConfig};
+    use ncl::core::runtime::{NclHost, OutInvocation, TypedArray};
+    use ncl::netsim::{HostApp, LinkSpec};
+    use std::collections::HashMap;
+
+    let src = r#"
+_net_ _at_("agg") int total[1] = {0};
+_net_ _out_ void k(int *d) {
+    if (_here("edge")) {
+        d[0] = d[0] * 2;
+    } else {
+        total[0] += d[0];
+    }
+}
+_net_ _in_ void recv(int *d, _ext_ int *out) { out[0] = d[0]; }
+"#;
+    let and = "host h1\nhost h2\nswitch edge\nswitch agg\n\
+               link h1 edge\nlink edge agg\nlink agg h2\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("k".into(), vec![1]);
+    cfg.masks.insert("recv".into(), vec![1]);
+    let program = compile(src, and, &cfg).expect("compiles");
+
+    let run = |backend: SwitchBackend| {
+        let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+        let mut sender = NclHost::new(&program);
+        sender.enable_telemetry(1.0, 64);
+        sender
+            .out(OutInvocation {
+                kernel: "k".into(),
+                arrays: vec![TypedArray::from_i32(&[21, 4, -3])],
+                dest: NodeId::Host(HostId(2)),
+                start: 0,
+                gap: 0,
+            })
+            .unwrap();
+        apps.insert("h1".into(), Box::new(sender));
+        let mut receiver = NclHost::new(&program);
+        receiver.enable_telemetry(1.0, 64);
+        receiver
+            .bind_incoming(&program, "k", "recv", &[(ScalarType::I32, 1)])
+            .unwrap();
+        apps.insert("h2".into(), Box::new(receiver));
+        let mut dep = deploy_with(
+            &program,
+            apps,
+            LinkSpec::default(),
+            pisa::ResourceModel::default(),
+            backend,
+        )
+        .expect("deploys");
+        dep.net.run();
+        let h2 = dep.net.host_app_mut::<NclHost>(HostId(2)).unwrap();
+        let traces = h2.take_traces();
+        assert_eq!(traces.len(), 3, "{backend:?}: every window traced");
+        traces
+    };
+
+    let pisa = run(SwitchBackend::Pisa);
+    let fast = run(SwitchBackend::FastPath);
+    let interp = run(SwitchBackend::Interp);
+
+    for t in &pisa {
+        assert_eq!(t.hops.len(), 2, "both on-path switches stamped");
+        assert_ne!(t.hops[0].switch, t.hops[1].switch);
+        for h in &t.hops {
+            assert!(h.version >= 1, "deploy-time version present");
+            assert!(h.stages >= 1, "stage count present");
+            assert!(h.uops >= 1, "micro-op count present");
+            assert!(h.ticks_out > h.ticks_in, "execution takes sim time");
+        }
+    }
+    let encode = |traces: &[ncl::nctel::WindowTrace]| -> Vec<Vec<u8>> {
+        traces
+            .iter()
+            .map(|t| t.hops.iter().flat_map(|h| h.encode()).collect::<Vec<u8>>())
+            .collect()
+    };
+    assert_eq!(
+        encode(&pisa),
+        encode(&fast),
+        "PISA and fast-path hop records diverge"
+    );
+    assert_eq!(
+        encode(&pisa),
+        encode(&interp),
+        "PISA and interpreter hop records diverge"
+    );
+}

@@ -147,7 +147,7 @@ fn idle_deployment_terminates() {
     .unwrap();
     let end = dep.net.run();
     assert_eq!(end, 0, "nothing to simulate");
-    assert_eq!(dep.net.stats.delivered, 0);
+    assert_eq!(dep.net.stats().delivered, 0);
 }
 
 /// The kernel-id namespace is shared program-wide: a host binding an

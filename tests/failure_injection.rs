@@ -70,7 +70,7 @@ fn lost_contributions_stall_but_never_corrupt() {
         Value::u32(n as u32),
     );
     dep.net.run();
-    assert!(dep.net.stats.link_drops > 0, "loss injection must fire");
+    assert!(dep.net.stats().link_drops > 0, "loss injection must fire");
     // Integrity: every received slot element is either untouched (0) or
     // the exact full sum 1+2+3+4 = 10.
     let expected = (1..=n as i32).sum::<i32>();
@@ -148,7 +148,7 @@ fn kvs_loss_reduces_throughput_not_integrity() {
         .cache_switch = Some(s1);
     dep.net.run();
     let client = dep.net.host_app::<KvsClient>(HostId(1)).unwrap();
-    assert!(dep.net.stats.link_drops > 0);
+    assert!(dep.net.stats().link_drops > 0);
     assert!(
         client.samples.len() < nops,
         "some operations should be lost"
@@ -569,4 +569,133 @@ fn corpus_duplication_patterns_keep_single_delivery_state() {
         assert_eq!(dups.len(), 12, "recorded pattern covers 3 workers × 4 seqs");
         check_replay_filter_single_delivery(&dups);
     }
+}
+
+/// The unified metrics registry must account for *every* frame under
+/// failure injection: the registry counters are the same atomics the
+/// legacy `SenderStats`/`ReceiverStats`/`SimStats` snapshots read, so
+/// snapshot and registry can never disagree — and the transport-level
+/// conservation law `windows_sent = tracked + retransmits` holds
+/// exactly (every tracked window gets one first transmission; every
+/// retransmit is counted; abandoned windows were already sent).
+#[test]
+fn metrics_registry_accounts_for_every_frame() {
+    let n = 4usize;
+    let data_len = 64usize;
+    let win = 8usize;
+    let slots = data_len / win;
+    let src = allreduce_source(data_len, win);
+    let and = format!("hosts worker {n}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: 8,
+            slots: slots as u16,
+        },
+    );
+    let program = compile(&src, &and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        ..ReliableConfig::default()
+    };
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=n as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = vec![w as i32; data_len];
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % n as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, data_len), (ScalarType::Bool, 1)],
+        )
+        .unwrap();
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        host.enable_telemetry(1.0, 1024);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep = deploy(
+        &program,
+        apps,
+        hostile_link(),
+        pisa::ResourceModel::default(),
+    )
+    .expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(n as u32),
+    );
+    dep.net.run();
+
+    // The simulator's registry mirrors its legacy snapshot exactly.
+    let sim = dep.net.stats();
+    let reg = dep.net.metrics().clone();
+    let c = |name: &str| reg.counter_value(name).unwrap_or(0);
+    assert_eq!(c("sim.delivered"), sim.delivered);
+    assert_eq!(c("sim.link_drops"), sim.link_drops);
+    assert_eq!(c("sim.link_dups"), sim.link_dups);
+    assert_eq!(c("sim.unroutable"), sim.unroutable);
+    assert_eq!(c("sim.events"), sim.events);
+    assert_eq!(c("sim.bytes_sent"), sim.bytes_sent);
+    assert!(sim.link_drops > 0, "loss injection must fire");
+    // The deployment gate counters registered on the same registry.
+    assert_eq!(c("deploy.hosts_loaded"), n as u64);
+    assert_eq!(c("deploy.switches_loaded"), 1);
+    assert_eq!(c("deploy.lint_denied"), 0);
+
+    let mut total_rtx = 0u64;
+    for w in 1..=n as u16 {
+        let host = dep.net.host_app_mut::<NclHost>(HostId(w)).unwrap();
+        assert!(host.done_at.is_some(), "worker {w} completes under loss");
+        let sstats = host.sender_stats().expect("reliability enabled");
+        let rstats = host.receiver_stats().expect("reliability enabled");
+        let hreg = host.metrics().clone();
+        let hc = |name: &str| hreg.counter_value(name).unwrap_or(u64::MAX);
+        // Registry == snapshot, counter for counter.
+        assert_eq!(hc("ncpr.sender.tracked"), sstats.tracked, "worker {w}");
+        assert_eq!(hc("ncpr.sender.retransmits"), sstats.retransmits);
+        assert_eq!(hc("ncpr.sender.acked"), sstats.acked);
+        assert_eq!(hc("ncpr.sender.abandoned"), sstats.abandoned);
+        assert_eq!(hc("ncpr.sender.cwnd_cuts"), sstats.cwnd_cuts);
+        assert_eq!(hc("ncpr.receiver.delivered"), rstats.delivered);
+        assert_eq!(hc("ncpr.receiver.duplicates"), rstats.duplicates);
+        assert_eq!(hc("host.windows_sent"), host.windows_sent);
+        assert_eq!(hc("host.windows_received"), host.windows_received);
+        // Conservation: every frame this host put on the wire is a
+        // first transmission of a tracked window or a counted
+        // retransmit — nothing leaks, nothing is double-counted.
+        assert_eq!(
+            host.windows_sent,
+            sstats.tracked + sstats.retransmits,
+            "worker {w}: sent = tracked + retransmits"
+        );
+        // Every window counted received was a fresh delivery.
+        assert_eq!(host.windows_received, rstats.delivered, "worker {w}");
+        // Telemetry at sampling 1.0: every delivered window of the
+        // exactly-once run carries an assembled trace.
+        let traces = host.take_traces();
+        assert_eq!(
+            traces.len() as u64,
+            host.windows_received,
+            "worker {w}: every received window traced"
+        );
+        assert!(traces.iter().all(|t| t.hops.len() == 1));
+        total_rtx += sstats.retransmits;
+    }
+    assert!(total_rtx > 0, "the hostile link must force retransmissions");
 }

@@ -199,3 +199,116 @@ fn truncated_and_corrupt_packets_never_execute() {
     // The pristine packet still parses.
     assert!(pipe.process(&good).is_some());
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Telemetry sections (DESIGN.md §4.9) ride *after* the NCP frame
+    /// proper and must be transparent to the codec: the header parser
+    /// locates them via `total_len`, they round-trip bit-identically
+    /// through append/decode for any hop count, the window itself
+    /// decodes as if the section were absent, and truncated sections
+    /// are rejected rather than misparsed.
+    #[test]
+    fn telemetry_sections_are_codec_transparent(
+        nhops in 0usize..8,
+        seed in any::<u64>(),
+        seq in any::<u32>(),
+        sender in 1u16..50,
+    ) {
+        use ncl::nctel::hop::{section_append, section_init, section_records, section_valid};
+        use ncl::nctel::HopRecord;
+        let w = Window {
+            kernel: KernelId(7),
+            seq,
+            sender: HostId(sender),
+            from: NodeId::Host(HostId(sender)),
+            last: seed & 1 == 1,
+            chunks: vec![Chunk {
+                offset: 0,
+                data: seed.to_be_bytes().to_vec(),
+            }],
+            ext: vec![],
+        };
+        let plain = ncl::ncp::codec::encode_window(&w, 0);
+        let mut flagged = plain.clone();
+        flagged[3] |= ncl::ncp::FLAG_TELEMETRY;
+        let mut section = section_init();
+        let records: Vec<HopRecord> = (0..nhops)
+            .map(|i| {
+                let s = seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64);
+                HopRecord {
+                    switch: s as u16,
+                    kernel: (s >> 16) as u16,
+                    version: (i + 1) as u16,
+                    stages: ((s >> 24) as u16) % 12,
+                    uops: (s >> 8) as u32,
+                    flags: (s as u16) & 0x0003,
+                    ticks_in: s,
+                    ticks_out: s.wrapping_add(600),
+                }
+            })
+            .collect();
+        for r in &records {
+            prop_assert!(section_append(&mut section, r));
+        }
+        flagged.extend_from_slice(&section);
+
+        // The header parser accepts the flagged frame and locates the
+        // section boundary.
+        let p = ncl::ncp::NcpPacket::new_checked(&flagged[..]).expect("checked");
+        prop_assert_eq!(p.total_len(), plain.len());
+        prop_assert!(p.flags() & ncl::ncp::FLAG_TELEMETRY != 0);
+        // The section round-trips bit-identically.
+        prop_assert!(section_valid(&flagged[plain.len()..]));
+        prop_assert_eq!(
+            section_records(&flagged[plain.len()..]),
+            Some(records)
+        );
+        // The window decodes as if the section were not there.
+        let back = ncl::ncp::codec::decode_window(&flagged).expect("decodes");
+        prop_assert_eq!(back, w);
+        // Every strict prefix of the section is rejected, never
+        // misparsed into fewer records.
+        for cut in 0..section.len() {
+            prop_assert!(
+                section_records(&flagged[plain.len()..plain.len() + cut]).is_none(),
+                "prefix of {} section bytes must not parse", cut
+            );
+        }
+    }
+}
+
+/// The generated PISA parser accepts frames carrying `FLAG_TELEMETRY`
+/// (to a pre-telemetry parser it is just an unknown flag bit — version
+/// negotiation) and the deparser echoes the bit through execution: the
+/// property the simulated switch relies on when it re-appends the
+/// section it stripped before the pipeline ran.
+#[test]
+fn telemetry_flag_survives_the_generated_pipeline() {
+    use ncl::ncp::FLAG_TELEMETRY;
+    let (mut pipe, kid, ext) = identity_pipeline(vec![2]);
+    let w = Window {
+        kernel: KernelId(kid),
+        seq: 5,
+        sender: HostId(3),
+        from: NodeId::Host(HostId(3)),
+        last: true,
+        chunks: vec![Chunk {
+            offset: 40,
+            data: vec![9, 8, 7, 6, 5, 4, 3, 2],
+        }],
+        ext: vec![],
+    };
+    let mut bytes = ncl::ncp::codec::encode_window(&w, ext);
+    bytes[3] |= FLAG_TELEMETRY;
+    let out = pipe.process(&bytes).expect("flagged frame still executes");
+    assert_eq!(out.fwd_code, 0, "identity kernel passes");
+    assert!(
+        out.packet[3] & FLAG_TELEMETRY != 0,
+        "deparser must echo the telemetry flag"
+    );
+    let back = ncl::ncp::codec::decode_window(&out.packet).expect("decodes");
+    assert_eq!(back.chunks, w.chunks);
+    assert_eq!(back.last, w.last);
+}
