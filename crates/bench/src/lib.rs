@@ -496,3 +496,133 @@ pub fn run_allreduce_telemetry(
         metrics_json,
     }
 }
+
+/// Results of one scoped (ncscope-recording) reliable AllReduce run.
+#[derive(Clone, Debug)]
+pub struct ScopedResult {
+    /// Completion time (max across workers that completed), ns; 0 when
+    /// no worker completed (e.g. a dead link made every sender give
+    /// up).
+    pub completion: Time,
+    /// Result payload bytes delivered to hosts (goodput numerator).
+    pub payload_bytes: u64,
+    /// Windows retransmitted across workers.
+    pub retransmits: u64,
+    /// Windows abandoned across workers.
+    pub abandoned: u64,
+    /// Scope events emitted over the run (0 with recording off).
+    pub events_logged: u64,
+    /// Receiver-assembled window traces across workers.
+    pub traces: Vec<nctel::WindowTrace>,
+}
+
+/// Runs the Fig. 4 AllReduce with NCP-R *and* optionally the ncscope
+/// event log attached to every layer (E12 / the ncscope overhead
+/// gate). `scope = None` is the recording-off baseline — identical
+/// deployment, zero event emission. `link_overrides` is the
+/// fault-injection knob: per-link specs by AND label pair (e.g. kill
+/// exactly `worker1 <-> s1` and let the diagnosis engine name it).
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_scoped(
+    nworkers: usize,
+    elements: usize,
+    win: usize,
+    link: LinkSpec,
+    link_overrides: Vec<(String, String, LinkSpec)>,
+    sampling: f64,
+    scope: Option<&nctel::Scope>,
+    model: &pisa::ResourceModel,
+) -> ScopedResult {
+    use ncl_core::deploy::{deploy_opts, DeployOptions};
+    use ncl_core::nclc::ReplayFilter;
+    use ncp::ReliableConfig;
+    let slots = elements / win;
+    let src = allreduce_source(elements, win);
+    let and = format!("hosts worker {nworkers}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.model = *model;
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: nworkers as u16,
+            slots: slots as u16,
+        },
+    );
+    let program = compile(&src, &and, &cfg).expect("allreduce compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        cwnd: 64,
+        max_cwnd: 256,
+        rto: 500_000,
+        max_rto: 8_000_000,
+        ..ReliableConfig::default()
+    };
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=nworkers as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % nworkers as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .expect("valid");
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, elements), (ScalarType::Bool, 1)],
+        )
+        .expect("paired");
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        if sampling > 0.0 {
+            host.enable_telemetry(sampling, 65_536);
+        }
+        if let Some(scope) = scope {
+            host.enable_scope(scope);
+        }
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let opts = DeployOptions {
+        link_spec: link,
+        link_overrides,
+        scope: scope.cloned(),
+        model: *model,
+        ..DeployOptions::default()
+    };
+    let mut dep: Deployment = deploy_opts(&program, apps, opts).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(nworkers as u32),
+    );
+    dep.net.run();
+    let mut completion = 0;
+    let mut retransmits = 0;
+    let mut abandoned = 0;
+    let mut traces = Vec::new();
+    for w in 1..=nworkers as u16 {
+        let host = dep.net.host_app_mut::<NclHost>(HostId(w)).expect("worker");
+        completion = completion.max(host.done_at.unwrap_or(0));
+        let stats = host.sender_stats().expect("reliability enabled");
+        retransmits += stats.retransmits;
+        abandoned += stats.abandoned;
+        traces.extend(host.take_traces());
+    }
+    ScopedResult {
+        completion,
+        payload_bytes: (nworkers * elements * 4) as u64,
+        retransmits,
+        abandoned,
+        events_logged: scope.map(|s| s.logged()).unwrap_or(0),
+        traces,
+    }
+}

@@ -15,13 +15,13 @@ use crate::interp_switch::InterpSwitch;
 use crate::nclc::CompiledProgram;
 use c3::{HostId, Label, NodeId, SwitchId};
 use ncl_and::AndKind;
-use nctel::Registry;
+use nctel::{Registry, Scope, ScopeEvent, SnapshotReason, WindowKey};
 use netsim::{
     FastDatapath, HostApp, KernelTelemetry, LinkSpec, Network, NetworkBuilder, SwitchCfg,
     SwitchTelemetry,
 };
 use pisa::{Pipeline, ResourceModel};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Which switch engine [`deploy_with`] loads into the simulated
@@ -128,6 +128,114 @@ pub fn deploy_with(
     )
 }
 
+/// Full deployment configuration for [`deploy_opts`] — the options the
+/// positional [`deploy`]/[`deploy_with`]/[`deploy_full`] entry points
+/// fix at their defaults.
+pub struct DeployOptions {
+    /// Link parameters applied to every overlay edge (unless
+    /// overridden).
+    pub link_spec: LinkSpec,
+    /// Per-link overrides by AND label pair, order-insensitive:
+    /// `("worker1", "s1", spec)` configures exactly that edge, in both
+    /// directions. This is the fault-injection knob — drop or duplicate
+    /// on one known link while the rest of the fabric stays clean, then
+    /// check the diagnosis engine blames the right link.
+    pub link_overrides: Vec<(String, String, LinkSpec)>,
+    /// Switch engine.
+    pub backend: SwitchBackend,
+    /// Metrics registry shared with the caller.
+    pub registry: Arc<Registry>,
+    /// ncscope event sink, wired into the network (link drops, switch
+    /// executions) and notified on deploy-time lint denials.
+    pub scope: Option<Scope>,
+    /// PISA resource model for pipeline loading.
+    pub model: ResourceModel,
+}
+
+impl Default for DeployOptions {
+    fn default() -> Self {
+        DeployOptions {
+            link_spec: LinkSpec::default(),
+            link_overrides: Vec::new(),
+            backend: SwitchBackend::Pisa,
+            registry: Arc::new(Registry::new()),
+            scope: None,
+            model: ResourceModel::default(),
+        }
+    }
+}
+
+/// The expected switch path of a window sent from host label `from` to
+/// host label `to`: the wire ids of the switches along the overlay's
+/// shortest path, in traversal order. This is the `expected_path` input
+/// of the diagnosis engine's last-witness inference
+/// ([`nctel::scope::analysis`]) — the deployment maps overlay edges
+/// 1:1 onto physical links, so the AND shortest path *is* the route.
+pub fn and_switch_path(program: &CompiledProgram, from: &str, to: &str) -> Vec<u16> {
+    let nodes = &program.overlay.nodes;
+    let Some(src) = nodes.iter().position(|n| n.label.as_str() == from) else {
+        return Vec::new();
+    };
+    let Some(dst) = nodes.iter().position(|n| n.label.as_str() == to) else {
+        return Vec::new();
+    };
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(a, b) in &program.overlay.edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut prev: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut seen = vec![false; nodes.len()];
+    let mut q = VecDeque::from([src]);
+    seen[src] = true;
+    while let Some(x) = q.pop_front() {
+        if x == dst {
+            break;
+        }
+        for &peer in &adj[x] {
+            if !seen[peer] {
+                seen[peer] = true;
+                prev[peer] = Some(x);
+                q.push_back(peer);
+            }
+        }
+    }
+    if !seen[dst] {
+        return Vec::new();
+    }
+    let mut path = Vec::new();
+    let mut at = dst;
+    while let Some(p) = prev[at] {
+        at = p;
+        path.push(at);
+    }
+    path.reverse(); // src first; src itself is path[0], drop it below
+    path.into_iter()
+        .skip(1)
+        .chain(std::iter::once(dst))
+        .filter(|&i| nodes[i].kind == AndKind::Switch)
+        .map(|i| NodeId::Switch(SwitchId(nodes[i].id)).to_wire())
+        .collect()
+}
+
+/// The kernel versions this program deploys, per `(switch wire id,
+/// kernel id)` — the diagnosis engine's reference for flagging stale
+/// hop records after a redeploy ([`nctel::scope::analysis`]).
+pub fn deployed_versions(program: &CompiledProgram) -> BTreeMap<(u16, u16), u16> {
+    let mut out = BTreeMap::new();
+    for n in &program.overlay.nodes {
+        if n.kind != AndKind::Switch {
+            continue;
+        }
+        let wire = NodeId::Switch(SwitchId(n.id)).to_wire();
+        let tel = switch_telemetry(program, n.label.as_str(), wire);
+        for (kernel, kt) in tel.kernels {
+            out.insert((wire, kernel), kt.version);
+        }
+    }
+    out
+}
+
 /// Deploy-time telemetry identity for one switch: the static hop-record
 /// fields every execution tier stamps identically — kernel `version`
 /// (the 1-based index of the location's versioned module), PISA
@@ -172,17 +280,51 @@ fn switch_telemetry(program: &CompiledProgram, label: &str, wire: u16) -> Switch
 /// [`Network::metrics`] exposes after the build.
 pub fn deploy_full(
     program: &CompiledProgram,
-    mut apps: HashMap<String, Box<dyn HostApp>>,
+    apps: HashMap<String, Box<dyn HostApp>>,
     link_spec: LinkSpec,
     model: ResourceModel,
     backend: SwitchBackend,
     registry: Arc<Registry>,
 ) -> Result<Deployment, DeployError> {
+    deploy_opts(
+        program,
+        apps,
+        DeployOptions {
+            link_spec,
+            backend,
+            registry,
+            model,
+            ..DeployOptions::default()
+        },
+    )
+}
+
+/// The fully-optioned deployment entry point: everything
+/// [`deploy_full`] does, plus per-link overrides and ncscope wiring
+/// (see [`DeployOptions`]). A lint denial emits a `LintDenied` event
+/// and snapshots the scope's flight recorder before returning the
+/// error, so the refusal is diagnosable from the artifact alone.
+pub fn deploy_opts(
+    program: &CompiledProgram,
+    mut apps: HashMap<String, Box<dyn HostApp>>,
+    opts: DeployOptions,
+) -> Result<Deployment, DeployError> {
+    let DeployOptions {
+        link_spec,
+        link_overrides,
+        backend,
+        registry,
+        scope,
+        model,
+    } = opts;
     let hosts_loaded = registry.counter("deploy.hosts_loaded");
     let switches_loaded = registry.counter("deploy.switches_loaded");
     let lint_denied = registry.counter("deploy.lint_denied");
     let mut b = NetworkBuilder::new();
-    b.with_metrics(registry);
+    b.with_metrics(registry.clone());
+    if let Some(scope) = &scope {
+        b.with_scope(scope);
+    }
     let mut nodes: HashMap<Label, NodeId> = HashMap::new();
 
     // Nodes in AND declaration order so netsim ids equal AND ids.
@@ -207,6 +349,21 @@ pub fn deploy_full(
                     let (deny, _) = ncl_ir::lint::partition(diags);
                     if !deny.is_empty() {
                         lint_denied.inc();
+                        if let Some(scope) = &scope {
+                            let wire = NodeId::Switch(SwitchId(n.id)).to_wire();
+                            scope.emit(
+                                0,
+                                wire,
+                                WindowKey::new(0, 0, 0),
+                                ScopeEvent::LintDenied { switch: wire },
+                            );
+                            scope.flight_record(
+                                SnapshotReason::LintDenied,
+                                0,
+                                Some(&registry),
+                                &[],
+                            );
+                        }
                         return Err(DeployError::Lint {
                             label: n.label.to_string(),
                             diagnostics: deny,
@@ -269,9 +426,16 @@ pub fn deploy_full(
         }
     }
     for &(a, bidx) in &program.overlay.edges {
+        let la = program.overlay.nodes[a].label.as_str();
+        let lb = program.overlay.nodes[bidx].label.as_str();
         let na = nodes[&program.overlay.nodes[a].label];
         let nb = nodes[&program.overlay.nodes[bidx].label];
-        b.link(na, nb, link_spec);
+        let spec = link_overrides
+            .iter()
+            .find(|(x, y, _)| (x == la && y == lb) || (x == lb && y == la))
+            .map(|(_, _, s)| *s)
+            .unwrap_or(link_spec);
+        b.link(na, nb, spec);
     }
     Ok(Deployment {
         net: b.build(),

@@ -51,7 +51,10 @@ pub mod nclc;
 pub mod runtime;
 
 pub use control::ControlPlane;
-pub use deploy::{deploy, deploy_full, deploy_with, Deployment, SwitchBackend};
+pub use deploy::{
+    and_switch_path, deploy, deploy_full, deploy_opts, deploy_with, deployed_versions,
+    DeployOptions, Deployment, SwitchBackend,
+};
 pub use fastpath::FastPathSwitch;
 pub use interp_switch::InterpSwitch;
 pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};

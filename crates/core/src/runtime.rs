@@ -25,7 +25,7 @@ use ncp::reliable::{Receiver as RelReceiver, ReceiverStats, ReliableConfig, Send
 use ncp::{AckRepr, NcpPacket, FLAG_TELEMETRY};
 use nctel::hop::section_records;
 use nctel::trace::{TraceRing, WindowTrace};
-use nctel::{Counter, Registry};
+use nctel::{Counter, Registry, Scope, ScopeEvent, SnapshotReason, WindowKey};
 use netsim::{HostApp, HostCtx, Packet, Time};
 use std::any::Any;
 use std::collections::HashMap;
@@ -35,6 +35,11 @@ use std::sync::Arc;
 /// tokens are `(idx << 32) | (wi + 1)` with small `idx`, so the top bit
 /// is free.
 pub const RELIABLE_TIMER: u64 = 1 << 63;
+
+/// Reassembler evictions within one run that arm the flight recorder's
+/// "eviction storm" trigger (a reassembly state under this much churn
+/// is losing windows faster than the transport can repair them).
+pub const EVICTION_STORM_THRESHOLD: u64 = 8;
 
 /// NCP-R state of one host: the transport engine plus the bookkeeping
 /// needed to re-encode any tracked window on retransmission.
@@ -251,6 +256,18 @@ pub struct NclHost {
     /// append to; assembled traces land in this ring.
     telemetry: Option<TraceRing>,
     registry: Arc<Registry>,
+    /// ncscope event sink (see [`NclHost::enable_scope`]); lazily
+    /// attached to the NCP-R engines on start, once the host id is
+    /// known.
+    scope: Option<Scope>,
+    scope_attached: bool,
+    /// Abandonment count at the last flight-recorder check, so each new
+    /// delivery timeout triggers exactly one snapshot.
+    last_abandoned: u64,
+    /// Reassembler eviction count at the last check (event dedupe).
+    last_evictions: u64,
+    /// Whether the one-time eviction-storm snapshot has fired.
+    storm_recorded: bool,
     m_windows_sent: Counter,
     m_windows_received: Counter,
     /// Windows received (count).
@@ -282,6 +299,11 @@ impl NclHost {
             scratch: ExecScratch::new(),
             telemetry: None,
             registry,
+            scope: None,
+            scope_attached: false,
+            last_abandoned: 0,
+            last_evictions: 0,
+            storm_recorded: false,
             m_windows_sent,
             m_windows_received,
             windows_received: 0,
@@ -409,6 +431,98 @@ impl NclHost {
         self
     }
 
+    /// Attaches an ncscope event sink (DESIGN.md §4.10). The host emits
+    /// `WindowSent`/`WindowCompleted` from its send/deliver paths and
+    /// wires the NCP-R sender/receiver into the same ring; failure paths
+    /// (delivery timeout, reassembler eviction storm) snapshot ring +
+    /// registry through the scope's flight recorder. Works in either
+    /// order with [`NclHost::enable_reliability`] — the transport
+    /// engines are attached lazily at simulation start.
+    pub fn enable_scope(&mut self, scope: &Scope) -> &mut Self {
+        self.scope = Some(scope.clone());
+        self.scope_attached = false;
+        self
+    }
+
+    /// Attaches the scope to the NCP-R engines once the host id is
+    /// known (first callback).
+    fn attach_scope_engines(&mut self, host: HostId) {
+        if self.scope_attached {
+            return;
+        }
+        self.scope_attached = true;
+        if let (Some(scope), Some(r)) = (&self.scope, &mut self.reliable) {
+            r.sender.attach_scope(scope, host.0);
+            r.receiver.attach_scope(scope, host.0);
+        }
+    }
+
+    fn emit_sent(&self, host: HostId, kernel: u16, seq: u32, now: Time) {
+        if let Some(scope) = &self.scope {
+            let attempt = self
+                .reliable
+                .as_ref()
+                .and_then(|r| r.sender.retries(kernel, seq))
+                .unwrap_or(0);
+            scope.emit(
+                now,
+                host.0,
+                WindowKey::new(host.0, kernel, seq),
+                ScopeEvent::WindowSent { attempt },
+            );
+        }
+    }
+
+    /// Failure-path hooks: a fresh NCP-R abandonment (delivery timeout)
+    /// or a reassembler eviction storm snapshots ring + registry to the
+    /// flight recorder's armed path.
+    fn check_failure_triggers(&mut self, host: HostId, now: Time) {
+        let Some(scope) = self.scope.clone() else {
+            return;
+        };
+        if let Some(r) = &self.reliable {
+            let abandoned = r.sender.stats().abandoned;
+            if abandoned > self.last_abandoned {
+                self.last_abandoned = abandoned;
+                let traces = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.snapshot())
+                    .unwrap_or_default();
+                scope.flight_record(
+                    SnapshotReason::DeliveryTimeout,
+                    now,
+                    Some(&self.registry),
+                    &traces,
+                );
+            }
+        }
+        let evictions = self.reassembler.evictions();
+        if evictions > self.last_evictions {
+            self.last_evictions = evictions;
+            scope.emit(
+                now,
+                host.0,
+                WindowKey::new(host.0, 0, 0),
+                ScopeEvent::ReassemblyEvicted { evictions },
+            );
+            if evictions >= EVICTION_STORM_THRESHOLD && !self.storm_recorded {
+                self.storm_recorded = true;
+                let traces = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.snapshot())
+                    .unwrap_or_default();
+                scope.flight_record(
+                    SnapshotReason::EvictionStorm,
+                    now,
+                    Some(&self.registry),
+                    &traces,
+                );
+            }
+        }
+    }
+
     /// Drains and returns the assembled per-window traces (oldest
     /// first). Empty when telemetry is disabled.
     pub fn take_traces(&mut self) -> Vec<WindowTrace> {
@@ -468,7 +582,9 @@ impl NclHost {
                     continue; // queued until the congestion window opens
                 }
             }
+            let seq = w.seq;
             let bytes = self.encode_frame(&w);
+            self.emit_sent(ctx.host, rid, seq, ctx.now);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
             self.m_windows_sent.inc();
@@ -484,9 +600,14 @@ impl NclHost {
     fn pump(&mut self, ctx: &mut HostCtx) {
         let Some(r) = &mut self.reliable else { return };
         let (due, next) = r.sender.poll(ctx.now);
-        let sends: Vec<(usize, usize)> = due
+        let sends: Vec<((u16, u32), (usize, usize))> = due
             .iter()
-            .filter_map(|&(kernel, seq)| r.wire_index.get(&(kernel, seq)).copied())
+            .filter_map(|&(kernel, seq)| {
+                r.wire_index
+                    .get(&(kernel, seq))
+                    .copied()
+                    .map(|iw| ((kernel, seq), iw))
+            })
             .collect();
         if let Some(deadline) = next {
             if r.armed.is_none_or(|t| deadline < t) {
@@ -494,13 +615,15 @@ impl NclHost {
                 ctx.set_timer(deadline.saturating_sub(ctx.now).max(1), RELIABLE_TIMER);
             }
         }
-        for (idx, wi) in sends {
+        for ((kernel, seq), (idx, wi)) in sends {
             if let Some((dest, bytes)) = self.window_bytes(ctx.host, idx, wi) {
+                self.emit_sent(ctx.host, kernel, seq, ctx.now);
                 ctx.send(dest, bytes);
                 self.windows_sent += 1;
                 self.m_windows_sent.inc();
             }
         }
+        self.check_failure_triggers(ctx.host, ctx.now);
     }
 
     /// Re-encodes window `wi` of invocation `idx` (the NCP-R
@@ -525,7 +648,7 @@ impl NclHost {
     fn encode_frame(&mut self, w: &Window) -> Vec<u8> {
         let mut bytes = encode_window(w, self.ext_total);
         if let Some(t) = &mut self.telemetry {
-            if t.should_sample() {
+            if t.should_sample_for(w.sender.0) {
                 bytes[3] |= FLAG_TELEMETRY;
                 bytes.extend_from_slice(&nctel::hop::section_init());
             }
@@ -563,7 +686,7 @@ impl NclHost {
             // (a broadcast leg lost between switch and us must keep the
             // window in flight so the replay filter can reflect it back).
             let acked = r.sender.on_ack(w.kernel.0, w.seq);
-            let fresh = r.receiver.admit(w.sender.0, w.kernel.0, w.seq);
+            let fresh = r.receiver.admit_at(w.sender.0, w.kernel.0, w.seq, ctx.now);
             if acked {
                 self.pump(ctx);
             }
@@ -574,6 +697,14 @@ impl NclHost {
         }
         self.windows_received += 1;
         self.m_windows_received.inc();
+        if let Some(scope) = &self.scope {
+            scope.emit(
+                ctx.now,
+                ctx.host.0,
+                WindowKey::new(w.sender.0, w.kernel.0, w.seq),
+                ScopeEvent::WindowCompleted,
+            );
+        }
         if let (Some(t), Some(hops)) = (&mut self.telemetry, hops) {
             t.push(WindowTrace {
                 kernel: w.kernel.0,
@@ -596,6 +727,7 @@ impl NclHost {
 
 impl HostApp for NclHost {
     fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.attach_scope_engines(ctx.host);
         for i in 0..self.outs.len() {
             if self.outs[i].start == 0 && self.outs[i].gap == 0 {
                 self.launch(ctx, i);
@@ -647,6 +779,7 @@ impl HostApp for NclHost {
         if let Ok(Some(w)) = self.reassembler.push(&pkt.payload) {
             self.deliver(ctx, w, hops);
         }
+        self.check_failure_triggers(ctx.host, ctx.now);
     }
 
     fn on_timer(&mut self, ctx: &mut HostCtx, token: u64) {
@@ -681,7 +814,9 @@ impl HostApp for NclHost {
                     return; // queued until the congestion window opens
                 }
             }
+            let seq = w.seq;
             let bytes = self.encode_frame(&w);
+            self.emit_sent(ctx.host, rid, seq, ctx.now);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
             self.m_windows_sent.inc();

@@ -23,7 +23,7 @@
 //! nanoseconds, fed by the caller (netsim's simulated clock or a
 //! wall-clock via `std::time::Instant`). Nothing here does I/O.
 
-use nctel::{Counter, Registry};
+use nctel::{Counter, Registry, Scope, ScopeEvent, WindowKey};
 use std::collections::HashMap;
 
 /// Nanosecond timestamps, matching netsim's `Time`.
@@ -112,6 +112,12 @@ pub struct Sender {
     acked: Counter,
     abandoned: Counter,
     cwnd_cuts: Counter,
+    /// ncscope event sink plus this host's id (used as both the
+    /// emitting node and the causal `sender` key).
+    scope: Option<(Scope, u16)>,
+    /// Timestamp of the most recent clocked call, so clock-less entry
+    /// points (`on_ack`) can stamp events monotonically enough.
+    last_now: Time,
 }
 
 impl Sender {
@@ -128,6 +134,21 @@ impl Sender {
             acked: Counter::new(),
             abandoned: Counter::new(),
             cwnd_cuts: Counter::new(),
+            scope: None,
+            last_now: 0,
+        }
+    }
+
+    /// Attaches an ncscope event sink: RTO firings, cwnd changes,
+    /// NACKs, retirements and abandonments are emitted keyed by
+    /// `(host, kernel, seq)`.
+    pub fn attach_scope(&mut self, scope: &Scope, host: u16) {
+        self.scope = Some((scope.clone(), host));
+    }
+
+    fn emit(&self, t: Time, kernel: u16, seq: u32, ev: ScopeEvent) {
+        if let Some((scope, host)) = &self.scope {
+            scope.emit(t, *host, WindowKey::new(*host, kernel, seq), ev);
         }
     }
 
@@ -168,6 +189,7 @@ impl Sender {
     /// must not send it yet — [`Sender::poll`] will release it).
     pub fn track(&mut self, kernel: u16, seq: u32, now: Time) -> bool {
         self.tracked.inc();
+        self.last_now = now;
         let key = Key { kernel, seq };
         if self.flight.len() < self.cap() {
             self.flight.insert(
@@ -205,17 +227,33 @@ impl Sender {
         self.cwnd
     }
 
+    /// Retransmissions already spent on an in-flight window (`None`
+    /// when `(kernel, seq)` is not in flight). Lets the transmitting
+    /// host stamp `WindowSent` events with the true attempt number.
+    pub fn retries(&self, kernel: u16, seq: u32) -> Option<u32> {
+        self.flight.get(&Key { kernel, seq }).map(|f| f.retries)
+    }
+
     /// An ACK frame (or any response window) for `(kernel, seq)`
     /// arrived. Returns `true` if it retired an in-flight window.
     pub fn on_ack(&mut self, kernel: u16, seq: u32) -> bool {
         let retired = self.flight.remove(&Key { kernel, seq }).is_some();
         if retired {
             self.acked.inc();
+            self.emit(self.last_now, kernel, seq, ScopeEvent::WindowAcked);
             // Additive increase: one extra window per cwnd of acks.
             self.acks_since_grow += 1;
             if self.acks_since_grow >= self.cwnd && self.cwnd < self.cfg.max_cwnd {
                 self.cwnd += 1;
                 self.acks_since_grow = 0;
+                self.emit(
+                    self.last_now,
+                    kernel,
+                    seq,
+                    ScopeEvent::CwndChanged {
+                        cwnd: self.cwnd as u32,
+                    },
+                );
             }
         }
         retired
@@ -224,16 +262,27 @@ impl Sender {
     /// A NACK for `(kernel, seq)` arrived: the next [`Sender::poll`]
     /// retransmits it immediately (and applies the usual loss cut).
     pub fn on_nack(&mut self, kernel: u16, seq: u32, now: Time) {
+        self.last_now = now;
         if let Some(f) = self.flight.get_mut(&Key { kernel, seq }) {
             f.deadline = now; // due immediately
+            self.emit(now, kernel, seq, ScopeEvent::NackReceived);
         }
     }
 
-    /// Multiplicative decrease.
-    fn cut(&mut self) {
+    /// Multiplicative decrease, attributed to the window that signalled
+    /// the loss.
+    fn cut(&mut self, key: Key) {
         self.cwnd = (self.cwnd / 2).max(1);
         self.acks_since_grow = 0;
         self.cwnd_cuts.inc();
+        self.emit(
+            self.last_now,
+            key.kernel,
+            key.seq,
+            ScopeEvent::CwndChanged {
+                cwnd: self.cwnd as u32,
+            },
+        );
     }
 
     /// Advances the clock: expires RTOs (scheduling retransmits with
@@ -244,6 +293,7 @@ impl Sender {
     /// now, and the earliest next deadline to poll at (if any windows
     /// remain in flight).
     pub fn poll(&mut self, now: Time) -> (Vec<(u16, u32)>, Option<Time>) {
+        self.last_now = now;
         let mut send = Vec::new();
         let mut expired: Vec<Key> = self
             .flight
@@ -255,15 +305,24 @@ impl Sender {
         for key in expired {
             let f = self.flight.get_mut(&key).expect("still in flight");
             if f.retries >= self.cfg.max_retries {
+                let retries = f.retries;
                 self.flight.remove(&key);
                 self.abandoned.inc();
+                self.emit(
+                    now,
+                    key.kernel,
+                    key.seq,
+                    ScopeEvent::WindowAbandoned { retries },
+                );
                 continue;
             }
             f.retries += 1;
             f.rto = (f.rto * 2).min(self.cfg.max_rto);
             f.deadline = now + f.rto;
+            let attempt = f.retries;
             self.retransmits.inc();
-            self.cut();
+            self.emit(now, key.kernel, key.seq, ScopeEvent::RtoFired { attempt });
+            self.cut(key);
             send.push((key.kernel, key.seq));
         }
         // Admit queued windows into whatever capacity is open.
@@ -341,12 +400,20 @@ pub struct Receiver {
     /// nctel counters (detached until [`Receiver::attach_metrics`]).
     delivered: Counter,
     duplicates: Counter,
+    /// ncscope event sink plus this host's id (the suppressing node).
+    scope: Option<(Scope, u16)>,
 }
 
 impl Receiver {
     /// A fresh receiver.
     pub fn new() -> Self {
         Receiver::default()
+    }
+
+    /// Attaches an ncscope event sink: host-edge duplicate suppressions
+    /// are emitted as `DupSuppressed { at: node }`.
+    pub fn attach_scope(&mut self, scope: &Scope, node: u16) {
+        self.scope = Some((scope.clone(), node));
     }
 
     /// Registers this receiver's counters on `reg` under
@@ -368,9 +435,24 @@ impl Receiver {
     /// `(sender, kernel, seq)` — the caller delivers on `true` and
     /// (re-)acknowledges but drops on `false`.
     pub fn admit(&mut self, sender: u16, kernel: u16, seq: u32) -> bool {
+        self.admit_at(sender, kernel, seq, 0)
+    }
+
+    /// [`Receiver::admit`] with a timestamp for the duplicate-
+    /// suppression event (clocked callers should prefer this so the
+    /// ncscope timeline stays ordered).
+    pub fn admit_at(&mut self, sender: u16, kernel: u16, seq: u32, now: Time) -> bool {
         let st = self.state.entry((sender, kernel)).or_default();
         if st.seen(seq) {
             self.duplicates.inc();
+            if let Some((scope, node)) = &self.scope {
+                scope.emit(
+                    now,
+                    *node,
+                    WindowKey::new(sender, kernel, seq),
+                    ScopeEvent::DupSuppressed { at: *node },
+                );
+            }
             false
         } else {
             st.mark(seq);

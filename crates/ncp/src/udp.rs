@@ -10,7 +10,7 @@ use crate::codec::{fragment_window_into, BufferPool, Reassembler};
 use crate::reliable::Time;
 use crate::wire::{AckRepr, NcpPacket};
 use c3::Window;
-use nctel::{Counter, MonotonicClock, Registry};
+use nctel::{Counter, MonotonicClock, Registry, Scope, ScopeEvent, WindowKey};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
@@ -60,6 +60,8 @@ pub struct UdpEndpoint {
     /// wall clock steps (the pre-nctel implementation read an
     /// `Instant` epoch without a latch).
     clock: MonotonicClock,
+    /// ncscope event sink plus this endpoint's wire node id.
+    scope: Option<(Scope, u16)>,
 }
 
 impl UdpEndpoint {
@@ -77,7 +79,21 @@ impl UdpEndpoint {
             pool: BufferPool::new(),
             frags: Vec::new(),
             clock: MonotonicClock::new(),
+            scope: None,
         })
+    }
+
+    /// Attaches an ncscope event sink: window sends/completions, ACK and
+    /// NACK frames and malformed datagrams are emitted with this
+    /// endpoint's wire `node` id, timestamped by [`UdpEndpoint::now`].
+    pub fn attach_scope(&mut self, scope: &Scope, node: u16) {
+        self.scope = Some((scope.clone(), node));
+    }
+
+    fn emit(&self, key: WindowKey, ev: ScopeEvent) {
+        if let Some((scope, node)) = &self.scope {
+            scope.emit(self.clock.now(), *node, key, ev);
+        }
     }
 
     /// The bound local address.
@@ -123,6 +139,10 @@ impl UdpEndpoint {
     /// so steady-state sends allocate nothing. Returns the number of
     /// packets sent.
     pub fn send_window(&mut self, dst: SocketAddr, w: &Window) -> io::Result<usize> {
+        self.emit(
+            WindowKey::new(w.sender.0, w.kernel.0, w.seq),
+            ScopeEvent::WindowSent { attempt: 0 },
+        );
         fragment_window_into(w, self.ext_total, self.mtu, &mut self.pool, &mut self.frags);
         let n = self.frags.len();
         let mut result = Ok(());
@@ -166,14 +186,31 @@ impl UdpEndpoint {
         };
         if let Ok(p) = NcpPacket::new_checked(&self.buf[..n]) {
             if let Some(ack) = AckRepr::parse(&p) {
+                let key = WindowKey::new(ack.sender, ack.kernel, ack.seq);
+                self.emit(
+                    key,
+                    if ack.nack {
+                        ScopeEvent::NackReceived
+                    } else {
+                        ScopeEvent::WindowAcked
+                    },
+                );
                 return Ok(RecvEvent::Ack(ack, src));
             }
         }
         match self.reassembler.push(&self.buf[..n]) {
-            Ok(Some(w)) => Ok(RecvEvent::Window(w, src)),
+            Ok(Some(w)) => {
+                self.emit(
+                    WindowKey::new(w.sender.0, w.kernel.0, w.seq),
+                    ScopeEvent::WindowCompleted,
+                );
+                Ok(RecvEvent::Window(w, src))
+            }
             Ok(None) => Ok(RecvEvent::Partial(src)),
             Err(_) => {
                 self.malformed.inc();
+                let node = self.scope.as_ref().map(|(_, n)| *n).unwrap_or(0);
+                self.emit(WindowKey::new(node, 0, 0), ScopeEvent::MalformedFrame);
                 Ok(RecvEvent::Malformed(src))
             }
         }

@@ -21,6 +21,12 @@
 //! * [`spans`] — compile-pipeline tracing: a [`Timeline`] of timed spans
 //!   around parse→sema→lower→passes→lint→PISA-map→P4-emit, surfaced by
 //!   `nclc --emit timing`.
+//! * [`scope`] — **ncscope**, the layer that *interprets* the above
+//!   (DESIGN.md §4.10): a lock-free ring of typed window events shared
+//!   by every layer via a cheap-clone [`Scope`] handle, a flight
+//!   recorder that snapshots ring + registry to JSON on failure paths,
+//!   a diagnosis engine producing per-window verdicts (loss locus, dup
+//!   heatmaps, switch latency), and a Chrome `trace_event` exporter.
 //!
 //! The crate has **zero dependencies** so every other crate in the
 //! workspace (transport, simulator, compiler, benches) can depend on it
@@ -29,11 +35,13 @@
 pub mod clock;
 pub mod hop;
 pub mod metrics;
+pub mod scope;
 pub mod spans;
 pub mod trace;
 
 pub use clock::MonotonicClock;
 pub use hop::{HopRecord, HOP_DUP_SUPPRESSED, HOP_FORWARDED_ONLY, HOP_RECORD_LEN};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use scope::{Scope, ScopeEvent, SnapshotReason, WindowKey};
 pub use spans::Timeline;
 pub use trace::{TraceRing, WindowTrace};

@@ -248,22 +248,56 @@ impl Registry {
     }
 
     /// Registers an existing (possibly detached) counter under `name`,
-    /// replacing whatever was there. Lets library types hand their
-    /// internal cells to an owner's registry after construction.
+    /// replacing a previously registered *counter* of the same name.
+    /// Lets library types hand their internal cells to an owner's
+    /// registry after construction.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type —
+    /// silently shadowing a gauge or histogram with a counter would
+    /// corrupt every exporter consumer, exactly like the get-or-create
+    /// constructors panic on type confusion.
     pub fn register_counter(&self, name: &str, c: &Counter) {
-        self.metrics
-            .lock()
-            .unwrap()
-            .insert(name.to_string(), Metric::Counter(c.clone()));
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(existing) = m.get(name) {
+            assert!(
+                matches!(existing, Metric::Counter(_)),
+                "metric {name:?} already registered with a different type"
+            );
+        }
+        m.insert(name.to_string(), Metric::Counter(c.clone()));
+    }
+
+    /// Registers an existing gauge under `name` (see
+    /// [`Registry::register_counter`]).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn register_gauge(&self, name: &str, g: &Gauge) {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(existing) = m.get(name) {
+            assert!(
+                matches!(existing, Metric::Gauge(_)),
+                "metric {name:?} already registered with a different type"
+            );
+        }
+        m.insert(name.to_string(), Metric::Gauge(g.clone()));
     }
 
     /// Registers an existing histogram under `name` (see
     /// [`Registry::register_counter`]).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
     pub fn register_histogram(&self, name: &str, h: &Histogram) {
-        self.metrics
-            .lock()
-            .unwrap()
-            .insert(name.to_string(), Metric::Histogram(h.clone()));
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(existing) = m.get(name) {
+            assert!(
+                matches!(existing, Metric::Histogram(_)),
+                "metric {name:?} already registered with a different type"
+            );
+        }
+        m.insert(name.to_string(), Metric::Histogram(h.clone()));
     }
 
     /// Value of counter `name`, or `None` if absent / not a counter.
@@ -275,14 +309,27 @@ impl Registry {
     }
 
     /// Renders every metric in Prometheus text exposition format, in
-    /// deterministic (sorted-by-name) order. Dots in names become
-    /// underscores; histograms expose `_count`, `_sum` and quantile
-    /// gauges.
+    /// deterministic (sorted-by-name) order. Registry names are
+    /// sanitized to the spec's `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots and any
+    /// other illegal characters become underscores, a leading digit is
+    /// prefixed with `_`); when two registry names collapse onto one
+    /// sanitized family, later ones get a deterministic `_2`, `_3`, …
+    /// suffix so the output never declares a family twice. Histograms
+    /// expose `_count`, `_sum` and quantile samples as a `summary`.
     pub fn render_prometheus(&self) -> String {
         let m = self.metrics.lock().unwrap();
         let mut out = String::new();
+        let mut emitted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for (name, metric) in m.iter() {
-            let pname = name.replace('.', "_");
+            let mut pname = sanitize_prometheus_name(name);
+            if emitted.contains(&pname) {
+                let mut i = 2u32;
+                while emitted.contains(&format!("{pname}_{i}")) {
+                    i += 1;
+                }
+                pname = format!("{pname}_{i}");
+            }
+            emitted.insert(pname.clone());
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
@@ -309,7 +356,9 @@ impl Registry {
 
     /// Renders every metric as a JSON object keyed by metric name, in
     /// deterministic order. Counters/gauges map to numbers, histograms
-    /// to `{count, sum, p50, p99, p999}` objects.
+    /// to `{count, sum, p50, p99, p999}` objects. Keys are proper JSON
+    /// string literals (quotes, backslashes and control characters in
+    /// metric names are escaped).
     pub fn render_json(&self) -> String {
         let m = self.metrics.lock().unwrap();
         let mut out = String::from("{");
@@ -317,13 +366,14 @@ impl Registry {
             if i > 0 {
                 out.push(',');
             }
+            let key = crate::scope::json::escape(name);
             match metric {
-                Metric::Counter(c) => out.push_str(&format!("\"{name}\":{}", c.get())),
-                Metric::Gauge(g) => out.push_str(&format!("\"{name}\":{}", g.get())),
+                Metric::Counter(c) => out.push_str(&format!("{key}:{}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{key}:{}", g.get())),
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
                     out.push_str(&format!(
-                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+                        "{key}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
                         s.count, s.sum, s.p50, s.p99, s.p999
                     ));
                 }
@@ -332,6 +382,195 @@ impl Registry {
         out.push('}');
         out
     }
+}
+
+/// Rewrites a registry name into a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gets an `_` prefix. Empty names become `_`.
+pub fn sanitize_prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// One sample line from the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Sample name (family name, possibly with `_sum` / `_count`).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One metric family parsed from the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromFamily {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, `summary`, …).
+    pub kind: String,
+    /// The family's samples.
+    pub samples: Vec<PromSample>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A strict parser for the Prometheus text exposition format, used to
+/// regression-test [`Registry::render_prometheus`] (and handy for
+/// checking any scrape output).
+///
+/// Enforced rules: every sample must follow a `# TYPE` declaration and
+/// belong to that family (exact name, or `_sum`/`_count` for summaries
+/// and histograms); metric and label names must match the spec
+/// character sets; label values must be properly quoted with only the
+/// spec's escapes (`\\`, `\"`, `\n`); values must parse as floats; a
+/// family may not be declared twice.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return err("malformed TYPE line");
+            };
+            if !valid_metric_name(name) {
+                return err("illegal family name");
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return err("unknown family type");
+            }
+            if !seen.insert(name.to_string()) {
+                return err("family declared twice");
+            }
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let Some(family) = families.last_mut() else {
+            return err("sample before any TYPE declaration");
+        };
+        // name[{labels}] value
+        let (name_part, rest) = match (line.find('{'), line.find(' ')) {
+            (Some(b), Some(s)) if b < s => line.split_at(b),
+            (_, Some(s)) => line.split_at(s),
+            _ => return err("missing value"),
+        };
+        if !valid_metric_name(name_part) {
+            return err("illegal sample name");
+        }
+        let member = name_part == family.name
+            || ((family.kind == "summary" || family.kind == "histogram")
+                && (name_part == format!("{}_sum", family.name)
+                    || name_part == format!("{}_count", family.name)
+                    || (family.kind == "histogram"
+                        && name_part == format!("{}_bucket", family.name))));
+        if !member {
+            return err("sample does not belong to the current family");
+        }
+        let mut rest = rest;
+        let mut labels = Vec::new();
+        if let Some(body) = rest.strip_prefix('{') {
+            let Some(close) = body.find('}') else {
+                return err("unterminated label set");
+            };
+            let (label_body, after) = body.split_at(close);
+            rest = &after[1..];
+            for pair in label_body.split(',').filter(|p| !p.is_empty()) {
+                let Some((lname, lval)) = pair.split_once('=') else {
+                    return err("label without '='");
+                };
+                if !valid_label_name(lname) {
+                    return err("illegal label name");
+                }
+                let Some(quoted) = lval.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                    return err("label value not quoted");
+                };
+                let mut val = String::new();
+                let mut chars = quoted.chars();
+                while let Some(c) = chars.next() {
+                    if c == '"' {
+                        return err("unescaped quote in label value");
+                    }
+                    if c == '\\' {
+                        match chars.next() {
+                            Some('\\') => val.push('\\'),
+                            Some('"') => val.push('"'),
+                            Some('n') => val.push('\n'),
+                            _ => return err("illegal escape in label value"),
+                        }
+                    } else {
+                        val.push(c);
+                    }
+                }
+                labels.push((lname.to_string(), val));
+            }
+        }
+        let value_text = rest.trim_start_matches(' ');
+        if value_text.is_empty() || value_text.contains(' ') {
+            // (timestamps are legal Prometheus but our exporter never
+            // emits them, so the strict parser rejects extra fields)
+            return err("expected exactly one value");
+        }
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad float {v:?}", lineno + 1))?,
+        };
+        family.samples.push(PromSample {
+            name: name_part.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(families)
 }
 
 impl std::fmt::Debug for Registry {
@@ -425,5 +664,125 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn register_over_different_type_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.register_counter("x", &Counter::new());
+    }
+
+    #[test]
+    fn register_same_type_replaces() {
+        let r = Registry::new();
+        r.counter("x").add(3);
+        let fresh = Counter::new();
+        fresh.add(10);
+        r.register_counter("x", &fresh);
+        assert_eq!(r.counter_value("x"), Some(10));
+        r.register_gauge("g", &Gauge::new());
+        r.register_histogram("h", &Histogram::new());
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_to_spec() {
+        assert_eq!(sanitize_prometheus_name("a.b.c"), "a_b_c");
+        assert_eq!(
+            sanitize_prometheus_name("udp/mal-formed μs"),
+            "udp_mal_formed__s"
+        );
+        assert_eq!(sanitize_prometheus_name("9lives"), "_9lives");
+        assert_eq!(sanitize_prometheus_name(""), "_");
+        assert_eq!(sanitize_prometheus_name("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn exporter_round_trips_through_strict_parser() {
+        let r = Registry::new();
+        r.counter("ncpr.sender.retransmits").add(4);
+        r.counter("udp/mal-formed").inc(); // illegal chars
+        r.counter("9starts.with.digit").add(2); // leading digit
+        r.gauge("sim.depth").set(-3);
+        r.histogram("e2e.lat").observe(100);
+        let text = r.render_prometheus();
+        let families = parse_prometheus(&text).expect("strict parse");
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "_9starts_with_digit",
+                "e2e_lat",
+                "ncpr_sender_retransmits",
+                "sim_depth",
+                "udp_mal_formed"
+            ]
+        );
+        let summary = families.iter().find(|f| f.name == "e2e_lat").unwrap();
+        assert_eq!(summary.kind, "summary");
+        let quantiles: Vec<&PromSample> = summary
+            .samples
+            .iter()
+            .filter(|s| s.labels.iter().any(|(k, _)| k == "quantile"))
+            .collect();
+        assert_eq!(quantiles.len(), 3);
+        assert_eq!(quantiles[0].labels[0], ("quantile".into(), "0.5".into()));
+        assert!(summary.samples.iter().any(|s| s.name == "e2e_lat_count"));
+        let c = families
+            .iter()
+            .find(|f| f.name == "ncpr_sender_retransmits")
+            .unwrap();
+        assert_eq!(c.samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn sanitized_name_collisions_stay_unique_families() {
+        let r = Registry::new();
+        r.counter("a.b").add(1);
+        r.counter("a_b").add(2);
+        r.counter("a-b").add(3);
+        let text = r.render_prometheus();
+        let families = parse_prometheus(&text).expect("no duplicate families");
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        // BTreeMap order: "a-b" < "a.b" < "a_b" — first takes the clean
+        // name, later ones get deterministic suffixes.
+        assert_eq!(names, vec!["a_b", "a_b_2", "a_b_3"]);
+        assert_eq!(families[0].samples[0].value, 3.0);
+        assert_eq!(families[1].samples[0].value, 1.0);
+        assert_eq!(families[2].samples[0].value, 2.0);
+    }
+
+    #[test]
+    fn strict_parser_rejects_spec_violations() {
+        // Sample without a family.
+        assert!(parse_prometheus("orphan 1\n").is_err());
+        // Duplicate family declaration.
+        assert!(parse_prometheus("# TYPE a counter\na 1\n# TYPE a counter\na 2\n").is_err());
+        // Sample outside its family.
+        assert!(parse_prometheus("# TYPE a counter\nb 1\n").is_err());
+        // Illegal name.
+        assert!(parse_prometheus("# TYPE a.b counter\na.b 1\n").is_err());
+        // Unquoted label value.
+        assert!(parse_prometheus("# TYPE a summary\na{quantile=0.5} 1\n").is_err());
+        // Bad float.
+        assert!(parse_prometheus("# TYPE a counter\na one\n").is_err());
+        // Legal input parses.
+        let ok = parse_prometheus("# TYPE a summary\na{quantile=\"0.5\"} 1\na_sum 2\na_count 1\n")
+            .unwrap();
+        assert_eq!(ok[0].samples.len(), 3);
+    }
+
+    #[test]
+    fn json_keys_are_escaped() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name").add(7);
+        r.histogram("plain.lat").observe(3);
+        let doc = crate::scope::json::parse(&r.render_json()).expect("valid JSON");
+        assert_eq!(doc.get("we\"ird\\name").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            doc.get("plain.lat").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
     }
 }

@@ -1,0 +1,280 @@
+//! Chrome `trace_event` JSON export: merges nclc compile spans, runtime
+//! window lifecycles and in-band switch hop records into one timeline
+//! that Perfetto / `chrome://tracing` can open directly.
+//!
+//! Layout of the exported trace:
+//!
+//! * **pid 0 "nclc compile"** — one complete (`ph:"X"`) slice per
+//!   compile span, laid end to end from t=0.
+//! * **pid 1 "hosts"** — one slice per window lifecycle (first
+//!   `WindowSent` to completion/abandonment), on the sending host's
+//!   thread row, plus instant (`ph:"i"`) markers for retransmission
+//!   timers, NACKs, drops and duplicate suppressions.
+//! * **pid 2 "switches"** — one slice per hop record (`ticks_in` to
+//!   `ticks_out`) on the stamping switch's thread row.
+//!
+//! Timestamps are microseconds (the trace_event unit); the stack's
+//! nanosecond ticks keep sub-microsecond precision as fractional `ts`.
+
+use super::event::{DecodedEvent, ScopeEvent, WindowKey};
+use super::json::escape;
+use crate::trace::WindowTrace;
+use std::collections::BTreeMap;
+
+const PID_COMPILE: u32 = 0;
+const PID_HOSTS: u32 = 1;
+const PID_SWITCHES: u32 = 2;
+
+/// Formats nanoseconds as a microsecond `ts` value with ns precision.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push_str(body);
+}
+
+/// Builds the complete trace_event JSON document.
+///
+/// `compile_spans` come from [`crate::Timeline::spans`]; `events` from a
+/// scope snapshot; `traces` from the receiver's [`crate::TraceRing`].
+/// Any of the three may be empty.
+pub fn chrome_trace(
+    compile_spans: &[(String, u64)],
+    events: &[DecodedEvent],
+    traces: &[WindowTrace],
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Process/thread metadata so Perfetto shows readable row names.
+    for (pid, name) in [
+        (PID_COMPILE, "nclc compile"),
+        (PID_HOSTS, "hosts"),
+        (PID_SWITCHES, "switches"),
+    ] {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                escape(name)
+            ),
+        );
+    }
+
+    // Compile spans, end to end.
+    let mut t = 0u64;
+    for (name, ns) in compile_spans {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":\"compile\",\"pid\":{PID_COMPILE},\
+                 \"tid\":0,\"ts\":{},\"dur\":{}}}",
+                escape(name),
+                us(t),
+                us(*ns)
+            ),
+        );
+        t += ns;
+    }
+
+    // Window lifecycles: first send → terminal event (or last sighting).
+    struct Life {
+        start: Option<u64>,
+        end: u64,
+        outcome: &'static str,
+        sends: u32,
+    }
+    let mut lives: BTreeMap<WindowKey, Life> = BTreeMap::new();
+    for ev in events {
+        let life = lives.entry(ev.key).or_insert(Life {
+            start: None,
+            end: 0,
+            outcome: "in-flight",
+            sends: 0,
+        });
+        life.end = life.end.max(ev.t);
+        match ev.event {
+            ScopeEvent::WindowSent { .. } => {
+                life.sends += 1;
+                if life.start.is_none() {
+                    life.start = Some(ev.t);
+                }
+            }
+            ScopeEvent::WindowCompleted => life.outcome = "delivered",
+            ScopeEvent::WindowAcked if life.outcome == "in-flight" => {
+                life.outcome = "acked";
+            }
+            ScopeEvent::WindowAbandoned { .. } => life.outcome = "abandoned",
+            _ => {}
+        }
+    }
+    for (key, life) in &lives {
+        let Some(start) = life.start else { continue };
+        let name = format!("k{} w{}", key.kernel, key.seq);
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":\"window\",\"pid\":{PID_HOSTS},\
+                 \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"outcome\":{},\"sends\":{}}}}}",
+                escape(&name),
+                key.sender,
+                us(start),
+                us(life.end.saturating_sub(start)),
+                escape(life.outcome),
+                life.sends
+            ),
+        );
+    }
+
+    // Instant markers for the noisy moments.
+    for ev in events {
+        let (name, detail) = match ev.event {
+            ScopeEvent::RtoFired { attempt } => ("rto", format!("\"attempt\":{attempt}")),
+            ScopeEvent::NackReceived => ("nack", String::new()),
+            ScopeEvent::FragmentDropped { from, to, .. } => {
+                ("drop", format!("\"from\":{from},\"to\":{to}"))
+            }
+            ScopeEvent::DupSuppressed { at } => ("dup", format!("\"at\":{at}")),
+            ScopeEvent::CwndChanged { cwnd } => ("cwnd", format!("\"cwnd\":{cwnd}")),
+            _ => continue,
+        };
+        let args = format!(
+            "{{\"kernel\":{},\"seq\":{}{}{}}}",
+            ev.key.kernel,
+            ev.key.seq,
+            if detail.is_empty() { "" } else { "," },
+            detail
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"name\":{},\"cat\":\"transport\",\
+                 \"pid\":{PID_HOSTS},\"tid\":{},\"ts\":{},\"args\":{args}}}",
+                escape(name),
+                ev.key.sender,
+                us(ev.t)
+            ),
+        );
+    }
+
+    // Per-hop switch slices from the in-band records.
+    for tr in traces {
+        for hop in &tr.hops {
+            let name = format!("k{} v{} w{}", hop.kernel, hop.version, tr.seq);
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"switch\",\"pid\":{PID_SWITCHES},\
+                     \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"sender\":{},\"stages\":{},\
+                     \"uops\":{},\"flags\":{}}}}}",
+                    escape(&name),
+                    hop.switch & 0x7fff,
+                    us(hop.ticks_in),
+                    us(hop.ticks_out.saturating_sub(hop.ticks_in)),
+                    tr.sender,
+                    hop.stages,
+                    hop.uops,
+                    hop.flags
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json;
+    use super::*;
+    use crate::hop::HopRecord;
+
+    #[test]
+    fn export_is_valid_trace_event_json_with_all_three_layers() {
+        let spans = vec![
+            ("parse".to_string(), 1_500u64),
+            ("lower".to_string(), 2_000),
+        ];
+        let key = WindowKey::new(1, 7, 0);
+        let events = vec![
+            DecodedEvent {
+                t: 100,
+                node: 1,
+                key,
+                event: ScopeEvent::WindowSent { attempt: 0 },
+            },
+            DecodedEvent {
+                t: 2_100,
+                node: 1,
+                key,
+                event: ScopeEvent::RtoFired { attempt: 1 },
+            },
+            DecodedEvent {
+                t: 3_000,
+                node: 2,
+                key,
+                event: ScopeEvent::WindowCompleted,
+            },
+        ];
+        let traces = vec![WindowTrace {
+            kernel: 7,
+            seq: 0,
+            sender: 1,
+            hops: vec![HopRecord {
+                switch: 0x8000,
+                kernel: 7,
+                version: 1,
+                stages: 3,
+                uops: 17,
+                flags: 0,
+                ticks_in: 600,
+                ticks_out: 1_200,
+            }],
+        }];
+        let doc = chrome_trace(&spans, &events, &traces);
+        let parsed = json::parse(&doc).expect("valid JSON");
+        let evs = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"parse"), "compile span present");
+        assert!(names.contains(&"k7 w0"), "window lifecycle present");
+        assert!(names.contains(&"k7 v1 w0"), "switch hop slice present");
+        assert!(names.contains(&"rto"), "instant marker present");
+        // Every event carries the mandatory trace_event fields.
+        for e in evs {
+            assert!(e.get("ph").is_some() && e.get("pid").is_some());
+        }
+        // The window slice spans first send → completion (2.9 us).
+        let window = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("k7 w0"))
+            .unwrap();
+        assert_eq!(window.get("dur").unwrap().as_f64(), Some(2.9));
+    }
+
+    #[test]
+    fn empty_inputs_still_produce_a_parseable_document() {
+        let doc = chrome_trace(&[], &[], &[]);
+        let parsed = json::parse(&doc).unwrap();
+        // Only the three metadata records.
+        assert_eq!(
+            parsed.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            3
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! sampling knob.
 
 use crate::hop::HopRecord;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The trace of one window's journey: which kernel/seq/sender it was,
 /// and the hop records stamped by each on-path switch in path order.
@@ -19,19 +19,29 @@ pub struct WindowTrace {
     pub hops: Vec<HopRecord>,
 }
 
+/// Fixed-point scale for the sampler: Q32, so `1.0` is exactly
+/// `1 << 32` and accumulator arithmetic is integer-exact.
+const SAMPLING_ONE: u64 = 1 << 32;
+
 /// A bounded ring buffer of [`WindowTrace`]s with a sampling knob.
 ///
 /// Sampling is a deterministic error-accumulator (no RNG, so simulated
 /// runs stay reproducible): with `sampling = 0.25` exactly every fourth
-/// [`TraceRing::should_sample`] returns `true`. When the ring is full
-/// the oldest trace is evicted and counted in
+/// [`TraceRing::should_sample`] returns `true`. The accumulator is
+/// integer fixed-point (Q32), so long runs cannot drift the way a
+/// floating-point accumulator does, and [`TraceRing::should_sample_for`]
+/// keeps an independent accumulator per sender: with multiple senders
+/// interleaving through one ring, each sender's kept set depends only on
+/// its own window order, never on how the interleaving happened to land.
+/// When the ring is full the oldest trace is evicted and counted in
 /// [`TraceRing::dropped`].
 #[derive(Debug)]
 pub struct TraceRing {
     ring: VecDeque<WindowTrace>,
     cap: usize,
-    sampling: f64,
-    acc: f64,
+    sampling_fp: u64,
+    acc: u64,
+    per_sender: BTreeMap<u16, u64>,
     dropped: u64,
 }
 
@@ -43,22 +53,39 @@ impl TraceRing {
         TraceRing {
             ring: VecDeque::new(),
             cap: cap.max(1),
-            sampling: sampling.clamp(0.0, 1.0),
-            acc: 0.0,
+            sampling_fp: (sampling.clamp(0.0, 1.0) * SAMPLING_ONE as f64).round() as u64,
+            acc: 0,
+            per_sender: BTreeMap::new(),
             dropped: 0,
         }
     }
 
-    /// Advances the sampler: `true` iff the next outgoing window should
-    /// carry a telemetry section.
-    pub fn should_sample(&mut self) -> bool {
-        self.acc += self.sampling;
-        if self.acc >= 1.0 {
-            self.acc -= 1.0;
+    fn advance(acc: &mut u64, fp: u64) -> bool {
+        *acc += fp;
+        if *acc >= SAMPLING_ONE {
+            *acc -= SAMPLING_ONE;
             true
         } else {
             false
         }
+    }
+
+    /// Advances the sampler: `true` iff the next outgoing window should
+    /// carry a telemetry section. Single shared stream; hosts emitting
+    /// windows for several senders should use
+    /// [`TraceRing::should_sample_for`] instead.
+    pub fn should_sample(&mut self) -> bool {
+        let fp = self.sampling_fp;
+        Self::advance(&mut self.acc, fp)
+    }
+
+    /// Advances `sender`'s private sampler stream. Because each sender
+    /// owns its accumulator, the decision for a sender's n-th window is
+    /// a pure function of `(sampling, n)` — reordering *between*
+    /// senders can never change which windows are kept.
+    pub fn should_sample_for(&mut self, sender: u16) -> bool {
+        let fp = self.sampling_fp;
+        Self::advance(self.per_sender.entry(sender).or_insert(0), fp)
     }
 
     /// Stores a completed trace, evicting the oldest when full.
@@ -73,6 +100,12 @@ impl TraceRing {
     /// Drains and returns every buffered trace, oldest first.
     pub fn take(&mut self) -> Vec<WindowTrace> {
         self.ring.drain(..).collect()
+    }
+
+    /// Clones the buffered traces without draining them (used by the
+    /// flight recorder, which must not disturb the running host).
+    pub fn snapshot(&self) -> Vec<WindowTrace> {
+        self.ring.iter().cloned().collect()
     }
 
     /// Number of buffered traces.
@@ -118,6 +151,97 @@ mod tests {
         assert!((0..100).all(|_| all.should_sample()));
         let mut none = TraceRing::new(0.0, 8);
         assert!(!(0..100).any(|_| none.should_sample()));
+    }
+
+    #[test]
+    fn sampler_is_drift_free_over_long_runs() {
+        // With a float accumulator, 0.1 accumulates representation
+        // error; the Q32 accumulator keeps the kept-count exact forever.
+        let mut r = TraceRing::new(0.1, 8);
+        let kept = (0..1_000_000).filter(|_| r.should_sample()).count();
+        assert_eq!(kept, 100_000);
+    }
+
+    #[test]
+    fn per_sender_sampling_is_interleaving_invariant() {
+        // The kept set for each sender must be a pure function of that
+        // sender's own window order, whatever the global interleaving.
+        let decide = |order: &[u16]| -> Vec<(u16, u32)> {
+            let mut r = TraceRing::new(0.25, 64);
+            let mut next_seq: BTreeMap<u16, u32> = BTreeMap::new();
+            let mut kept = Vec::new();
+            for &sender in order {
+                let seq = next_seq.entry(sender).or_insert(0);
+                if r.should_sample_for(sender) {
+                    kept.push((sender, *seq));
+                }
+                *seq += 1;
+            }
+            kept.sort_unstable();
+            kept
+        };
+        // 8 windows per sender, three very different interleavings.
+        let blocked: Vec<u16> = [vec![1u16; 8], vec![2u16; 8]].concat();
+        let alternating: Vec<u16> = (0..16).map(|i| 1 + (i % 2) as u16).collect();
+        let lopsided: Vec<u16> =
+            [vec![1u16; 6], vec![2u16; 7], vec![1u16; 2], vec![2u16; 1]].concat();
+        let want: Vec<(u16, u32)> = vec![(1, 3), (1, 7), (2, 3), (2, 7)];
+        assert_eq!(decide(&blocked), want);
+        assert_eq!(decide(&alternating), want);
+        assert_eq!(decide(&lopsided), want);
+    }
+
+    #[test]
+    fn concurrent_producers_keep_a_deterministic_set() {
+        use std::sync::{Arc, Mutex};
+        // Two real threads race through one shared ring; whatever
+        // interleaving the scheduler produces, the kept set is the one
+        // the single-threaded oracle predicts.
+        let per_sender = 64u32;
+        let oracle: Vec<(u16, u32)> = {
+            let mut r = TraceRing::new(0.25, 1024);
+            let mut kept = Vec::new();
+            for sender in [1u16, 2] {
+                for seq in 0..per_sender {
+                    if r.should_sample_for(sender) {
+                        kept.push((sender, seq));
+                    }
+                }
+            }
+            kept.sort_unstable();
+            kept
+        };
+        for _ in 0..8 {
+            let ring = Arc::new(Mutex::new(TraceRing::new(0.25, 1024)));
+            let threads: Vec<_> = [1u16, 2]
+                .into_iter()
+                .map(|sender| {
+                    let ring = ring.clone();
+                    std::thread::spawn(move || {
+                        for seq in 0..per_sender {
+                            let mut r = ring.lock().unwrap();
+                            if r.should_sample_for(sender) {
+                                let mut t = trace(seq);
+                                t.sender = sender;
+                                r.push(t);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let mut kept: Vec<(u16, u32)> = ring
+                .lock()
+                .unwrap()
+                .snapshot()
+                .iter()
+                .map(|t| (t.sender, t.seq))
+                .collect();
+            kept.sort_unstable();
+            assert_eq!(kept, oracle);
+        }
     }
 
     #[test]

@@ -66,6 +66,23 @@ impl LinkSpec {
     }
 }
 
+/// What one [`LinkDir::transmit_outcome`] call did to a packet, in full:
+/// arrival times (if any), whether loss injection ate it, and whether
+/// that loss was part of a correlated burst. The ncscope event path
+/// needs the drop/burst facts that the `Option<Time>` API erases.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TransmitOutcome {
+    /// Arrival time at the far end (`None` when the packet was lost).
+    pub arrival: Option<Time>,
+    /// Trailing duplicate's arrival, when duplication injection fired.
+    pub dup: Option<Time>,
+    /// Loss injection ate the packet.
+    pub dropped: bool,
+    /// The drop rode an in-progress correlated loss burst (rather than
+    /// being a fresh trigger).
+    pub burst: bool,
+}
+
 /// One direction of a link at runtime.
 #[derive(Clone, Debug)]
 pub struct LinkDir {
@@ -122,13 +139,20 @@ impl LinkDir {
     /// [`LinkDir::transmit_all`]; this wrapper keeps single-delivery
     /// callers unchanged.
     pub fn transmit(&mut self, now: Time, nbytes: usize) -> Option<Time> {
-        self.transmit_all(now, nbytes)[0]
+        self.transmit_outcome(now, nbytes).arrival
     }
 
     /// Like [`LinkDir::transmit`], but returns up to two arrival times:
     /// the packet itself and, when duplication injection fires, its
     /// trailing copy.
     pub fn transmit_all(&mut self, now: Time, nbytes: usize) -> [Option<Time>; 2] {
+        let o = self.transmit_outcome(now, nbytes);
+        [o.arrival, o.dup]
+    }
+
+    /// The full-fidelity transmit: everything `transmit`/`transmit_all`
+    /// report, plus whether (and how) loss injection fired.
+    pub fn transmit_outcome(&mut self, now: Time, nbytes: usize) -> TransmitOutcome {
         let start = now.max(self.free_at);
         let ser = self.spec.ser_time(nbytes);
         self.free_at = start + ser;
@@ -137,14 +161,24 @@ impl LinkDir {
         if self.burst_left > 0 {
             self.burst_left -= 1;
             self.dropped += 1;
-            return [None, None];
+            return TransmitOutcome {
+                arrival: None,
+                dup: None,
+                dropped: true,
+                burst: true,
+            };
         }
         let lost = (self.spec.drop_every > 0 && self.packets.is_multiple_of(self.spec.drop_every))
             || (self.spec.loss > 0.0 && self.next_rand() < self.spec.loss);
         if lost {
             self.dropped += 1;
             self.burst_left = self.spec.burst_len.saturating_sub(1);
-            return [None, None];
+            return TransmitOutcome {
+                arrival: None,
+                dup: None,
+                dropped: true,
+                burst: false,
+            };
         }
         self.delivered += 1;
         let mut delay = self.spec.latency;
@@ -158,7 +192,12 @@ impl LinkDir {
         } else {
             None
         };
-        [Some(arrival), dup]
+        TransmitOutcome {
+            arrival: Some(arrival),
+            dup,
+            dropped: false,
+            burst: false,
+        }
     }
 
     /// Queueing delay a packet sent at `now` would currently see.

@@ -88,6 +88,16 @@ pub trait HostApp {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Parses the ncscope identity of a raw payload: the window key
+/// `(sender, kernel, seq)` plus whether the frame is NCP-R control
+/// traffic (ACK/NACK). `None` when the payload is not NCP — such
+/// packets carry no window identity and are invisible to ncscope.
+pub fn ncp_scope_key(payload: &[u8]) -> Option<(nctel::WindowKey, bool)> {
+    let p = ncp::NcpPacket::new_checked(payload).ok()?;
+    let ctrl = p.flags() & (ncp::FLAG_ACK | ncp::FLAG_NACK) != 0;
+    Some((nctel::WindowKey::new(p.sender(), p.kernel(), p.seq()), ctrl))
+}
+
 /// The outcome of one [`FastDatapath`] pass over an NCP payload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FastVerdict {

@@ -2,11 +2,11 @@
 
 use crate::event::{EventQueue, Time};
 use crate::link::{LinkDir, LinkSpec};
-use crate::node::{CtrlOp, HostApp, HostCtx, SwitchCfg, SwitchStats};
+use crate::node::{ncp_scope_key, CtrlOp, HostApp, HostCtx, SwitchCfg, SwitchStats};
 use c3::{HostId, NodeId, SwitchId};
 use ncp::NcpPacket;
 use nctel::hop::{section_append, section_valid, HopRecord, HOP_FORWARDED_ONLY};
-use nctel::{Counter, Registry};
+use nctel::{Counter, Registry, Scope, ScopeEvent};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -43,6 +43,7 @@ pub struct NetworkBuilder {
     next_host: u16,
     next_switch: u16,
     registry: Option<Arc<Registry>>,
+    scope: Option<Scope>,
 }
 
 impl NetworkBuilder {
@@ -56,6 +57,15 @@ impl NetworkBuilder {
     /// (e.g. `ncl-core`'s deploy gate) in one exporter.
     pub fn with_metrics(&mut self, reg: Arc<Registry>) -> &mut Self {
         self.registry = Some(reg);
+        self
+    }
+
+    /// Attaches an ncscope event sink: link-level drops and switch
+    /// executions/forwards/dup-suppressions are emitted with simulated
+    /// timestamps, keyed by the NCP window identity parsed from each
+    /// packet. Non-NCP packets emit nothing.
+    pub fn with_scope(&mut self, scope: &Scope) -> &mut Self {
+        self.scope = Some(scope.clone());
         self
     }
 
@@ -141,6 +151,7 @@ impl NetworkBuilder {
             ctrl_latency: 50_000, // 50 µs controller RTT
             registry,
             counters,
+            scope: self.scope,
         }
     }
 }
@@ -221,6 +232,7 @@ pub struct Network {
     pub ctrl_latency: Time,
     registry: Arc<Registry>,
     counters: SimCounters,
+    scope: Option<Scope>,
 }
 
 impl Network {
@@ -367,12 +379,31 @@ impl Network {
         };
         self.counters.bytes_sent.add(pkt.payload.len() as u64);
         // +42: Ethernet+IP+UDP encapsulation overhead.
-        let arrivals = dir.transmit_all(self.now, pkt.payload.len() + 42);
-        let Some(arrival) = arrivals[0] else {
+        let outcome = dir.transmit_outcome(self.now, pkt.payload.len() + 42);
+        let Some(arrival) = outcome.arrival else {
             self.counters.link_drops.inc();
+            // Ground truth for the diagnosis engine: the sim *knows*
+            // which link ate the frame, so say so.
+            if let Some(scope) = &self.scope {
+                if let Some((key, ctrl)) = ncp_scope_key(&pkt.payload) {
+                    let from = node_id(&self.nodes[node]).to_wire();
+                    let to = node_id(&self.nodes[peer]).to_wire();
+                    scope.emit(
+                        self.now,
+                        from,
+                        key,
+                        ScopeEvent::FragmentDropped {
+                            from,
+                            to,
+                            ctrl,
+                            burst: outcome.burst,
+                        },
+                    );
+                }
+            }
             return;
         };
-        if let Some(dup) = arrivals[1] {
+        if let Some(dup) = outcome.dup {
             self.counters.link_dups.inc();
             self.queue.push(
                 dup,
@@ -387,6 +418,9 @@ impl Network {
 
     /// NCP-aware switch processing (paper Fig. 3b).
     fn switch_process(&mut self, node: usize, pkt: Packet) {
+        // Cloned before the node borrow: emissions happen while `cfg`
+        // and `stats` are still mutably borrowed.
+        let scope = self.scope.clone();
         let NodeKind::Switch { id, cfg, stats } = &mut self.nodes[node] else {
             unreachable!("switch_process on a host");
         };
@@ -395,13 +429,20 @@ impl Network {
         let fwd_latency = cfg.fwd_latency;
 
         // Previous hop before we rewrite it (for _reflect()), the flags
-        // for the NCP-R control-frame check, and the kernel id +
-        // payload length for telemetry stamping.
+        // for the NCP-R control-frame check, and the kernel id, payload
+        // length and window identity for telemetry/scope stamping.
         let (incoming_from, incoming_flags, ncp_meta) =
             match NcpPacket::new_checked(&pkt.payload[..]) {
-                Ok(p) => (Some(p.from()), p.flags(), Some((p.kernel(), p.total_len()))),
+                Ok(p) => (
+                    Some(p.from()),
+                    p.flags(),
+                    Some((p.kernel(), p.total_len(), p.sender(), p.seq())),
+                ),
                 Err(_) => (None, 0, None),
             };
+        let scope_key = ncp_meta
+            .map(|(kernel, _, sender, seq)| nctel::WindowKey::new(sender, kernel, seq))
+            .filter(|_| scope.is_some());
 
         // NCP-R ACK/NACK frames are host-to-host control traffic: they
         // name a kernel but must never execute it (an ACK has no data
@@ -409,6 +450,15 @@ impl Network {
         if incoming_flags & (ncp::FLAG_ACK | ncp::FLAG_NACK) != 0 {
             stats.forwarded += 1;
             stats.acks_forwarded += 1;
+            if let (Some(scope), Some(key)) = (&scope, scope_key) {
+                let t = self.now + fwd_latency;
+                scope.emit(
+                    t,
+                    my_wire,
+                    key,
+                    ScopeEvent::SwitchForwarded { switch: my_wire },
+                );
+            }
             self.delayed_route(node, pkt, fwd_latency);
             return;
         }
@@ -421,7 +471,7 @@ impl Network {
         let mut pkt = pkt;
         let mut tel_section: Option<Vec<u8>> = None;
         if incoming_flags & ncp::FLAG_TELEMETRY != 0 {
-            if let Some((_, total)) = ncp_meta {
+            if let Some((_, total, _, _)) = ncp_meta {
                 if total <= pkt.payload.len() && section_valid(&pkt.payload[total..]) {
                     tel_section = Some(pkt.payload.split_off(total));
                 }
@@ -432,12 +482,10 @@ impl Network {
         // after the datapath ran tells whether *this* window was
         // suppressed as an NCP-R replay (state evolves bit-identically
         // across the interpreter / fast-path / PISA tiers, so the flag
-        // does too).
-        let dups_before = if tel_section.is_some() && cfg.telemetry.is_some() {
-            cfg_dup_sum(cfg)
-        } else {
-            0
-        };
+        // does too). Tracked for in-band stamping and for the scope's
+        // DupSuppressed events alike.
+        let track_dups = (tel_section.is_some() && cfg.telemetry.is_some()) || scope_key.is_some();
+        let dups_before = if track_dups { cfg_dup_sum(cfg) } else { 0 };
 
         // (payload, fwd_code, fwd_label, passes, parsed_bytes) from
         // whichever datapath the switch runs: the compiled fast path
@@ -469,7 +517,7 @@ impl Network {
                 if let Some(tel) = cfg.telemetry.as_ref() {
                     let rec = HopRecord {
                         switch: tel.switch_id,
-                        kernel: ncp_meta.map(|(k, _)| k).unwrap_or(0),
+                        kernel: ncp_meta.map(|(k, _, _, _)| k).unwrap_or(0),
                         flags: HOP_FORWARDED_ONLY,
                         ticks_in,
                         ticks_out: ticks_in + fwd_latency,
@@ -479,6 +527,14 @@ impl Network {
                 }
                 pkt.payload.extend_from_slice(&section);
             }
+            if let (Some(scope), Some(key)) = (&scope, scope_key) {
+                scope.emit(
+                    ticks_in + fwd_latency,
+                    my_wire,
+                    key,
+                    ScopeEvent::SwitchForwarded { switch: my_wire },
+                );
+            }
             let delay = fwd_latency;
             self.delayed_route(node, pkt, delay);
             return;
@@ -486,6 +542,28 @@ impl Network {
         stats.ncp_processed += 1;
         stats.recirculations += (passes - 1) as u64;
         let delay = pipeline_latency * passes as Time;
+        let dups_after = if track_dups { cfg_dup_sum(cfg) } else { 0 };
+        if let (Some(scope), Some(key)) = (&scope, scope_key) {
+            let version = cfg
+                .telemetry
+                .as_ref()
+                .and_then(|tel| tel.kernels.get(&key.kernel).map(|kt| kt.version))
+                .unwrap_or(0);
+            let t = ticks_in + delay;
+            scope.emit(
+                t,
+                my_wire,
+                key,
+                ScopeEvent::SwitchExecuted {
+                    switch: my_wire,
+                    version,
+                    fwd: fwd_code,
+                },
+            );
+            if dups_after > dups_before {
+                scope.emit(t, my_wire, key, ScopeEvent::DupSuppressed { at: my_wire });
+            }
+        }
 
         if fwd_code == 3 {
             // _drop(): consumed here; nothing to rewrite or route.
@@ -507,10 +585,8 @@ impl Network {
         // telemetry bit) while the PISA deparser echoes them; restore
         // the bit unconditionally so both tiers emit identical frames.
         if let Some(mut section) = tel_section {
-            if cfg.telemetry.is_some() {
-                let dups_after = cfg_dup_sum(cfg);
-                let tel = cfg.telemetry.as_ref().expect("checked above");
-                let kernel = ncp_meta.map(|(k, _)| k).unwrap_or(0);
+            if let Some(tel) = cfg.telemetry.as_ref() {
+                let kernel = ncp_meta.map(|(k, _, _, _)| k).unwrap_or(0);
                 let kt = tel.kernels.get(&kernel).copied().unwrap_or_default();
                 let rec = HopRecord {
                     switch: tel.switch_id,

@@ -1,0 +1,207 @@
+//! ncscope acceptance (DESIGN §4.10): a sampled reliable AllReduce run
+//! whose scope snapshot, telemetry traces and compile spans merge into
+//! a valid Chrome `trace_event` timeline; the flight-recorder artifact
+//! round-trips through the parser into the diagnosis engine; and the
+//! live beacon answers the `ncscope --live` query path over real UDP.
+
+use ncl::core::apps::allreduce_source;
+use ncl::core::control::ControlPlane;
+use ncl::core::deploy::{and_switch_path, deploy_opts, deployed_versions, DeployOptions};
+use ncl::core::nclc::{compile, CompileConfig, CompiledProgram, ReplayFilter};
+use ncl::core::runtime::{NclHost, OutInvocation, TypedArray};
+use ncl::model::{HostId, NodeId, ScalarType, Value};
+use ncl::ncp::reliable::ReliableConfig;
+use ncl::nctel::scope::{analysis, chrome_trace, json, parse_flight, Json, SnapshotReason};
+use ncl::nctel::{Scope, WindowTrace};
+use ncl::netsim::HostApp;
+use std::collections::HashMap;
+
+const NWORKERS: usize = 3;
+const DATA_LEN: usize = 64;
+const WIN: usize = 8;
+
+/// A clean scoped + telemetry-sampled reliable AllReduce: returns the
+/// compiled program, the shared scope, and the assembled window traces.
+fn run_sampled_allreduce() -> (CompiledProgram, Scope, Vec<WindowTrace>) {
+    let slots = DATA_LEN / WIN;
+    let src = allreduce_source(DATA_LEN, WIN);
+    let and = format!("hosts worker {NWORKERS}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![WIN as u16]);
+    cfg.masks.insert("result".into(), vec![WIN as u16]);
+    cfg.replay_filters.insert(
+        "allreduce".into(),
+        ReplayFilter {
+            senders: 8,
+            slots: slots as u16,
+        },
+    );
+    let program = compile(&src, &and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        ..ReliableConfig::default()
+    };
+    let scope = Scope::new(1 << 15);
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=NWORKERS as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = vec![w as i32; DATA_LEN];
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % NWORKERS as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, DATA_LEN), (ScalarType::Bool, 1)],
+        )
+        .unwrap();
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        host.enable_telemetry(1.0, 1024);
+        host.enable_scope(&scope);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let opts = DeployOptions {
+        scope: Some(scope.clone()),
+        ..DeployOptions::default()
+    };
+    let mut dep = deploy_opts(&program, apps, opts).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(NWORKERS as u32),
+    );
+    dep.net.run();
+    let mut traces = Vec::new();
+    for w in 1..=NWORKERS as u16 {
+        let host = dep.net.host_app_mut::<NclHost>(HostId(w)).unwrap();
+        assert!(host.done_at.is_some(), "worker {w} completes");
+        traces.extend(host.take_traces());
+    }
+    (program, scope, traces)
+}
+
+/// The tentpole acceptance: the Chrome trace built from compile spans,
+/// the scope snapshot and the hop records of a sampled AllReduce run is
+/// valid `trace_event` JSON and carries all three layers — compile
+/// slices (pid 0), window lifecycles (pid 1), per-hop switch slices
+/// (pid 2).
+#[test]
+fn sampled_allreduce_exports_a_three_layer_chrome_timeline() {
+    let (program, scope, traces) = run_sampled_allreduce();
+    assert!(!traces.is_empty(), "sampling 1.0 assembles traces");
+    let events = scope.decoded();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ncl::nctel::ScopeEvent::WindowSent { .. })),
+        "host layer emitted sends"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ncl::nctel::ScopeEvent::SwitchExecuted { .. })),
+        "switch layer emitted executions"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, ncl::nctel::ScopeEvent::WindowCompleted)),
+        "receiver layer emitted completions"
+    );
+
+    let doc = chrome_trace(program.timings.spans(), &events, &traces);
+    let parsed = json::parse(&doc).expect("valid trace_event JSON");
+    let evs = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let pid_of = |e: &Json| e.get("pid").and_then(Json::as_u64);
+    let cat_of = |e: &Json| e.get("cat").and_then(Json::as_str).map(str::to_string);
+    assert!(
+        !program.timings.spans().is_empty()
+            && evs
+                .iter()
+                .any(|e| pid_of(e) == Some(0) && cat_of(e).as_deref() == Some("compile")),
+        "compile spans present on pid 0"
+    );
+    let window_slices = evs
+        .iter()
+        .filter(|e| pid_of(e) == Some(1) && cat_of(e).as_deref() == Some("window"))
+        .count();
+    // One lifecycle slice per first-sent window: data windows from
+    // every worker plus the broadcast result windows.
+    assert!(
+        window_slices >= NWORKERS * (DATA_LEN / WIN),
+        "window lifecycles present on pid 1 (got {window_slices})"
+    );
+    let switch_slices = evs
+        .iter()
+        .filter(|e| pid_of(e) == Some(2) && cat_of(e).as_deref() == Some("switch"))
+        .count();
+    assert_eq!(
+        switch_slices,
+        traces.iter().map(|t| t.hops.len()).sum::<usize>(),
+        "one switch slice per hop record on pid 2"
+    );
+    // Mandatory trace_event fields on every record.
+    for e in evs {
+        assert!(e.get("ph").is_some() && e.get("pid").is_some());
+    }
+}
+
+/// The on-demand flight snapshot of a clean run round-trips through the
+/// artifact parser and diagnoses clean: everything delivered, no loss
+/// loci, no stale versions against the real deployment facts.
+#[test]
+fn on_demand_flight_snapshot_diagnoses_clean() {
+    let (program, scope, traces) = run_sampled_allreduce();
+    let doc = scope.flight_json(SnapshotReason::OnDemand, 0, None, &traces);
+    let art = parse_flight(&doc).expect("round-trips");
+    assert_eq!(art.reason, "on_demand");
+    assert_eq!(art.events.len() as u64, scope.logged() - scope.dropped());
+    let dcfg = analysis::DiagnosisConfig {
+        expected_path: and_switch_path(&program, "worker1", "worker2"),
+        deployed_versions: deployed_versions(&program),
+    };
+    let d = analysis::diagnose(&art.events, &art.traces, &dcfg);
+    assert!(d.count(analysis::WindowOutcome::Delivered) > 0);
+    assert_eq!(d.count(analysis::WindowOutcome::Abandoned), 0);
+    assert!(d.primary_loss_locus().is_none(), "clean run has no loss");
+    assert!(d.verdicts.iter().all(|v| !v.stale_version));
+    assert!(d.hops_seen > 0, "hop records fed the latency attribution");
+    let report = d.render_report();
+    assert!(report.contains("delivered"), "report renders: {report}");
+}
+
+/// The `ncscope --live` path end to end over real UDP: a beacon serving
+/// the run's scope + registry answers the probe with a parseable flight
+/// snapshot.
+#[test]
+fn beacon_serves_live_snapshot_over_udp() {
+    let (_, scope, _) = run_sampled_allreduce();
+    let registry = std::sync::Arc::new(ncl::nctel::Registry::new());
+    registry.counter("test.alive").add(1);
+    let beacon = ncl::nctel::scope::beacon::spawn_beacon("127.0.0.1:0", registry, scope)
+        .expect("beacon binds loopback");
+    let reply = ncl::nctel::scope::beacon::query(beacon.addr(), std::time::Duration::from_secs(5))
+        .expect("beacon answers");
+    let art = parse_flight(&reply).expect("live snapshot parses");
+    assert!(!art.events.is_empty(), "live snapshot carries events");
+    let metrics = art.metrics.expect("registry attached");
+    assert_eq!(
+        metrics.get("test.alive").and_then(Json::as_u64),
+        Some(1),
+        "registry metrics ride along"
+    );
+    beacon.shutdown();
+}
