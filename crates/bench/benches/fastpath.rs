@@ -1,13 +1,16 @@
-//! E9 — the two-tier execution model: tree-walking interpreter vs the
+//! E9 — the execution-tier model: tree-walking interpreter vs the
 //! compiled fast-path executor ([`ncl_ir::CompiledKernel`]) on the
 //! paper's example kernels, plus the end-to-end packet path (decode →
-//! execute → encode) the way a software switch runs it.
+//! execute → encode) the way a software switch runs it. The table also
+//! reports the ncvec SIMD tier (DESIGN §4.11) so E9 and E13 share one
+//! baseline; E13 (`benches/e13.rs`) is the tier-focused experiment.
 //!
 //! The fast path lowers `KernelIr` once into a linear, slot-resolved
 //! micro-op program and executes it against a reusable scratch with
 //! zero steady-state allocations; the interpreter stays as the semantic
 //! oracle (see `tests/fastpath_differential.rs`). The speedup table
-//! printed here feeds EXPERIMENTS.md.
+//! printed here feeds EXPERIMENTS.md and is written to
+//! `target/e9-metrics.json` for the CI artifact.
 
 use c3::{Chunk, HostId, KernelId, NodeId, ScalarType, Value, Window};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -155,16 +158,25 @@ fn run_fast(
     }
 }
 
-/// The E9 speedup table: median ns/window for both tiers.
-fn speedup_table(cases: &[Case]) {
-    println!("\nE9: interpreter vs compiled fast path (ns/window, median of 7)");
+/// The E9 speedup table: median ns/window for all three tiers. The
+/// "fastpath" column is the scalar micro-op tier (`with_simd(false)`);
+/// the "simd" column is the ncvec tier at the detected level. Returns
+/// the rows so `bench_fastpath` can write the JSON artifact.
+fn speedup_table(cases: &[Case]) -> Vec<(String, u64, u64, u64)> {
     println!(
-        "{:>12} {:>14} {:>14} {:>9}",
-        "kernel", "interp", "fastpath", "speedup"
+        "\nE9: interpreter vs fast path vs ncvec [{}] (ns/window, median of 7)",
+        ncl_ir::ncvec::level()
     );
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "kernel", "interp", "fastpath", "simd", "fast/int", "simd/fast"
+    );
+    let mut rows = Vec::new();
     for case in cases {
         let k = kir(case);
-        let ck = CompiledKernel::compile_for(k, case.program.module("s1").unwrap());
+        let module = case.program.module("s1").unwrap();
+        let scalar = CompiledKernel::compile_for(k, module).with_simd(false);
+        let simd = CompiledKernel::compile_for(k, module);
         let it = Interpreter::default();
         let mut scratch = ExecScratch::new();
         let median = |f: &mut dyn FnMut()| {
@@ -186,15 +198,50 @@ fn speedup_table(cases: &[Case]) {
         let ns_interp = median(&mut || run_interp(&it, k, &mut s_i, &mut w_i));
         let mut s_f = fresh_state(case);
         let mut w_f = case.windows.clone();
-        let ns_fast = median(&mut || run_fast(&ck, &mut s_f, &mut scratch, &mut w_f));
+        let ns_fast = median(&mut || run_fast(&scalar, &mut s_f, &mut scratch, &mut w_f));
+        let mut s_v = fresh_state(case);
+        let mut w_v = case.windows.clone();
+        let ns_simd = median(&mut || run_fast(&simd, &mut s_v, &mut scratch, &mut w_v));
         println!(
-            "{:>12} {:>11} ns {:>11} ns {:>8.1}x",
+            "{:>12} {:>11} ns {:>11} ns {:>11} ns {:>8.1}x {:>8.2}x",
             case.name,
             ns_interp,
             ns_fast,
-            ns_interp as f64 / ns_fast.max(1) as f64
+            ns_simd,
+            ns_interp as f64 / ns_fast.max(1) as f64,
+            ns_fast as f64 / ns_simd.max(1) as f64
         );
+        rows.push((case.name.to_string(), ns_interp, ns_fast, ns_simd));
     }
+    rows
+}
+
+/// Writes the E9 metrics artifact CI uploads, matching the shape of
+/// `target/e13-metrics.json` so dashboards can diff the two.
+fn write_metrics(rows: &[(String, u64, u64, u64)]) {
+    let kernels: Vec<String> = rows
+        .iter()
+        .map(|(name, interp, fast, simd)| {
+            format!(
+                "{{\"name\":\"{}\",\"interp_ns\":{},\"fastpath_ns\":{},\"simd_ns\":{},\
+                 \"fastpath_vs_interp\":{:.3},\"simd_vs_fastpath\":{:.3}}}",
+                name,
+                interp,
+                fast,
+                simd,
+                *interp as f64 / (*fast).max(1) as f64,
+                *fast as f64 / (*simd).max(1) as f64
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"e9\",\"simd_level\":\"{}\",\"kernels\":[{}]}}\n",
+        ncl_ir::ncvec::level(),
+        kernels.join(",")
+    );
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write("target/e9-metrics.json", &json).expect("write e9-metrics.json");
+    println!("wrote target/e9-metrics.json ({} bytes)", json.len());
 }
 
 fn bench_fastpath(c: &mut Criterion) {
@@ -203,12 +250,14 @@ fn bench_fastpath(c: &mut Criterion) {
         allreduce_case("allreduce64", 64),
         kvs_case(),
     ];
-    speedup_table(&cases);
+    let rows = speedup_table(&cases);
+    write_metrics(&rows);
 
     for case in &cases {
         let k = kir(case);
         let module = case.program.module("s1").unwrap();
-        let ck = CompiledKernel::compile_for(k, module);
+        let ck = CompiledKernel::compile_for(k, module).with_simd(false);
+        let cv = CompiledKernel::compile_for(k, module);
         let it = Interpreter::default();
         let mut scratch = ExecScratch::new();
         let bytes: u64 = case
@@ -229,9 +278,15 @@ fn bench_fastpath(c: &mut Criterion) {
         g.bench_function("fastpath", |b| {
             b.iter(|| run_fast(&ck, &mut s_f, &mut scratch, &mut w_f))
         });
+        let mut s_v = fresh_state(case);
+        let mut w_v = case.windows.clone();
+        g.bench_function("simd", |b| {
+            b.iter(|| run_fast(&cv, &mut s_v, &mut scratch, &mut w_v))
+        });
 
         // The full software-switch packet path: NCP decode (buffer
-        // reuse), execute, re-encode from a pooled buffer.
+        // reuse), execute on the default (ncvec) tier, re-encode from
+        // a pooled buffer.
         let ext = case.program.checked.window_ext.size();
         let packets: Vec<Vec<u8>> = case
             .windows
@@ -245,7 +300,7 @@ fn bench_fastpath(c: &mut Criterion) {
             b.iter(|| {
                 for p in &packets {
                     decode_window_into(black_box(p), &mut win).expect("decodes");
-                    let _ = black_box(ck.run_outgoing(&mut win, &mut state, &mut scratch));
+                    let _ = black_box(cv.run_outgoing(&mut win, &mut state, &mut scratch));
                     let mut out = pool.get();
                     encode_window_into(&win, ext, &mut out);
                     pool.put(black_box(out));

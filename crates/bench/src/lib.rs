@@ -17,7 +17,7 @@ use ncl_core::apps::{
     allreduce_source, kvs_source, KvsClient, KvsOp, KvsServer, PsServer, PsWorker,
 };
 use ncl_core::control::ControlPlane;
-use ncl_core::deploy::{deploy, Deployment};
+use ncl_core::deploy::{deploy, deploy_with, Deployment, SwitchBackend};
 use ncl_core::nclc::{compile, CompileConfig, CompiledProgram};
 use ncl_core::runtime::{NclHost, OutInvocation, TypedArray};
 use netsim::{HostApp, LinkSpec, NetworkBuilder, SwitchCfg, Time};
@@ -102,6 +102,95 @@ pub fn run_allreduce_inc(nworkers: usize, elements: usize, win: usize) -> AllRed
         bytes_on_wire: dep.net.stats().bytes_sent,
         aggregator_ingress: dep.net.node_ingress_bytes(NodeId::Switch(s1)),
     }
+}
+
+/// Runs the in-network AllReduce end to end on an explicit switch
+/// engine, returning the simulated metrics plus the host wall-clock the
+/// simulation took, in milliseconds (E13's end-to-end comparison: the
+/// deterministic simulation makes the *simulated* results bit-identical
+/// across engines, so the wall-clock difference is purely the execution
+/// tier's processing cost).
+///
+/// Unlike E1's [`run_allreduce_inc`], the chip model is lifted
+/// (stages/ops/PHV) so the wide windows where the ncvec SIMD tier earns
+/// its keep stay compilable; this bench measures the software tiers,
+/// not chip fit.
+pub fn run_allreduce_e2e(
+    nworkers: usize,
+    elements: usize,
+    win: usize,
+    backend: SwitchBackend,
+) -> (AllReduceResult, f64) {
+    let src = allreduce_source(elements, win);
+    let and = format!("hosts worker {nworkers}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![win as u16]);
+    cfg.masks.insert("result".into(), vec![win as u16]);
+    cfg.model.stages = 64;
+    cfg.model.ops_per_stage = 8192;
+    cfg.model.phv_header_bytes = 1 << 14;
+    cfg.model.phv_metadata_bytes = 1 << 14;
+    let program = compile(&src, &and, &cfg).expect("allreduce compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=nworkers as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = (0..elements as i32).map(|i| i + w as i32).collect();
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % nworkers as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .expect("valid");
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, elements), (ScalarType::Bool, 1)],
+        )
+        .expect("paired");
+        host.done_on_flag(kid, 1);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let mut dep: Deployment =
+        deploy_with(&program, apps, LinkSpec::default(), cfg.model, backend).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    let nw = Value::u32(nworkers as u32);
+    match backend {
+        SwitchBackend::Pisa => {
+            cp.ctrl_wr(dep.net.switch_pipeline_mut(s1).unwrap(), "nworkers", nw);
+        }
+        _ => {
+            let fp = dep.net.switch_fastpath_mut(s1).unwrap();
+            for op in cp.ctrl_wr_ops("nworkers", nw) {
+                assert!(fp.ctrl(&op), "ctrl write lands");
+            }
+        }
+    }
+    let t = std::time::Instant::now();
+    dep.net.run();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let completion = (1..=nworkers as u16)
+        .map(|w| {
+            dep.net
+                .host_app::<NclHost>(HostId(w))
+                .expect("worker")
+                .done_at
+                .expect("completed")
+        })
+        .max()
+        .expect("workers exist");
+    (
+        AllReduceResult {
+            completion,
+            bytes_on_wire: dep.net.stats().bytes_sent,
+            aggregator_ingress: dep.net.node_ingress_bytes(NodeId::Switch(s1)),
+        },
+        wall_ms,
+    )
 }
 
 /// Runs the parameter-server baseline (E1, host arm).
@@ -294,6 +383,31 @@ pub fn run_kvs(
     cache_slots: usize,
     val_words: usize,
 ) -> KvsResult {
+    run_kvs_on(
+        nclients,
+        ops_per_client,
+        skew,
+        keyspace,
+        cache_slots,
+        val_words,
+        SwitchBackend::Pisa,
+    )
+    .0
+}
+
+/// [`run_kvs`] on an explicit switch engine, also returning the host
+/// wall-clock of the simulation in milliseconds (the E13 end-to-end
+/// comparison across execution tiers).
+#[allow(clippy::too_many_arguments)]
+pub fn run_kvs_on(
+    nclients: usize,
+    ops_per_client: usize,
+    skew: f64,
+    keyspace: u64,
+    cache_slots: usize,
+    val_words: usize,
+    backend: SwitchBackend,
+) -> (KvsResult, f64) {
     let with_cache = cache_slots > 0;
     let slots = cache_slots.max(8);
     let server_id = (nclients + 1) as u16;
@@ -339,11 +453,12 @@ pub fn run_kvs(
     if !with_cache {
         stripped.switches.clear();
     }
-    let mut dep = deploy(
+    let mut dep = deploy_with(
         &stripped,
         apps,
         LinkSpec::default(),
         pisa::ResourceModel::default(),
+        backend,
     )
     .expect("deploys");
     if with_cache {
@@ -353,7 +468,9 @@ pub fn run_kvs(
             .expect("server")
             .cache_switch = Some(s1);
     }
+    let t = std::time::Instant::now();
     dep.net.run();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let mut lat = Vec::new();
     let mut hits = 0usize;
@@ -371,20 +488,23 @@ pub fn run_kvs(
     }
     lat.sort_unstable();
     let gets = lat.len();
-    KvsResult {
-        mean_latency: lat.iter().sum::<u64>() as f64 / gets.max(1) as f64,
-        p99_latency: lat
-            .get(gets.saturating_sub(1) * 99 / 100)
-            .copied()
-            .unwrap_or(0),
-        server_ops: dep
-            .net
-            .host_app::<KvsServer>(HostId(server_id))
-            .expect("server")
-            .served,
-        hit_rate: hits as f64 / gets.max(1) as f64,
-        gets,
-    }
+    (
+        KvsResult {
+            mean_latency: lat.iter().sum::<u64>() as f64 / gets.max(1) as f64,
+            p99_latency: lat
+                .get(gets.saturating_sub(1) * 99 / 100)
+                .copied()
+                .unwrap_or(0),
+            server_ops: dep
+                .net
+                .host_app::<KvsServer>(HostId(server_id))
+                .expect("server")
+                .served,
+            hit_rate: hits as f64 / gets.max(1) as f64,
+            gets,
+        },
+        wall_ms,
+    )
 }
 
 /// Pretty table separator for bench output.

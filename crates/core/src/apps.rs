@@ -516,12 +516,14 @@ impl KvsServer {
         }
         let slot = if self.cached.len() >= self.cache_slots {
             // Evict the least popular cached key — only if the new key
-            // is strictly hotter.
+            // is strictly hotter. Ties break on the key itself so the
+            // victim never depends on HashMap iteration order (keeps
+            // the whole simulation deterministic run-to-run).
             let new_pop = self.popularity.get(&key).copied().unwrap_or(0);
             let Some((&victim, _)) = self
                 .cached
                 .iter()
-                .min_by_key(|(k, _)| self.popularity.get(*k).copied().unwrap_or(0))
+                .min_by_key(|(k, _)| (self.popularity.get(*k).copied().unwrap_or(0), **k))
             else {
                 return;
             };

@@ -34,8 +34,18 @@ pub enum SwitchBackend {
     Pisa,
     /// The compiled fast-path executor ([`FastPathSwitch`]): versioned
     /// IR kernels lowered to linear micro-op programs, cached per
-    /// `(kernel, location)` and executed allocation-free.
+    /// `(kernel, location)` and executed allocation-free. This backend
+    /// pins the scalar micro-op tier — the measured baseline the ncvec
+    /// SIMD tier (E13) is compared against.
     FastPath,
+    /// The fast-path executor with the ncvec SIMD tier enabled: fused
+    /// element-wise runs execute as width-specialized lane loops
+    /// (AVX2 on detecting hosts, portable lanes elsewhere), falling
+    /// back to the scalar micro-op path per run — bit-identically —
+    /// for kernels with no fusible runs, non-packable slot strides, or
+    /// when `NCVEC_FORCE_SCALAR=1`. The default tier for fusible
+    /// kernels on the software switch.
+    Simd,
     /// The reference interpreter ([`InterpSwitch`]): the same versioned
     /// IR executed by `ncl_ir::interp` — the slowest tier, kept for
     /// three-way differential testing (interpreter vs fast path vs
@@ -239,8 +249,12 @@ pub fn deployed_versions(program: &CompiledProgram) -> BTreeMap<(u16, u16), u16>
 /// Deploy-time telemetry identity for one switch: the static hop-record
 /// fields every execution tier stamps identically — kernel `version`
 /// (the 1-based index of the location's versioned module), PISA
-/// `stages` from the backend's resource report, and the fast-path
-/// micro-op count (`uops`), all fixed at deploy time.
+/// `stages` from the backend's resource report, and the kernel's
+/// interpreter-equivalent step count (`uops`), all fixed at deploy
+/// time. `uops` deliberately counts interpreter steps, not physical
+/// micro-ops: fused vector runs cover many steps in one op and the
+/// ncvec SIMD tier covers them in a handful of lane iterations, so the
+/// step count is the only number every tier can report identically.
 fn switch_telemetry(program: &CompiledProgram, label: &str, wire: u16) -> SwitchTelemetry {
     let mut kernels = HashMap::new();
     if let Some(module) = program.module(label) {
@@ -261,7 +275,7 @@ fn switch_telemetry(program: &CompiledProgram, label: &str, wire: u16) -> Switch
                     KernelTelemetry {
                         version,
                         stages,
-                        uops: ncl_ir::CompiledKernel::compile_for(k, module).len() as u32,
+                        uops: ncl_ir::CompiledKernel::compile_for(k, module).interp_steps() as u32,
                     },
                 );
             }
@@ -375,7 +389,11 @@ pub fn deploy_opts(
                 // engine per switch, never both.
                 let fastpath: Option<Box<dyn FastDatapath>> = match backend {
                     SwitchBackend::FastPath => {
-                        FastPathSwitch::from_program(program, n.label.as_str())
+                        FastPathSwitch::from_program_with(program, n.label.as_str(), false)
+                            .map(|fp| Box::new(fp) as Box<dyn FastDatapath>)
+                    }
+                    SwitchBackend::Simd => {
+                        FastPathSwitch::from_program_with(program, n.label.as_str(), true)
                             .map(|fp| Box::new(fp) as Box<dyn FastDatapath>)
                     }
                     SwitchBackend::Interp => InterpSwitch::from_program(program, n.label.as_str())
@@ -551,7 +569,7 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
                     Value::u32(3),
                 );
             }
-            SwitchBackend::FastPath | SwitchBackend::Interp => {
+            SwitchBackend::FastPath | SwitchBackend::Simd | SwitchBackend::Interp => {
                 let fp = dep.net.switch_fastpath_mut(s1).unwrap();
                 for op in cp.ctrl_wr_ops("nworkers", Value::u32(3)) {
                     assert!(fp.ctrl(&op));
@@ -590,6 +608,13 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
     #[test]
     fn allreduce_full_system_fastpath() {
         run_allreduce(SwitchBackend::FastPath);
+    }
+
+    /// Same workload, same assertions, ncvec SIMD tier — fused vector
+    /// runs execute through width-specialized lane loops (or AVX2).
+    #[test]
+    fn allreduce_full_system_simd() {
+        run_allreduce(SwitchBackend::Simd);
     }
 
     /// Same workload, same assertions, reference-interpreter engine —

@@ -70,6 +70,29 @@ impl FastPathSwitch {
         label_wires: &HashMap<Label, u16>,
         ext_total: usize,
     ) -> Self {
+        Self::new_with_simd(
+            module,
+            location_id,
+            kernel_ids,
+            label_wires,
+            ext_total,
+            true,
+        )
+    }
+
+    /// [`FastPathSwitch::new`] with explicit tier selection: `simd`
+    /// offers fused element-wise runs to the ncvec SIMD tier (the
+    /// default — kernels with no fusible runs execute identically
+    /// either way), `false` pins the scalar micro-op fast path, the
+    /// A/B baseline [`crate::deploy::SwitchBackend::FastPath`] uses.
+    pub fn new_with_simd(
+        module: &Module,
+        location_id: u16,
+        kernel_ids: &HashMap<String, u16>,
+        label_wires: &HashMap<Label, u16>,
+        ext_total: usize,
+        simd: bool,
+    ) -> Self {
         let mut state = SwitchState::from_module(module);
         state.location_id = location_id;
         let kernels = module
@@ -78,7 +101,7 @@ impl FastPathSwitch {
             .filter_map(|k| {
                 kernel_ids
                     .get(&k.name)
-                    .map(|&id| (id, CompiledKernel::compile_for(k, module)))
+                    .map(|&id| (id, CompiledKernel::compile_for(k, module).with_simd(simd)))
             })
             .collect();
         let ctrl_by_name = module
@@ -130,14 +153,21 @@ impl FastPathSwitch {
     /// names so deferred [`CtrlOp`]s emitted by
     /// [`crate::control::ControlPlane`] resolve unchanged.
     pub fn from_program(program: &CompiledProgram, label: &str) -> Option<Self> {
+        Self::from_program_with(program, label, true)
+    }
+
+    /// [`FastPathSwitch::from_program`] with explicit tier selection
+    /// (see [`FastPathSwitch::new_with_simd`]).
+    pub fn from_program_with(program: &CompiledProgram, label: &str, simd: bool) -> Option<Self> {
         let module = program.module(label)?;
         let id = program.overlay.node(label)?.id;
-        let mut fp = Self::new(
+        let mut fp = Self::new_with_simd(
             module,
             id,
             &program.kernel_ids,
             &program.label_ids,
             program.checked.window_ext.size(),
+            simd,
         );
         if let Some(compiled) = program.switch(label) {
             for (src, copies) in &compiled.ctrl_regs {

@@ -383,30 +383,30 @@ enum Op {
 /// executed before the limit hit (each group's store is its last
 /// micro-op, and loads/ALU sub-ops only write elided registers).
 #[derive(Clone, Debug)]
-struct VecOp {
-    param: u32,
+pub(crate) struct VecOp {
+    pub(crate) param: u32,
     /// Chunk element type.
-    wty: ScalarType,
+    pub(crate) wty: ScalarType,
     /// First chunk element index.
-    idx0: u32,
+    pub(crate) idx0: u32,
     /// Number of groups in the run.
-    n: u32,
-    arr: u32,
+    pub(crate) n: u32,
+    pub(crate) arr: u32,
     /// Register slot mask (power-of-two array length minus one).
-    amask: u32,
+    pub(crate) amask: u32,
     /// Virtual register holding the base index.
-    base: u32,
+    pub(crate) base: u32,
     /// Width mask of the index-add type.
-    imask: u64,
+    pub(crate) imask: u64,
     /// Accumulate type (`VecAccum` only; both operands proven).
-    aty: ScalarType,
+    pub(crate) aty: ScalarType,
     /// Store cast target: register slot type, or the chunk element type
     /// for `VecRegToWin`.
-    sty: ScalarType,
+    pub(crate) sty: ScalarType,
     /// Interpreter steps per full group.
-    cost: u32,
+    pub(crate) cost: u32,
     /// Steps of the first group (one less than `cost` when headless).
-    head_cost: u32,
+    pub(crate) head_cost: u32,
 }
 
 impl VecOp {
@@ -415,7 +415,7 @@ impl VecOp {
     /// uses the base bits without the index-type mask, exactly as the
     /// scalar `LdReg`/`StReg` reads the base register directly.
     #[inline(always)]
-    fn slot(&self, base_bits: u64, i: u32) -> usize {
+    pub(crate) fn slot(&self, base_bits: u64, i: u32) -> usize {
         let k = if i == 0 && self.head_cost < self.cost {
             base_bits
         } else {
@@ -428,7 +428,7 @@ impl VecOp {
 /// Zero-extended big-endian load of `N` bytes — what [`Value::read_be`]
 /// produces for every non-bool scalar, without the type dispatch.
 #[inline(always)]
-fn be_load<const N: usize>(data: &[u8], off: usize) -> u64 {
+pub(crate) fn be_load<const N: usize>(data: &[u8], off: usize) -> u64 {
     let mut raw = [0u8; 8];
     raw[8 - N..].copy_from_slice(&data[off..off + N]);
     u64::from_be_bytes(raw)
@@ -436,24 +436,49 @@ fn be_load<const N: usize>(data: &[u8], off: usize) -> u64 {
 
 /// Big-endian store of the low `N` bytes, mirroring [`Value::write_be`].
 #[inline(always)]
-fn be_store<const N: usize>(data: &mut [u8], off: usize, bits: u64) {
+pub(crate) fn be_store<const N: usize>(data: &mut [u8], off: usize, bits: u64) {
     data[off..off + N].copy_from_slice(&bits.to_be_bytes()[8 - N..]);
 }
 
-/// `arr[slot] += win[c]` over a fused run. The width-specialized loops
-/// handle the common case (chunk, accumulate, and slot types all equal
-/// and non-bool); anything else takes the `Value`-typed loop.
-fn vec_accum(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: Option<&Chunk>) {
+/// `arr[slot] += win[c]` over a fused run. With `simd`, the ncvec tier
+/// executes the lane-packable body (see [`crate::ncvec`]); otherwise —
+/// and for the run's head and ragged tail — the width-specialized
+/// scalar loops handle the common case (chunk, accumulate, and slot
+/// types all equal and non-bool) and anything else takes the
+/// `Value`-typed loop.
+fn vec_accum(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+    simd: bool,
+) {
+    if simd && crate::ncvec::accum(v, m, base_bits, arr, chunk) {
+        return;
+    }
+    vec_accum_scalar(v, 0..m, base_bits, arr, chunk);
+}
+
+/// The scalar accumulate loop over iterations `r` of a fused run; the
+/// semantic reference the ncvec tier's head/tail epilogues reuse.
+pub(crate) fn vec_accum_scalar(
+    v: &VecOp,
+    r: std::ops::Range<u32>,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+) {
     if v.wty == v.aty && v.aty == v.sty && v.wty != ScalarType::Bool {
         return match v.wty.size() {
-            1 => vec_accum_fast::<1>(v, m, base_bits, arr, chunk),
-            2 => vec_accum_fast::<2>(v, m, base_bits, arr, chunk),
-            4 => vec_accum_fast::<4>(v, m, base_bits, arr, chunk),
-            _ => vec_accum_fast::<8>(v, m, base_bits, arr, chunk),
+            1 => vec_accum_fast::<1>(v, r, base_bits, arr, chunk),
+            2 => vec_accum_fast::<2>(v, r, base_bits, arr, chunk),
+            4 => vec_accum_fast::<4>(v, r, base_bits, arr, chunk),
+            _ => vec_accum_fast::<8>(v, r, base_bits, arr, chunk),
         };
     }
     let size = v.wty.size();
-    for i in 0..m {
+    for i in r {
         let cc = (v.idx0 + i) as usize;
         let slot = v.slot(base_bits, i);
         let w = chunk
@@ -468,13 +493,13 @@ fn vec_accum(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: Option
 #[inline(always)]
 fn vec_accum_fast<const N: usize>(
     v: &VecOp,
-    m: u32,
+    r: std::ops::Range<u32>,
     base_bits: u64,
     arr: &mut [Value],
     chunk: Option<&Chunk>,
 ) {
     let mask = v.aty.mask();
-    for i in 0..m {
+    for i in r {
         let off = (v.idx0 + i) as usize * N;
         let w = match chunk {
             Some(c) if off + N <= c.data.len() => be_load::<N>(&c.data, off),
@@ -488,25 +513,46 @@ fn vec_accum_fast<const N: usize>(
 
 /// `win[c] = arr[slot]` over a fused run. A missing chunk drops every
 /// store, exactly like the scalar `StWin`.
-fn vec_reg_to_win(v: &VecOp, m: u32, base_bits: u64, arr: &[Value], chunk: Option<&mut Chunk>) {
+fn vec_reg_to_win(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &[Value],
+    chunk: Option<&mut Chunk>,
+    simd: bool,
+) {
     let Some(c) = chunk else { return };
+    if simd && crate::ncvec::reg_to_win(v, m, base_bits, arr, c) {
+        return;
+    }
+    vec_reg_to_win_scalar(v, 0..m, base_bits, arr, c);
+}
+
+/// The scalar store loop over iterations `r` of a fused run.
+pub(crate) fn vec_reg_to_win_scalar(
+    v: &VecOp,
+    r: std::ops::Range<u32>,
+    base_bits: u64,
+    arr: &[Value],
+    c: &mut Chunk,
+) {
     match v.wty.size() {
-        1 => vec_reg_to_win_fast::<1>(v, m, base_bits, arr, c),
-        2 => vec_reg_to_win_fast::<2>(v, m, base_bits, arr, c),
-        4 => vec_reg_to_win_fast::<4>(v, m, base_bits, arr, c),
-        _ => vec_reg_to_win_fast::<8>(v, m, base_bits, arr, c),
+        1 => vec_reg_to_win_fast::<1>(v, r, base_bits, arr, c),
+        2 => vec_reg_to_win_fast::<2>(v, r, base_bits, arr, c),
+        4 => vec_reg_to_win_fast::<4>(v, r, base_bits, arr, c),
+        _ => vec_reg_to_win_fast::<8>(v, r, base_bits, arr, c),
     }
 }
 
 #[inline(always)]
 fn vec_reg_to_win_fast<const N: usize>(
     v: &VecOp,
-    m: u32,
+    r: std::ops::Range<u32>,
     base_bits: u64,
     arr: &[Value],
     c: &mut Chunk,
 ) {
-    for i in 0..m {
+    for i in r {
         let off = (v.idx0 + i) as usize * N;
         if off + N > c.data.len() {
             continue;
@@ -524,17 +570,38 @@ fn vec_reg_to_win_fast<const N: usize>(
 }
 
 /// `arr[slot] = win[c]` over a fused run.
-fn vec_win_to_reg(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: Option<&Chunk>) {
+fn vec_win_to_reg(
+    v: &VecOp,
+    m: u32,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+    simd: bool,
+) {
+    if simd && crate::ncvec::win_to_reg(v, m, base_bits, arr, chunk) {
+        return;
+    }
+    vec_win_to_reg_scalar(v, 0..m, base_bits, arr, chunk);
+}
+
+/// The scalar broadcast-read loop over iterations `r` of a fused run.
+pub(crate) fn vec_win_to_reg_scalar(
+    v: &VecOp,
+    r: std::ops::Range<u32>,
+    base_bits: u64,
+    arr: &mut [Value],
+    chunk: Option<&Chunk>,
+) {
     if v.wty == v.sty && v.wty != ScalarType::Bool {
         return match v.wty.size() {
-            1 => vec_win_to_reg_fast::<1>(v, m, base_bits, arr, chunk),
-            2 => vec_win_to_reg_fast::<2>(v, m, base_bits, arr, chunk),
-            4 => vec_win_to_reg_fast::<4>(v, m, base_bits, arr, chunk),
-            _ => vec_win_to_reg_fast::<8>(v, m, base_bits, arr, chunk),
+            1 => vec_win_to_reg_fast::<1>(v, r, base_bits, arr, chunk),
+            2 => vec_win_to_reg_fast::<2>(v, r, base_bits, arr, chunk),
+            4 => vec_win_to_reg_fast::<4>(v, r, base_bits, arr, chunk),
+            _ => vec_win_to_reg_fast::<8>(v, r, base_bits, arr, chunk),
         };
     }
     let size = v.wty.size();
-    for i in 0..m {
+    for i in r {
         let cc = (v.idx0 + i) as usize;
         let w = chunk
             .filter(|c| (cc + 1) * size <= c.data.len())
@@ -547,12 +614,12 @@ fn vec_win_to_reg(v: &VecOp, m: u32, base_bits: u64, arr: &mut [Value], chunk: O
 #[inline(always)]
 fn vec_win_to_reg_fast<const N: usize>(
     v: &VecOp,
-    m: u32,
+    r: std::ops::Range<u32>,
     base_bits: u64,
     arr: &mut [Value],
     chunk: Option<&Chunk>,
 ) {
-    for i in 0..m {
+    for i in r {
         let off = (v.idx0 + i) as usize * N;
         let w = match chunk {
             Some(c) if off + N <= c.data.len() => be_load::<N>(&c.data, off),
@@ -613,6 +680,10 @@ pub struct CompiledKernel {
     /// Elide the step counter when the CFG is acyclic and shorter than
     /// the budget (it provably cannot exhaust it).
     counted: bool,
+    /// Offer fused runs to the ncvec SIMD tier (default). The tier still
+    /// falls back per run — and bit-identically — when the host has no
+    /// usable lanes or the run's slots do not pack (see [`crate::ncvec`]).
+    simd: bool,
 }
 
 /// Compile-time context resolving state types/placement from a module.
@@ -647,9 +718,48 @@ impl CompiledKernel {
         self
     }
 
+    /// Enables or disables the ncvec SIMD tier for this kernel's fused
+    /// runs (enabled by default). Disabling pins the scalar micro-op
+    /// fast path — the A/B baseline the differential tests and E13 use.
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Whether this kernel offers fused runs to the ncvec SIMD tier.
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Number of fused element-wise runs (`VecAccum`/`VecRegToWin`/
+    /// `VecWinToReg`) in the program — the ops the ncvec tier can
+    /// accelerate. Zero means the SIMD tier degenerates to the plain
+    /// micro-op fast path for this kernel.
+    pub fn vec_runs(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::VecAccum(_) | Op::VecRegToWin(_) | Op::VecWinToReg(_)
+                )
+            })
+            .count()
+    }
+
     /// Number of micro-ops in the program.
     pub fn len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Interpreter-equivalent step count of a full straight-line
+    /// execution: fused runs count every interpreter step they replace,
+    /// so this is the number the tree-walking oracle would charge — and
+    /// the number every execution tier reports in telemetry (`uops` in
+    /// nctel hop records), independent of how many micro-ops the run
+    /// fused into or which tier executed it.
+    pub fn interp_steps(&self) -> usize {
+        self.interp_len
     }
 
     /// True when the program is empty (never: `Ret` is always present).
@@ -1004,6 +1114,7 @@ impl CompiledKernel {
                         base_bits,
                         &mut state.registers[v.arr as usize],
                         window.chunks.get(v.param as usize),
+                        self.simd,
                     );
                     if exhausted {
                         return Err(InterpError::StepLimit);
@@ -1018,6 +1129,7 @@ impl CompiledKernel {
                         base_bits,
                         &state.registers[v.arr as usize],
                         window.chunks.get_mut(v.param as usize),
+                        self.simd,
                     );
                     if exhausted {
                         return Err(InterpError::StepLimit);
@@ -1032,6 +1144,7 @@ impl CompiledKernel {
                         base_bits,
                         &mut state.registers[v.arr as usize],
                         window.chunks.get(v.param as usize),
+                        self.simd,
                     );
                     if exhausted {
                         return Err(InterpError::StepLimit);
@@ -1204,16 +1317,42 @@ impl CompiledKernel {
             }
         }
 
+        // Compact the register file to the registers the program still
+        // references: unrolling allocates thousands of virtual registers
+        // and fusion elides most of their uses, but the per-run reset
+        // memcpys the whole zero image — renumbering to the live set
+        // keeps that reset proportional to the fused program, not the
+        // unrolled one.
+        let mut remap: Vec<u32> = vec![u32::MAX; kernel.reg_tys.len()];
+        let mut nlive = 0u32;
+        for op in &mut ops {
+            op_regs_mut(op, &mut |r: &mut u32| {
+                let slot = &mut remap[*r as usize];
+                if *slot == u32::MAX {
+                    *slot = nlive;
+                    nlive += 1;
+                }
+                *r = *slot;
+            });
+        }
+        let mut zero_regs = vec![Value::zero(ScalarType::U32); nlive as usize];
+        for (orig, &new) in remap.iter().enumerate() {
+            if new != u32::MAX {
+                zero_regs[new as usize] = Value::zero(kernel.reg_tys[orig]);
+            }
+        }
+
         let has_loop = kernel.has_loop();
         let interp_len: usize = ops.iter().map(op_cost).sum();
         CompiledKernel {
             name: kernel.name.clone(),
             counted: has_loop || interp_len > DEFAULT_STEP_LIMIT,
             ops,
-            zero_regs: kernel.reg_tys.iter().map(|&ty| Value::zero(ty)).collect(),
+            zero_regs,
             step_limit: DEFAULT_STEP_LIMIT,
             interp_len,
             has_loop,
+            simd: true,
         }
     }
 }
@@ -1255,6 +1394,90 @@ fn op_cost(op: &Op) -> usize {
 
 /// Visits every virtual register a micro-op reads. Exhaustive on
 /// purpose: a missed read would let run fusion elide a live register.
+/// Visits every virtual-register reference in an op — destinations and
+/// reads — mutably, for the post-fusion register-file compaction.
+fn op_regs_mut(op: &mut Op, f: &mut impl FnMut(&mut u32)) {
+    let o = |x: &mut Opnd, f: &mut dyn FnMut(&mut u32)| {
+        if let Opnd::Reg(r) = x {
+            f(r)
+        }
+    };
+    match op {
+        Op::Add { dst, a, b, .. }
+        | Op::Sub { dst, a, b, .. }
+        | Op::Mul { dst, a, b, .. }
+        | Op::BitAnd { dst, a, b, .. }
+        | Op::BitOr { dst, a, b, .. }
+        | Op::BitXor { dst, a, b, .. }
+        | Op::Shl { dst, a, b, .. }
+        | Op::ShrU { dst, a, b, .. }
+        | Op::ShrS { dst, a, b, .. }
+        | Op::Cmp { dst, a, b, .. }
+        | Op::Bin { dst, a, b, .. }
+        | Op::CmpBr { dst, a, b, .. } => {
+            f(dst);
+            o(a, f);
+            o(b, f);
+        }
+        Op::Un { dst, a, .. } | Op::Cast { dst, a, .. } | Op::Copy { dst, a } => {
+            f(dst);
+            o(a, f);
+        }
+        Op::Select { dst, cond, a, b } => {
+            f(dst);
+            o(cond, f);
+            o(a, f);
+            o(b, f);
+        }
+        Op::LdWin { dst, index, .. }
+        | Op::LdReg { dst, index, .. }
+        | Op::LdRegM { dst, index, .. }
+        | Op::LdRegL { dst, index, .. }
+        | Op::LdHost { dst, index, .. } => {
+            f(dst);
+            o(index, f);
+        }
+        Op::StWin { index, val, .. }
+        | Op::StReg { index, val, .. }
+        | Op::StRegM { index, val, .. }
+        | Op::StRegL { index, val, .. }
+        | Op::StHost { index, val, .. } => {
+            o(index, f);
+            o(val, f);
+        }
+        Op::StWinC { val, .. } | Op::StRegC { val, .. } | Op::StExt { val, .. } => o(val, f),
+        Op::LdWinC { dst, .. }
+        | Op::LdSeq { dst }
+        | Op::LdSender { dst }
+        | Op::LdFrom { dst }
+        | Op::LdLen { dst, .. }
+        | Op::LdNChunks { dst }
+        | Op::LdLast { dst }
+        | Op::LdExt { dst, .. }
+        | Op::LdLocationId { dst }
+        | Op::LdRegC { dst, .. }
+        | Op::LdCtrl { dst, .. }
+        | Op::Here { dst, .. } => f(dst),
+        Op::MapGet {
+            found, val, key, ..
+        } => {
+            f(found);
+            f(val);
+            o(key, f);
+        }
+        Op::Br { cond, .. } => o(cond, f),
+        Op::VecAccum(v) | Op::VecRegToWin(v) | Op::VecWinToReg(v) => f(&mut v.base),
+        Op::NotPlaced { .. }
+        | Op::FwdPass
+        | Op::FwdPassTo { .. }
+        | Op::FwdReflect
+        | Op::FwdBcast
+        | Op::FwdDrop
+        | Op::Jmp { .. }
+        | Op::Ret => {}
+    }
+}
+
 fn op_reads(op: &Op, f: &mut impl FnMut(u32)) {
     let mut o = |x: &Opnd| {
         if let Opnd::Reg(r) = x {
@@ -2315,6 +2538,66 @@ _net_ _out_ void allreduce(int *data) {
         }
         assert_eq!(st_f.registers[0][0], Value::i32(6));
         assert_eq!(st_f.registers[1][0], Value::u32(0));
+    }
+
+    /// Perf probe for the ncvec tier (not a gate — E13 is): run with
+    /// `cargo test -p ncl-ir --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn ncvec_speed_probe() {
+        let src = r#"
+#define DATA_LEN 8192
+#define WIN_LEN 1024
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+"#;
+        let (m, mut st) = build(src, "allreduce", &[1024]);
+        st.ctrl_write(CtrlId(0), Value::u32(1_000_000));
+        let k = m.kernel("allreduce").unwrap();
+        let scalar = CompiledKernel::compile_for(k, &m).with_simd(false);
+        let simd = CompiledKernel::compile_for(k, &m).with_simd(true);
+        let vals: Vec<u32> = (0..1024).collect();
+        let w = window_u32(&vals);
+        let mut scratch = ExecScratch::new();
+        let reps = 2000usize;
+        let mut pool: Vec<Window> = (0..8).map(|_| w.clone()).collect();
+        let mut time = |ck: &CompiledKernel, st: &mut SwitchState, pool: &mut [Window]| {
+            let t = std::time::Instant::now();
+            for i in 0..reps {
+                let wx = &mut pool[i & 7];
+                std::hint::black_box(ck.run_outgoing(wx, st, &mut scratch).unwrap());
+            }
+            t.elapsed().as_nanos() as u64 / reps as u64
+        };
+        let mut st_s = st.clone();
+        let mut st_v = st.clone();
+        let (mut ns_scalar, mut ns_simd) = (u64::MAX, u64::MAX);
+        for _ in 0..7 {
+            ns_scalar = ns_scalar.min(time(&scalar, &mut st_s, &mut pool));
+            ns_simd = ns_simd.min(time(&simd, &mut st_v, &mut pool));
+        }
+        assert_eq!(st_s.registers, st_v.registers, "tiers diverged");
+        println!(
+            "ncvec probe (level {}): vec_runs {}, uops {}, interp {} steps; \
+             scalar {} ns/window, simd {} ns/window, {:.2}x",
+            crate::ncvec::level(),
+            simd.vec_runs(),
+            simd.len(),
+            simd.interp_steps(),
+            ns_scalar,
+            ns_simd,
+            ns_scalar as f64 / ns_simd.max(1) as f64
+        );
     }
 
     #[test]

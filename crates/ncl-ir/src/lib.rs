@@ -38,6 +38,7 @@ pub mod interp;
 pub mod ir;
 pub mod lint;
 pub mod lower;
+pub mod ncvec;
 pub mod passes;
 pub mod version;
 

@@ -33,10 +33,56 @@ use std::collections::HashMap;
 /// host memory without bound).
 pub const DEFAULT_MAX_PENDING: usize = 256;
 
+/// Alignment (bytes) for window payload buffers. Matches the widest
+/// vector register the ncvec SIMD tier uses (one AVX2 ymm), so payload
+/// loads in the fused vector executors start on a register boundary.
+/// Alignment here is a fast-path hint — the SIMD tier uses unaligned
+/// loads and is correct either way — never a soundness requirement.
+pub const PAYLOAD_ALIGN: usize = 32;
+
+/// Allocates a byte buffer of at least `cap` capacity whose storage
+/// starts on a [`PAYLOAD_ALIGN`] boundary.
+///
+/// `Vec<u8>` has no alignment parameter, so this allocates and selects:
+/// draw candidates until the allocator hands back an aligned block,
+/// keeping rejects alive so each retry sees a fresh address. Mainstream
+/// allocators return 16-byte-aligned blocks at these sizes, so a couple
+/// of draws almost always suffice; after a bounded number of tries the
+/// last candidate is returned as-is (see [`PAYLOAD_ALIGN`]: alignment
+/// is best-effort, and [`BufferPool::put`] refuses to pool strays).
+fn aligned_vec(cap: usize) -> Vec<u8> {
+    let cap = cap.max(PAYLOAD_ALIGN);
+    let mut rejects = Vec::new();
+    for _ in 0..8 {
+        let v: Vec<u8> = Vec::with_capacity(cap);
+        if (v.as_ptr() as usize).is_multiple_of(PAYLOAD_ALIGN) {
+            return v;
+        }
+        rejects.push(v);
+    }
+    rejects.pop().unwrap_or_default()
+}
+
+/// Clears `dst` and refills it with `src`, guaranteeing the refilled
+/// storage starts on a [`PAYLOAD_ALIGN`] boundary. Reuses `dst`'s
+/// allocation when it is already aligned and large enough — the
+/// steady-state decode path — and swaps in an aligned buffer otherwise.
+fn fill_aligned(dst: &mut Vec<u8>, src: &[u8]) {
+    if dst.capacity() < src.len() || !(dst.as_ptr() as usize).is_multiple_of(PAYLOAD_ALIGN) {
+        *dst = aligned_vec(src.len());
+    }
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
 /// A free-list of byte buffers for the packet datapath. `get` hands out
 /// an empty buffer that retains its previous capacity; `put` returns a
 /// buffer to the pool. Steady-state encode traffic therefore settles
 /// into zero heap allocations.
+///
+/// Every buffer the pool hands out starts on a [`PAYLOAD_ALIGN`]
+/// boundary: fresh buffers come from the aligned allocator, and `put`
+/// re-homes (or drops) buffers whose mid-use regrowth moved them off it.
 #[derive(Debug)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
@@ -68,14 +114,35 @@ impl BufferPool {
     }
 
     /// Takes a cleared buffer from the pool (or a fresh one when empty).
+    /// The returned buffer's storage starts on a [`PAYLOAD_ALIGN`]
+    /// boundary.
     pub fn get(&mut self) -> Vec<u8> {
-        self.free.pop().unwrap_or_default()
+        match self.free.pop() {
+            Some(buf) => {
+                debug_assert_eq!(
+                    buf.as_ptr() as usize % PAYLOAD_ALIGN,
+                    0,
+                    "pooled buffer lost its payload alignment"
+                );
+                buf
+            }
+            None => aligned_vec(0),
+        }
     }
 
     /// Returns a buffer for reuse. Its contents are cleared; capacity is
-    /// kept.
+    /// kept. A buffer whose mid-use regrowth moved it off the
+    /// [`PAYLOAD_ALIGN`] boundary is replaced by an equal-capacity
+    /// aligned one (so the next `get` starts aligned *and* large enough
+    /// to avoid regrowing), or dropped if the allocator refuses.
     pub fn put(&mut self, mut buf: Vec<u8>) {
         if self.free.len() < self.max_buffers {
+            if !(buf.as_ptr() as usize).is_multiple_of(PAYLOAD_ALIGN) {
+                buf = aligned_vec(buf.capacity());
+                if !(buf.as_ptr() as usize).is_multiple_of(PAYLOAD_ALIGN) {
+                    return;
+                }
+            }
             buf.clear();
             self.free.push(buf);
         }
@@ -188,8 +255,7 @@ pub fn decode_window_into(bytes: &[u8], w: &mut Window) -> Result<(), WireError>
     }
     for (i, c) in w.chunks.iter_mut().enumerate() {
         c.offset = p.chunk_desc(i).0;
-        c.data.clear();
-        c.data.extend_from_slice(p.chunk_data(i));
+        fill_aligned(&mut c.data, p.chunk_data(i));
     }
     w.ext.clear();
     w.ext.extend_from_slice(p.ext());
@@ -371,7 +437,9 @@ impl Partial {
         for (c, mut pieces) in self.pieces.drain(..).enumerate() {
             let start = self.starts[c].expect("complete");
             let end = self.ends[c].expect("complete");
-            let mut data = vec![0u8; (end - start) as usize];
+            let len = (end - start) as usize;
+            let mut data = aligned_vec(len);
+            data.resize(len, 0);
             pieces.sort_by_key(|(o, _)| *o);
             for (off, piece) in pieces {
                 let rel = (off - start) as usize;
@@ -716,6 +784,57 @@ mod tests {
             done = r.push(f).unwrap();
         }
         assert!(done.is_none());
+    }
+
+    #[test]
+    fn pool_buffers_stay_aligned_across_reuse() {
+        let mut pool = BufferPool::new();
+        let mut last_ptr = None;
+        for round in 0..4 {
+            let mut buf = pool.get();
+            assert_eq!(
+                buf.as_ptr() as usize % PAYLOAD_ALIGN,
+                0,
+                "round {round}: pool handed out a misaligned buffer"
+            );
+            // Steady state: the same aligned allocation cycles through.
+            if let Some(p) = last_ptr {
+                assert_eq!(buf.as_ptr(), p, "round {round}: buffer not reused");
+            }
+            buf.extend_from_slice(&[0xAB; 24]);
+            last_ptr = Some(buf.as_ptr());
+            pool.put(buf);
+        }
+        // A buffer that regrew off the boundary mid-use is re-homed (or
+        // dropped) by `put`, never handed back misaligned.
+        let mut big = pool.get();
+        big.resize(1 << 16, 0);
+        pool.put(big);
+        let back = pool.get();
+        assert_eq!(back.as_ptr() as usize % PAYLOAD_ALIGN, 0);
+        assert!(back.capacity() >= 1 << 16, "re-homed buffer keeps capacity");
+    }
+
+    #[test]
+    fn decoded_and_reassembled_payloads_are_aligned() {
+        let w = window(&(0..64).collect::<Vec<_>>(), 1, true);
+        // Single-packet decode.
+        let got = decode_window(&encode_window(&w, 2)).unwrap();
+        assert_eq!(got.chunks[0].data.as_ptr() as usize % PAYLOAD_ALIGN, 0);
+        // Decode-into with a recycled window keeps the payload aligned.
+        let mut scratch = got;
+        let bytes = encode_window(&window(&(64..128).collect::<Vec<_>>(), 2, true), 2);
+        decode_window_into(&bytes, &mut scratch).unwrap();
+        assert_eq!(scratch.chunks[0].data.as_ptr() as usize % PAYLOAD_ALIGN, 0);
+        // Multi-fragment reassembly.
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in fragment_window(&w, 2, 96) {
+            out = r.push(&f).unwrap();
+        }
+        let got = out.expect("window completes");
+        assert_eq!(got.chunks[0].data.as_ptr() as usize % PAYLOAD_ALIGN, 0);
+        assert_eq!(got.chunks[0].data, w.chunks[0].data);
     }
 
     #[test]

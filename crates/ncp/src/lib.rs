@@ -33,7 +33,7 @@ pub mod wire;
 
 pub use codec::{
     decode_window, decode_window_into, encode_window, encode_window_into, encoded_len,
-    fragment_window, fragment_window_into, BufferPool, Reassembler,
+    fragment_window, fragment_window_into, BufferPool, Reassembler, PAYLOAD_ALIGN,
 };
 pub use reliable::{Receiver, ReliableConfig, Sender};
 pub use udp::{RecvEvent, UdpEndpoint, NCP_UDP_PORT};

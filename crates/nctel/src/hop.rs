@@ -17,7 +17,7 @@
 //! | 2      | kernel   | u16 kernel id the window addressed        |
 //! | 4      | version  | u16 deployed kernel version at the switch |
 //! | 6      | stages   | u16 PISA stages the kernel occupies       |
-//! | 8      | uops     | u32 fast-path micro-ops for the kernel    |
+//! | 8      | uops     | u32 interpreter-equivalent kernel steps   |
 //! | 12     | flags    | u16 ([`HOP_DUP_SUPPRESSED`], …)           |
 //! | 14     | reserved | u16, must be zero                         |
 //! | 16     | ticks_in | u64 sim-time at switch ingress (ns)       |

@@ -509,6 +509,7 @@ _net_ _in_ void recv(int *d, _ext_ int *out) { out[0] = d[0]; }
 
     let pisa = run(SwitchBackend::Pisa);
     let fast = run(SwitchBackend::FastPath);
+    let simd = run(SwitchBackend::Simd);
     let interp = run(SwitchBackend::Interp);
 
     for t in &pisa {
@@ -531,6 +532,11 @@ _net_ _in_ void recv(int *d, _ext_ int *out) { out[0] = d[0]; }
         encode(&pisa),
         encode(&fast),
         "PISA and fast-path hop records diverge"
+    );
+    assert_eq!(
+        encode(&pisa),
+        encode(&simd),
+        "PISA and SIMD-tier hop records diverge"
     );
     assert_eq!(
         encode(&pisa),

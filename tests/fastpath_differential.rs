@@ -2,11 +2,15 @@
 //! executor.
 //!
 //! The tree-walking [`Interpreter`] is the semantic oracle; the linear
-//! micro-op [`CompiledKernel`] is the optimized engine. For every
-//! example application and for proptest-generated kernels × random
-//! windows, the two must agree bit-for-bit: output windows (chunks and
-//! extension bytes), forwarding verdicts, persistent switch state after
-//! every window, and host memory for incoming kernels.
+//! micro-op [`CompiledKernel`] is the optimized engine, run in both of
+//! its tiers — the scalar micro-op fast path (`with_simd(false)`) and
+//! the ncvec SIMD tier (default). For every example application and for
+//! proptest-generated kernels × random windows, all three must agree
+//! bit-for-bit: output windows (chunks and extension bytes), forwarding
+//! verdicts, persistent switch state (including the replay-filter
+//! `__nclr_dups_*` registers) after every window, host memory for
+//! incoming kernels, and — under a step-limit sweep — the partial
+//! effects left behind when the budget runs out mid-kernel.
 
 use c3::{Chunk, HostId, KernelId, NodeId, ScalarType, Value, Window};
 use ncl_core::apps::{allreduce_source, kvs_source};
@@ -15,6 +19,9 @@ use ncl_ir::ir::Module;
 use ncl_ir::lower::{lower, LoweringConfig};
 use ncl_ir::{CompiledKernel, ExecScratch, HostMemory, Interpreter, MapId, SwitchState};
 use proptest::prelude::*;
+
+#[path = "common/corpus.rs"]
+mod corpus;
 
 /// Expression atoms over `data[0..4]`, the loop-free subset.
 fn gen_expr(depth: u32) -> BoxedStrategy<String> {
@@ -148,8 +155,9 @@ macro_rules! assert_states_eq {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Fast path ≡ interpreter on random kernels × random window
-    /// sequences, with persistent switch state carried across windows.
+    /// Scalar fast path ≡ SIMD tier ≡ interpreter on random kernels ×
+    /// random window sequences, with persistent switch state carried
+    /// across windows.
     #[test]
     fn fastpath_matches_interpreter(
         src in gen_kernel(),
@@ -157,30 +165,43 @@ proptest! {
     ) {
         let module = lower_kernel(&src, &[("k", vec![4])]);
         let kir = module.kernel("k").unwrap();
-        let compiled = CompiledKernel::compile_for(kir, &module);
+        let scalar = CompiledKernel::compile_for(kir, &module).with_simd(false);
+        let simd = CompiledKernel::compile_for(kir, &module);
         let mut s_interp = SwitchState::from_module(&module);
         for key in 0..8u64 {
             let val = Value::new(ScalarType::U8, key.wrapping_mul(3) & 0xFF);
             s_interp.map_insert(MapId(0), key, val);
         }
         let mut s_fast = s_interp.clone();
+        let mut s_simd = s_interp.clone();
         let it = Interpreter::default();
         let mut scratch = ExecScratch::new();
         for (wi, w) in windows.iter().enumerate() {
             let mut w_i = w.clone();
             let mut w_f = w.clone();
+            let mut w_v = w.clone();
             let f_i = it
                 .run_outgoing(kir, &mut w_i, &mut s_interp)
                 .expect("interp runs");
-            let f_f = compiled
+            let f_f = scalar
                 .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
                 .expect("fast path runs");
+            let f_v = simd
+                .run_outgoing(&mut w_v, &mut s_simd, &mut scratch)
+                .expect("simd tier runs");
             prop_assert_eq!(&f_i, &f_f, "fwd diverged, window {} of:\n{}", wi, &src);
+            prop_assert_eq!(&f_i, &f_v, "simd fwd diverged, window {} of:\n{}", wi, &src);
             prop_assert_eq!(&w_i, &w_f, "window diverged, window {} of:\n{}", wi, &src);
+            prop_assert_eq!(&w_i, &w_v, "simd window diverged, window {} of:\n{}", wi, &src);
             assert_states_eq!(
                 s_interp,
                 s_fast,
                 format_args!("window {wi} of:\n{src}")
+            );
+            assert_states_eq!(
+                s_interp,
+                s_simd,
+                format_args!("simd, window {wi} of:\n{src}")
             );
         }
     }
@@ -222,6 +243,347 @@ proptest! {
             .expect("fast path runs");
         prop_assert_eq!(&m_interp.arrays, &m_fast.arrays);
         prop_assert_eq!(&w_i, &w_f);
+    }
+}
+
+/// Differential harness for ncvec fusion edge cases: compiles the
+/// allreduce kernel at window width `win_len` and drives the three
+/// tiers (interpreter, scalar fast path, SIMD) with identical window
+/// sequences, asserting bit-identical forwarding verdicts, output
+/// windows, and switch state after every window.
+///
+/// `wild_seq` drives one window at an arbitrary sequence number, so
+/// the fused runs' masked slot indices (`accum[seq*len + i]`) can wrap
+/// the array — the case `ncvec::plan` must detect and decline into the
+/// scalar epilogue. `vals` is cycled to fill the window.
+fn check_ragged_window(win_len: usize, wild_seq: u32, vals: &[i32]) {
+    // Power-of-two array lengths, so accesses lower to the masked ops
+    // fusion matches on — the window width alone supplies the
+    // raggedness. (The generator's `allreduce_source(4*len, len)` would
+    // make the arrays ragged too, defeating fusion outright.)
+    let src = r#"
+_net_ _at_("s1") int accum[256] = {0};
+_net_ _at_("s1") unsigned count[8] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] % nworkers == 0) {
+        memcpy(data, &accum[base], window.len * 4);
+        _bcast();
+    } else { _drop(); }
+}
+"#;
+    let module = lower_kernel(src, &[("allreduce", vec![win_len as u16])]);
+    let kir = module.kernel("allreduce").unwrap();
+    let scalar = CompiledKernel::compile_for(kir, &module).with_simd(false);
+    let simd = CompiledKernel::compile_for(kir, &module);
+    assert!(
+        simd.vec_runs() >= 1,
+        "win_len {win_len}: the accumulate loop must fuse for this test to bite"
+    );
+    let mut s_interp = SwitchState::from_module(&module);
+    // nworkers := 3, so the third window per slot broadcasts the sums
+    // (exercising the reg→win fused run, not just the accumulate).
+    s_interp.ctrl_write(ncl_ir::CtrlId(0), Value::u32(3));
+    let mut s_fast = s_interp.clone();
+    let mut s_simd = s_interp.clone();
+    let it = Interpreter::default();
+    let mut scratch = ExecScratch::new();
+    // Repeating seq 0 accumulates onto non-zero slots; `wild_seq` hits
+    // wrapped slot ranges.
+    let seqs = [0u32, 1, wild_seq, 0, 0];
+    for (wi, &seq) in seqs.iter().enumerate() {
+        let w = Window {
+            kernel: KernelId(1),
+            seq,
+            sender: HostId(1 + (wi % 3) as u16),
+            from: NodeId::Host(HostId(1 + (wi % 3) as u16)),
+            last: false,
+            chunks: vec![Chunk {
+                offset: 0,
+                data: (0..win_len)
+                    .flat_map(|i| vals[i % vals.len()].to_be_bytes())
+                    .collect(),
+            }],
+            ext: vec![],
+        };
+        let mut w_i = w.clone();
+        let mut w_f = w.clone();
+        let mut w_v = w;
+        let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp).unwrap();
+        let f_f = scalar
+            .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+            .unwrap();
+        let f_v = simd
+            .run_outgoing(&mut w_v, &mut s_simd, &mut scratch)
+            .unwrap();
+        assert_eq!(f_i, f_f, "scalar fwd, window {wi} (win_len {win_len})");
+        assert_eq!(f_i, f_v, "simd fwd, window {wi} (win_len {win_len})");
+        assert_eq!(w_i, w_f, "scalar window, window {wi} (win_len {win_len})");
+        assert_eq!(w_i, w_v, "simd window, window {wi} (win_len {win_len})");
+        assert_eq!(
+            s_interp.registers, s_fast.registers,
+            "scalar state, window {wi} (win_len {win_len})"
+        );
+        assert_eq!(
+            s_interp.registers, s_simd.registers,
+            "simd state, window {wi} (win_len {win_len})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SIMD tier is bit-identical to the scalar fast path and the
+    /// interpreter on ragged window widths — every `len % 8` residue,
+    /// so lane bodies of every shape get a scalar epilogue — and on
+    /// wrapped slot ranges from arbitrary sequence numbers.
+    #[test]
+    fn simd_tier_matches_on_ragged_windows(
+        win_len in 9usize..40,
+        wild_seq in any::<u32>(),
+        vals in proptest::collection::vec(any::<i32>(), 1..12),
+    ) {
+        check_ragged_window(win_len, wild_seq, &vals);
+    }
+}
+
+/// Replays this file's section of the shared regression corpus
+/// (tests/corpus/shared.proptest-regressions): pinned lane-boundary
+/// widths (residues 1 and 7, and an exact multiple of the lane width),
+/// a slot-wrapping sequence number, and overflow-prone values.
+#[test]
+fn corpus_ragged_windows_match_across_tiers() {
+    let entries =
+        corpus::entries_for("tests/fastpath_differential.rs::simd_tier_matches_on_ragged_windows");
+    assert!(!entries.is_empty(), "corpus section must not be pruned");
+    for e in &entries {
+        let win_len: usize = corpus::num(&e.payload, "win_len");
+        let wild_seq: u32 = corpus::num(&e.payload, "wild_seq");
+        let vals: Vec<i32> = corpus::list(&e.payload, "vals");
+        check_ragged_window(win_len, wild_seq, &vals);
+    }
+}
+
+/// Element loops whose bodies ncvec cannot pack — a per-element global
+/// (ctrl) read interrupting the run, and a slot stride that crosses
+/// lanes — still execute bit-identically on the SIMD tier: fusion
+/// either declines at compile time or `plan` falls back to the scalar
+/// loop at run time, and the differential cannot tell which.
+#[test]
+fn fusion_declines_on_global_reads_and_lane_crossing_strides() {
+    let src_ctrl_read = r#"
+_net_ _at_("s1") int acc[32] = {0};
+_net_ _at_("s1") _ctrl_ unsigned bias;
+_net_ _out_ void k(int *data) {
+    for (unsigned i = 0; i < window.len; ++i)
+        acc[i] += data[i] + (int)bias;
+    _drop();
+}
+"#;
+    let src_stride = r#"
+_net_ _at_("s1") int acc[64] = {0};
+_net_ _out_ void k(int *data) {
+    for (unsigned i = 0; i < window.len; ++i)
+        acc[i + i] += data[i];
+    _drop();
+}
+"#;
+    for (name, src) in [("ctrl-read", src_ctrl_read), ("stride-2", src_stride)] {
+        let module = lower_kernel(src, &[("k", vec![16])]);
+        let kir = module.kernel("k").unwrap();
+        let scalar = CompiledKernel::compile_for(kir, &module).with_simd(false);
+        let simd = CompiledKernel::compile_for(kir, &module);
+        let mut s_interp = SwitchState::from_module(&module);
+        if name == "ctrl-read" {
+            s_interp.ctrl_write(ncl_ir::CtrlId(0), Value::u32(7));
+        }
+        let mut s_fast = s_interp.clone();
+        let mut s_simd = s_interp.clone();
+        let it = Interpreter::default();
+        let mut scratch = ExecScratch::new();
+        for rep in 0..3 {
+            let w = Window {
+                kernel: KernelId(1),
+                seq: rep,
+                sender: HostId(1),
+                from: NodeId::Host(HostId(1)),
+                last: false,
+                chunks: vec![Chunk {
+                    offset: 0,
+                    data: (0..16i32)
+                        .flat_map(|i| (i * 0x0101 - 7 + rep as i32).to_be_bytes())
+                        .collect(),
+                }],
+                ext: vec![],
+            };
+            let mut w_i = w.clone();
+            let mut w_f = w.clone();
+            let mut w_v = w;
+            let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp).unwrap();
+            let f_f = scalar
+                .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+                .unwrap();
+            let f_v = simd
+                .run_outgoing(&mut w_v, &mut s_simd, &mut scratch)
+                .unwrap();
+            assert_eq!(f_i, f_f, "{name}: scalar fwd, rep {rep}");
+            assert_eq!(f_i, f_v, "{name}: simd fwd, rep {rep}");
+            assert_eq!(w_i, w_f, "{name}: scalar window, rep {rep}");
+            assert_eq!(w_i, w_v, "{name}: simd window, rep {rep}");
+            assert_eq!(s_interp.registers, s_fast.registers, "{name}: scalar state");
+            assert_eq!(s_interp.registers, s_simd.registers, "{name}: simd state");
+        }
+    }
+}
+
+/// KVS cache churn across all three tiers: interleaved client GETs,
+/// client PUT invalidations, and server refreshes over the whole
+/// keyspace. Both fused `memcpy` runs in the query kernel are
+/// CmpBr-guarded with map-derived dynamic bases — the cache-hit value
+/// copy-out (reg→win) and the server refresh (win→reg) — so this
+/// drives the guarded vector paths the GET-only workloads never reach.
+#[test]
+fn simd_tier_matches_on_kvs_churn() {
+    let src = kvs_source(3, 16, 8);
+    let module = lower_kernel(&src, &[("query", vec![1, 8, 1])]);
+    let kir = module.kernel("query").unwrap();
+    let scalar = CompiledKernel::compile_for(kir, &module).with_simd(false);
+    let simd = CompiledKernel::compile_for(kir, &module);
+    let mut s_interp = SwitchState::from_module(&module);
+    for key in 0..64u64 {
+        s_interp.map_insert(MapId(0), key, Value::new(ScalarType::U8, key % 16));
+    }
+    let mut s_fast = s_interp.clone();
+    let mut s_simd = s_interp.clone();
+    let it = Interpreter::default();
+    let mut scratch = ExecScratch::new();
+    let client = NodeId::Host(HostId(1));
+    let server = NodeId::Host(HostId(3));
+    for step in 0..200u32 {
+        let key = (step as u64 * 7 + 3) % 64;
+        let (from, update) = match step % 3 {
+            0 => (client, false),         // GET
+            1 => (server, true),          // refresh
+            _ => (client, step % 2 == 1), // PUT or GET
+        };
+        let w = Window {
+            kernel: KernelId(1),
+            seq: step,
+            sender: HostId(if from == server { 3 } else { 1 }),
+            from,
+            last: false,
+            chunks: vec![
+                Chunk {
+                    offset: 0,
+                    data: key.to_be_bytes().to_vec(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: (0..8u32)
+                        .flat_map(|i| (key as u32 * 1000 + i + step).to_be_bytes())
+                        .collect(),
+                },
+                Chunk {
+                    offset: 0,
+                    data: vec![update as u8],
+                },
+            ],
+            ext: vec![],
+        };
+        let mut w_i = w.clone();
+        let mut w_f = w.clone();
+        let mut w_v = w;
+        let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp).unwrap();
+        let f_f = scalar
+            .run_outgoing(&mut w_f, &mut s_fast, &mut scratch)
+            .unwrap();
+        let f_v = simd
+            .run_outgoing(&mut w_v, &mut s_simd, &mut scratch)
+            .unwrap();
+        assert_eq!(f_i, f_f, "scalar fwd, step {step} key {key}");
+        assert_eq!(f_i, f_v, "simd fwd, step {step} key {key}");
+        assert_eq!(w_i, w_f, "scalar window, step {step} key {key}");
+        assert_eq!(w_i, w_v, "simd window, step {step} key {key}");
+        assert_eq!(
+            s_interp.registers, s_fast.registers,
+            "scalar state, step {step} key {key}"
+        );
+        assert_eq!(
+            s_interp.registers, s_simd.registers,
+            "simd state, step {step} key {key}"
+        );
+    }
+}
+
+/// Step-limit sweep: for every budget from 0 to past the kernel's full
+/// interpreter-equivalent cost, the three tiers agree on (a) whether
+/// the budget suffices, and (b) the partial window and state effects
+/// left behind when it does not. Fused vector runs pre-charge their
+/// interpreter-equivalent step count, so exhaustion must land mid-run
+/// at the same element the tree-walking oracle stops at.
+#[test]
+fn step_limit_sweep_leaves_identical_partial_effects() {
+    let win_len = 16usize;
+    let src = allreduce_source(win_len * 4, win_len);
+    let module = lower_kernel(
+        &src,
+        &[
+            ("allreduce", vec![win_len as u16]),
+            ("result", vec![win_len as u16]),
+        ],
+    );
+    let kir = module.kernel("allreduce").unwrap();
+    let total = CompiledKernel::compile_for(kir, &module).interp_steps();
+    assert!(total > 2 * win_len, "sweep must cross both fused runs");
+    let w0 = Window {
+        kernel: KernelId(1),
+        seq: 0,
+        sender: HostId(1),
+        from: NodeId::Host(HostId(1)),
+        last: false,
+        chunks: vec![Chunk {
+            offset: 0,
+            data: (0..win_len as i32)
+                .flat_map(|i| (i * 3 - 5).to_be_bytes())
+                .collect(),
+        }],
+        ext: vec![],
+    };
+    for limit in 0..=total + 2 {
+        let it = Interpreter { step_limit: limit };
+        let scalar = CompiledKernel::compile_for(kir, &module)
+            .with_simd(false)
+            .with_step_limit(limit);
+        let simd = CompiledKernel::compile_for(kir, &module).with_step_limit(limit);
+        let mut s_interp = SwitchState::from_module(&module);
+        // nworkers := 1, so a single window takes the completion branch
+        // and the broadcast memcpy (the reg→win fused run) also runs.
+        s_interp.ctrl_write(ncl_ir::CtrlId(0), Value::u32(1));
+        let mut s_fast = s_interp.clone();
+        let mut s_simd = s_interp.clone();
+        let mut scratch = ExecScratch::new();
+        let mut w_i = w0.clone();
+        let mut w_f = w0.clone();
+        let mut w_v = w0.clone();
+        let f_i = it.run_outgoing(kir, &mut w_i, &mut s_interp);
+        let f_f = scalar.run_outgoing(&mut w_f, &mut s_fast, &mut scratch);
+        let f_v = simd.run_outgoing(&mut w_v, &mut s_simd, &mut scratch);
+        assert_eq!(f_i, f_f, "scalar verdict, limit {limit}/{total}");
+        assert_eq!(f_i, f_v, "simd verdict, limit {limit}/{total}");
+        assert_eq!(w_i, w_f, "scalar partial window, limit {limit}/{total}");
+        assert_eq!(w_i, w_v, "simd partial window, limit {limit}/{total}");
+        assert_eq!(
+            s_interp.registers, s_fast.registers,
+            "scalar partial state, limit {limit}/{total}"
+        );
+        assert_eq!(
+            s_interp.registers, s_simd.registers,
+            "simd partial state, limit {limit}/{total}"
+        );
     }
 }
 
