@@ -378,6 +378,11 @@ impl HostApp for KvsClient {
         let Ok(w) = decode_window(&pkt.payload) else {
             return;
         };
+        // On a shared fabric other tenants' broadcasts reach this host
+        // too; their seq numbers may collide with outstanding queries.
+        if w.kernel.0 != self.kernel {
+            return;
+        }
         if let Some(s) = &mut self.reliable {
             // The response is the ACK; duplicates fall out at the
             // `outstanding` lookup below.

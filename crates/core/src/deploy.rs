@@ -84,6 +84,15 @@ pub enum DeployError {
     Lint {
         /// The switch label.
         label: String,
+        /// The offending kernels (sorted, deduplicated) — so a denial
+        /// in a multi-kernel module names the code at fault, not just
+        /// the module.
+        kernels: Vec<String>,
+        /// The version the denied module would have deployed as (the
+        /// 1-based module index, matching
+        /// [`deployed_versions`]) — so operators can tell *which*
+        /// submission of a kernel was refused.
+        version: u16,
         /// The denied findings.
         diagnostics: Vec<ncl_ir::lint::LintDiagnostic>,
     },
@@ -98,8 +107,18 @@ impl std::fmt::Display for DeployError {
             DeployError::Load { label, error } => {
                 write!(f, "pipeline for '{label}' failed to load: {error}")
             }
-            DeployError::Lint { label, diagnostics } => {
-                writeln!(f, "lint denied deployment to '{label}':")?;
+            DeployError::Lint {
+                label,
+                kernels,
+                version,
+                diagnostics,
+            } => {
+                writeln!(
+                    f,
+                    "lint denied deployment of kernel{} {} (version {version}) to '{label}':",
+                    if kernels.len() == 1 { "" } else { "s" },
+                    kernels.join(", "),
+                )?;
                 write!(f, "{}", ncl_ir::lint::render(diagnostics))
             }
         }
@@ -256,35 +275,49 @@ pub fn deployed_versions(program: &CompiledProgram) -> BTreeMap<(u16, u16), u16>
 /// ncvec SIMD tier covers them in a handful of lane iterations, so the
 /// step count is the only number every tier can report identically.
 fn switch_telemetry(program: &CompiledProgram, label: &str, wire: u16) -> SwitchTelemetry {
-    let mut kernels = HashMap::new();
+    let version = program
+        .modules
+        .iter()
+        .position(|(l, _)| l.as_str() == label)
+        .map(|i| i as u16 + 1)
+        .unwrap_or(0);
+    SwitchTelemetry {
+        switch_id: wire,
+        kernels: kernel_telemetry(program, label, version)
+            .into_iter()
+            .collect(),
+    }
+}
+
+/// The per-kernel static hop-record fields of one program's module at
+/// `label`, stamped with an explicit `version` — multi-tenant
+/// deployments use ncsched-assigned versions instead of the module
+/// index ([`crate::tenants`]).
+pub(crate) fn kernel_telemetry(
+    program: &CompiledProgram,
+    label: &str,
+    version: u16,
+) -> Vec<(u16, KernelTelemetry)> {
+    let mut kernels = Vec::new();
     if let Some(module) = program.module(label) {
-        let version = program
-            .modules
-            .iter()
-            .position(|(l, _)| l.as_str() == label)
-            .map(|i| i as u16 + 1)
-            .unwrap_or(0);
         let stages = program
             .switch(label)
             .map(|c| c.report.stages_used as u16)
             .unwrap_or(0);
         for k in &module.kernels {
             if let Some(&id) = program.kernel_ids.get(&k.name) {
-                kernels.insert(
+                kernels.push((
                     id,
                     KernelTelemetry {
                         version,
                         stages,
                         uops: ncl_ir::CompiledKernel::compile_for(k, module).interp_steps() as u32,
                     },
-                );
+                ));
             }
         }
     }
-    SwitchTelemetry {
-        switch_id: wire,
-        kernels,
-    }
+    kernels
 }
 
 /// [`deploy_with`] sharing the caller's metrics registry: the
@@ -378,8 +411,20 @@ pub fn deploy_opts(
                                 &[],
                             );
                         }
+                        let mut kernels: Vec<String> =
+                            deny.iter().map(|d| d.kernel.clone()).collect();
+                        kernels.sort();
+                        kernels.dedup();
+                        let version = program
+                            .modules
+                            .iter()
+                            .position(|(l, _)| l.as_str() == n.label.as_str())
+                            .map(|i| i as u16 + 1)
+                            .unwrap_or(0);
                         return Err(DeployError::Lint {
                             label: n.label.to_string(),
+                            kernels,
+                            version,
                             diagnostics: deny,
                         });
                     }
@@ -650,8 +695,17 @@ _net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
             LinkSpec::default(),
             pisa::ResourceModel::default(),
         ) {
-            Err(DeployError::Lint { label, diagnostics }) => {
+            Err(DeployError::Lint {
+                label,
+                kernels,
+                version,
+                diagnostics,
+            }) => {
                 assert_eq!(label, "s1");
+                // The denial names the offending kernel and the version
+                // that was refused, not just the module.
+                assert_eq!(kernels, vec!["allreduce".to_string()]);
+                assert_eq!(version, 1);
                 assert!(diagnostics
                     .iter()
                     .all(|d| d.code == LintCode::ReplayUnsafeNoFilter));

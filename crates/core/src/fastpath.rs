@@ -230,6 +230,7 @@ impl FastPathSwitch {
             payload: out,
             fwd_code,
             fwd_label,
+            version: 0,
         })
     }
 

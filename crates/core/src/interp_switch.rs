@@ -96,6 +96,7 @@ impl InterpSwitch {
             payload: out,
             fwd_code,
             fwd_label,
+            version: 0,
         })
     }
 

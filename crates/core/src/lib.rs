@@ -47,8 +47,10 @@ pub mod control;
 pub mod deploy;
 pub mod fastpath;
 pub mod interp_switch;
+pub mod mux;
 pub mod nclc;
 pub mod runtime;
+pub mod tenants;
 
 pub use control::ControlPlane;
 pub use deploy::{
@@ -57,5 +59,7 @@ pub use deploy::{
 };
 pub use fastpath::FastPathSwitch;
 pub use interp_switch::InterpSwitch;
+pub use mux::TenantMux;
 pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};
 pub use runtime::{NclHost, OutInvocation, TypedArray};
+pub use tenants::{deploy_tenants, MultiDeployError, MultiDeployment, TenantDeploy};

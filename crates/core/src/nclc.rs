@@ -40,6 +40,12 @@ pub struct CompileConfig {
     /// [`LintCode::default_level`]. Hazards at [`LintLevel::Deny`] fail
     /// compilation with [`NclcError::Lint`].
     pub lint_levels: BTreeMap<LintCode, LintLevel>,
+    /// First NCP kernel id minus one: kernel ids are assigned
+    /// `base + 1, base + 2, …` in declaration order. Single-program
+    /// deployments leave this at 0; multi-tenant deployments give every
+    /// tenant a disjoint id range so their kernels can share a switch
+    /// (`ncsched`, DESIGN.md §4.12).
+    pub kernel_id_base: u16,
 }
 
 impl Default for CompileConfig {
@@ -50,6 +56,7 @@ impl Default for CompileConfig {
             unroll_limit: 4096,
             replay_filters: HashMap::new(),
             lint_levels: BTreeMap::new(),
+            kernel_id_base: 0,
         }
     }
 }
@@ -244,12 +251,13 @@ pub fn compile(
         .map_err(NclcError::Lowering)?;
     timings.time("optimize", || ncl_ir::passes::optimize(&mut generic));
 
-    // Program-wide kernel ids, in declaration order, from 1.
+    // Program-wide kernel ids, in declaration order, from
+    // `kernel_id_base + 1` (the base is 0 outside multi-tenant deploys).
     let kernel_ids: HashMap<String, u16> = checked
         .kernels
         .iter()
         .enumerate()
-        .map(|(i, k)| (k.name.clone(), (i + 1) as u16))
+        .map(|(i, k)| (k.name.clone(), cfg.kernel_id_base + (i + 1) as u16))
         .collect();
     let label_ids = overlay.label_ids();
 

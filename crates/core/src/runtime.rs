@@ -558,6 +558,43 @@ impl NclHost {
         self.reliable.as_ref().map(|r| r.receiver.stats())
     }
 
+    /// The `(kernel, seq)` keys of every window currently in flight on
+    /// the NCP-R sender, sorted. Empty when reliability is disabled.
+    /// This is the drain-set snapshot a hitless upgrade routes to the
+    /// old kernel version (`ncsched::Upgrade::begin_drain`).
+    pub fn in_flight_keys(&self) -> Vec<(u16, u32)> {
+        self.reliable
+            .as_ref()
+            .map(|r| r.sender.in_flight_keys())
+            .unwrap_or_default()
+    }
+
+    /// Re-registers this host's counters (`host.*` and, when
+    /// reliability is enabled, `ncpr.sender.*` / `ncpr.receiver.*`) on
+    /// an external registry under labeled names — e.g.
+    /// `labels = [("tenant", "a"), ("host", "w1")]` yields
+    /// `host.windows_sent{tenant="a",host="w1"}`. The same atomic cells
+    /// back both registries, so the export can never lag. Labels must
+    /// make the name unique per host (include a host label) or later
+    /// registrations replace earlier ones.
+    pub fn export_metrics(&self, reg: &Registry, labels: &[(&str, &str)]) {
+        reg.register_counter(
+            &nctel::labeled("host.windows_sent", labels),
+            &self.m_windows_sent,
+        );
+        reg.register_counter(
+            &nctel::labeled("host.windows_received", labels),
+            &self.m_windows_received,
+        );
+        if let Some(r) = &self.reliable {
+            r.sender
+                .attach_metrics_named(reg, |n| nctel::labeled(&format!("ncpr.sender.{n}"), labels));
+            r.receiver.attach_metrics_named(reg, |n| {
+                nctel::labeled(&format!("ncpr.receiver.{n}"), labels)
+            });
+        }
+    }
+
     fn launch(&mut self, ctx: &mut HostCtx, idx: usize) {
         let inv = self.outs[idx].clone();
         let rt = &self.runtimes[&inv.kernel];

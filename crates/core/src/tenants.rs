@@ -1,0 +1,987 @@
+//! Multi-tenant deployment: several compiled programs, one fabric.
+//!
+//! [`deploy_tenants`] is the shared-fabric counterpart of
+//! [`crate::deploy_opts`]: each tenant brings its own compiled program
+//! (with a private kernel-id range via
+//! [`crate::nclc::CompileConfig::kernel_id_base`]) and its own host
+//! applications; the fabric — the AND overlay, identical across
+//! tenants — is built **once**, with every shared switch running a
+//! [`TenantMux`] that dispatches windows to the owning tenant's
+//! datapath. Before anything touches the simulator, every tenant passes
+//! through the ncsched [`AdmissionController`]: the PR 3 resource
+//! estimator's per-switch [`ModuleEstimate`]s are bin-packed against
+//! the chip model, the tenant's quota, and what earlier tenants already
+//! hold. A tenant that does not fit is **not** an error — it is left
+//! off the fabric and reported in [`MultiDeployment::rejections`] as a
+//! machine-readable [`CostReport`] naming the violated budget, while
+//! the admitted tenants deploy normally (E14's rejection leg).
+//!
+//! Hitless upgrades ride the same path:
+//! [`MultiDeployment::begin_upgrade`] admission-checks the new version
+//! with the old still resident (dual reservation), lint-gates it,
+//! installs it on every switch atomically with the drain-set snapshot
+//! (the NCP-R in-flight keys, [`crate::runtime::NclHost::in_flight_keys`]),
+//! and hands back the [`Upgrade`] ticket; once the caller has observed
+//! every drain window acked ([`Upgrade::acked`]),
+//! [`MultiDeployment::finish_upgrade`] retires the old version and
+//! returns its resources to the pool.
+//!
+//! Only the software switch tiers multiplex —
+//! [`SwitchBackend::FastPath`], [`SwitchBackend::Simd`],
+//! [`SwitchBackend::Interp`]. The modeled PISA pipeline cannot host two
+//! independently compiled programs in one pipeline object, so
+//! [`SwitchBackend::Pisa`] is rejected up front.
+
+use crate::deploy::{kernel_telemetry, DeployError, DeployOptions, SwitchBackend};
+use crate::fastpath::FastPathSwitch;
+use crate::interp_switch::InterpSwitch;
+use crate::mux::TenantMux;
+use crate::nclc::{CompiledProgram, ModuleEstimate};
+use crate::runtime::NclHost;
+use c3::{HostId, Label, NodeId, SwitchId};
+use ncl_and::AndKind;
+use ncsched::{AdmissionController, AdmissionError, CostReport, TenantSpec, Upgrade};
+use nctel::{Registry, Scope, ScopeEvent, SnapshotReason, WindowKey};
+use netsim::{
+    FastDatapath, HostApp, HostCtx, Network, NetworkBuilder, Packet, SwitchCfg, SwitchTelemetry,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One tenant's submission to [`deploy_tenants`].
+pub struct TenantDeploy {
+    /// Identity and resource quota (checked at admission).
+    pub spec: TenantSpec,
+    /// The tenant's compiled program. Must target the same AND overlay
+    /// as every other tenant and use a disjoint kernel-id range.
+    pub program: CompiledProgram,
+    /// Host applications by AND host label. Each host label belongs to
+    /// at most one tenant; hosts no tenant claims idle.
+    pub apps: HashMap<String, Box<dyn HostApp>>,
+}
+
+/// Failures of [`deploy_tenants`] and the upgrade entry points.
+///
+/// Capacity shortfalls are *not* here — a tenant that fails admission
+/// at deploy time is reported in [`MultiDeployment::rejections`] while
+/// the rest of the fabric deploys. These are structural errors the
+/// caller must fix.
+#[derive(Debug)]
+pub enum MultiDeployError {
+    /// `deploy_tenants` with an empty tenant list.
+    NoTenants,
+    /// [`SwitchBackend::Pisa`] cannot multiplex tenants (module docs).
+    UnsupportedBackend,
+    /// A tenant's program targets a different AND overlay.
+    OverlayMismatch {
+        /// The offending tenant.
+        tenant: String,
+    },
+    /// Two tenants' programs share a kernel id — kernel-id ranges route
+    /// windows, so they must be disjoint
+    /// ([`crate::nclc::CompileConfig::kernel_id_base`]).
+    KernelIdOverlap {
+        /// First claimant.
+        a: String,
+        /// Second claimant.
+        b: String,
+        /// The contested kernel id.
+        kernel: u16,
+    },
+    /// Two tenants supplied an application for the same host.
+    HostClaimed {
+        /// The host label.
+        label: String,
+        /// First claimant.
+        a: String,
+        /// Second claimant.
+        b: String,
+    },
+    /// A tenant supplied an application for a label that is not a host
+    /// in the overlay.
+    UnknownHost {
+        /// The offending tenant.
+        tenant: String,
+        /// The unknown label.
+        label: String,
+    },
+    /// The deploy-time lint gate denied a tenant module. The inner
+    /// error names the offending kernels and the refused version
+    /// ([`DeployError::Lint`]).
+    Lint {
+        /// The offending tenant.
+        tenant: String,
+        /// The underlying denial.
+        source: DeployError,
+    },
+    /// A controller operation failed (upgrade lifecycle misuse, or an
+    /// upgrade's new version rejected for capacity).
+    Admission {
+        /// The tenant involved.
+        tenant: String,
+        /// The underlying controller error.
+        source: AdmissionError,
+    },
+    /// An upgrade's new program changed the tenant's kernel-id set;
+    /// in-place upgrades must keep ids stable so in-flight windows
+    /// still route.
+    KernelIdsChanged {
+        /// The offending tenant.
+        tenant: String,
+    },
+}
+
+impl std::fmt::Display for MultiDeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiDeployError::NoTenants => write!(f, "no tenants to deploy"),
+            MultiDeployError::UnsupportedBackend => {
+                write!(
+                    f,
+                    "the PISA pipeline backend cannot multiplex tenants; use a software tier"
+                )
+            }
+            MultiDeployError::OverlayMismatch { tenant } => {
+                write!(f, "tenant '{tenant}' targets a different AND overlay")
+            }
+            MultiDeployError::KernelIdOverlap { a, b, kernel } => {
+                write!(f, "tenants '{a}' and '{b}' both claim kernel id {kernel}")
+            }
+            MultiDeployError::HostClaimed { label, a, b } => {
+                write!(f, "tenants '{a}' and '{b}' both claim host '{label}'")
+            }
+            MultiDeployError::UnknownHost { tenant, label } => {
+                write!(f, "tenant '{tenant}' claims unknown host '{label}'")
+            }
+            MultiDeployError::Lint { tenant, source } => {
+                write!(f, "tenant '{tenant}': {source}")
+            }
+            MultiDeployError::Admission { tenant, source } => {
+                write!(f, "tenant '{tenant}': {source}")
+            }
+            MultiDeployError::KernelIdsChanged { tenant } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' upgrade changes its kernel-id set; ids must be stable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiDeployError {}
+
+/// A host application that does nothing — installed on hosts no
+/// admitted tenant claims, so the shared fabric still builds.
+struct IdleApp;
+
+impl HostApp for IdleApp {
+    fn on_packet(&mut self, _ctx: &mut HostCtx, _pkt: &Packet) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Book-keeping for one admitted tenant.
+struct AdmittedTenant {
+    name: String,
+    /// The tenant's kernel-id set (routing identity on every mux).
+    kernel_ids: BTreeSet<u16>,
+    /// Host labels this tenant's applications run on.
+    hosts: Vec<(String, HostId)>,
+    /// Switch labels this tenant's program occupies.
+    switches: Vec<String>,
+}
+
+/// A deployed multi-tenant fabric (see module docs).
+pub struct MultiDeployment {
+    /// The simulated network.
+    pub net: Network,
+    /// AND label → simulated node.
+    pub nodes: HashMap<Label, NodeId>,
+    /// The live admission controller: committed reservations, quotas,
+    /// per-switch usage. Future `admit`/`release` calls against it keep
+    /// accounting while the fabric runs.
+    pub controller: AdmissionController,
+    /// Tenants that failed admission at deploy time, in submission
+    /// order, each with the cost report naming the violated budget.
+    pub rejections: Vec<Box<CostReport>>,
+    backend: SwitchBackend,
+    tenants: Vec<AdmittedTenant>,
+    /// `(switch wire, kernel id)` → deployed version; updated on
+    /// upgrade switchover.
+    versions: BTreeMap<(u16, u16), u16>,
+}
+
+/// Deploys several tenants onto one shared fabric (module docs).
+/// Admitted tenants run; rejected tenants land in
+/// [`MultiDeployment::rejections`] with cost reports. `opts.backend`
+/// must be a software tier.
+pub fn deploy_tenants(
+    tenants: Vec<TenantDeploy>,
+    opts: DeployOptions,
+) -> Result<MultiDeployment, MultiDeployError> {
+    let DeployOptions {
+        link_spec,
+        link_overrides,
+        backend,
+        registry,
+        scope,
+        model,
+    } = opts;
+    if tenants.is_empty() {
+        return Err(MultiDeployError::NoTenants);
+    }
+    if backend == SwitchBackend::Pisa {
+        return Err(MultiDeployError::UnsupportedBackend);
+    }
+    let overlay = tenants[0].program.overlay.clone();
+    for t in &tenants[1..] {
+        if t.program.overlay != overlay {
+            return Err(MultiDeployError::OverlayMismatch {
+                tenant: t.spec.name.clone(),
+            });
+        }
+    }
+    // Kernel-id ranges route windows on shared switches: disjoint or bust.
+    let mut id_owner: BTreeMap<u16, &str> = BTreeMap::new();
+    for t in &tenants {
+        let ids: BTreeSet<u16> = t.program.kernel_ids.values().copied().collect();
+        for id in ids {
+            if let Some(prev) = id_owner.insert(id, t.spec.name.as_str()) {
+                if prev != t.spec.name {
+                    return Err(MultiDeployError::KernelIdOverlap {
+                        a: prev.to_string(),
+                        b: t.spec.name.clone(),
+                        kernel: id,
+                    });
+                }
+            }
+        }
+    }
+    // Host claims: at most one tenant per host label.
+    let mut host_owner: BTreeMap<&str, &str> = BTreeMap::new();
+    for t in &tenants {
+        for label in t.apps.keys() {
+            let known = overlay
+                .nodes
+                .iter()
+                .any(|n| n.kind == AndKind::Host && n.label.as_str() == label.as_str());
+            if !known {
+                return Err(MultiDeployError::UnknownHost {
+                    tenant: t.spec.name.clone(),
+                    label: label.clone(),
+                });
+            }
+            if let Some(prev) = host_owner.insert(label.as_str(), t.spec.name.as_str()) {
+                if prev != t.spec.name {
+                    return Err(MultiDeployError::HostClaimed {
+                        label: label.clone(),
+                        a: prev.to_string(),
+                        b: t.spec.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let hosts_loaded = registry.counter("deploy.hosts_loaded");
+    let switches_loaded = registry.counter("deploy.switches_loaded");
+    let admitted_ctr = registry.counter("deploy.tenants_admitted");
+    let rejected_ctr = registry.counter("deploy.tenants_rejected");
+
+    // Lint gate, per tenant, per switch module — with kernel + version
+    // identity in the denial (the would-be first deployment is v1).
+    for t in &tenants {
+        lint_gate(&t.program, 1, &registry, &scope).map_err(|source| MultiDeployError::Lint {
+            tenant: t.spec.name.clone(),
+            source,
+        })?;
+    }
+
+    // Admission: bin-pack each tenant, in submission order, against the
+    // chip model, its quota, and what earlier tenants already hold.
+    // Rejection is not an error — the tenant just stays off the fabric.
+    let mut controller = AdmissionController::new(model);
+    let mut rejections = Vec::new();
+    let mut admitted_names: Vec<String> = Vec::new();
+    for t in &tenants {
+        match controller.admit(&t.spec, &switch_estimates(&t.program)) {
+            Ok(_) => {
+                admitted_ctr.inc();
+                admitted_names.push(t.spec.name.clone());
+            }
+            Err(AdmissionError::Rejected(report)) => {
+                rejected_ctr.inc();
+                rejections.push(report);
+            }
+            Err(source) => {
+                return Err(MultiDeployError::Admission {
+                    tenant: t.spec.name.clone(),
+                    source,
+                })
+            }
+        }
+    }
+    // Every tenant shares the overlay, so `_pass(label)` targets agree;
+    // capture them before the submissions are consumed.
+    let labels_template: HashMap<u16, NodeId> = tenants[0]
+        .program
+        .label_ids
+        .iter()
+        .map(|(_, &w)| (w, NodeId::from_wire(w)))
+        .collect();
+    let mut admitted: Vec<TenantDeploy> = tenants
+        .into_iter()
+        .filter(|t| admitted_names.contains(&t.spec.name))
+        .collect();
+
+    // Build the shared fabric once; muxes hold the admitted tenants.
+    let mut b = NetworkBuilder::new();
+    b.with_metrics(registry.clone());
+    if let Some(scope) = &scope {
+        b.with_scope(scope);
+    }
+    let mut nodes: HashMap<Label, NodeId> = HashMap::new();
+    let mut book: Vec<AdmittedTenant> = admitted
+        .iter()
+        .map(|t| AdmittedTenant {
+            name: t.spec.name.clone(),
+            kernel_ids: t.program.kernel_ids.values().copied().collect(),
+            hosts: Vec::new(),
+            switches: Vec::new(),
+        })
+        .collect();
+    let mut versions = BTreeMap::new();
+    let mut tenant_of_label: HashMap<String, usize> = HashMap::new();
+    for (i, t) in admitted.iter().enumerate() {
+        for label in t.apps.keys() {
+            tenant_of_label.insert(label.clone(), i);
+        }
+    }
+    // Apps move out of the submissions as hosts are built.
+    let mut taken: Vec<HashMap<String, Box<dyn HostApp>>> = admitted
+        .iter_mut()
+        .map(|t| std::mem::take(&mut t.apps))
+        .collect();
+
+    for n in &overlay.nodes {
+        match n.kind {
+            AndKind::Host => {
+                let app: Box<dyn HostApp> = match tenant_of_label.get(n.label.as_str()) {
+                    Some(&ti) => taken[ti]
+                        .remove(n.label.as_str())
+                        .expect("claim map built from these keys"),
+                    None => Box::new(IdleApp),
+                };
+                let id = b.add_host(app);
+                hosts_loaded.inc();
+                debug_assert_eq!(id, HostId(n.id), "AND/netsim host id agreement");
+                nodes.insert(n.label.clone(), NodeId::Host(id));
+                if let Some(&ti) = tenant_of_label.get(n.label.as_str()) {
+                    book[ti].hosts.push((n.label.to_string(), id));
+                }
+            }
+            AndKind::Switch => {
+                let wire = NodeId::Switch(SwitchId(n.id)).to_wire();
+                let mut mux = TenantMux::new();
+                let mut tel_kernels = HashMap::new();
+                for (ti, t) in admitted.iter().enumerate() {
+                    let Some(dp) = backend_datapath(backend, &t.program, n.label.as_str()) else {
+                        continue;
+                    };
+                    let version = 1u16;
+                    let ids: BTreeSet<u16> = t.program.kernel_ids.values().copied().collect();
+                    mux.add_tenant(&t.spec.name, ids, dp, version);
+                    book[ti].switches.push(n.label.to_string());
+                    for (kid, kt) in kernel_telemetry(&t.program, n.label.as_str(), version) {
+                        versions.insert((wire, kid), version);
+                        tel_kernels.insert(kid, kt);
+                    }
+                }
+                let occupied = !mux.tenants().is_empty();
+                let fastpath: Option<Box<dyn FastDatapath>> =
+                    occupied.then(|| Box::new(mux) as Box<dyn FastDatapath>);
+                let telemetry = occupied.then_some(SwitchTelemetry {
+                    switch_id: wire,
+                    kernels: tel_kernels,
+                });
+                let labels = labels_template.clone();
+                let bcast: Vec<NodeId> = overlay
+                    .neighbours(n.label.as_str())
+                    .iter()
+                    .map(|peer| match peer.kind {
+                        AndKind::Host => NodeId::Host(HostId(peer.id)),
+                        AndKind::Switch => NodeId::Switch(SwitchId(peer.id)),
+                    })
+                    .collect();
+                let id = b.add_switch(SwitchCfg {
+                    pipeline: None,
+                    fastpath,
+                    labels,
+                    bcast,
+                    telemetry,
+                    ..SwitchCfg::default()
+                });
+                switches_loaded.inc();
+                debug_assert_eq!(id, SwitchId(n.id), "AND/netsim switch id agreement");
+                nodes.insert(n.label.clone(), NodeId::Switch(id));
+            }
+        }
+    }
+    for &(a, bidx) in &overlay.edges {
+        let la = overlay.nodes[a].label.as_str();
+        let lb = overlay.nodes[bidx].label.as_str();
+        let na = nodes[&overlay.nodes[a].label];
+        let nb = nodes[&overlay.nodes[bidx].label];
+        let spec = link_overrides
+            .iter()
+            .find(|(x, y, _)| (x == la && y == lb) || (x == lb && y == la))
+            .map(|(_, _, s)| *s)
+            .unwrap_or(link_spec);
+        b.link(na, nb, spec);
+    }
+    Ok(MultiDeployment {
+        net: b.build(),
+        nodes,
+        controller,
+        rejections,
+        backend,
+        tenants: book,
+        versions,
+    })
+}
+
+/// Per-switch estimates of a program, keyed for the controller.
+fn switch_estimates(program: &CompiledProgram) -> BTreeMap<String, ModuleEstimate> {
+    program
+        .estimates
+        .iter()
+        .map(|(l, e)| (l.to_string(), e.clone()))
+        .collect()
+}
+
+/// Builds one tenant's datapath for one switch label under a software
+/// tier. `None` when the label has no module in the program.
+fn backend_datapath(
+    backend: SwitchBackend,
+    program: &CompiledProgram,
+    label: &str,
+) -> Option<Box<dyn FastDatapath>> {
+    match backend {
+        SwitchBackend::FastPath => FastPathSwitch::from_program_with(program, label, false)
+            .map(|fp| Box::new(fp) as Box<dyn FastDatapath>),
+        SwitchBackend::Simd => FastPathSwitch::from_program_with(program, label, true)
+            .map(|fp| Box::new(fp) as Box<dyn FastDatapath>),
+        SwitchBackend::Interp => InterpSwitch::from_program(program, label)
+            .map(|it| Box::new(it) as Box<dyn FastDatapath>),
+        SwitchBackend::Pisa => None,
+    }
+}
+
+/// Re-runs the deploy-time lint gate over every switch module of
+/// `program`, reporting denials with kernel and version identity.
+fn lint_gate(
+    program: &CompiledProgram,
+    version: u16,
+    registry: &Registry,
+    scope: &Option<Scope>,
+) -> Result<(), DeployError> {
+    for n in &program.overlay.nodes {
+        if n.kind != AndKind::Switch {
+            continue;
+        }
+        let Some(module) = program.module(n.label.as_str()) else {
+            continue;
+        };
+        let diags = ncl_ir::lint::lint_module(module, &program.lint_config);
+        let (deny, _) = ncl_ir::lint::partition(diags);
+        if deny.is_empty() {
+            continue;
+        }
+        registry.counter("deploy.lint_denied").inc();
+        if let Some(scope) = scope {
+            let wire = NodeId::Switch(SwitchId(n.id)).to_wire();
+            scope.emit(
+                0,
+                wire,
+                WindowKey::new(0, 0, 0),
+                ScopeEvent::LintDenied { switch: wire },
+            );
+            scope.flight_record(SnapshotReason::LintDenied, 0, Some(registry), &[]);
+        }
+        let mut kernels: Vec<String> = deny.iter().map(|d| d.kernel.clone()).collect();
+        kernels.sort();
+        kernels.dedup();
+        return Err(DeployError::Lint {
+            label: n.label.to_string(),
+            kernels,
+            version,
+            diagnostics: deny,
+        });
+    }
+    Ok(())
+}
+
+impl MultiDeployment {
+    /// The node for an AND label.
+    pub fn node(&self, label: &str) -> NodeId {
+        self.nodes[&Label::new(label)]
+    }
+
+    /// The switch id for an AND label.
+    pub fn switch(&self, label: &str) -> SwitchId {
+        self.node(label).as_switch().expect("label names a switch")
+    }
+
+    /// The host id for an AND label.
+    pub fn host(&self, label: &str) -> HostId {
+        self.node(label).as_host().expect("label names a host")
+    }
+
+    /// Admitted tenant names, in submission order.
+    pub fn tenants(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// The kernel versions currently deployed, per `(switch wire id,
+    /// kernel id)` — same shape as [`crate::deployed_versions`], kept
+    /// live across upgrades (the diagnosis engine's reference for
+    /// stale-version hop records).
+    pub fn deployed_versions(&self) -> BTreeMap<(u16, u16), u16> {
+        self.versions.clone()
+    }
+
+    /// The tenant mux on a switch, for targeted control-plane writes
+    /// ([`TenantMux::ctrl_for`]) or post-run inspection. `None` when no
+    /// tenant occupies the switch.
+    pub fn mux_mut(&mut self, label: &str) -> Option<&mut TenantMux> {
+        let id = self.switch(label);
+        self.net
+            .switch_fastpath_mut(id)?
+            .as_any_mut()
+            .downcast_mut::<TenantMux>()
+    }
+
+    /// Registers every admitted tenant's [`NclHost`] counters on `reg`
+    /// under `{tenant, host}`-labeled names (e.g.
+    /// `ncpr.sender.acked{tenant="a",host="worker1"}`), feeding the
+    /// nctel Prometheus/JSON exporters per-tenant series. Hosts whose
+    /// application is not an [`NclHost`] are skipped.
+    pub fn export_tenant_metrics(&self, reg: &Registry) {
+        for t in &self.tenants {
+            for (label, hid) in &t.hosts {
+                if let Some(host) = self.net.host_app::<NclHost>(*hid) {
+                    host.export_metrics(reg, &[("tenant", &t.name), ("host", label)]);
+                }
+            }
+        }
+    }
+
+    /// Starts a hitless upgrade of `tenant` to `new_program`: admission
+    /// (dual reservation, old + new resident), lint gate, then an
+    /// atomic switchover on every occupied switch — the drain keys
+    /// (`(kernel, seq)` windows in flight on NCP-R at this instant,
+    /// from [`NclHost::in_flight_keys`]) keep routing to the old
+    /// version, everything else to the new one. Returns the ticket;
+    /// feed it acks ([`Upgrade::acked`]) and call
+    /// [`MultiDeployment::finish_upgrade`] once complete.
+    pub fn begin_upgrade(
+        &mut self,
+        tenant: &str,
+        new_program: &CompiledProgram,
+        drain: Vec<(u16, u32)>,
+    ) -> Result<Upgrade, MultiDeployError> {
+        let ti = self
+            .tenants
+            .iter()
+            .position(|t| t.name == tenant)
+            .ok_or_else(|| MultiDeployError::Admission {
+                tenant: tenant.to_string(),
+                source: AdmissionError::UnknownTenant {
+                    tenant: tenant.to_string(),
+                },
+            })?;
+        let new_ids: BTreeSet<u16> = new_program.kernel_ids.values().copied().collect();
+        if new_ids != self.tenants[ti].kernel_ids {
+            return Err(MultiDeployError::KernelIdsChanged {
+                tenant: tenant.to_string(),
+            });
+        }
+        let (mut upgrade, _plan) = self
+            .controller
+            .begin_upgrade(tenant, &switch_estimates(new_program))
+            .map_err(|source| MultiDeployError::Admission {
+                tenant: tenant.to_string(),
+                source,
+            })?;
+        let registry = self.net.metrics().clone();
+        if let Err(source) = lint_gate(new_program, upgrade.new_version, &registry, &None) {
+            self.controller
+                .abort_upgrade(tenant)
+                .expect("upgrade just began");
+            return Err(MultiDeployError::Lint {
+                tenant: tenant.to_string(),
+                source,
+            });
+        }
+        let drain_set: BTreeSet<(u16, u32)> = drain.iter().copied().collect();
+        let new_version = upgrade.new_version;
+        let switch_labels = self.tenants[ti].switches.clone();
+        for label in &switch_labels {
+            let Some(dp) = backend_datapath(self.backend, new_program, label) else {
+                continue;
+            };
+            let installed = self
+                .mux_mut(label)
+                .map(|m| m.begin_upgrade(tenant, dp, new_version, drain_set.clone()))
+                .unwrap_or(false);
+            debug_assert!(installed, "mux slot exists for every occupied switch");
+            // Static telemetry follows the *new* version; windows the
+            // old version executes during the drain are stamped by the
+            // mux's verdict version instead.
+            let wire = NodeId::Switch(self.switch(label)).to_wire();
+            let kernels = kernel_telemetry(new_program, label, new_version);
+            let sid = self.switch(label);
+            if let Some(tel) = self.net.switch_telemetry_mut(sid) {
+                for (kid, kt) in kernels {
+                    self.versions.insert((wire, kid), new_version);
+                    tel.kernels.insert(kid, kt);
+                }
+            }
+        }
+        upgrade.mark_installed();
+        upgrade.begin_drain(drain_set);
+        Ok(upgrade)
+    }
+
+    /// Retires the old version of a **fully drained** upgrade: every
+    /// mux drops the old datapath, the controller returns its
+    /// reservation to the pool. Errors (and changes nothing) while
+    /// drain windows remain.
+    pub fn finish_upgrade(&mut self, upgrade: &Upgrade) -> Result<(), MultiDeployError> {
+        self.controller
+            .finish_upgrade(upgrade)
+            .map_err(|source| MultiDeployError::Admission {
+                tenant: upgrade.tenant().to_string(),
+                source,
+            })?;
+        let tenant = upgrade.tenant().to_string();
+        let labels: Vec<String> = self
+            .tenants
+            .iter()
+            .find(|t| t.name == tenant)
+            .map(|t| t.switches.clone())
+            .unwrap_or_default();
+        for label in labels {
+            if let Some(m) = self.mux_mut(&label) {
+                m.finish_upgrade(&tenant);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::allreduce_source;
+    use crate::nclc::{compile, CompileConfig};
+    use crate::runtime::{OutInvocation, TypedArray};
+    use c3::{ScalarType, Value};
+    use netsim::CtrlOp;
+
+    /// Six workers, one shared switch: tenant A runs on worker1-3,
+    /// tenant B on worker4-6.
+    const AND6: &str = "hosts worker 6\nswitch s1\nlink worker* s1\n";
+
+    fn tenant_program(base: u16) -> CompiledProgram {
+        let src = allreduce_source(16, 4);
+        let mut cfg = CompileConfig::default();
+        cfg.masks.insert("allreduce".into(), vec![4]);
+        cfg.masks.insert("result".into(), vec![4]);
+        cfg.kernel_id_base = base;
+        compile(&src, AND6, &cfg).expect("compiles")
+    }
+
+    /// Hosts `lo..=hi` running the allreduce workload of one tenant,
+    /// each contributing `[w, w, ...]`, with NCP-R reliability on.
+    fn tenant_apps(
+        program: &CompiledProgram,
+        lo: u16,
+        hi: u16,
+    ) -> HashMap<String, Box<dyn HostApp>> {
+        let kid = program.kernel_ids["allreduce"];
+        let n = hi - lo + 1;
+        let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+        for w in lo..=hi {
+            let mut host = NclHost::new(program);
+            host.enable_reliability(Default::default());
+            let data: Vec<i32> = vec![w as i32; 16];
+            host.out(OutInvocation {
+                kernel: "allreduce".into(),
+                arrays: vec![TypedArray::from_i32(&data)],
+                dest: NodeId::Host(HostId((w - lo + 1) % n + lo)),
+                start: 0,
+                gap: 0,
+            })
+            .unwrap();
+            host.bind_incoming(
+                program,
+                "allreduce",
+                "result",
+                &[(ScalarType::I32, 16), (ScalarType::Bool, 1)],
+            )
+            .unwrap();
+            host.done_on_flag(kid, 1);
+            apps.insert(format!("worker{w}"), Box::new(host));
+        }
+        apps
+    }
+
+    fn two_tenants() -> Vec<TenantDeploy> {
+        let pa = tenant_program(0);
+        let pb = tenant_program(100);
+        let apps_a = tenant_apps(&pa, 1, 3);
+        let apps_b = tenant_apps(&pb, 4, 6);
+        vec![
+            TenantDeploy {
+                spec: TenantSpec::new("tenant-a"),
+                program: pa,
+                apps: apps_a,
+            },
+            TenantDeploy {
+                spec: TenantSpec::new("tenant-b"),
+                program: pb,
+                apps: apps_b,
+            },
+        ]
+    }
+
+    fn set_nworkers(dep: &mut MultiDeployment, tenant: &str, n: u32) {
+        let op = CtrlOp::RegWrite {
+            name: "nworkers".into(),
+            index: 0,
+            value: Value::u32(n),
+        };
+        let mux = dep.mux_mut("s1").expect("s1 is multiplexed");
+        assert!(mux.ctrl_for(tenant, &op));
+    }
+
+    fn assert_tenant_sums(dep: &netsim::Network, program_kid: u16, lo: u16, hi: u16, sum: i32) {
+        for w in lo..=hi {
+            let host = dep.host_app::<NclHost>(HostId(w)).expect("worker app");
+            assert!(host.done_at.is_some(), "worker {w} never completed");
+            let mem = host.memory(program_kid).unwrap();
+            for i in 0..16 {
+                assert_eq!(mem.arrays[0][i], Value::i32(sum), "worker {w} elem {i}");
+            }
+        }
+    }
+
+    /// Two tenants, one switch: both allreduces complete with their own
+    /// sums, the mux keeps their state separate, and the per-tenant
+    /// metric export labels every series.
+    #[test]
+    fn two_tenants_share_one_switch() {
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let mut dep = deploy_tenants(two_tenants(), opts).expect("deploys");
+        assert_eq!(dep.tenants(), vec!["tenant-a", "tenant-b"]);
+        assert!(dep.rejections.is_empty());
+        set_nworkers(&mut dep, "tenant-a", 3);
+        set_nworkers(&mut dep, "tenant-b", 3);
+        dep.net.run();
+        // Tenant A sums 1+2+3 = 6; tenant B sums 4+5+6 = 15.
+        assert_tenant_sums(&dep.net, 1, 1, 3, 6);
+        assert_tenant_sums(&dep.net, 101, 4, 6, 15);
+        let s1 = dep.switch("s1");
+        let stats = dep.net.switch_stats(s1).unwrap();
+        assert_eq!(stats.ncp_processed, 24, "12 windows per tenant");
+        assert_eq!(stats.unknown_kernel, 0);
+        // Per-tenant labeled export: both tenants' series, disjoint.
+        let reg = Registry::new();
+        dep.export_tenant_metrics(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("tenant=\"tenant-a\""), "{text}");
+        assert!(text.contains("tenant=\"tenant-b\""), "{text}");
+        assert!(
+            reg.counter_value("ncpr.sender.acked{tenant=\"tenant-a\",host=\"worker1\"}")
+                .unwrap()
+                > 0
+        );
+        // Admission accounting survives the run.
+        assert_eq!(dep.controller.tenant_version("tenant-a"), Some(1));
+        let usage = dep.controller.usage("s1");
+        assert!(usage.stages > 0 && usage.sram_bytes > 0);
+    }
+
+    /// An over-quota tenant is rejected pre-deploy with a cost report
+    /// naming the violated budget; the others run unaffected.
+    #[test]
+    fn over_budget_tenant_rejected_with_cost_report() {
+        let mut tenants = two_tenants();
+        // Tenant B's quota cannot fit even one stage.
+        tenants[1].spec = ncsched::TenantSpec::with_quota(
+            "tenant-b",
+            ncsched::TenantQuota::new(0, usize::MAX, usize::MAX),
+        );
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let mut dep = deploy_tenants(tenants, opts).expect("deploys");
+        assert_eq!(dep.tenants(), vec!["tenant-a"]);
+        assert_eq!(dep.rejections.len(), 1);
+        let report = &dep.rejections[0];
+        assert_eq!(report.tenant, "tenant-b");
+        assert_eq!(report.budget, ncsched::BudgetKind::TenantQuota);
+        assert_eq!(report.limit, 0);
+        let json = report.render_json();
+        assert!(json.contains("\"budget\":\"tenant_quota\""), "{json}");
+        assert!(json.contains("\"resource\":\"stages\""), "{json}");
+        // Tenant A still completes; tenant B's hosts idle.
+        set_nworkers(&mut dep, "tenant-a", 3);
+        dep.net.run();
+        assert_tenant_sums(&dep.net, 1, 1, 3, 6);
+        assert!(dep.net.host_app::<NclHost>(HostId(4)).is_none());
+    }
+
+    /// A live upgrade mid-run: the drain-set snapshot keeps in-flight
+    /// windows on v1, fresh windows run v2, nothing is lost, and the
+    /// version map flips once the drain completes.
+    #[test]
+    fn hitless_upgrade_drains_and_reclaims() {
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let mut dep = deploy_tenants(two_tenants(), opts).expect("deploys");
+        set_nworkers(&mut dep, "tenant-a", 3);
+        set_nworkers(&mut dep, "tenant-b", 3);
+        // Run just long enough for windows to be in flight.
+        dep.net.run_until(2_000);
+        let drain = dep
+            .net
+            .host_app::<NclHost>(HostId(1))
+            .expect("worker1")
+            .in_flight_keys();
+        let mut upgrade = dep
+            .begin_upgrade("tenant-a", &tenant_program(0), drain.clone())
+            .expect("upgrade admits");
+        assert_eq!(upgrade.old_version, 1);
+        assert_eq!(upgrade.new_version, 2);
+        // The switchover flipped the static version map already.
+        assert_eq!(
+            dep.deployed_versions()[&(dep.switch("s1").0 | 0x8000, 1)],
+            2
+        );
+        dep.net.run();
+        assert_tenant_sums(&dep.net, 1, 1, 3, 6);
+        assert_tenant_sums(&dep.net, 101, 4, 6, 15);
+        let stats = dep.net.switch_stats(dep.switch("s1")).unwrap();
+        assert_eq!(stats.unknown_kernel, 0);
+        // Every drain window was retired by the run (NCP-R acked them);
+        // feed the acks to the ticket and reclaim.
+        assert!(dep
+            .net
+            .host_app::<NclHost>(HostId(1))
+            .unwrap()
+            .in_flight_keys()
+            .is_empty());
+        for (k, s) in drain {
+            upgrade.acked(k, s);
+        }
+        assert!(upgrade.is_complete());
+        dep.finish_upgrade(&upgrade).expect("reclaims");
+        assert!(!dep.mux_mut("s1").unwrap().is_draining("tenant-a"));
+        assert_eq!(dep.controller.tenant_version("tenant-a"), Some(2));
+    }
+
+    /// Structural misuse is a hard error, not a rejection.
+    #[test]
+    fn structural_errors_are_hard() {
+        let opts = || DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        assert!(matches!(
+            deploy_tenants(Vec::new(), opts()),
+            Err(MultiDeployError::NoTenants)
+        ));
+        // PISA cannot multiplex.
+        assert!(matches!(
+            deploy_tenants(
+                two_tenants(),
+                DeployOptions {
+                    backend: SwitchBackend::Pisa,
+                    ..DeployOptions::default()
+                }
+            ),
+            Err(MultiDeployError::UnsupportedBackend)
+        ));
+        // Overlapping kernel-id ranges.
+        let pa = tenant_program(0);
+        let pb = tenant_program(0);
+        let apps_a = tenant_apps(&pa, 1, 3);
+        let apps_b = tenant_apps(&pb, 4, 6);
+        let clash = vec![
+            TenantDeploy {
+                spec: TenantSpec::new("a"),
+                program: pa,
+                apps: apps_a,
+            },
+            TenantDeploy {
+                spec: TenantSpec::new("b"),
+                program: pb,
+                apps: apps_b,
+            },
+        ];
+        assert!(matches!(
+            deploy_tenants(clash, opts()),
+            Err(MultiDeployError::KernelIdOverlap { kernel: 1, .. })
+        ));
+        // Two tenants claiming one host.
+        let pa = tenant_program(0);
+        let pb = tenant_program(100);
+        let apps_a = tenant_apps(&pa, 1, 3);
+        let apps_b = tenant_apps(&pb, 3, 5);
+        let clash = vec![
+            TenantDeploy {
+                spec: TenantSpec::new("a"),
+                program: pa,
+                apps: apps_a,
+            },
+            TenantDeploy {
+                spec: TenantSpec::new("b"),
+                program: pb,
+                apps: apps_b,
+            },
+        ];
+        assert!(matches!(
+            deploy_tenants(clash, opts()),
+            Err(MultiDeployError::HostClaimed { .. })
+        ));
+    }
+
+    /// An upgrade that changes the kernel-id set is refused before it
+    /// touches the controller or any switch.
+    #[test]
+    fn upgrade_with_new_kernel_ids_is_refused() {
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let mut dep = deploy_tenants(two_tenants(), opts).expect("deploys");
+        let moved = tenant_program(50);
+        assert!(matches!(
+            dep.begin_upgrade("tenant-a", &moved, Vec::new()),
+            Err(MultiDeployError::KernelIdsChanged { .. })
+        ));
+        assert_eq!(dep.controller.tenant_version("tenant-a"), Some(1));
+    }
+}

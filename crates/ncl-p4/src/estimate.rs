@@ -431,6 +431,172 @@ _net_ _out_ void agg(unsigned *data) {
         assert!(!vs.is_empty());
     }
 
+    /// Three kernels, disjoint state, one pipeline.
+    const MULTI: &str = r#"
+_net_ unsigned acc_a[16] = {0};
+_net_ unsigned acc_b[8] = {0};
+_net_ unsigned hits[4] = {0};
+
+_net_ _out_ void ka(unsigned *data) {
+    for (unsigned i = 0; i < window.len; ++i) {
+        acc_a[i] += data[i];
+        data[i] = acc_a[i];
+    }
+    _reflect();
+}
+
+_net_ _out_ void kb(unsigned *data) {
+    for (unsigned i = 0; i < window.len; ++i)
+        acc_b[i] += data[i];
+    _drop();
+}
+
+_net_ _out_ void kc(unsigned *data) {
+    hits[0] += data[0];
+    _pass();
+}
+"#;
+    const MULTI_MASKS: &[(&str, &[u16])] = &[("ka", &[4]), ("kb", &[4]), ("kc", &[1])];
+
+    fn multi_masks() -> Vec<(&'static str, Vec<u16>)> {
+        MULTI_MASKS.iter().map(|(k, m)| (*k, m.to_vec())).collect()
+    }
+
+    /// Module totals are exactly the sum of the per-kernel estimates:
+    /// PHV totals decompose into the fixed NCP base plus each kernel's
+    /// contribution, the per-stage SRAM vector sums to the per-kernel
+    /// attributions, and the pipeline depth is one dispatch stage plus
+    /// the widest kernel (kernels merge side by side, they do not
+    /// stack).
+    #[test]
+    fn multi_kernel_totals_equal_sum_of_per_kernel_estimates() {
+        let module = build(MULTI, &multi_masks());
+        let model = ResourceModel::default();
+        let est = estimate_module(&module, &model).expect("estimate");
+        assert_eq!(est.kernels.len(), 3);
+
+        let ncp_base: usize = NCP_FIELDS.iter().map(|(_, ty)| ty.size()).sum();
+        let hdr_sum: usize = est.kernels.iter().map(|k| k.phv_header_bytes).sum();
+        assert_eq!(est.phv_header_bytes, ncp_base + hdr_sum);
+
+        // Metadata base: fwd_code (1B) + fwd_label (2B) intrinsics.
+        let meta_sum: usize = est.kernels.iter().map(|k| k.phv_metadata_bytes).sum();
+        assert_eq!(est.phv_metadata_bytes, 3 + meta_sum);
+
+        // No ctrl variables in MULTI, so every SRAM byte in the
+        // per-stage vector is attributed to exactly one kernel.
+        let sram_total: usize = est.sram_by_stage.iter().sum();
+        let sram_sum: usize = est.kernels.iter().map(|k| k.sram_bytes).sum();
+        assert_eq!(sram_total, sram_sum);
+
+        let widest = est.kernels.iter().map(|k| k.stages).max().unwrap();
+        assert_eq!(est.pipeline_stages, widest + 1);
+        assert!(est.accepted());
+    }
+
+    /// Sharing one pipeline does not distort the estimates: each
+    /// kernel estimated alone (its own module) agrees with its slice of
+    /// the combined estimate within the documented envelope — stages
+    /// within ±1 and SRAM within ±10% — and the combined module still
+    /// matches the real mapping the way single-kernel modules do.
+    #[test]
+    fn multi_kernel_estimates_stay_within_envelope() {
+        let model = ResourceModel::default();
+        let combined =
+            estimate_module(&build(MULTI, &multi_masks()), &model).expect("combined estimate");
+        let compiled = crate::compile_module(
+            &build(MULTI, &multi_masks()),
+            &model,
+            &CompileOptions::default(),
+        )
+        .expect("combined compile");
+
+        // Combined estimate vs the real combined mapping.
+        assert!(
+            combined
+                .pipeline_stages
+                .abs_diff(compiled.report.stages_used)
+                <= 1,
+            "stages: estimated {} vs mapped {}",
+            combined.pipeline_stages,
+            compiled.report.stages_used
+        );
+        assert_eq!(combined.phv_header_bytes, compiled.report.phv_header_bytes);
+        assert_eq!(
+            combined.phv_metadata_bytes,
+            compiled.report.phv_metadata_bytes
+        );
+
+        // Each kernel alone vs its slice of the combined estimate.
+        let solo_srcs: &[(&str, &str)] = &[
+            (
+                "ka",
+                r#"
+_net_ unsigned acc_a[16] = {0};
+_net_ _out_ void ka(unsigned *data) {
+    for (unsigned i = 0; i < window.len; ++i) {
+        acc_a[i] += data[i];
+        data[i] = acc_a[i];
+    }
+    _reflect();
+}
+"#,
+            ),
+            (
+                "kb",
+                r#"
+_net_ unsigned acc_b[8] = {0};
+_net_ _out_ void kb(unsigned *data) {
+    for (unsigned i = 0; i < window.len; ++i)
+        acc_b[i] += data[i];
+    _drop();
+}
+"#,
+            ),
+            (
+                "kc",
+                r#"
+_net_ unsigned hits[4] = {0};
+_net_ _out_ void kc(unsigned *data) {
+    hits[0] += data[0];
+    _pass();
+}
+"#,
+            ),
+        ];
+        for (name, src) in solo_srcs {
+            let mask = MULTI_MASKS
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, m)| m.to_vec())
+                .unwrap();
+            let solo = estimate_module(&build(src, &[(name, mask)]), &model).expect("solo");
+            let solo_k = &solo.kernels[0];
+            let comb_k = combined
+                .kernels
+                .iter()
+                .find(|k| k.kernel == *name)
+                .expect("kernel in combined estimate");
+            assert!(
+                solo_k.stages.abs_diff(comb_k.stages) <= 1,
+                "{name}: solo {} stages vs combined {}",
+                solo_k.stages,
+                comb_k.stages
+            );
+            let (lo, hi) = (
+                comb_k.sram_bytes as f64 * 0.9,
+                comb_k.sram_bytes as f64 * 1.1,
+            );
+            assert!(
+                (solo_k.sram_bytes as f64) >= lo && (solo_k.sram_bytes as f64) <= hi,
+                "{name}: solo SRAM {} vs combined {}",
+                solo_k.sram_bytes,
+                comb_k.sram_bytes
+            );
+            assert_eq!(solo_k.alu_ops, comb_k.alu_ops, "{name}: op count drifts");
+        }
+    }
+
     #[test]
     fn skips_incoming_and_foreign_kernels() {
         let src = r#"

@@ -156,11 +156,20 @@ impl Sender {
     /// `{prefix}.tracked`, `{prefix}.retransmits`, `{prefix}.acked`,
     /// `{prefix}.abandoned` and `{prefix}.cwnd_cuts`.
     pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
-        reg.register_counter(&format!("{prefix}.tracked"), &self.tracked);
-        reg.register_counter(&format!("{prefix}.retransmits"), &self.retransmits);
-        reg.register_counter(&format!("{prefix}.acked"), &self.acked);
-        reg.register_counter(&format!("{prefix}.abandoned"), &self.abandoned);
-        reg.register_counter(&format!("{prefix}.cwnd_cuts"), &self.cwnd_cuts);
+        self.attach_metrics_named(reg, |n| format!("{prefix}.{n}"));
+    }
+
+    /// Like [`Sender::attach_metrics`] but with caller-controlled
+    /// naming: `name` maps each counter's short name (`tracked`,
+    /// `retransmits`, `acked`, `abandoned`, `cwnd_cuts`) to the full
+    /// registry name. Multi-tenant exports use this to place Prometheus
+    /// labels *after* the full metric name.
+    pub fn attach_metrics_named(&self, reg: &Registry, mut name: impl FnMut(&str) -> String) {
+        reg.register_counter(&name("tracked"), &self.tracked);
+        reg.register_counter(&name("retransmits"), &self.retransmits);
+        reg.register_counter(&name("acked"), &self.acked);
+        reg.register_counter(&name("abandoned"), &self.abandoned);
+        reg.register_counter(&name("cwnd_cuts"), &self.cwnd_cuts);
     }
 
     /// Snapshot of the counters (compat shim over the nctel cells).
@@ -215,6 +224,17 @@ impl Sender {
     /// Number of windows waiting for the congestion window to open.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The `(kernel, seq)` keys of every window currently in flight,
+    /// sorted. This is the drain-set snapshot a hitless upgrade takes
+    /// at switchover: windows listed here keep executing on the old
+    /// kernel version until acked, everything else routes to the new
+    /// one (ncsched's `Upgrade::begin_drain`).
+    pub fn in_flight_keys(&self) -> Vec<(u16, u32)> {
+        let mut keys: Vec<(u16, u32)> = self.flight.keys().map(|k| (k.kernel, k.seq)).collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Whether every tracked window has been retired.
@@ -419,8 +439,14 @@ impl Receiver {
     /// Registers this receiver's counters on `reg` under
     /// `{prefix}.delivered` and `{prefix}.duplicates`.
     pub fn attach_metrics(&self, reg: &Registry, prefix: &str) {
-        reg.register_counter(&format!("{prefix}.delivered"), &self.delivered);
-        reg.register_counter(&format!("{prefix}.duplicates"), &self.duplicates);
+        self.attach_metrics_named(reg, |n| format!("{prefix}.{n}"));
+    }
+
+    /// Like [`Receiver::attach_metrics`] but with caller-controlled
+    /// naming (see [`Sender::attach_metrics_named`]).
+    pub fn attach_metrics_named(&self, reg: &Registry, mut name: impl FnMut(&str) -> String) {
+        reg.register_counter(&name("delivered"), &self.delivered);
+        reg.register_counter(&name("duplicates"), &self.duplicates);
     }
 
     /// Snapshot of the counters (compat shim over the nctel cells).

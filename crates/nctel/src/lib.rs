@@ -41,7 +41,7 @@ pub mod trace;
 
 pub use clock::MonotonicClock;
 pub use hop::{HopRecord, HOP_DUP_SUPPRESSED, HOP_FORWARDED_ONLY, HOP_RECORD_LEN};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{labeled, Counter, Gauge, Histogram, Registry};
 pub use scope::{Scope, ScopeEvent, SnapshotReason, WindowKey};
 pub use spans::Timeline;
 pub use trace::{TraceRing, WindowTrace};

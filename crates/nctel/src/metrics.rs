@@ -190,7 +190,12 @@ enum Metric {
 /// converge on one registry.
 ///
 /// Names are dotted paths (`ncpr.sender.retransmits`); the Prometheus
-/// exporter rewrites dots to underscores.
+/// exporter rewrites dots to underscores. A name may carry a trailing
+/// label block in canonical Prometheus form — build it with [`labeled`]
+/// (`host.windows_sent{tenant="a"}`): the exporter then groups every
+/// labelled variant of one base name under a single family declaration,
+/// which is how multi-tenant deployments break out goodput and
+/// retransmits per tenant on one shared registry.
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
@@ -316,40 +321,80 @@ impl Registry {
     /// sanitized family, later ones get a deterministic `_2`, `_3`, …
     /// suffix so the output never declares a family twice. Histograms
     /// expose `_count`, `_sum` and quantile samples as a `summary`.
+    ///
+    /// Names carrying a [`labeled`] block share one family per `(base
+    /// name, type)` pair: every `sim.delivered{tenant="…"}` sample lands
+    /// under a single `# TYPE sim_delivered counter` declaration, so the
+    /// strict parser (and a real Prometheus scrape) accepts the
+    /// per-tenant breakdown.
     pub fn render_prometheus(&self) -> String {
+        struct Family {
+            pname: String,
+            kind: &'static str,
+            samples: String,
+        }
         let m = self.metrics.lock().unwrap();
-        let mut out = String::new();
-        let mut emitted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut families: Vec<Family> = Vec::new();
+        // (base registry name, type) → family index: labelled variants
+        // of one base join the family their base + type claimed.
+        let mut by_key: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+        let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for (name, metric) in m.iter() {
-            let mut pname = sanitize_prometheus_name(name);
-            if emitted.contains(&pname) {
-                let mut i = 2u32;
-                while emitted.contains(&format!("{pname}_{i}")) {
-                    i += 1;
+            let (base, labels) = split_labels(name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            let idx = *by_key.entry((base.to_string(), kind)).or_insert_with(|| {
+                let mut pname = sanitize_prometheus_name(base);
+                if used.contains(&pname) {
+                    let mut i = 2u32;
+                    while used.contains(&format!("{pname}_{i}")) {
+                        i += 1;
+                    }
+                    pname = format!("{pname}_{i}");
                 }
-                pname = format!("{pname}_{i}");
-            }
-            emitted.insert(pname.clone());
+                used.insert(pname.clone());
+                families.push(Family {
+                    pname,
+                    kind,
+                    samples: String::new(),
+                });
+                families.len() - 1
+            });
+            let f = &mut families[idx];
+            let pname = f.pname.clone();
             match metric {
                 Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+                    f.samples
+                        .push_str(&format!("{pname}{labels} {}\n", c.get()));
                 }
                 Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                    f.samples
+                        .push_str(&format!("{pname}{labels} {}\n", g.get()));
                 }
                 Metric::Histogram(h) => {
                     let s = h.snapshot();
-                    out.push_str(&format!(
-                        "# TYPE {pname} summary\n\
-                         {pname}{{quantile=\"0.5\"}} {}\n\
-                         {pname}{{quantile=\"0.99\"}} {}\n\
-                         {pname}{{quantile=\"0.999\"}} {}\n\
-                         {pname}_sum {}\n\
-                         {pname}_count {}\n",
+                    // Quantile samples merge the user labels with the
+                    // quantile label; _sum/_count keep the user labels.
+                    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                    let sep = if inner.is_empty() { "" } else { "," };
+                    f.samples.push_str(&format!(
+                        "{pname}{{{inner}{sep}quantile=\"0.5\"}} {}\n\
+                         {pname}{{{inner}{sep}quantile=\"0.99\"}} {}\n\
+                         {pname}{{{inner}{sep}quantile=\"0.999\"}} {}\n\
+                         {pname}_sum{labels} {}\n\
+                         {pname}_count{labels} {}\n",
                         s.p50, s.p99, s.p999, s.sum, s.count
                     ));
                 }
             }
+        }
+        let mut out = String::new();
+        for f in &families {
+            out.push_str(&format!("# TYPE {} {}\n", f.pname, f.kind));
+            out.push_str(&f.samples);
         }
         out
     }
@@ -382,6 +427,57 @@ impl Registry {
         out.push('}');
         out
     }
+}
+
+/// Builds the canonical labelled registry name `base{k="v",…}`: the
+/// form [`Registry::render_prometheus`] groups into one family per base
+/// name. Label values are escaped per the exposition format (`\\`,
+/// `\"`, `\n`); an empty label set returns the base unchanged.
+///
+/// ```
+/// use nctel::metrics::labeled;
+/// assert_eq!(
+///     labeled("host.windows_sent", &[("tenant", "a"), ("host", "w1")]),
+///     "host.windows_sent{tenant=\"a\",host=\"w1\"}"
+/// );
+/// ```
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + labels.len() * 16);
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry name into its base and label block: the inverse of
+/// [`labeled`]'s concatenation. Names without a well-formed trailing
+/// `{…}` block are all base (the braces then sanitize to underscores).
+fn split_labels(name: &str) -> (&str, &str) {
+    if let Some(open) = name.find('{') {
+        if open > 0 && name.ends_with('}') {
+            return (&name[..open], &name[open..]);
+        }
+    }
+    (name, "")
 }
 
 /// Rewrites a registry name into a legal Prometheus metric name
@@ -751,6 +847,53 @@ mod tests {
         assert_eq!(families[0].samples[0].value, 3.0);
         assert_eq!(families[1].samples[0].value, 1.0);
         assert_eq!(families[2].samples[0].value, 2.0);
+    }
+
+    #[test]
+    fn labeled_samples_share_one_family() {
+        let r = Registry::new();
+        r.counter(&labeled("sim.delivered", &[("tenant", "a")]))
+            .add(3);
+        r.counter(&labeled("sim.delivered", &[("tenant", "b")]))
+            .add(5);
+        r.counter("sim.delivered").add(8); // unlabelled total
+        r.histogram(&labeled("e2e.lat", &[("tenant", "a")]))
+            .observe(100);
+        let text = r.render_prometheus();
+        let families = parse_prometheus(&text).expect("strict parse:\n{text}");
+        let sim = families.iter().find(|f| f.name == "sim_delivered").unwrap();
+        assert_eq!(sim.kind, "counter");
+        assert_eq!(sim.samples.len(), 3);
+        let by_tenant: Vec<(Vec<(String, String)>, f64)> = sim
+            .samples
+            .iter()
+            .map(|s| (s.labels.clone(), s.value))
+            .collect();
+        assert!(by_tenant.contains(&(vec![], 8.0)));
+        assert!(by_tenant.contains(&(vec![("tenant".into(), "a".into())], 3.0)));
+        assert!(by_tenant.contains(&(vec![("tenant".into(), "b".into())], 5.0)));
+        // Labelled histograms merge user labels with quantile labels.
+        let lat = families.iter().find(|f| f.name == "e2e_lat").unwrap();
+        let q = lat
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, _)| k == "quantile"))
+            .unwrap();
+        assert!(q.labels.contains(&("tenant".into(), "a".into())));
+        assert!(lat
+            .samples
+            .iter()
+            .any(|s| s.name == "e2e_lat_count" && s.labels == vec![("tenant".into(), "a".into())]));
+    }
+
+    #[test]
+    fn labeled_escapes_values() {
+        assert_eq!(labeled("x", &[]), "x");
+        let name = labeled("x.y", &[("t", "a\"b\\c\nd")]);
+        let r = Registry::new();
+        r.counter(&name).inc();
+        let families = parse_prometheus(&r.render_prometheus()).expect("parses");
+        assert_eq!(families[0].samples[0].labels[0].1, "a\"b\\c\nd");
     }
 
     #[test]

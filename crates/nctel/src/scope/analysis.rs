@@ -124,6 +124,11 @@ pub struct Diagnosis {
     pub link_drops: BTreeMap<(u16, u16), u64>,
     /// Duplicate-suppression heatmap per node wire id.
     pub dup_by_node: BTreeMap<u16, u64>,
+    /// Unknown-kernel windows per switch wire id: well-formed NCP
+    /// windows a switch had no deployed kernel for (forwarded, not
+    /// executed) — the signature of a missing tenant deploy or a window
+    /// racing an upgrade.
+    pub unknown_kernel: BTreeMap<u16, u64>,
     /// Residence-time attribution per switch wire id.
     pub switch_latency: BTreeMap<u16, LatencyStat>,
     /// Events consumed.
@@ -191,6 +196,12 @@ impl Diagnosis {
             out.push_str("duplicate suppression by node:\n");
             for (&node, &n) in &self.dup_by_node {
                 let _ = writeln!(out, "  {}  dups {}", wire(node), n);
+            }
+        }
+        if !self.unknown_kernel.is_empty() {
+            out.push_str("unknown-kernel windows by switch (forwarded, not executed):\n");
+            for (&sw, &n) in &self.unknown_kernel {
+                let _ = writeln!(out, "  {}  windows {}", wire(sw), n);
             }
         }
         if !self.switch_latency.is_empty() {
@@ -310,6 +321,9 @@ pub fn diagnose(
             ScopeEvent::WindowCompleted => keyed.completed = true,
             ScopeEvent::WindowAcked => keyed.acked = true,
             ScopeEvent::WindowAbandoned { .. } => keyed.abandoned = true,
+            ScopeEvent::UnknownKernel { switch } => {
+                *diag.unknown_kernel.entry(switch).or_insert(0) += 1;
+            }
             _ => {}
         }
     }
@@ -653,6 +667,27 @@ mod tests {
         cfg.deployed_versions.insert((S1, 7), 1);
         let d = diagnose(&events, &traces, &cfg);
         assert!(!d.verdicts[0].stale_version);
+    }
+
+    #[test]
+    fn unknown_kernel_windows_surface_in_the_report() {
+        let key = WindowKey::new(1, 99, 0);
+        let events = vec![
+            ev(1, key, ScopeEvent::WindowSent { attempt: 0 }, 0),
+            ev(S1, key, ScopeEvent::UnknownKernel { switch: S1 }, 2),
+            ev(S1, key, ScopeEvent::UnknownKernel { switch: S1 }, 9),
+            ev(2, key, ScopeEvent::WindowCompleted, 12),
+        ];
+        let d = diagnose(&events, &[], &DiagnosisConfig::default());
+        assert_eq!(d.unknown_kernel[&S1], 2);
+        let report = d.render_report();
+        assert!(
+            report.contains("unknown-kernel windows by switch"),
+            "{report}"
+        );
+        assert!(report.contains("s0  windows 2"), "{report}");
+        // The window itself still delivered (it was forwarded).
+        assert_eq!(d.verdicts[0].outcome, WindowOutcome::Delivered);
     }
 
     #[test]

@@ -108,6 +108,15 @@ pub enum ScopeEvent {
         /// Wire id of the denied switch.
         switch: u16,
     },
+    /// A switch received a well-formed NCP window addressing a kernel id
+    /// it has no deployed kernel for — the failure mode a botched
+    /// multi-tenant deploy or a racing upgrade exposes. The window is
+    /// plainly forwarded (hitless), not silently dropped; this event and
+    /// the `sim.unknown_kernel` counter make the mismatch visible.
+    UnknownKernel {
+        /// Wire id of the switch that lacked the kernel.
+        switch: u16,
+    },
 }
 
 impl ScopeEvent {
@@ -145,6 +154,7 @@ impl ScopeEvent {
             ScopeEvent::MalformedFrame => (12, 0, 0),
             ScopeEvent::ReassemblyEvicted { evictions } => (13, evictions, 0),
             ScopeEvent::LintDenied { switch } => (14, switch as u64, 0),
+            ScopeEvent::UnknownKernel { switch } => (15, switch as u64, 0),
         }
     }
 
@@ -175,6 +185,7 @@ impl ScopeEvent {
             12 => ScopeEvent::MalformedFrame,
             13 => ScopeEvent::ReassemblyEvicted { evictions: a },
             14 => ScopeEvent::LintDenied { switch: a as u16 },
+            15 => ScopeEvent::UnknownKernel { switch: a as u16 },
             _ => return None,
         })
     }
@@ -197,6 +208,7 @@ impl ScopeEvent {
             12 => "malformed_frame",
             13 => "reassembly_evicted",
             14 => "lint_denied",
+            15 => "unknown_kernel",
             _ => "unknown",
         }
     }
@@ -218,6 +230,7 @@ impl ScopeEvent {
             "malformed_frame" => 12,
             "reassembly_evicted" => 13,
             "lint_denied" => 14,
+            "unknown_kernel" => 15,
             _ => 0,
         }
     }
@@ -433,6 +446,7 @@ mod tests {
             ScopeEvent::MalformedFrame,
             ScopeEvent::ReassemblyEvicted { evictions: 9 },
             ScopeEvent::LintDenied { switch: 0x8000 },
+            ScopeEvent::UnknownKernel { switch: 0x8002 },
         ];
         for ev in all {
             let (k, a, b) = ev.pack();

@@ -110,6 +110,11 @@ pub struct FastVerdict {
     pub fwd_code: u8,
     /// `_pass(label)` target id (meaningful when `fwd_code == 4`).
     pub fwd_label: u16,
+    /// Version of the kernel that executed this window, when the
+    /// datapath knows it (multi-tenant muxes running two versions of a
+    /// kernel side by side during a hitless upgrade). `0` means "use
+    /// the switch's static deploy-time telemetry".
+    pub version: u16,
 }
 
 /// An alternative switch datapath that executes windows directly —
@@ -214,4 +219,9 @@ pub struct SwitchStats {
     pub recirculations: u64,
     /// NCP-R ACK/NACK control frames forwarded without execution.
     pub acks_forwarded: u64,
+    /// Well-formed NCP windows naming a kernel id this switch has no
+    /// deployed kernel for (the failure mode upgrades expose). They are
+    /// forwarded, not dropped, and counted here plus in the network's
+    /// `sim.unknown_kernel` counter.
+    pub unknown_kernel: u64,
 }

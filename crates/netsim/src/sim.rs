@@ -188,6 +188,10 @@ pub struct SimStats {
     pub events: u64,
     /// Total bytes offered to links.
     pub bytes_sent: u64,
+    /// NCP windows that reached a computing switch naming a kernel id
+    /// it has no deployed kernel for (forwarded unharmed, never
+    /// silently dropped — see `SwitchStats::unknown_kernel`).
+    pub unknown_kernel: u64,
 }
 
 /// The registry-backed cells behind [`SimStats`].
@@ -198,6 +202,7 @@ struct SimCounters {
     unroutable: Counter,
     events: Counter,
     bytes_sent: Counter,
+    unknown_kernel: Counter,
 }
 
 impl SimCounters {
@@ -209,6 +214,7 @@ impl SimCounters {
             unroutable: reg.counter("sim.unroutable"),
             events: reg.counter("sim.events"),
             bytes_sent: reg.counter("sim.bytes_sent"),
+            unknown_kernel: reg.counter("sim.unknown_kernel"),
         }
     }
 }
@@ -251,6 +257,7 @@ impl Network {
             unroutable: self.counters.unroutable.get(),
             events: self.counters.events.get(),
             bytes_sent: self.counters.bytes_sent.get(),
+            unknown_kernel: self.counters.unknown_kernel.get(),
         }
     }
 
@@ -499,20 +506,55 @@ impl Network {
                     v.fwd_label,
                     1usize,
                     pkt.payload.len(),
+                    v.version,
                 )
             })
         } else {
             cfg.pipeline
                 .as_mut()
                 .and_then(|pipe| pipe.process(&pkt.payload))
-                .map(|o| (o.packet, o.fwd_code, o.fwd_label, o.passes, o.parsed_bytes))
+                .map(|o| {
+                    (
+                        o.packet,
+                        o.fwd_code,
+                        o.fwd_label,
+                        o.passes,
+                        o.parsed_bytes,
+                        0u16,
+                    )
+                })
         };
-        let Some((mut payload, fwd_code, fwd_label, passes, parsed_bytes)) = result else {
+        let Some((mut payload, fwd_code, fwd_label, passes, parsed_bytes, verdict_version)) =
+            result
+        else {
             // Not NCP (or no datapath): plain forwarding. A stripped
             // telemetry section is re-appended; a telemetry-aware
             // switch stamps a forwarded-only record, one without the
             // deploy-time identity passes it through untouched.
             stats.forwarded += 1;
+            // A computing switch declining a well-formed, non-fragment
+            // data window means the named kernel id is not deployed
+            // here — the failure mode upgrades and multi-tenant routing
+            // expose. Count it (per switch and fabric-wide) and tell
+            // the scope; the window itself is forwarded unharmed.
+            let has_datapath = cfg.fastpath.is_some() || cfg.pipeline.is_some();
+            if let (Some((kernel, ..)), Some(tel)) = (ncp_meta, cfg.telemetry.as_ref()) {
+                if has_datapath
+                    && incoming_flags & ncp::FLAG_FRAGMENT == 0
+                    && !tel.kernels.contains_key(&kernel)
+                {
+                    stats.unknown_kernel += 1;
+                    self.counters.unknown_kernel.inc();
+                    if let (Some(scope), Some(key)) = (&scope, scope_key) {
+                        scope.emit(
+                            ticks_in + fwd_latency,
+                            my_wire,
+                            key,
+                            ScopeEvent::UnknownKernel { switch: my_wire },
+                        );
+                    }
+                }
+            }
             if let Some(mut section) = tel_section {
                 if let Some(tel) = cfg.telemetry.as_ref() {
                     let rec = HopRecord {
@@ -544,11 +586,17 @@ impl Network {
         let delay = pipeline_latency * passes as Time;
         let dups_after = if track_dups { cfg_dup_sum(cfg) } else { 0 };
         if let (Some(scope), Some(key)) = (&scope, scope_key) {
-            let version = cfg
-                .telemetry
-                .as_ref()
-                .and_then(|tel| tel.kernels.get(&key.kernel).map(|kt| kt.version))
-                .unwrap_or(0);
+            // A datapath that knows which version ran (a tenant mux
+            // dual-running an upgrade) overrides the static deploy-time
+            // identity.
+            let version = if verdict_version != 0 {
+                verdict_version
+            } else {
+                cfg.telemetry
+                    .as_ref()
+                    .and_then(|tel| tel.kernels.get(&key.kernel).map(|kt| kt.version))
+                    .unwrap_or(0)
+            };
             let t = ticks_in + delay;
             scope.emit(
                 t,
@@ -591,7 +639,11 @@ impl Network {
                 let rec = HopRecord {
                     switch: tel.switch_id,
                     kernel,
-                    version: kt.version,
+                    version: if verdict_version != 0 {
+                        verdict_version
+                    } else {
+                        kt.version
+                    },
                     stages: kt.stages,
                     uops: kt.uops,
                     flags: if dups_after > dups_before {
@@ -732,6 +784,19 @@ impl Network {
             }
         }
         None
+    }
+
+    /// Mutable access to a switch's telemetry identity (the control
+    /// plane updates per-kernel version facts when a hitless upgrade
+    /// finishes and the old version's identity is reclaimed).
+    pub fn switch_telemetry_mut(
+        &mut self,
+        id: SwitchId,
+    ) -> Option<&mut crate::node::SwitchTelemetry> {
+        self.nodes.iter_mut().find_map(|n| match n {
+            NodeKind::Switch { id: sid, cfg, .. } if *sid == id => cfg.telemetry.as_mut(),
+            _ => None,
+        })
     }
 
     /// Duplicate windows suppressed by a switch's compiler-lowered

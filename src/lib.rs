@@ -23,6 +23,7 @@
 //! | [`ncp`] | `ncp` | the window transport protocol |
 //! | [`netsim`] | `netsim` | the discrete-event network simulator |
 //! | [`nctel`] | `nctel` | metrics registry, hop records, traces, spans |
+//! | [`ncsched`] | `ncsched` | multi-tenant admission, placement, upgrades |
 //!
 //! Start with [`core::nclc::compile`] and [`core::deploy::deploy`]; the
 //! `examples/` directory walks through the paper's use cases.
@@ -34,6 +35,7 @@ pub use ncl_ir as ir;
 pub use ncl_lang as lang;
 pub use ncl_p4 as p4;
 pub use ncp;
+pub use ncsched;
 pub use nctel;
 pub use netsim;
 pub use pisa;
