@@ -1,0 +1,336 @@
+//! E15 — bounded model checking as a deployment gate (DESIGN §4.13,
+//! EXPERIMENTS §E15).
+//!
+//! Every schedule-checkable lint verdict on the shipped applications is
+//! adjudicated by `ncmc`: the checker either finds a machine-shrunk
+//! counterexample schedule or certifies the hazard absent within the
+//! stated bounds. Three gates run here:
+//!
+//! 1. **Shipped apps certify.** The replay-filtered AllReduce (Fig. 4)
+//!    and the KVS cache (Fig. 5) get a conclusive report — every lint
+//!    item resolved, the whole-program convergence obligation a
+//!    bounded-absence certificate — within the wall-clock budget.
+//! 2. **Known-bad yields a witness.** The unfiltered accumulating
+//!    AllReduce diverges: the convergence check must produce a concrete
+//!    shrunk schedule (an RTO duplicate double-adds), the same artifact
+//!    the deploy gate refuses on.
+//! 3. **DPOR earns its keep.** On a four-kernel commuting-alias
+//!    scenario the sleep-set DPOR explorer must reach the *identical
+//!    verdict* as the naive ground-truth enumeration while completing
+//!    at least 5x fewer maximal schedules at the same bounds.
+//!
+//! Doubles as the CI acceptance gate: each assertion exits nonzero on
+//! failure, and the re-derived overflow counterexample is compared
+//! byte-for-byte against the committed corpus entry
+//! (`tests/corpus/ncmc/`). Writes `target/e15-metrics.json` (bench
+//! binaries run with cwd at the package root, so it lands under
+//! crates/bench/).
+
+use ncl_core::apps::{allreduce_source, kvs_source};
+use ncl_core::mc::{check_code, convergence_check, model_check_switch, McConfig, McItem, Outcome};
+use ncl_core::nclc::{LintCode, LintLevel, ReplayFilter};
+use ncl_core::{compile, CompileConfig, CompiledProgram};
+use ncmc::{corpus_entry, corpus_file_name, Reduction};
+use std::time::Instant;
+
+const AND: &str = "hosts worker 2\nswitch s1\nlink worker* s1\n";
+
+/// Wall-clock budget for certifying both shipped apps (gate 1). CI
+/// runs release builds; the margin covers slow shared runners.
+const APP_BUDGET_S: f64 = 300.0;
+
+/// Required schedule-count ratio, naive over DPOR, at identical bounds
+/// and identical verdicts (gate 3).
+const PRUNE_RATIO: f64 = 5.0;
+
+/// Four kernels all commutatively bumping one shared cell: the
+/// cross-kernel-alias lint flags the sharing, and the checker's alias
+/// scenario interleaves the flagged kernel with every writing partner
+/// — four windows, pure reorderings. Rich enough interleaving space
+/// for the reduction ablation, small enough for naive ground truth.
+const COMMUTING4: &str = r#"
+_net_ _at_("s1") unsigned shared[4] = {0};
+_net_ _out_ void bump(unsigned *data) {
+    shared[0] += data[0];
+    _reflect();
+}
+_net_ _out_ void bump2(unsigned *data) {
+    shared[0] += data[0];
+    _reflect();
+}
+_net_ _out_ void bump3(unsigned *data) {
+    shared[0] += data[0];
+    _reflect();
+}
+_net_ _out_ void bump4(unsigned *data) {
+    shared[0] += data[0];
+    _reflect();
+}
+"#;
+
+/// The overflow kernel the committed corpus witness was minted on
+/// (tests/lint_witness.rs WRAPPING): two near-max deliveries wrap the
+/// monotone total.
+const WRAPPING: &str = r#"
+_net_ _at_("s1") unsigned total[1] = {0};
+_net_ _out_ void tally(unsigned *data) {
+    total[0] += data[0];
+    _reflect();
+}
+"#;
+
+fn compile_allowing(
+    src: &str,
+    masks: &[(&str, Vec<u16>)],
+    model: pisa::ResourceModel,
+) -> CompiledProgram {
+    let mut cfg = CompileConfig::default();
+    for (k, m) in masks {
+        cfg.masks.insert((*k).to_string(), m.clone());
+    }
+    for &c in LintCode::ALL {
+        cfg.lint_levels.insert(c, LintLevel::Allow);
+    }
+    cfg.model = model;
+    compile(src, AND, &cfg).expect("compiles with lints allowed")
+}
+
+/// A roomier stateful-ALU budget for the four-kernel ablation program:
+/// eight accesses to `shared` across the four fused RegisterActions
+/// (the scenario needs the kernels co-resident, not a placement
+/// stress test).
+fn ablation_chip() -> pisa::ResourceModel {
+    pisa::ResourceModel {
+        reg_accesses_per_pass: 16,
+        ..pisa::ResourceModel::default()
+    }
+}
+
+/// The shipped AllReduce (Fig. 4), replay-filtered as deployed — or
+/// deliberately unfiltered for the known-bad gate.
+fn allreduce_program(filtered: bool) -> CompiledProgram {
+    let src = allreduce_source(8, 4);
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![4]);
+    cfg.masks.insert("result".into(), vec![4]);
+    if filtered {
+        cfg.replay_filters.insert(
+            "allreduce".into(),
+            ReplayFilter {
+                senders: 4,
+                slots: 4,
+            },
+        );
+    } else {
+        cfg.lint_levels
+            .insert(LintCode::ReplayUnsafeNoFilter, LintLevel::Warn);
+    }
+    compile(&src, AND, &cfg).expect("allreduce compiles")
+}
+
+/// The shipped KVS (Fig. 5).
+fn kvs_program() -> CompiledProgram {
+    let src = kvs_source(3, 4, 2);
+    let and = "hosts client 2\nswitch s1\nhost server\nlink client* s1\nlink server s1\n";
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("query".into(), vec![1, 2, 1]);
+    compile(&src, and, &cfg).expect("kvs compiles")
+}
+
+/// One metrics row: an adjudicated obligation plus its wall time.
+fn item_json(item: &McItem, wall_ms: f64) -> String {
+    let code = item
+        .code
+        .map(|c| c.name().to_string())
+        .unwrap_or_else(|| "convergence".to_string());
+    let outcome = match &item.result.outcome {
+        Outcome::Witness(w) => format!(
+            "\"witness\",\"schedule_len\":{},\"deliveries\":{}",
+            w.schedule.len(),
+            w.deliveries
+        ),
+        Outcome::Certificate(_) => "\"certificate\"".to_string(),
+        Outcome::Inconclusive { .. } => "\"inconclusive\"".to_string(),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"kernel\":\"{}\",\"property\":\"{}\",\"windows\":{},\
+         \"outcome\":{},\"states\":{},\"schedules\":{},\"wall_ms\":{:.1}}}",
+        code,
+        item.kernel,
+        item.property,
+        item.windows,
+        outcome,
+        item.result.stats.states,
+        item.result.stats.schedules,
+        wall_ms,
+    )
+}
+
+fn main() {
+    let cfg = McConfig::default();
+    let mut app_rows = Vec::new();
+
+    // Gate 1: both shipped apps must certify conclusively in budget.
+    let apps_start = Instant::now();
+    for (name, program) in [
+        ("allreduce-filtered", allreduce_program(true)),
+        ("kvs", kvs_program()),
+    ] {
+        let start = Instant::now();
+        let report = model_check_switch(&program, "s1", &cfg).expect("model check runs");
+        let wall = start.elapsed().as_secs_f64();
+        println!("== {name} ({wall:.1}s) ==");
+        for item in &report.items {
+            println!("  {}", item.summary());
+        }
+        assert!(
+            report.conclusive(),
+            "{name}: every obligation must resolve (no state-cap truncation)"
+        );
+        let conv = report.convergence().expect("convergence item present");
+        assert!(
+            conv.result.outcome.is_certificate(),
+            "{name}: shipped app must be certified convergent"
+        );
+        let per_item = wall * 1000.0 / report.items.len() as f64;
+        let rows: Vec<String> = report
+            .items
+            .iter()
+            .map(|i| item_json(i, per_item))
+            .collect();
+        app_rows.push(format!(
+            "{{\"app\":\"{name}\",\"wall_s\":{wall:.2},\"items\":[{}]}}",
+            rows.join(",")
+        ));
+    }
+    let apps_wall = apps_start.elapsed().as_secs_f64();
+    assert!(
+        apps_wall < APP_BUDGET_S,
+        "shipped-app certification took {apps_wall:.1}s (budget {APP_BUDGET_S}s)"
+    );
+    println!("shipped apps certified in {apps_wall:.1}s (budget {APP_BUDGET_S}s)");
+
+    // Gate 2: the unfiltered accumulator must yield a convergence
+    // witness — the artifact the deploy gate refuses on.
+    let start = Instant::now();
+    let bad = convergence_check(&allreduce_program(false), "s1", &cfg).expect("check runs");
+    let bad_ms = start.elapsed().as_secs_f64() * 1000.0;
+    println!("== allreduce-unfiltered ==");
+    println!("  {}", bad.summary());
+    let Outcome::Witness(w) = &bad.result.outcome else {
+        panic!("unfiltered allreduce must produce a convergence witness");
+    };
+    for line in w.schedule.render().lines() {
+        println!("    | {line}");
+    }
+    let bad_row = item_json(&bad, bad_ms);
+
+    // Gate 3: reduction ablation on the commuting-alias scenario —
+    // identical verdicts, >= PRUNE_RATIO fewer schedules under DPOR.
+    let masks: Vec<(&str, Vec<u16>)> = vec![
+        ("bump", vec![1]),
+        ("bump2", vec![1]),
+        ("bump3", vec![1]),
+        ("bump4", vec![1]),
+    ];
+    let program = compile_allowing(COMMUTING4, &masks, ablation_chip());
+    println!("== reduction ablation (cross-kernel-alias, 4 windows) ==");
+    let mut ablation = Vec::new();
+    for reduction in [Reduction::Naive, Reduction::Dedup, Reduction::Dpor] {
+        let cfg = McConfig {
+            reduction,
+            model: ablation_chip(),
+            ..McConfig::default()
+        };
+        let start = Instant::now();
+        let item = check_code(
+            &program,
+            "s1",
+            LintCode::CrossKernelAlias,
+            "bump",
+            Some("shared"),
+            &cfg,
+        )
+        .expect("check runs")
+        .expect("alias is schedule-checkable");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        println!("  {:>5}: {} ({ms:.0}ms)", reduction.name(), item.summary());
+        assert!(
+            item.result.outcome.is_certificate(),
+            "{}: commuting kernels must certify order-invariant",
+            reduction.name()
+        );
+        ablation.push((reduction.name(), item, ms));
+    }
+    let naive = &ablation[0].1.result.stats;
+    let dpor = &ablation[2].1.result.stats;
+    let ratio = naive.schedules as f64 / dpor.schedules as f64;
+    println!(
+        "  prune ratio: {} naive schedules / {} dpor schedules = {ratio:.1}x",
+        naive.schedules, dpor.schedules
+    );
+    assert!(
+        ratio >= PRUNE_RATIO,
+        "DPOR must prune >= {PRUNE_RATIO}x the naive schedule count (got {ratio:.1}x)"
+    );
+
+    // Corpus snapshot: re-derive the overflow counterexample and hold
+    // it byte-for-byte against the committed entry.
+    let program = compile_allowing(
+        WRAPPING,
+        &[("tally", vec![1])],
+        pisa::ResourceModel::default(),
+    );
+    let item = check_code(
+        &program,
+        "s1",
+        LintCode::UnguardedOverflow,
+        "tally",
+        Some("total"),
+        &McConfig::default(),
+    )
+    .expect("check runs")
+    .expect("overflow is schedule-checkable");
+    let Outcome::Witness(w) = &item.result.outcome else {
+        panic!("wrapping tally must produce an overflow witness");
+    };
+    let file = corpus_file_name(item.code, &item.kernel, &w.schedule);
+    let entry = corpus_entry("program@s1", item.code, &item.kernel, item.property, w);
+    let committed = std::fs::read_to_string(format!("../../tests/corpus/ncmc/{file}"))
+        .expect("committed corpus entry exists");
+    assert_eq!(
+        entry, committed,
+        "re-derived overflow witness must match the committed corpus entry byte-for-byte"
+    );
+    println!("corpus snapshot stable: {file}");
+
+    let ablation_rows: Vec<String> = ablation
+        .iter()
+        .map(|(name, item, ms)| {
+            format!(
+                "{{\"reduction\":\"{}\",\"states\":{},\"schedules\":{},\"dedup_hits\":{},\
+                 \"sleep_skips\":{},\"probe_execs\":{},\"wall_ms\":{:.1}}}",
+                name,
+                item.result.stats.states,
+                item.result.stats.schedules,
+                item.result.stats.dedup_hits,
+                item.result.stats.sleep_skips,
+                item.result.stats.probe_execs,
+                ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"e15\",\"apps\":[{}],\"known_bad\":{},\
+         \"ablation\":[{}],\"prune_ratio\":{:.2},\
+         \"corpus_snapshot\":\"{}\"}}\n",
+        app_rows.join(","),
+        bad_row,
+        ablation_rows.join(","),
+        ratio,
+        file,
+    );
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/e15-metrics.json", &json).expect("write target/e15-metrics.json");
+    println!("wrote target/e15-metrics.json ({} bytes)", json.len());
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! nclc <program.ncl> --and <overlay.and> [--mask kernel=8,8]...
 //!      [--lint allow|warn|deny=CODE[,CODE...]]...
-//!      [--emit p4|ir|report|cost|timing|all] [-o out-dir]
+//!      [--emit p4|ir|report|cost|timing|mc|all] [-o out-dir]
 //! ```
 //!
 //! Takes an NCL C/C++ program and an AND file and produces "a program
@@ -19,6 +19,12 @@
 //! allow=replay-unsafe` (etc.) downgrades a finding after you have
 //! understood the interleaving it describes. `--emit timing` prints the
 //! wall-time of every compiler stage (nctel spans).
+//!
+//! `--emit mc` (never implied by `all` — it explores exhaustively) runs
+//! the ncmc bounded model checker on every switch: each surviving
+//! schedule-checkable lint warning and the whole-program convergence
+//! obligation is adjudicated with a shrunk counterexample schedule or a
+//! bounded-absence certificate (DESIGN.md §4.13).
 
 use ncl_core::nclc::{compile, CompileConfig, LintCode, LintLevel, NclcError};
 use std::path::PathBuf;
@@ -38,7 +44,7 @@ fn usage() -> ! {
         "usage: nclc <program.ncl> --and <overlay.and> \
          [--mask kernel=N[,N...]]... \
          [--lint allow|warn|deny=CODE[,CODE...]]... \
-         [--emit p4|ir|report|cost|timing|all] [-o DIR]"
+         [--emit p4|ir|report|cost|timing|mc|all] [-o DIR]"
     );
     eprintln!(
         "lint codes: {}",
@@ -273,6 +279,37 @@ fn main() -> ExitCode {
                         );
                     }
                     None => println!("  (window not recognized)"),
+                }
+            }
+        }
+    }
+    // Model checking is opt-in (`--emit mc` explicitly, not `all`):
+    // exhaustive bounded exploration is orders of magnitude slower than
+    // any other emit target.
+    if args.emit.iter().any(|e| e == "mc") {
+        let mc_cfg = ncl_core::mc::McConfig::default();
+        for (label, _) in &program.switches {
+            match ncl_core::mc::model_check_switch(&program, label.as_str(), &mc_cfg) {
+                Ok(report) => {
+                    println!("== model check: {label} ==");
+                    for item in &report.items {
+                        println!("  {}", item.summary());
+                        match &item.result.outcome {
+                            ncmc::Outcome::Witness(w) => {
+                                for line in w.schedule.render().lines() {
+                                    println!("    | {line}");
+                                }
+                            }
+                            ncmc::Outcome::Certificate(c) => {
+                                println!("    {}", c.to_json());
+                            }
+                            ncmc::Outcome::Inconclusive { .. } => {}
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("nclc: model check failed for {label}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
         }

@@ -12,6 +12,7 @@
 
 use crate::fastpath::FastPathSwitch;
 use crate::interp_switch::InterpSwitch;
+use crate::mc::{model_check_switch, McConfig, McReport};
 use crate::nclc::CompiledProgram;
 use c3::{HostId, Label, NodeId, SwitchId};
 use ncl_and::AndKind;
@@ -59,6 +60,9 @@ pub struct Deployment {
     pub net: Network,
     /// AND label → simulated node.
     pub nodes: HashMap<Label, NodeId>,
+    /// Per-switch model-checking reports, when
+    /// [`DeployOptions::model_check`] ran (empty otherwise).
+    pub mc_reports: Vec<McReport>,
 }
 
 /// Deployment failures.
@@ -96,6 +100,18 @@ pub enum DeployError {
         /// The denied findings.
         diagnostics: Vec<ncl_ir::lint::LintDiagnostic>,
     },
+    /// The model-check gate ([`DeployOptions::model_check`]) found a
+    /// schedule under which the switch diverges from every loss-free
+    /// serial execution — the deployment would compute wrong answers
+    /// under a concrete loss/dup/reorder pattern, so it is refused.
+    ModelCheck {
+        /// The switch label.
+        label: String,
+        /// The kernel set the convergence scenario exercised.
+        kernel: String,
+        /// The shrunk counterexample schedule (ncmc schedule syntax).
+        schedule: String,
+    },
 }
 
 impl std::fmt::Display for DeployError {
@@ -120,6 +136,18 @@ impl std::fmt::Display for DeployError {
                     kernels.join(", "),
                 )?;
                 write!(f, "{}", ncl_ir::lint::render(diagnostics))
+            }
+            DeployError::ModelCheck {
+                label,
+                kernel,
+                schedule,
+            } => {
+                writeln!(
+                    f,
+                    "model check refused deployment of {kernel} to '{label}': \
+                     a schedule diverges from every loss-free serial execution:"
+                )?;
+                write!(f, "{schedule}")
             }
         }
     }
@@ -179,6 +207,13 @@ pub struct DeployOptions {
     pub scope: Option<Scope>,
     /// PISA resource model for pipeline loading.
     pub model: ResourceModel,
+    /// When set, every switch module is model-checked before loading
+    /// (DESIGN.md §4.13): each schedule-checkable lint warning is
+    /// adjudicated (witness or bounded-absence certificate, recorded in
+    /// [`Deployment::mc_reports`]) and a convergence *witness* refuses
+    /// the deployment with [`DeployError::ModelCheck`] — the static
+    /// gate stops hazardous code, this one stops divergent code.
+    pub model_check: Option<McConfig>,
 }
 
 impl Default for DeployOptions {
@@ -190,6 +225,7 @@ impl Default for DeployOptions {
             registry: Arc::new(Registry::new()),
             scope: None,
             model: ResourceModel::default(),
+            model_check: None,
         }
     }
 }
@@ -363,10 +399,14 @@ pub fn deploy_opts(
         registry,
         scope,
         model,
+        model_check,
     } = opts;
     let hosts_loaded = registry.counter("deploy.hosts_loaded");
     let switches_loaded = registry.counter("deploy.switches_loaded");
     let lint_denied = registry.counter("deploy.lint_denied");
+    let mc_checked = registry.counter("deploy.mc_checked");
+    let mc_denied = registry.counter("deploy.mc_denied");
+    let mut mc_reports = Vec::new();
     let mut b = NetworkBuilder::new();
     b.with_metrics(registry.clone());
     if let Some(scope) = &scope {
@@ -428,6 +468,32 @@ pub fn deploy_opts(
                             diagnostics: deny,
                         });
                     }
+                }
+                // Model-check gate: adjudicate every schedule-checkable
+                // lint warning and the convergence obligation against
+                // the compiled pipeline. A convergence witness means a
+                // concrete fault schedule computes a wrong answer — the
+                // deployment is refused with the schedule in hand.
+                if let Some(mc_cfg) = &model_check {
+                    let report =
+                        model_check_switch(program, n.label.as_str(), mc_cfg).map_err(|e| {
+                            DeployError::Load {
+                                label: n.label.to_string(),
+                                error: e.to_string(),
+                            }
+                        })?;
+                    mc_checked.inc();
+                    if let Some(conv) = report.convergence() {
+                        if let ncmc::Outcome::Witness(w) = &conv.result.outcome {
+                            mc_denied.inc();
+                            return Err(DeployError::ModelCheck {
+                                label: n.label.to_string(),
+                                kernel: conv.kernel.clone(),
+                                schedule: w.schedule.render(),
+                            });
+                        }
+                    }
+                    mc_reports.push(report);
                 }
                 let compiled = program.switch(n.label.as_str());
                 // The fast path replaces the pipeline wholesale: one
@@ -503,6 +569,7 @@ pub fn deploy_opts(
     Ok(Deployment {
         net: b.build(),
         nodes,
+        mc_reports,
     })
 }
 

@@ -22,7 +22,12 @@
 //!   switch state (an alternative [`mod@deploy`] backend);
 //! * [`baseline`] — the comparison points the evaluation needs: a
 //!   handwritten NetCache-style pipeline (Fig. 1b) and host-only
-//!   AllReduce/KVS applications that use switches as plain forwarders.
+//!   AllReduce/KVS applications that use switches as plain forwarders;
+//! * [`mc`] — the model-checking driver: every schedule-checkable lint
+//!   verdict (and a whole-program convergence obligation) adjudicated
+//!   by the `ncmc` bounded model checker against the compiled pipeline
+//!   — a machine-found counterexample schedule or a bounded-absence
+//!   certificate (DESIGN.md §4.13).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,7 @@ pub mod control;
 pub mod deploy;
 pub mod fastpath;
 pub mod interp_switch;
+pub mod mc;
 pub mod mux;
 pub mod nclc;
 pub mod runtime;

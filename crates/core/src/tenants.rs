@@ -230,6 +230,10 @@ pub fn deploy_tenants(
         registry,
         scope,
         model,
+        // Multi-tenant deployments run software tiers against per-tenant
+        // mux state; the model-check gate is a single-program, Pisa-level
+        // concern and is applied by `deploy_opts` instead.
+        model_check: _,
     } = opts;
     if tenants.is_empty() {
         return Err(MultiDeployError::NoTenants);

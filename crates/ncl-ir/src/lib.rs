@@ -34,6 +34,7 @@
 //! path must match it bit for bit (see `tests/fastpath_differential.rs`).
 
 pub mod exec;
+pub mod hash;
 pub mod interp;
 pub mod ir;
 pub mod lint;

@@ -107,6 +107,16 @@ impl LintCode {
             | LintCode::ResourceOverrun => LintLevel::Warn,
         }
     }
+
+    /// Whether the hazard this code describes manifests as a packet
+    /// *schedule* — a loss/dup/reorder/interleave pattern the ncmc
+    /// bounded model checker can search for. Every checkable verdict
+    /// gets a machine-found counterexample or a bounded-absence
+    /// certificate; `resource-overrun` is a mapping-feasibility finding
+    /// with no execution semantics, so there is nothing to schedule.
+    pub fn schedule_checkable(self) -> bool {
+        !matches!(self, LintCode::ResourceOverrun)
+    }
 }
 
 impl std::fmt::Display for LintCode {
@@ -180,6 +190,12 @@ impl LintDiagnostic {
     /// Whether this finding fails compilation.
     pub fn is_deny(&self) -> bool {
         self.level == LintLevel::Deny
+    }
+
+    /// Whether the ncmc model checker can adjudicate this finding with
+    /// a concrete schedule (witness or bounded-absence certificate).
+    pub fn schedule_checkable(&self) -> bool {
+        self.code.schedule_checkable()
     }
 
     /// Converts to a renderable frontend diagnostic.

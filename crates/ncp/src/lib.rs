@@ -35,7 +35,7 @@ pub use codec::{
     decode_window, decode_window_into, encode_window, encode_window_into, encoded_len,
     fragment_window, fragment_window_into, BufferPool, Reassembler, PAYLOAD_ALIGN,
 };
-pub use reliable::{Receiver, ReliableConfig, Sender};
+pub use reliable::{Receiver, ReceiverState, ReliableConfig, Sender, SenderState};
 pub use udp::{RecvEvent, UdpEndpoint, NCP_UDP_PORT};
 pub use wire::{
     AckRepr, NcpPacket, NcpRepr, FLAG_ACK, FLAG_FIRST_FRAG, FLAG_FRAGMENT, FLAG_LAST,

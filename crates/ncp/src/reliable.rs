@@ -22,6 +22,17 @@
 //! The engine is poll-driven and clock-agnostic: time is a `u64` in
 //! nanoseconds, fed by the caller (netsim's simulated clock or a
 //! wall-clock via `std::time::Instant`). Nothing here does I/O.
+//!
+//! **Logical-clock audit (ncmc):** this module performs *no* wall-clock
+//! reads — every timestamp enters through a `now: Time` parameter and
+//! the only internal time state is `last_now` (event stamping) and the
+//! per-window RTO deadlines derived from caller-fed `now`. The sole
+//! wall-clock site in the crate is `udp::MonotonicClock`, outside the
+//! state machines. That property makes runs bit-deterministic under a
+//! purely logical clock, which the ncmc model checker relies on: it
+//! forks sender/receiver state mid-schedule via [`Sender::save`]/
+//! [`Sender::restore`] (and the [`Receiver`] pair) and replays shrunk
+//! counterexamples exactly.
 
 use nctel::{Counter, Registry, Scope, ScopeEvent, WindowKey};
 use std::collections::HashMap;
@@ -305,6 +316,61 @@ impl Sender {
         );
     }
 
+    /// The earliest RTO deadline across the in-flight set (`None` when
+    /// nothing is in flight). A purely-logical-clock driver (netsim,
+    /// ncmc) jumps its clock here to make the next timer fire.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.flight.values().map(|f| f.deadline).min()
+    }
+
+    /// Captures the sender's protocol state — everything that decides
+    /// future behavior, in canonical (sorted) order so equal states
+    /// compare and hash equal. Counters, scope sinks and config are
+    /// deliberately excluded: they are observability, not semantics.
+    pub fn save(&self) -> SenderState {
+        let mut flight: Vec<(u16, u32, Time, Time, u32)> = self
+            .flight
+            .iter()
+            .map(|(k, f)| (k.kernel, k.seq, f.deadline, f.rto, f.retries))
+            .collect();
+        flight.sort_unstable();
+        SenderState {
+            cwnd: self.cwnd,
+            acks_since_grow: self.acks_since_grow,
+            last_now: self.last_now,
+            flight,
+            queue: self.queue.iter().map(|k| (k.kernel, k.seq)).collect(),
+        }
+    }
+
+    /// Restores protocol state captured by [`Sender::save`], leaving
+    /// counters and attached sinks untouched (metrics stay monotonic
+    /// even when the ncmc checker rewinds a schedule branch).
+    pub fn restore(&mut self, st: &SenderState) {
+        self.cwnd = st.cwnd;
+        self.acks_since_grow = st.acks_since_grow;
+        self.last_now = st.last_now;
+        self.flight = st
+            .flight
+            .iter()
+            .map(|&(kernel, seq, deadline, rto, retries)| {
+                (
+                    Key { kernel, seq },
+                    InFlight {
+                        deadline,
+                        rto,
+                        retries,
+                    },
+                )
+            })
+            .collect();
+        self.queue = st
+            .queue
+            .iter()
+            .map(|&(kernel, seq)| Key { kernel, seq })
+            .collect();
+    }
+
     /// Advances the clock: expires RTOs (scheduling retransmits with
     /// doubled timeouts and an AIMD cut), abandons windows past
     /// `max_retries`, and admits queued windows into the freed capacity.
@@ -366,6 +432,33 @@ impl Sender {
         let next = self.flight.values().map(|f| f.deadline).min();
         (send, next)
     }
+}
+
+/// A [`Sender`]'s protocol state, detached from its counters and sinks
+/// (see [`Sender::save`]). `Clone + Ord`-friendly plain data so the
+/// ncmc model checker can fork, hash and compare schedule branches.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SenderState {
+    /// Congestion window.
+    pub cwnd: usize,
+    /// Additive-increase accumulator.
+    pub acks_since_grow: usize,
+    /// Timestamp of the most recent clocked call.
+    pub last_now: Time,
+    /// In-flight windows as `(kernel, seq, deadline, rto, retries)`,
+    /// sorted.
+    pub flight: Vec<(u16, u32, Time, Time, u32)>,
+    /// cwnd-queued `(kernel, seq)` keys, FIFO order.
+    pub queue: Vec<(u16, u32)>,
+}
+
+/// A [`Receiver`]'s protocol state (see [`Receiver::save`]).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReceiverState {
+    /// Per-`(sender, kernel)` dedup state as
+    /// `(sender, kernel, floor, sorted offsets above the floor)`,
+    /// sorted by key.
+    pub entries: Vec<(u16, u16, u32, Vec<u32>)>,
 }
 
 /// Per-`(sender, kernel)` delivery state: a floor below which every
@@ -455,6 +548,40 @@ impl Receiver {
             delivered: self.delivered.get(),
             duplicates: self.duplicates.get(),
         }
+    }
+
+    /// Captures the receiver's dedup state in canonical (sorted) order;
+    /// the counterpart of [`Sender::save`].
+    pub fn save(&self) -> ReceiverState {
+        let mut entries: Vec<(u16, u16, u32, Vec<u32>)> = self
+            .state
+            .iter()
+            .map(|(&(sender, kernel), st)| {
+                let mut above = st.above.clone();
+                above.sort_unstable();
+                (sender, kernel, st.floor, above)
+            })
+            .collect();
+        entries.sort_unstable();
+        ReceiverState { entries }
+    }
+
+    /// Restores dedup state captured by [`Receiver::save`]; counters
+    /// and sinks are untouched.
+    pub fn restore(&mut self, st: &ReceiverState) {
+        self.state = st
+            .entries
+            .iter()
+            .map(|(sender, kernel, floor, above)| {
+                (
+                    (*sender, *kernel),
+                    DeliveryState {
+                        floor: *floor,
+                        above: above.clone(),
+                    },
+                )
+            })
+            .collect();
     }
 
     /// Records an arriving window. Returns `true` exactly once per
@@ -576,6 +703,53 @@ mod tests {
         s.on_ack(1, 0);
         let (send, _) = s.poll(1);
         assert_eq!(send, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn sender_save_restore_replays_identical_timeline() {
+        let mut s = Sender::new(cfg());
+        s.track(1, 0, 0);
+        s.track(1, 1, 5);
+        s.track(2, 0, 7); // queued (cwnd = 2)
+        let (_, _) = s.poll(100); // first RTO fires, backoff doubles
+        let saved = s.save();
+        assert_eq!(s.next_deadline(), Some(105));
+
+        // Timeline A, straight through.
+        let mut a = Vec::new();
+        let mut now = 100;
+        for _ in 0..6 {
+            now += 100;
+            a.push(s.poll(now));
+        }
+
+        // Rewind and replay: bit-identical retransmit schedule.
+        s.restore(&saved);
+        assert_eq!(s.save(), saved, "restore/save must round-trip");
+        let mut b = Vec::new();
+        let mut now = 100;
+        for _ in 0..6 {
+            now += 100;
+            b.push(s.poll(now));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn receiver_save_restore_roundtrips() {
+        let mut r = Receiver::new();
+        for seq in [3, 0, 7] {
+            r.admit(1, 1, seq);
+        }
+        r.admit(2, 5, 0);
+        let saved = r.save();
+        assert!(!r.admit(1, 1, 3));
+        r.admit(1, 1, 1);
+        assert_ne!(r.save(), saved);
+        r.restore(&saved);
+        assert_eq!(r.save(), saved);
+        assert!(!r.admit(1, 1, 0), "restored floor still dedups");
+        assert!(r.admit(1, 1, 1), "undelivered seq admitted after rewind");
     }
 
     #[test]

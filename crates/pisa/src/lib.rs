@@ -33,7 +33,8 @@ pub mod table;
 pub use parser::{DeparserSpec, Extract, ParserSpec};
 pub use phv::{FieldClass, FieldDecl, FieldId, Phv, PhvLayout};
 pub use pipeline::{
-    ExecStats, Pipeline, PipelineConfig, RegisterArrayDef, StageConfig, StageTrace,
+    ExecStats, PartialPacket, Pipeline, PipelineConfig, PipelineSnapshot, RegisterArrayDef,
+    StageConfig, StageTrace,
 };
 pub use resources::{ResourceModel, ResourceReport, ResourceViolation};
 pub use table::{ActionDef, ActionRef, Arg, Entry, MatchKind, MatchPattern, PrimOp, TableDef};

@@ -320,35 +320,105 @@ impl Pipeline {
     /// Processes one packet. Returns `None` on a parse error (packet is
     /// not for us — the embedding forwards it unmodified, Fig. 3b).
     pub fn process(&mut self, packet: &[u8]) -> Option<PipelineOutput> {
-        let (mut phv, parsed_bytes) = match self.config.parser.parse(&self.config.layout, packet) {
-            Ok(r) => r,
+        let p = self.begin(packet)?;
+        Some(self.finish(p))
+    }
+
+    /// Parses a packet into a [`PartialPacket`] positioned before stage
+    /// 0, without running any stages. Returns `None` on a parse error
+    /// (counted, exactly like [`Pipeline::process`]).
+    ///
+    /// Together with [`Pipeline::advance`] and [`Pipeline::finish`]
+    /// this exposes the pipeline as a resumable state machine: a packet
+    /// can be left suspended between stages while other packets run to
+    /// completion — the interleaving a recirculating packet experiences
+    /// on a real RMT chip, and the step granularity the ncmc model
+    /// checker schedules.
+    pub fn begin(&mut self, packet: &[u8]) -> Option<PartialPacket> {
+        match self.config.parser.parse(&self.config.layout, packet) {
+            Ok((phv, parsed_bytes)) => Some(PartialPacket {
+                phv,
+                next_stage: 0,
+                parsed_bytes,
+            }),
             Err(_) => {
                 self.stats.parse_errors += 1;
-                return None;
+                None
             }
-        };
-        self.run_stages(&mut phv);
+        }
+    }
+
+    /// Runs the suspended packet's stages up to (but excluding) logical
+    /// stage `upto`, clamped to the stage count. Already-executed
+    /// stages are never re-run.
+    pub fn advance(&mut self, p: &mut PartialPacket, upto: usize) {
+        let upto = upto.min(self.config.stages.len());
+        while p.next_stage < upto {
+            let s = p.next_stage;
+            self.run_stage(&mut p.phv, s);
+            p.next_stage += 1;
+        }
+    }
+
+    /// Runs any remaining stages and deparses, producing the same
+    /// output (and the same statistics) as [`Pipeline::process`] would
+    /// have for this packet.
+    pub fn finish(&mut self, mut p: PartialPacket) -> PipelineOutput {
+        self.advance(&mut p, self.config.stages.len());
         let passes = self.passes();
         self.stats.packets += 1;
         self.stats.recirculations += (passes - 1) as u64;
-        let out_packet = self.config.deparser.deparse(&self.config.layout, &phv);
+        let out_packet = self.config.deparser.deparse(&self.config.layout, &p.phv);
         let fwd_code = self
             .config
             .fwd_code
-            .map(|f| phv.get(f).bits() as u8)
+            .map(|f| p.phv.get(f).bits() as u8)
             .unwrap_or(0);
         let fwd_label = self
             .config
             .fwd_label
-            .map(|f| phv.get(f).bits() as u16)
+            .map(|f| p.phv.get(f).bits() as u16)
             .unwrap_or(0);
-        Some(PipelineOutput {
+        PipelineOutput {
             packet: out_packet,
             fwd_code,
             fwd_label,
             passes,
-            parsed_bytes,
-        })
+            parsed_bytes: p.parsed_bytes,
+        }
+    }
+
+    /// Captures the persistent register state (the pipeline's only
+    /// cross-packet state; tables are control-plane-owned and stats are
+    /// observability, not semantics). The snapshot is the checkpoint
+    /// unit of the ncmc model checker: restore it and replay a schedule
+    /// and the pipeline is bit-identical.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            registers: self.registers.clone(),
+        }
+    }
+
+    /// Restores register state captured by [`Pipeline::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// If the snapshot's shape does not match this pipeline's register
+    /// arrays (it came from a different configuration).
+    pub fn restore(&mut self, snap: &PipelineSnapshot) {
+        assert_eq!(
+            self.registers.len(),
+            snap.registers.len(),
+            "snapshot from a different pipeline (array count mismatch)"
+        );
+        for (ours, theirs) in self.registers.iter_mut().zip(&snap.registers) {
+            assert_eq!(
+                ours.len(),
+                theirs.len(),
+                "snapshot from a different pipeline (array length mismatch)"
+            );
+            ours.copy_from_slice(theirs);
+        }
     }
 
     /// Runs the match-action stages over an already-parsed PHV (used by
@@ -480,6 +550,39 @@ impl Pipeline {
             .iter()
             .map(|n| n.as_str())
             .zip(self.stats.hit_counts.iter().copied())
+    }
+}
+
+/// A packet suspended between logical stages (see [`Pipeline::begin`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartialPacket {
+    phv: Phv,
+    next_stage: usize,
+    parsed_bytes: usize,
+}
+
+impl PartialPacket {
+    /// The packet's current PHV (for state hashing / inspection).
+    pub fn phv(&self) -> &Phv {
+        &self.phv
+    }
+
+    /// The next logical stage this packet will execute.
+    pub fn next_stage(&self) -> usize {
+        self.next_stage
+    }
+}
+
+/// Persistent register state captured by [`Pipeline::snapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PipelineSnapshot {
+    registers: Vec<Vec<Value>>,
+}
+
+impl PipelineSnapshot {
+    /// The captured register arrays, in configuration order.
+    pub fn registers(&self) -> &[Vec<Value>] {
+        &self.registers
     }
 }
 
@@ -915,6 +1018,62 @@ mod tests {
         // Stats behave identically to the untraced path.
         assert_eq!(p.stats.packets, 1);
         assert_eq!(p.table_hits_for("bump"), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_register_state() {
+        let mut p = Pipeline::load(counter_pipeline(), ResourceModel::default()).unwrap();
+        p.process(&5u32.to_be_bytes()).unwrap();
+        let snap = p.snapshot();
+        assert_eq!(snap.registers()[0][0], Value::u32(5));
+        p.process(&7u32.to_be_bytes()).unwrap();
+        assert_eq!(p.register_read("total", 0), Some(Value::u32(12)));
+        p.restore(&snap);
+        assert_eq!(p.register_read("total", 0), Some(Value::u32(5)));
+        // Replay from the checkpoint is bit-identical.
+        p.process(&7u32.to_be_bytes()).unwrap();
+        assert_eq!(p.register_read("total", 0), Some(Value::u32(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different pipeline")]
+    fn restore_rejects_foreign_snapshot() {
+        let p = Pipeline::load(counter_pipeline(), ResourceModel::default()).unwrap();
+        let snap = p.snapshot();
+        let mut cfg = counter_pipeline();
+        cfg.registers.push(RegisterArrayDef {
+            name: "extra".into(),
+            elem: ScalarType::U32,
+            len: 1,
+            init: vec![],
+        });
+        // "extra" is never accessed by any stage, so the config loads.
+        let mut other = Pipeline::load(cfg, ResourceModel::default()).unwrap();
+        other.restore(&snap);
+    }
+
+    #[test]
+    fn partial_execution_matches_process() {
+        // Reference: two straight process() calls.
+        let mut reference = Pipeline::load(counter_pipeline(), ResourceModel::default()).unwrap();
+        let r1 = reference.process(&5u32.to_be_bytes()).unwrap();
+        let r2 = reference.process(&7u32.to_be_bytes()).unwrap();
+
+        // Same packets via begin/advance/finish, suspended mid-way.
+        let mut p = Pipeline::load(counter_pipeline(), ResourceModel::default()).unwrap();
+        let mut partial = p.begin(&5u32.to_be_bytes()).unwrap();
+        assert_eq!(partial.next_stage(), 0);
+        p.advance(&mut partial, 1);
+        assert_eq!(partial.next_stage(), 1);
+        let o1 = p.finish(partial);
+        let o2 = p.process(&7u32.to_be_bytes()).unwrap();
+        assert_eq!((o1, o2), (r1, r2));
+        assert_eq!(p.stats, reference.stats);
+        assert_eq!(p.snapshot(), reference.snapshot());
+
+        // Parse errors count identically too.
+        assert!(p.begin(&[1, 2]).is_none());
+        assert_eq!(p.stats.parse_errors, 1);
     }
 
     #[test]

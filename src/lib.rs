@@ -24,6 +24,7 @@
 //! | [`netsim`] | `netsim` | the discrete-event network simulator |
 //! | [`nctel`] | `nctel` | metrics registry, hop records, traces, spans |
 //! | [`ncsched`] | `ncsched` | multi-tenant admission, placement, upgrades |
+//! | [`ncmc`] | `ncmc` | bounded model checker for kernel × protocol schedules |
 //!
 //! Start with [`core::nclc::compile`] and [`core::deploy::deploy`]; the
 //! `examples/` directory walks through the paper's use cases.
@@ -34,6 +35,7 @@ pub use ncl_core as core;
 pub use ncl_ir as ir;
 pub use ncl_lang as lang;
 pub use ncl_p4 as p4;
+pub use ncmc;
 pub use ncp;
 pub use ncsched;
 pub use nctel;
