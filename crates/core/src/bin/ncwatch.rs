@@ -1,0 +1,161 @@
+//! ncwatch — incident-log inspection and fabric health summaries, as a
+//! command-line tool.
+//!
+//! ```text
+//! ncwatch --incidents <FILE.jsonl> [--last N] [--json]
+//! ncwatch --health    <FILE.jsonl>
+//! ```
+//!
+//! `--incidents` reads an append-only incident log (JSONL, one
+//! [`ncwatch::IncidentReport`] per line, written by an armed
+//! [`ncwatch::Watch`]) and pretty-prints each incident: firing signal,
+//! burn rates, suspected component, correlated exemplars, capture
+//! sizes. `--last N` keeps only the N most recent; `--json` re-emits
+//! the canonical single-line JSON instead (useful to re-seal-check or
+//! pipe into `jq`).
+//!
+//! `--health` renders a one-shot summary of the same log: incident
+//! counts by class, by tenant, and by suspected component — the
+//! 30-second "is the fabric ok" view.
+
+use ncwatch::IncidentReport;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    incidents: Option<String>,
+    health: Option<String>,
+    last: Option<usize>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ncwatch (--incidents FILE [--last N] [--json] | --health FILE)");
+    eprintln!("  FILE: ncwatch incident log (JSONL, one incident per line)");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        incidents: None,
+        health: None,
+        last: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--incidents" => args.incidents = it.next(),
+            "--health" => args.health = it.next(),
+            "--json" => args.json = true,
+            "--last" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--last expects a count");
+                    usage();
+                };
+                args.last = Some(n);
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if args.incidents.is_some() == args.health.is_some() {
+        eprintln!("exactly one of --incidents / --health is required");
+        usage();
+    }
+    args
+}
+
+/// Loads every incident from a JSONL log, strict per line.
+fn load(file: &str) -> Result<Vec<IncidentReport>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r = IncidentReport::parse(line).map_err(|e| format!("{file}:{}: {e}", i + 1))?;
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Renders the aggregate health view of an incident log.
+fn render_health(incidents: &[IncidentReport]) -> String {
+    let mut out = String::new();
+    if incidents.is_empty() {
+        out.push_str("healthy: no incidents on record\n");
+        return out;
+    }
+    let mut by_class: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut by_tenant: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut by_suspect: BTreeMap<&str, u64> = BTreeMap::new();
+    for i in incidents {
+        *by_class.entry(&i.kind).or_default() += 1;
+        let tenant = if i.tenant.is_empty() {
+            "(fabric)"
+        } else {
+            &i.tenant
+        };
+        *by_tenant.entry(tenant).or_default() += 1;
+        *by_suspect.entry(&i.suspected).or_default() += 1;
+    }
+    let span = (incidents.first().unwrap(), incidents.last().unwrap());
+    out.push_str(&format!(
+        "{} incident(s), tick {} .. tick {}\n",
+        incidents.len(),
+        span.0.tick,
+        span.1.tick
+    ));
+    let section = |out: &mut String, title: &str, map: &BTreeMap<&str, u64>| {
+        out.push_str(&format!("{title}:\n"));
+        for (k, v) in map {
+            out.push_str(&format!("  {v:>4}  {k}\n"));
+        }
+    };
+    section(&mut out, "by class", &by_class);
+    section(&mut out, "by tenant", &by_tenant);
+    section(&mut out, "by suspected component", &by_suspect);
+    out
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if let Some(file) = &args.incidents {
+        let mut incidents = load(file)?;
+        if let Some(n) = args.last {
+            let skip = incidents.len().saturating_sub(n);
+            incidents.drain(..skip);
+        }
+        if incidents.is_empty() {
+            println!("no incidents in {file}");
+            return Ok(());
+        }
+        for (i, r) in incidents.iter().enumerate() {
+            if args.json {
+                println!("{}", r.render_json());
+            } else {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", r.render_text());
+            }
+        }
+    } else if let Some(file) = &args.health {
+        print!("{}", render_health(&load(file)?));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ncwatch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

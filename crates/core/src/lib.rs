@@ -57,6 +57,7 @@ pub mod mux;
 pub mod nclc;
 pub mod runtime;
 pub mod tenants;
+pub mod watch;
 
 pub use control::ControlPlane;
 pub use deploy::{
@@ -69,3 +70,4 @@ pub use mux::TenantMux;
 pub use nclc::{compile, CompileConfig, CompiledProgram, NclcError};
 pub use runtime::{NclHost, OutInvocation, TypedArray};
 pub use tenants::{deploy_tenants, MultiDeployError, MultiDeployment, TenantDeploy};
+pub use watch::{FabricWatch, FabricWatchParts};

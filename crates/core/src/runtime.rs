@@ -53,6 +53,14 @@ struct Reliability {
     wire_index: HashMap<(u16, u32), (usize, usize)>,
     /// Earliest armed RTO timer (suppresses redundant timer events).
     armed: Option<Time>,
+    /// `(kernel id, seq)` → first wire transmission time, retired on
+    /// ack. Feeds the end-to-end ack-latency histogram (the window
+    /// clock ncwatch's p99 SLOs read) without touching the NCP-R
+    /// sender's checkpointable state.
+    first_sent: HashMap<(u16, u32), Time>,
+    /// First-send → ack latency, ns. Registered as
+    /// `ncpr.sender.ack_latency_ns`.
+    m_ack_latency: nctel::Histogram,
 }
 
 /// A typed host array: element type plus big-endian element bytes.
@@ -411,9 +419,13 @@ impl NclHost {
             receiver: RelReceiver::new(),
             wire_index: HashMap::new(),
             armed: None,
+            first_sent: HashMap::new(),
+            m_ack_latency: nctel::Histogram::new(),
         };
         r.sender.attach_metrics(&self.registry, "ncpr.sender");
         r.receiver.attach_metrics(&self.registry, "ncpr.receiver");
+        self.registry
+            .register_histogram("ncpr.sender.ack_latency_ns", &r.m_ack_latency);
         self.reliable = Some(r);
         self
     }
@@ -454,6 +466,25 @@ impl NclHost {
         if let (Some(scope), Some(r)) = (&self.scope, &mut self.reliable) {
             r.sender.attach_scope(scope, host.0);
             r.receiver.attach_scope(scope, host.0);
+        }
+    }
+
+    /// Records a window's *first* wire transmission time (retransmits
+    /// keep the original timestamp, so the ack-latency histogram
+    /// measures first-send → ack, RTO stalls included).
+    fn note_sent(&mut self, kernel: u16, seq: u32, now: Time) {
+        if let Some(r) = &mut self.reliable {
+            r.first_sent.entry((kernel, seq)).or_insert(now);
+        }
+    }
+
+    /// Retires a window's first-send record and observes its end-to-end
+    /// ack latency.
+    fn note_acked(&mut self, kernel: u16, seq: u32, now: Time) {
+        if let Some(r) = &mut self.reliable {
+            if let Some(t0) = r.first_sent.remove(&(kernel, seq)) {
+                r.m_ack_latency.observe(now.saturating_sub(t0));
+            }
         }
     }
 
@@ -521,6 +552,17 @@ impl NclHost {
                 );
             }
         }
+    }
+
+    /// Non-draining copy of the assembled per-window traces (oldest
+    /// first) — the mid-run view streaming consumers (ncwatch) read
+    /// without stealing traces from the application. Empty when
+    /// telemetry is disabled.
+    pub fn trace_snapshot(&self) -> Vec<WindowTrace> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.snapshot())
+            .unwrap_or_default()
     }
 
     /// Drains and returns the assembled per-window traces (oldest
@@ -592,6 +634,10 @@ impl NclHost {
             r.receiver.attach_metrics_named(reg, |n| {
                 nctel::labeled(&format!("ncpr.receiver.{n}"), labels)
             });
+            reg.register_histogram(
+                &nctel::labeled("ncpr.sender.ack_latency_ns", labels),
+                &r.m_ack_latency,
+            );
         }
     }
 
@@ -621,6 +667,7 @@ impl NclHost {
             }
             let seq = w.seq;
             let bytes = self.encode_frame(&w);
+            self.note_sent(rid, seq, ctx.now);
             self.emit_sent(ctx.host, rid, seq, ctx.now);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;
@@ -654,6 +701,7 @@ impl NclHost {
         }
         for ((kernel, seq), (idx, wi)) in sends {
             if let Some((dest, bytes)) = self.window_bytes(ctx.host, idx, wi) {
+                self.note_sent(kernel, seq, ctx.now);
                 self.emit_sent(ctx.host, kernel, seq, ctx.now);
                 ctx.send(dest, bytes);
                 self.windows_sent += 1;
@@ -725,6 +773,7 @@ impl NclHost {
             let acked = r.sender.on_ack(w.kernel.0, w.seq);
             let fresh = r.receiver.admit_at(w.sender.0, w.kernel.0, w.seq, ctx.now);
             if acked {
+                self.note_acked(w.kernel.0, w.seq, ctx.now);
                 self.pump(ctx);
             }
             if !fresh {
@@ -790,8 +839,8 @@ impl HostApp for NclHost {
                     let r = self.reliable.as_mut().expect("checked above");
                     if ack.nack {
                         r.sender.on_nack(ack.kernel, ack.seq, ctx.now);
-                    } else {
-                        r.sender.on_ack(ack.kernel, ack.seq);
+                    } else if r.sender.on_ack(ack.kernel, ack.seq) {
+                        self.note_acked(ack.kernel, ack.seq, ctx.now);
                     }
                     self.pump(ctx);
                     self.check_done(ctx.now);
@@ -853,6 +902,7 @@ impl HostApp for NclHost {
             }
             let seq = w.seq;
             let bytes = self.encode_frame(&w);
+            self.note_sent(rid, seq, ctx.now);
             self.emit_sent(ctx.host, rid, seq, ctx.now);
             ctx.send(inv.dest, bytes);
             self.windows_sent += 1;

@@ -38,6 +38,7 @@ use crate::interp_switch::InterpSwitch;
 use crate::mux::TenantMux;
 use crate::nclc::{CompiledProgram, ModuleEstimate};
 use crate::runtime::NclHost;
+use crate::watch::{FabricWatch, FabricWatchParts};
 use c3::{HostId, Label, NodeId, SwitchId};
 use ncl_and::AndKind;
 use ncsched::{AdmissionController, AdmissionError, CostReport, TenantSpec, Upgrade};
@@ -584,6 +585,65 @@ impl MultiDeployment {
         }
     }
 
+    /// Binds an [`ncwatch`] streaming health engine to this deployment
+    /// (DESIGN.md §4.14). The returned [`crate::watch::FabricWatch`]
+    /// knows every admitted tenant's hosts and every fabric switch;
+    /// drive it with [`crate::watch::FabricWatch::run_watched`] or call
+    /// [`crate::watch::FabricWatch::tick`] on your own cadence.
+    ///
+    /// Conveniences applied here:
+    /// * `cfg.diagnosis.deployed_versions` is filled from the live
+    ///   version map (kept current by upgrades that completed before
+    ///   this call);
+    /// * when `cfg.slos` is empty, each admitted tenant gets the
+    ///   default guard objectives — unknown-kernel == 0 and a
+    ///   retransmit-rate ceiling of 500‰;
+    /// * every deploy-time admission rejection is minted as a tick-0
+    ///   `admission` incident carrying the cost report.
+    ///
+    /// `scope` is the event ring triggered diagnoses read; pass the
+    /// same scope the deployment was built with (or `None` to diagnose
+    /// from window traces alone).
+    pub fn watch(&self, mut cfg: ncwatch::WatchConfig, scope: Option<Scope>) -> FabricWatch {
+        cfg.diagnosis.deployed_versions = self.versions.clone();
+        if cfg.slos.is_empty() {
+            for t in &self.tenants {
+                cfg.slos.push(ncwatch::SloSpec::new(
+                    &format!("{}.unknown_kernel", t.name),
+                    &t.name,
+                    ncwatch::Objective::UnknownKernelZero,
+                ));
+                cfg.slos.push(ncwatch::SloSpec::new(
+                    &format!("{}.retransmit_rate", t.name),
+                    &t.name,
+                    ncwatch::Objective::RetransmitCeiling { max_per_mille: 500 },
+                ));
+            }
+        }
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.hosts.clone()))
+            .collect();
+        let mut switches: Vec<(String, SwitchId)> = self
+            .nodes
+            .iter()
+            .filter_map(|(label, node)| Some((label.as_str().to_string(), node.as_switch()?)))
+            .collect();
+        switches.sort();
+        let mut fw = FabricWatch::new(FabricWatchParts {
+            config: cfg,
+            tenants,
+            switches,
+            scope,
+        });
+        for report in &self.rejections {
+            fw.engine_mut()
+                .admission_incident(0, &report.tenant, &report.render_json());
+        }
+        fw
+    }
+
     /// Starts a hitless upgrade of `tenant` to `new_program`: admission
     /// (dual reservation, old + new resident), lint gate, then an
     /// atomic switchover on every occupied switch — the drain keys
@@ -987,5 +1047,64 @@ mod tests {
             Err(MultiDeployError::KernelIdsChanged { .. })
         ));
         assert_eq!(dep.controller.tenant_version("tenant-a"), Some(1));
+    }
+
+    /// The streaming watch rides a healthy two-tenant run without a
+    /// single incident (no false positives), while its default SLOs and
+    /// per-component detectors are armed and evaluating every tick.
+    #[test]
+    fn healthy_run_stays_incident_free_under_watch() {
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let mut dep = deploy_tenants(two_tenants(), opts).expect("deploys");
+        set_nworkers(&mut dep, "tenant-a", 3);
+        set_nworkers(&mut dep, "tenant-b", 3);
+        let cfg = ncwatch::WatchConfig {
+            tick_ns: 500,
+            ..ncwatch::WatchConfig::default()
+        };
+        let mut fw = dep.watch(cfg, None);
+        // Default guard SLOs were installed per tenant.
+        assert_eq!(fw.engine().trackers().len(), 4);
+        let fired = fw.run_watched(&mut dep.net, 30_000);
+        dep.net.run();
+        assert_tenant_sums(&dep.net, 1, 1, 3, 6);
+        assert_tenant_sums(&dep.net, 101, 4, 6, 15);
+        assert!(fired.is_empty(), "healthy run fired: {fired:?}");
+        assert!(fw.engine().incidents().is_empty());
+        assert!(fw.engine().ticks() >= 10, "watch actually evaluated");
+        assert!(fw.engine().health_summary().contains("no incidents"));
+    }
+
+    /// A deploy-time admission rejection surfaces as a tick-0 incident
+    /// carrying the machine-readable cost report.
+    #[test]
+    fn admission_rejection_becomes_incident() {
+        let mut tenants = two_tenants();
+        tenants[1].spec = ncsched::TenantSpec::with_quota(
+            "tenant-b",
+            ncsched::TenantQuota::new(0, usize::MAX, usize::MAX),
+        );
+        let opts = DeployOptions {
+            backend: SwitchBackend::FastPath,
+            ..DeployOptions::default()
+        };
+        let dep = deploy_tenants(tenants, opts).expect("deploys");
+        let fw = dep.watch(ncwatch::WatchConfig::default(), None);
+        let incidents = fw.engine().incidents();
+        assert_eq!(incidents.len(), 1);
+        let i = &incidents[0];
+        assert_eq!(i.kind, "admission");
+        assert_eq!(i.tenant, "tenant-b");
+        assert_eq!(i.tick, 0);
+        assert!(i.suspected.contains("admission"));
+        let (k, v) = &i.exemplars[0];
+        assert_eq!(k, "cost_report");
+        assert!(v.contains("\"budget\":\"tenant_quota\""), "{v}");
+        // The report round-trips through its canonical JSON.
+        let back = ncwatch::IncidentReport::parse(&i.render_json()).unwrap();
+        assert_eq!(&back, i);
     }
 }

@@ -97,20 +97,23 @@ impl Default for Histogram {
     }
 }
 
-/// Point-in-time summary of a [`Histogram`]: totals plus quantile upper
-/// bounds (each quantile reports the upper edge of its log2 bucket, so
-/// it over-estimates by at most 2×).
+/// Point-in-time summary of a [`Histogram`]: totals plus quantile
+/// estimates. Each quantile is linearly interpolated within its log2
+/// bucket (assuming observations spread uniformly across the bucket's
+/// range), so under a roughly uniform in-bucket distribution the
+/// estimate is within one bucket slot of the truth; in the adversarial
+/// worst case it still never leaves the bucket (≤2× relative error).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Total number of observations.
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
-    /// Upper bound on the 50th percentile.
+    /// Interpolated estimate of the 50th percentile.
     pub p50: u64,
-    /// Upper bound on the 99th percentile.
+    /// Interpolated estimate of the 99th percentile.
     pub p99: u64,
-    /// Upper bound on the 99.9th percentile.
+    /// Interpolated estimate of the 99.9th percentile.
     pub p999: u64,
 }
 
@@ -140,8 +143,9 @@ impl Histogram {
         }
     }
 
-    /// Value `v` such that at least `q` of observations are ≤ `v`
-    /// (bucket upper bound), given the already-loaded bucket counts.
+    /// Value `v` such that at least `q` of observations are ≤ `v`,
+    /// linearly interpolated within the target log2 bucket, given the
+    /// already-loaded bucket counts.
     fn quantile(counts: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
         if total == 0 {
             return 0;
@@ -150,12 +154,31 @@ impl Histogram {
         let rank = rank.clamp(1, total);
         let mut seen = 0u64;
         for (idx, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_upper(idx);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                return Self::interpolate(idx, rank - seen, c);
+            }
+            seen += c;
         }
         Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// Linear interpolation within bucket `idx`: the `r`-th (1-based) of
+    /// its `c` observations is estimated at `lo + (hi - lo)·r/c`, i.e.
+    /// the observations are assumed to spread uniformly across the
+    /// bucket's `(lo, hi]` range. A single-observation bucket reports
+    /// its upper edge, matching the pre-interpolation behaviour.
+    fn interpolate(idx: usize, r: u64, c: u64) -> u64 {
+        if idx == 0 || idx >= 64 {
+            // Bucket 0 holds exactly {0}; the top bucket's upper edge is
+            // not representable, so no interpolation span exists.
+            return Self::bucket_upper(idx);
+        }
+        let lo = 1u64 << (idx - 1);
+        let span = lo; // hi - lo == 2^(idx-1)
+        lo + ((span as u128 * r as u128) / c as u128) as u64
     }
 
     /// Takes a consistent-enough snapshot (concurrent observers may land
@@ -542,6 +565,49 @@ fn valid_label_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
+/// Byte offset of the first `needle` in `s` that is not inside a quoted
+/// string (escape-aware: `\x` inside quotes never ends the quote).
+fn find_unquoted(s: &str, needle: char) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            c if c == needle && !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a label-set body on top-level commas only — commas inside
+/// quoted label values stay part of their pair. Empty pairs (trailing
+/// comma) are dropped.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        match find_unquoted(rest, ',') {
+            Some(i) => {
+                if i > 0 {
+                    pairs.push(&rest[..i]);
+                }
+                rest = &rest[i + 1..];
+            }
+            None => {
+                pairs.push(rest);
+                break;
+            }
+        }
+    }
+    pairs
+}
+
 /// A strict parser for the Prometheus text exposition format, used to
 /// regression-test [`Registry::render_prometheus`] (and handy for
 /// checking any scrape output).
@@ -611,12 +677,15 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
         let mut rest = rest;
         let mut labels = Vec::new();
         if let Some(body) = rest.strip_prefix('{') {
-            let Some(close) = body.find('}') else {
+            // The closing brace must be found with quote awareness:
+            // label *values* may legally contain `}` (and `,`) inside
+            // their quotes, so a plain `find('}')` would truncate them.
+            let Some(close) = find_unquoted(body, '}') else {
                 return err("unterminated label set");
             };
             let (label_body, after) = body.split_at(close);
             rest = &after[1..];
-            for pair in label_body.split(',').filter(|p| !p.is_empty()) {
+            for pair in split_label_pairs(label_body) {
                 let Some((lname, lval)) = pair.split_once('=') else {
                     return err("label without '='");
                 };
@@ -712,18 +781,56 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_bucket_upper_bounds() {
+    fn histogram_quantiles_interpolate_within_buckets() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.observe(100); // bucket (64,128] → upper 128
+            h.observe(100); // bucket (64,128], 99 observations
         }
-        h.observe(1_000_000); // bucket upper 1048576
+        h.observe(1_000_000); // sole observation in (2^19, 2^20]
         let s = h.snapshot();
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 99 * 100 + 1_000_000);
-        assert_eq!(s.p50, 128);
+        // p50 → rank 50 of 99 in (64,128]: 64 + 64·50/99 = 96.
+        assert_eq!(s.p50, 96);
+        // p99 → rank 99 of 99 in the same bucket: the upper edge.
         assert_eq!(s.p99, 128);
+        // p999 → the lone top observation: its bucket's upper edge.
         assert_eq!(s.p999, 1 << 20);
+    }
+
+    #[test]
+    fn histogram_interpolation_bounds_relative_error() {
+        // Uniform-ish spread: values 257..=512 fill bucket (256,512]
+        // with an arithmetic progression. Interpolated quantiles must
+        // land near the true order statistics — well inside the 2×
+        // worst case of the old bucket-upper-bound estimate.
+        let h = Histogram::new();
+        for v in 257..=511u64 {
+            h.observe(v); // 255 observations, all in one bucket
+        }
+        let s = h.snapshot();
+        for (q, est) in [(0.50f64, s.p50), (0.99, s.p99), (0.999, s.p999)] {
+            let rank = ((255.0 * q).ceil() as u64).clamp(1, 255);
+            let truth = 256 + rank; // rank-th smallest of 257..=511
+            let rel = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                rel <= 0.005,
+                "q={q}: est {est} vs truth {truth} (rel err {rel:.4})"
+            );
+        }
+
+        // Adversarial: every observation piled at the bucket's bottom
+        // edge + 1. Interpolation can't know that, but the estimate
+        // must never leave the bucket: relative error stays < 2×.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.observe(257);
+        }
+        let s = h.snapshot();
+        for est in [s.p50, s.p99, s.p999] {
+            assert!((257..=512).contains(&est), "estimate {est} left bucket");
+            assert!((est as f64) / 257.0 < 2.0);
+        }
     }
 
     #[test]
@@ -894,6 +1001,21 @@ mod tests {
         r.counter(&name).inc();
         let families = parse_prometheus(&r.render_prometheus()).expect("parses");
         assert_eq!(families[0].samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn parser_keeps_braces_and_commas_inside_label_values() {
+        // `}` and `,` are legal *inside* quoted label values; the
+        // quote-aware scan must not end the label set (or split the
+        // pair) early.
+        let r = Registry::new();
+        r.counter(&labeled("x.y", &[("a", "v1,v2}"), ("b", "{q=\"z\"}")]))
+            .add(3);
+        let text = r.render_prometheus();
+        let families = parse_prometheus(&text).expect("strict parse:\n{text}");
+        let labels = &families[0].samples[0].labels;
+        assert_eq!(labels[0], ("a".to_string(), "v1,v2}".to_string()));
+        assert_eq!(labels[1], ("b".to_string(), "{q=\"z\"}".to_string()));
     }
 
     #[test]

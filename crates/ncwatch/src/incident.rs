@@ -1,0 +1,236 @@
+//! Machine-readable incident reports.
+//!
+//! An [`IncidentReport`] is the unit the incident pipeline emits when
+//! an SLO fires, an anomaly detector flags, or admission control
+//! rejects a tenant: one self-contained JSON object carrying the firing
+//! signal, its burn rates, the suspected component from the automatic
+//! `ncscope` diagnosis, correlated metric exemplars, and a
+//! deterministic content-hash id. Reports are append-only JSONL on
+//! disk, so `ncwatch --incidents` can tail them and CI can diff two
+//! runs byte-for-byte.
+
+use nctel::scope::json::{escape, Json};
+
+/// Renders a node wire id the way the rest of the stack prints
+/// topology: switches carry bit 15 (`s3`), hosts don't (`h2`).
+pub fn wire_name(id: u16) -> String {
+    if id & 0x8000 != 0 {
+        format!("s{}", id & 0x7fff)
+    } else {
+        format!("h{}", id)
+    }
+}
+
+/// Renders an undirected link between two wire ids: `h1<->s1`
+/// (lower id first, matching [`nctel::scope::analysis::Diagnosis::primary_loss_locus`]).
+pub fn link_name(a: u16, b: u16) -> String {
+    let (lo, hi) = (a.min(b), a.max(b));
+    format!("{}<->{}", wire_name(lo), wire_name(hi))
+}
+
+/// One incident, as captured at fire time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncidentReport {
+    /// Deterministic id: FNV-1a over the report content (16 hex
+    /// digits). Two identical simulated runs mint identical ids.
+    pub id: String,
+    /// Evaluation tick (0-based) the incident fired on.
+    pub tick: u64,
+    /// Simulated time at fire, ns.
+    pub now_ns: u64,
+    /// `"slo"`, `"anomaly"`, or `"admission"`.
+    pub kind: String,
+    /// The firing signal: SLO spec name, anomaly series name, or the
+    /// rejected tenant's admission key.
+    pub source: String,
+    /// Tenant the signal belongs to (empty for fabric-wide signals).
+    pub tenant: String,
+    /// Fast-window burn in milli-burns (0 for non-SLO incidents).
+    pub burn_fast_milli: u64,
+    /// Slow-window burn in milli-burns (0 for non-SLO incidents).
+    pub burn_slow_milli: u64,
+    /// The component the automatic diagnosis blames (`link h1<->s1`,
+    /// `switch s1 (unknown kernel)`, …) or `unknown`.
+    pub suspected: String,
+    /// Correlated metric exemplars at fire time, `(name, rendered
+    /// value)`, sorted by name.
+    pub exemplars: Vec<(String, String)>,
+    /// Scope events fed into the triggered diagnosis.
+    pub events_captured: u64,
+    /// Window traces fed into the triggered diagnosis.
+    pub hops_captured: u64,
+}
+
+impl IncidentReport {
+    /// Renders the canonical single-line JSON form (fixed key order,
+    /// exemplars sorted — byte-stable across runs). [`escape`] yields
+    /// the complete quoted literal.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"kind\":\"ncwatch-incident\",\"version\":1");
+        out.push_str(&format!(",\"id\":{}", escape(&self.id)));
+        out.push_str(&format!(",\"tick\":{}", self.tick));
+        out.push_str(&format!(",\"now_ns\":{}", self.now_ns));
+        out.push_str(&format!(",\"class\":{}", escape(&self.kind)));
+        out.push_str(&format!(",\"source\":{}", escape(&self.source)));
+        out.push_str(&format!(",\"tenant\":{}", escape(&self.tenant)));
+        out.push_str(&format!(",\"burn_fast_milli\":{}", self.burn_fast_milli));
+        out.push_str(&format!(",\"burn_slow_milli\":{}", self.burn_slow_milli));
+        out.push_str(&format!(",\"suspected\":{}", escape(&self.suspected)));
+        out.push_str(",\"exemplars\":{");
+        for (i, (k, v)) in self.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", escape(k), escape(v)));
+        }
+        out.push('}');
+        out.push_str(&format!(",\"events_captured\":{}", self.events_captured));
+        out.push_str(&format!(",\"hops_captured\":{}", self.hops_captured));
+        out.push('}');
+        out
+    }
+
+    /// Computes and installs the content-hash id: FNV-1a 64 over the
+    /// canonical JSON rendered with the id field blanked.
+    pub fn seal(&mut self) {
+        self.id.clear();
+        let bytes = self.render_json();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.id = format!("{h:016x}");
+    }
+
+    /// Parses a rendered incident back (strict on kind/version).
+    pub fn parse(text: &str) -> Result<IncidentReport, String> {
+        let doc = nctel::scope::json::parse(text)?;
+        let s = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let n = |k: &str| -> Result<u64, String> {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        if s("kind")? != "ncwatch-incident" || n("version")? != 1 {
+            return Err("not an ncwatch incident".into());
+        }
+        let mut exemplars = Vec::new();
+        if let Some(obj) = doc.get("exemplars").and_then(Json::as_obj) {
+            for (k, v) in obj {
+                exemplars.push((
+                    k.clone(),
+                    v.as_str().ok_or("non-string exemplar")?.to_string(),
+                ));
+            }
+        }
+        Ok(IncidentReport {
+            id: s("id")?,
+            tick: n("tick")?,
+            now_ns: n("now_ns")?,
+            kind: s("class")?,
+            source: s("source")?,
+            tenant: s("tenant")?,
+            burn_fast_milli: n("burn_fast_milli")?,
+            burn_slow_milli: n("burn_slow_milli")?,
+            suspected: s("suspected")?,
+            exemplars,
+            events_captured: n("events_captured")?,
+            hops_captured: n("hops_captured")?,
+        })
+    }
+
+    /// Renders the operator-facing multi-line form the CLI prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "incident {} [{}] tick {} t={}ns\n",
+            self.id, self.kind, self.tick, self.now_ns
+        ));
+        out.push_str(&format!("  source:    {}", self.source));
+        if !self.tenant.is_empty() {
+            out.push_str(&format!(" (tenant {})", self.tenant));
+        }
+        out.push('\n');
+        out.push_str(&format!("  suspected: {}\n", self.suspected));
+        if self.burn_fast_milli > 0 || self.burn_slow_milli > 0 {
+            out.push_str(&format!(
+                "  burn:      {}x fast / {}x slow (milli: {}/{})\n",
+                self.burn_fast_milli / 1000,
+                self.burn_slow_milli / 1000,
+                self.burn_fast_milli,
+                self.burn_slow_milli
+            ));
+        }
+        for (k, v) in &self.exemplars {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        out.push_str(&format!(
+            "  capture:   {} events, {} traces\n",
+            self.events_captured, self.hops_captured
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> IncidentReport {
+        let mut r = IncidentReport {
+            id: String::new(),
+            tick: 17,
+            now_ns: 1_234_567,
+            kind: "slo".into(),
+            source: "ar-a.goodput".into(),
+            tenant: "ar-a".into(),
+            burn_fast_milli: 20000,
+            burn_slow_milli: 5000,
+            suspected: "link h1<->s1".into(),
+            exemplars: vec![
+                ("acked_per_tick".into(), "0".into()),
+                ("retransmit_per_mille".into(), "412".into()),
+            ],
+            events_captured: 99,
+            hops_captured: 12,
+        };
+        r.seal();
+        r
+    }
+
+    #[test]
+    fn seal_is_deterministic_and_content_sensitive() {
+        let a = report();
+        let b = report();
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.id.len(), 16);
+        let mut c = report();
+        c.tick += 1;
+        c.seal();
+        assert_ne!(a.id, c.id, "different content, different id");
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let r = report();
+        let line = r.render_json();
+        let back = IncidentReport::parse(&line).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.render_json(), line);
+    }
+
+    #[test]
+    fn wire_names_match_topology_convention() {
+        assert_eq!(wire_name(0x8001), "s1");
+        assert_eq!(wire_name(2), "h2");
+        assert_eq!(link_name(0x8001, 2), "h2<->s1");
+        assert_eq!(link_name(2, 0x8001), "h2<->s1");
+    }
+}

@@ -1,0 +1,292 @@
+//! Declarative per-tenant service-level objectives with deterministic
+//! multi-rate burn-rate alerting.
+//!
+//! Each [`SloSpec`] compiles one [`Objective`] into a rolling evaluator
+//! ([`SloTracker`]): every evaluation tick the engine classifies the
+//! tick as in- or out-of-objective (a binary "bad tick"), and the
+//! tracker maintains the bad-tick fraction over a *fast* and a *slow*
+//! window. The alert fires only when **both** windows burn the error
+//! budget faster than the threshold — the fast window gives low
+//! detection latency, the slow window suppresses one-tick blips
+//! (multiwindow burn-rate alerting à la Prometheus SLO practice, but
+//! with integer per-mille arithmetic so runs replay bit-identically).
+
+use std::collections::VecDeque;
+
+/// What a tenant objective constrains. Evaluation inputs are the
+/// per-tick deltas / gauges the [`crate::engine::Watch`] derives from
+/// registry snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Acked windows per evaluation tick must not fall below this.
+    /// Only evaluated on ticks where the tenant has traffic in flight
+    /// (otherwise an idle tenant would "violate" its own floor).
+    GoodputFloor {
+        /// Minimum acked windows per tick.
+        min_acked_per_tick: u64,
+    },
+    /// The tenant's p99 first-send→ack latency (from the
+    /// `ncpr.sender.ack_latency_ns` histogram) must stay at or below
+    /// this. Only evaluated once the histogram has observations.
+    LatencyCeiling {
+        /// Maximum tolerated p99, in ns.
+        max_p99_ns: u64,
+    },
+    /// Retransmitted sends per 1000 wire sends must stay at or below
+    /// this. Only evaluated on ticks with sends.
+    RetransmitCeiling {
+        /// Maximum retransmit share, in per-mille of all sends.
+        max_per_mille: u64,
+    },
+    /// No window of this tenant may reach a switch that has no deployed
+    /// kernel for it — any unknown-kernel delta is a bad tick.
+    UnknownKernelZero,
+}
+
+impl Objective {
+    /// Stable lowercase tag used in incident reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Objective::GoodputFloor { .. } => "goodput_floor",
+            Objective::LatencyCeiling { .. } => "latency_ceiling",
+            Objective::RetransmitCeiling { .. } => "retransmit_ceiling",
+            Objective::UnknownKernelZero => "unknown_kernel_zero",
+        }
+    }
+}
+
+/// One declared objective plus its alerting policy.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Stable name, used as the incident source and cooldown key.
+    pub name: String,
+    /// Tenant the objective applies to.
+    pub tenant: String,
+    /// The constrained quantity.
+    pub objective: Objective,
+    /// Fast burn window, in evaluation ticks.
+    pub fast_window: usize,
+    /// Slow burn window, in evaluation ticks.
+    pub slow_window: usize,
+    /// Error budget: tolerated bad-tick fraction, in per-mille.
+    pub budget_per_mille: u64,
+    /// Fire when both windows' burn rate reaches this many milli-burns
+    /// (4000 = burning budget 4× faster than sustainable).
+    pub burn_threshold_milli: u64,
+}
+
+impl SloSpec {
+    /// A spec with the default alerting policy: fast window 3 ticks,
+    /// slow window 12, 5% error budget, 4× burn threshold.
+    pub fn new(name: &str, tenant: &str, objective: Objective) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            tenant: tenant.to_string(),
+            objective,
+            fast_window: 3,
+            slow_window: 12,
+            budget_per_mille: 50,
+            burn_threshold_milli: 4000,
+        }
+    }
+}
+
+/// Burn rates over the two windows, in milli-burns (1000 = consuming
+/// budget exactly at the sustainable rate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BurnRates {
+    /// Burn over the fast window.
+    pub fast_milli: u64,
+    /// Burn over the slow window.
+    pub slow_milli: u64,
+}
+
+/// State transition produced by one evaluation tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloTransition {
+    /// No state change.
+    Unchanged,
+    /// The alert just started firing (this is the incident trigger).
+    Fired(BurnRates),
+    /// The alert just cleared (fast-window burn fell below threshold).
+    Cleared,
+}
+
+/// Rolling evaluation state of one [`SloSpec`].
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    /// The compiled spec.
+    pub spec: SloSpec,
+    /// Bad-tick bits, newest last, bounded by `slow_window`.
+    window: VecDeque<bool>,
+    firing: bool,
+    evaluated: u64,
+    bad_total: u64,
+}
+
+impl SloTracker {
+    /// Compiles a spec into a tracker.
+    pub fn new(spec: SloSpec) -> Self {
+        assert!(spec.fast_window >= 1 && spec.fast_window <= spec.slow_window);
+        assert!(spec.budget_per_mille >= 1);
+        SloTracker {
+            spec,
+            window: VecDeque::new(),
+            firing: false,
+            evaluated: 0,
+            bad_total: 0,
+        }
+    }
+
+    /// Feeds one evaluation tick. `None` means the objective was not
+    /// evaluable this tick (no traffic for a goodput floor, empty
+    /// histogram for a latency ceiling); the windows are left
+    /// untouched so idle periods neither heal nor hurt the budget.
+    pub fn observe(&mut self, breached: Option<bool>) -> SloTransition {
+        let Some(bad) = breached else {
+            return SloTransition::Unchanged;
+        };
+        self.evaluated += 1;
+        self.bad_total += bad as u64;
+        self.window.push_back(bad);
+        while self.window.len() > self.spec.slow_window {
+            self.window.pop_front();
+        }
+        let burn = self.burn();
+        let thr = self.spec.burn_threshold_milli;
+        if self.firing {
+            if burn.fast_milli < thr {
+                self.firing = false;
+                return SloTransition::Cleared;
+            }
+            return SloTransition::Unchanged;
+        }
+        // Both windows must agree before firing, and the fast window
+        // must actually be full — a single first bad tick is not a
+        // sustained burn.
+        if self.window.len() >= self.spec.fast_window
+            && burn.fast_milli >= thr
+            && burn.slow_milli >= thr
+        {
+            self.firing = true;
+            return SloTransition::Fired(burn);
+        }
+        SloTransition::Unchanged
+    }
+
+    /// Burn rates over the currently held window (the slow burn uses
+    /// however much history exists, up to `slow_window`).
+    pub fn burn(&self) -> BurnRates {
+        let over = |w: usize| -> u64 {
+            let w = w.min(self.window.len());
+            if w == 0 {
+                return 0;
+            }
+            let bad = self.window.iter().rev().take(w).filter(|&&b| b).count() as u64;
+            // burn = (bad / w) / (budget_per_mille / 1000), in milli:
+            bad * 1_000_000 / (w as u64 * self.spec.budget_per_mille)
+        };
+        BurnRates {
+            fast_milli: over(self.spec.fast_window),
+            slow_milli: over(self.spec.slow_window),
+        }
+    }
+
+    /// Whether the alert is currently firing.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// `(evaluated ticks, bad ticks)` lifetime totals.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.evaluated, self.bad_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec::new(
+            "t.goodput",
+            "t",
+            Objective::GoodputFloor {
+                min_acked_per_tick: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn sustained_breach_fires_once_and_clears() {
+        let mut t = SloTracker::new(spec());
+        // Healthy history fills the slow window.
+        for _ in 0..12 {
+            assert_eq!(t.observe(Some(false)), SloTransition::Unchanged);
+        }
+        // One blip: fast window not saturated → no fire.
+        assert_eq!(t.observe(Some(true)), SloTransition::Unchanged);
+        assert_eq!(t.observe(Some(false)), SloTransition::Unchanged);
+        // Sustained breach: fires exactly once...
+        let mut fired = 0;
+        for _ in 0..6 {
+            if let SloTransition::Fired(b) = t.observe(Some(true)) {
+                fired += 1;
+                assert!(b.fast_milli >= 4000 && b.slow_milli >= 4000);
+            }
+        }
+        assert_eq!(fired, 1);
+        assert!(t.firing());
+        // ...and clears once the fast window drains.
+        let mut cleared = 0;
+        for _ in 0..4 {
+            if t.observe(Some(false)) == SloTransition::Cleared {
+                cleared += 1;
+            }
+        }
+        assert_eq!(cleared, 1);
+        assert!(!t.firing());
+    }
+
+    #[test]
+    fn idle_ticks_do_not_heal_the_budget() {
+        let mut t = SloTracker::new(spec());
+        for _ in 0..3 {
+            t.observe(Some(true));
+        }
+        let burn = t.burn();
+        // A run of None ticks must leave burn untouched.
+        for _ in 0..100 {
+            assert_eq!(t.observe(None), SloTransition::Unchanged);
+        }
+        assert_eq!(t.burn(), burn);
+    }
+
+    #[test]
+    fn slow_window_suppresses_oscillating_blips() {
+        let mut t = SloTracker::new(spec());
+        // Alternating good/bad: fast window (3) sees at most 2 bad →
+        // fast burn 2/3 / 0.05 = 13333 milli ≥ 4000, but after enough
+        // history the slow window holds 6/12 = 10000 milli — both over
+        // threshold, so this *should* fire (50% bad is a real outage).
+        // The suppression case is sparser: one bad tick in 12.
+        for _ in 0..12 {
+            t.observe(Some(false));
+        }
+        t.observe(Some(true));
+        for _ in 0..11 {
+            assert_eq!(t.observe(Some(false)), SloTransition::Unchanged);
+        }
+        assert!(!t.firing());
+    }
+
+    #[test]
+    fn burn_arithmetic_is_exact() {
+        let mut t = SloTracker::new(spec());
+        for bad in [true, false, true] {
+            t.observe(Some(bad));
+        }
+        // fast: 2 bad / 3 ticks / 5% budget = 13333 milli (integer div).
+        assert_eq!(t.burn().fast_milli, 2 * 1_000_000 / (3 * 50));
+    }
+}

@@ -266,6 +266,29 @@ impl Network {
         &self.registry
     }
 
+    /// Replaces both directions' [`LinkSpec`] of the `a`↔`b` link
+    /// mid-run: bandwidth, latency, and the deterministic loss / dup /
+    /// jitter processes all switch to the new parameters for subsequent
+    /// transmissions (packets already in flight keep the timings they
+    /// were emitted under, and the per-direction drop/dup phase
+    /// counters are preserved so the change is purely a parameter
+    /// swap). This is the fault-injection hook ncwatch's degrading-link
+    /// campaigns use. Returns `false` when no such link exists.
+    pub fn set_link_spec(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> bool {
+        let idx = |id: NodeId| self.nodes.iter().position(|n| node_id(n) == id);
+        let (Some(ai), Some(bi)) = (idx(a), idx(b)) else {
+            return false;
+        };
+        for l in &mut self.links {
+            if (l.a == ai && l.b == bi) || (l.a == bi && l.b == ai) {
+                l.ab.spec = spec;
+                l.ba.spec = spec;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Runs until the event queue drains or `deadline` passes. Returns
     /// the final time.
     pub fn run_until(&mut self, deadline: Time) -> Time {

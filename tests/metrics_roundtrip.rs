@@ -1,0 +1,109 @@
+//! Prometheus export ↔ parse round-trip: `Registry::render_prometheus`
+//! and the strict parser (`nctel::metrics::parse_prometheus`) must be
+//! exact inverses on `labeled()` families, including label values that
+//! carry every character the text format escapes (`\`, `"`, newline)
+//! and the structural characters a naive splitter chokes on (`,`, `}`,
+//! `{`, `=`). The property is byte-level: export → parse → rebuild a
+//! fresh registry from the parsed samples → re-export must reproduce
+//! the original text exactly.
+
+use nctel::metrics::{labeled, parse_prometheus, Registry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Characters label values are drawn from. The first row is what the
+/// exposition format escapes; the second row breaks non-quote-aware
+/// label-set scanners; the rest is filler.
+const VALUE_CHARS: &[char] = &[
+    '\\', '"', '\n', //
+    ',', '}', '{', '=', //
+    'a', 'b', 'z', '0', '9', '_', ' ', '.', '-',
+];
+
+/// Pre-sanitized family bases (already legal Prometheus names), so the
+/// export→re-export comparison is not confounded by name rewriting.
+const BASES: &[&str] = &["rt_m_a", "rt_m_b", "rt_m_c"];
+const LABEL_NAMES: &[&str] = &["tenant", "host", "link"];
+
+fn roundtrip(series: &[(usize, Vec<String>, u64)]) -> Result<(), TestCaseError> {
+    // Build the source registry. Get-or-create semantics mean two
+    // identical generated names would share one cell, so accumulate
+    // into a map first and keep the summed value as the expectation.
+    let mut want: BTreeMap<String, u64> = BTreeMap::new();
+    for (base_idx, values, count) in series {
+        let pairs: Vec<(&str, &str)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (LABEL_NAMES[i % LABEL_NAMES.len()], v.as_str()))
+            .collect();
+        // Duplicate label names within one sample are illegal; dedupe.
+        let mut seen = std::collections::BTreeSet::new();
+        let pairs: Vec<(&str, &str)> = pairs.into_iter().filter(|(k, _)| seen.insert(*k)).collect();
+        let name = labeled(BASES[base_idx % BASES.len()], &pairs);
+        *want.entry(name).or_insert(0) += count;
+    }
+    let r = Registry::new();
+    for (name, v) in &want {
+        r.counter(name).add(*v);
+    }
+    let text = r.render_prometheus();
+
+    // The strict parser must accept its own exporter's output.
+    let families = match parse_prometheus(&text) {
+        Ok(f) => f,
+        Err(e) => return Err(TestCaseError::fail(format!("parse failed: {e}\n{text}"))),
+    };
+
+    // Rebuild an identical registry from the *parsed* samples: base
+    // name + decoded label pairs fed back through `labeled()`. Any
+    // escaping asymmetry (encode ≠ decode⁻¹) breaks byte equality.
+    let r2 = Registry::new();
+    for fam in &families {
+        for s in &fam.samples {
+            let pairs: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            r2.counter(&labeled(&s.name, &pairs)).add(s.value as u64);
+        }
+    }
+    let text2 = r2.render_prometheus();
+    prop_assert_eq!(text, text2);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prometheus_export_parse_reexport_is_identity(
+        series in proptest::collection::vec(
+            (
+                0usize..3,
+                proptest::collection::vec(
+                    proptest::collection::vec(
+                        proptest::sample::select(VALUE_CHARS.to_vec()),
+                        0..8,
+                    ).prop_map(|cs| cs.into_iter().collect::<String>()),
+                    1..3,
+                ),
+                1u64..1000,
+            ),
+            1..6,
+        ),
+    ) {
+        roundtrip(&series)?;
+    }
+}
+
+/// The shrunk cases that historically broke the parser: `}` ended the
+/// label set early and `,` split a single pair in two. Pinned here so
+/// the quote-aware scan never regresses.
+#[test]
+fn structural_characters_in_label_values_roundtrip() {
+    for v in ["}", ",", "a}b", "x,y", "{t=\"u\"}", "\\}", "\"}", "\n,"] {
+        let series = vec![(0usize, vec![v.to_string()], 7u64)];
+        roundtrip(&series).unwrap_or_else(|e| panic!("value {v:?}: {e:?}"));
+    }
+}

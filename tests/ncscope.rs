@@ -183,6 +183,198 @@ fn on_demand_flight_snapshot_diagnoses_clean() {
     assert!(report.contains("delivered"), "report renders: {report}");
 }
 
+/// `diagnose()` invoked programmatically mid-run — the ncwatch incident
+/// pipeline's path: every few microseconds of simulated time the scope
+/// ring and the hosts' non-draining trace snapshots are handed to the
+/// diagnosis engine while the simulation keeps advancing. Snapshots
+/// must be internally consistent (no torn events), monotone in
+/// coverage, and converge to the end-of-run diagnosis.
+#[test]
+fn mid_run_diagnosis_is_consistent_while_sim_advances() {
+    let slots = DATA_LEN / WIN;
+    let src = allreduce_source(DATA_LEN, WIN);
+    let and = format!("hosts worker {NWORKERS}\nswitch s1\nlink worker* s1\n");
+    let mut cfg = CompileConfig::default();
+    cfg.masks.insert("allreduce".into(), vec![WIN as u16]);
+    cfg.masks.insert("result".into(), vec![WIN as u16]);
+    let program = compile(&src, &and, &cfg).expect("compiles");
+    let kid = program.kernel_ids["allreduce"];
+    let rcfg = ReliableConfig {
+        filter_slots: slots,
+        ..ReliableConfig::default()
+    };
+    let scope = Scope::new(1 << 15);
+    let mut apps: HashMap<String, Box<dyn HostApp>> = HashMap::new();
+    for w in 1..=NWORKERS as u16 {
+        let mut host = NclHost::new(&program);
+        let data: Vec<i32> = vec![w as i32; DATA_LEN];
+        host.out(OutInvocation {
+            kernel: "allreduce".into(),
+            arrays: vec![TypedArray::from_i32(&data)],
+            dest: NodeId::Host(HostId(w % NWORKERS as u16 + 1)),
+            start: 0,
+            gap: 0,
+        })
+        .unwrap();
+        host.bind_incoming(
+            &program,
+            "allreduce",
+            "result",
+            &[(ScalarType::I32, DATA_LEN), (ScalarType::Bool, 1)],
+        )
+        .unwrap();
+        host.done_on_flag(kid, 1);
+        host.enable_reliability(rcfg);
+        host.enable_telemetry(1.0, 1024);
+        host.enable_scope(&scope);
+        apps.insert(format!("worker{w}"), Box::new(host));
+    }
+    let opts = DeployOptions {
+        scope: Some(scope.clone()),
+        ..DeployOptions::default()
+    };
+    let mut dep = deploy_opts(&program, apps, opts).expect("deploys");
+    let cp = ControlPlane::new(program.switch("s1").unwrap());
+    let s1 = dep.switch("s1");
+    cp.ctrl_wr(
+        dep.net.switch_pipeline_mut(s1).unwrap(),
+        "nworkers",
+        Value::u32(NWORKERS as u32),
+    );
+
+    let dcfg = analysis::DiagnosisConfig {
+        expected_path: and_switch_path(&program, "worker1", "worker2"),
+        deployed_versions: deployed_versions(&program),
+    };
+    let mut last_events = 0usize;
+    let mut last_delivered = 0usize;
+    let mut snapshots = 0;
+    let mut t = 0u64;
+    while t < 400_000 {
+        t += 2_000;
+        dep.net.run_until(t);
+        // Live capture exactly as the incident pipeline takes it: the
+        // decoded ring plus non-draining trace snapshots.
+        let events = scope.decoded();
+        let mut traces = Vec::new();
+        for w in 1..=NWORKERS as u16 {
+            let host = dep.net.host_app::<NclHost>(HostId(w)).unwrap();
+            traces.extend(host.trace_snapshot());
+        }
+        let d = analysis::diagnose(&events, &traces, &dcfg);
+        snapshots += 1;
+        assert!(
+            d.events_seen >= last_events,
+            "event coverage regressed mid-run: {} < {last_events}",
+            d.events_seen
+        );
+        let delivered = d.count(analysis::WindowOutcome::Delivered);
+        assert!(
+            delivered >= last_delivered,
+            "delivered count regressed mid-run: {delivered} < {last_delivered}"
+        );
+        assert!(d.primary_loss_locus().is_none(), "clean run, no loss");
+        last_events = d.events_seen;
+        last_delivered = delivered;
+        let all_done = (1..=NWORKERS as u16).all(|w| {
+            dep.net
+                .host_app::<NclHost>(HostId(w))
+                .unwrap()
+                .done_at
+                .is_some()
+        });
+        if all_done {
+            break;
+        }
+    }
+    assert!(snapshots >= 3, "the run spanned several capture points");
+    assert!(last_delivered > 0, "mid-run capture saw deliveries");
+    // The final mid-run capture converged to the end-of-run view, and
+    // the non-draining snapshots left the application's traces intact.
+    dep.net.run();
+    let mut traces = Vec::new();
+    for w in 1..=NWORKERS as u16 {
+        let host = dep.net.host_app_mut::<NclHost>(HostId(w)).unwrap();
+        assert!(host.done_at.is_some(), "worker {w} completes");
+        traces.extend(host.take_traces());
+    }
+    assert!(!traces.is_empty(), "snapshots did not drain the traces");
+    let d = analysis::diagnose(&scope.decoded(), &traces, &dcfg);
+    assert!(d.count(analysis::WindowOutcome::Delivered) >= last_delivered);
+    assert_eq!(d.count(analysis::WindowOutcome::Abandoned), 0);
+}
+
+/// The event ring's seqlock under real contention: writer threads
+/// hammer the ring while the main thread repeatedly snapshots and
+/// diagnoses. Every decoded event must be internally consistent — a
+/// torn slot (one writer's key with another's payload) would break the
+/// redundant encoding each writer stamps across all fields.
+#[test]
+fn concurrent_decode_never_observes_torn_events() {
+    use ncl::nctel::{ScopeEvent, WindowKey};
+    // Small ring so writers wrap it constantly — maximum slot reuse.
+    let scope = Scope::new(256);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (1u16..=4)
+        .map(|w| {
+            let scope = scope.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut seq = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Redundant encoding: node, key and payload all
+                    // derive from (w, seq), so any cross-writer or
+                    // cross-iteration mix is detectable.
+                    scope.emit(
+                        (w as u64) << 32 | seq as u64,
+                        w,
+                        WindowKey::new(w, w, seq),
+                        ScopeEvent::SwitchExecuted {
+                            switch: 0x8000 | w,
+                            version: (seq % 7 + 1) as u16,
+                            fwd: 0,
+                        },
+                    );
+                    seq = seq.wrapping_add(1);
+                }
+            })
+        })
+        .collect();
+    let dcfg = analysis::DiagnosisConfig::default();
+    let mut decoded_total = 0usize;
+    for _ in 0..200 {
+        let events = scope.decoded();
+        decoded_total += events.len();
+        for e in &events {
+            assert_eq!(e.key.sender, e.node, "torn: key/node mismatch");
+            assert_eq!(e.key.kernel, e.node, "torn: key halves mixed");
+            assert_eq!(
+                e.t,
+                (e.node as u64) << 32 | e.key.seq as u64,
+                "torn: time from a different iteration"
+            );
+            match e.event {
+                ScopeEvent::SwitchExecuted {
+                    switch, version, ..
+                } => {
+                    assert_eq!(switch, 0x8000 | e.node, "torn: payload/key mix");
+                    assert_eq!(version as u32, e.key.seq % 7 + 1, "torn: stale payload");
+                }
+                ref other => panic!("decoded a kind nobody emitted: {other:?}"),
+            }
+        }
+        // The analysis engine accepts every mid-write snapshot.
+        let d = analysis::diagnose(&events, &[], &dcfg);
+        assert_eq!(d.events_seen, events.len());
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(decoded_total > 0, "snapshots observed live traffic");
+    assert!(scope.logged() > 256, "the ring wrapped during the test");
+}
+
 /// The `ncscope --live` path end to end over real UDP: a beacon serving
 /// the run's scope + registry answers the probe with a parseable flight
 /// snapshot.
